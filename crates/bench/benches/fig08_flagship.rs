@@ -1,0 +1,65 @@
+//! Criterion companion to the Fig. 8 experiment: times a scaled-down
+//! Quorum-vs-QNN comparison on truncated datasets so `cargo bench` covers
+//! the flagship code path. Run the full experiment with
+//! `cargo run -p quorum-bench --release --bin fig08_flagship`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdata::Dataset;
+use qnn_baseline::{train, TrainConfig};
+use quorum_bench::table1_specs;
+use quorum_core::{QuorumConfig, QuorumDetector};
+
+/// Truncates a dataset to its first `n` samples, keeping labels.
+fn truncate(ds: &Dataset, n: usize) -> Dataset {
+    let rows = ds.rows()[..n].to_vec();
+    let labels = ds.labels().map(|l| l[..n].to_vec());
+    Dataset::from_rows(ds.name(), rows, labels).unwrap()
+}
+
+fn bench_quorum_per_dataset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig08_quorum_2groups_96samples");
+    group.sample_size(10);
+    for spec in table1_specs() {
+        let ds = truncate(&spec.load(42), 96);
+        group.bench_with_input(BenchmarkId::from_parameter(spec.name), &ds, |b, ds| {
+            let detector = QuorumDetector::new(
+                QuorumConfig::default()
+                    .with_ensemble_groups(2)
+                    .with_bucket_probability(spec.bucket_probability)
+                    .with_anomaly_rate_estimate(spec.anomaly_rate())
+                    .with_threads(1)
+                    .with_seed(42),
+            )
+            .unwrap();
+            b.iter(|| black_box(detector.score(ds).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_qnn_training(c: &mut Criterion) {
+    let spec = &table1_specs()[0];
+    let ds = truncate(&spec.load(42), 96);
+    let mut group = c.benchmark_group("fig08_qnn_train_96samples");
+    group.sample_size(10);
+    group.bench_function("2epochs", |b| {
+        b.iter(|| {
+            black_box(train(
+                &ds,
+                &TrainConfig {
+                    epochs: 2,
+                    seed: 42,
+                    ..TrainConfig::default()
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_quorum_per_dataset, bench_qnn_training
+}
+criterion_main!(benches);

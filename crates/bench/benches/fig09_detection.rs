@@ -1,0 +1,70 @@
+//! Criterion companion to the Fig. 9 experiment: times the noiseless and
+//! Brisbane-noisy scoring paths that generate the detection-rate curves.
+//! Run the full experiment with
+//! `cargo run -p quorum-bench --release --bin fig09_detection_curves`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qdata::Dataset;
+use qmetrics::curve::{curve_auc, detection_rate_curve};
+use quorum_bench::table1_specs;
+use quorum_core::{ExecutionMode, QuorumConfig, QuorumDetector};
+use qsim::NoiseModel;
+
+fn small_labelled() -> Dataset {
+    let spec = &table1_specs()[0];
+    let full = spec.load(42);
+    let rows = full.rows()[..48].to_vec();
+    let labels = full.labels().map(|l| l[..48].to_vec());
+    Dataset::from_rows("bc-48", rows, labels).unwrap()
+}
+
+fn config() -> QuorumConfig {
+    QuorumConfig::default()
+        .with_ensemble_groups(1)
+        .with_anomaly_rate_estimate(0.05)
+        .with_threads(1)
+        .with_seed(7)
+}
+
+fn bench_noiseless_scoring(c: &mut Criterion) {
+    let ds = small_labelled();
+    let detector = QuorumDetector::new(config()).unwrap();
+    c.bench_function("fig09_noiseless_48samples_1group", |b| {
+        b.iter(|| black_box(detector.score(&ds).unwrap()))
+    });
+}
+
+fn bench_noisy_scoring(c: &mut Criterion) {
+    let ds = small_labelled();
+    let detector = QuorumDetector::new(config().with_execution(ExecutionMode::Noisy {
+        noise: NoiseModel::brisbane(),
+        shots: None,
+    }))
+    .unwrap();
+    let mut group = c.benchmark_group("fig09_noisy");
+    group.sample_size(10);
+    group.bench_function("48samples_1group_brisbane", |b| {
+        b.iter(|| black_box(detector.score(&ds).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_curve_computation(c: &mut Criterion) {
+    let ds = small_labelled();
+    let detector = QuorumDetector::new(config()).unwrap();
+    let report = detector.score(&ds).unwrap();
+    let labels = ds.labels().unwrap().to_vec();
+    c.bench_function("fig09_curve_and_auc", |b| {
+        b.iter(|| {
+            let curve = detection_rate_curve(report.scores(), &labels);
+            black_box(curve_auc(&curve))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_noiseless_scoring, bench_noisy_scoring, bench_curve_computation
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion companion to the Fig. 10 experiment: times scoring plus the
+//! sorted-separation extraction on the breast-cancer dataset. Run the full
+//! experiment with `cargo run -p quorum-bench --release --bin fig10_separation`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qdata::Dataset;
+use quorum_bench::table1_specs;
+use quorum_core::{QuorumConfig, QuorumDetector};
+
+fn bench_separation(c: &mut Criterion) {
+    let spec = table1_specs()
+        .into_iter()
+        .find(|s| s.name == "breast-cancer")
+        .unwrap();
+    let full = spec.load(42);
+    let rows = full.rows()[..96].to_vec();
+    let labels = full.labels().map(|l| l[..96].to_vec());
+    let ds = Dataset::from_rows("bc-96", rows, labels).unwrap();
+    let detector = QuorumDetector::new(
+        QuorumConfig::default()
+            .with_ensemble_groups(2)
+            .with_bucket_probability(spec.bucket_probability)
+            .with_anomaly_rate_estimate(spec.anomaly_rate())
+            .with_threads(1)
+            .with_seed(42),
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.bench_function("score_and_sort_96samples_2groups", |b| {
+        b.iter(|| {
+            let report = detector.score(&ds).unwrap();
+            black_box(report.sorted_with_labels(ds.labels().unwrap()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_separation
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Backend comparison on the actual Quorum sample circuit: exact branching
+//! statevector vs density matrix vs Brisbane-noisy density matrix.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use quorum_core::ansatz::AnsatzParams;
+use quorum_core::circuit::build_sample_circuit;
+use qsim::simulator::{Backend, DensityMatrixBackend, StatevectorBackend};
+use qsim::NoiseModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn quorum_circuit(reset_count: usize) -> qsim::Circuit {
+    let mut rng = StdRng::seed_from_u64(9);
+    let ansatz = AnsatzParams::random(3, 2, &mut rng);
+    build_sample_circuit(
+        &[0.11, 0.05, 0.09, 0.13, 0.02, 0.08, 0.1],
+        &ansatz,
+        reset_count,
+    )
+    .unwrap()
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let circ1 = quorum_circuit(1);
+    let circ2 = quorum_circuit(2);
+    let sv = StatevectorBackend::new();
+    let dm = DensityMatrixBackend::new();
+    let noisy = DensityMatrixBackend::with_noise(NoiseModel::brisbane());
+
+    let mut group = c.benchmark_group("quorum_circuit_backends");
+    group.sample_size(10);
+    group.bench_function("statevector_branching_1reset", |b| {
+        b.iter(|| black_box(sv.probabilities(&circ1).unwrap().marginal_one(0)))
+    });
+    group.bench_function("statevector_branching_2resets", |b| {
+        b.iter(|| black_box(sv.probabilities(&circ2).unwrap().marginal_one(0)))
+    });
+    group.bench_function("density_matrix_ideal", |b| {
+        b.iter(|| black_box(dm.probabilities(&circ1).unwrap().marginal_one(0)))
+    });
+    group.bench_function("density_matrix_brisbane", |b| {
+        b.iter(|| black_box(noisy.probabilities(&circ1).unwrap().marginal_one(0)))
+    });
+    group.finish();
+}
+
+fn bench_shot_sampling(c: &mut Criterion) {
+    let circ = quorum_circuit(1);
+    let sv = StatevectorBackend::new();
+    c.bench_function("sample_4096_shots", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(sv.run(&circ, 4096, seed).unwrap().marginal_one(0))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_backends, bench_shot_sampling
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion companion to the Table II experiment: times the bucket-size
+//! sweep machinery (bucket planning + scoring at different probability
+//! targets). Run the full experiment with
+//! `cargo run -p quorum-bench --release --bin table2_bucket_ablation`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdata::Dataset;
+use quorum_bench::table1_specs;
+use quorum_core::bucket::BucketPlan;
+use quorum_core::{QuorumConfig, QuorumDetector};
+
+fn bench_bucket_planning(c: &mut Criterion) {
+    c.bench_function("table2_bucket_plan_assignments", |b| {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let plan = BucketPlan::from_target(1000, 0.03, 0.75);
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(plan.assign(&mut rng)))
+    });
+}
+
+fn bench_sweep_points(c: &mut Criterion) {
+    let spec = &table1_specs()[3]; // power plant
+    let full = spec.load(42);
+    let rows = full.rows()[..80].to_vec();
+    let labels = full.labels().map(|l| l[..80].to_vec());
+    let ds = Dataset::from_rows("pp-80", rows, labels).unwrap();
+
+    let mut group = c.benchmark_group("table2_sweep_point");
+    group.sample_size(10);
+    for &p in &[0.5f64, 0.75, 0.95] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            let detector = QuorumDetector::new(
+                QuorumConfig::default()
+                    .with_ensemble_groups(2)
+                    .with_bucket_probability(p)
+                    .with_anomaly_rate_estimate(spec.anomaly_rate())
+                    .with_threads(1)
+                    .with_seed(42),
+            )
+            .unwrap();
+            b.iter(|| black_box(detector.score(&ds).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_bucket_planning, bench_sweep_points
+}
+criterion_main!(benches);

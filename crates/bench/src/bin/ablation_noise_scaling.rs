@@ -1,0 +1,79 @@
+//! Ablation: noise-strength scaling. Fig. 9 shows Quorum barely degrades
+//! at Brisbane's error rates; this sweep scales every error source by
+//! 0×, 1×, 4× and 16× to find where detection actually breaks.
+//!
+//! Runs on a 120-sample slice of the breast-cancer data (density-matrix
+//! simulation is the expensive path).
+//!
+//! ```text
+//! cargo run -p quorum-bench --release --bin ablation_noise_scaling [--noisy-groups N] [--seed S]
+//! ```
+
+use qdata::Dataset;
+use qmetrics::roc_auc;
+use quorum_bench::{print_table, quorum_config, table1_specs, CliArgs};
+use quorum_core::{ExecutionMode, QuorumDetector};
+use qsim::NoiseModel;
+
+fn main() {
+    let args = CliArgs::parse(0, 6);
+    let spec = table1_specs()
+        .into_iter()
+        .find(|s| s.name == "breast-cancer")
+        .expect("registered");
+    let full = spec.load(args.seed);
+    // Slice: keep all anomalies plus the first normals up to 120 samples.
+    let labels_full = full.labels().expect("labelled");
+    let mut rows_subset = Vec::new();
+    let mut labels = Vec::new();
+    for (i, row) in full.rows().iter().enumerate() {
+        if labels_full[i] || rows_subset.len() < 110 + labels.iter().filter(|&&l| l).count() {
+            rows_subset.push(row.clone());
+            labels.push(labels_full[i]);
+        }
+    }
+    let ds = Dataset::from_rows("bc-slice", rows_subset, Some(labels.clone())).unwrap();
+    println!("{ds}");
+
+    let mut table = Vec::new();
+    for scale in [0.0f64, 1.0, 4.0, 16.0] {
+        let start = std::time::Instant::now();
+        let mode = if scale == 0.0 {
+            ExecutionMode::Exact
+        } else {
+            ExecutionMode::Noisy {
+                noise: NoiseModel::brisbane().scaled(scale),
+                shots: None,
+            }
+        };
+        let config = quorum_config(&spec, args.noisy_groups, args.seed).with_execution(mode);
+        let report = QuorumDetector::new(config)
+            .expect("valid")
+            .score(&ds)
+            .expect("scores");
+        let auc = roc_auc(report.scores(), &labels);
+        let n_anom = labels.iter().filter(|&&l| l).count();
+        let cm = report.evaluate_top_n(&labels, n_anom);
+        table.push(vec![
+            if scale == 0.0 {
+                "noiseless".to_string()
+            } else {
+                format!("{scale}x Brisbane")
+            },
+            format!("{:.3}", cm.f1()),
+            format!("{:.3}", auc),
+            format!("{:.0}s", start.elapsed().as_secs_f64()),
+        ]);
+    }
+
+    print_table(
+        &format!(
+            "Ablation: noise scaling on a breast-cancer slice ({} groups, seed {})",
+            args.noisy_groups, args.seed
+        ),
+        &["Noise", "F1", "ROC-AUC", "Wall"],
+        &table,
+    );
+    println!("\n(Quorum's per-bucket z-scores difference out noise that affects all");
+    println!(" samples equally; only strongly amplified noise erodes the ranking.)");
+}

@@ -1,0 +1,59 @@
+//! Ablation: shot-count sensitivity. The paper executes 4,096 shots per
+//! circuit and notes diminishing returns past a point; this sweep compares
+//! finite-shot sampling against the exact (infinite-shot) limit.
+//!
+//! ```text
+//! cargo run -p quorum-bench --release --bin ablation_shots [--groups N] [--seed S]
+//! ```
+
+use qmetrics::roc_auc;
+use quorum_bench::{print_table, run_quorum, table1_specs, CliArgs};
+use quorum_core::ExecutionMode;
+
+const SHOT_COUNTS: [u64; 5] = [64, 256, 1024, 4096, 16384];
+
+fn main() {
+    let args = CliArgs::parse(60, 0);
+    let spec = table1_specs()
+        .into_iter()
+        .find(|s| s.name == "breast-cancer")
+        .expect("registered");
+    let ds = spec.load(args.seed);
+    let labels = ds.labels().expect("labelled");
+
+    let mut rows = Vec::new();
+    for shots in SHOT_COUNTS {
+        let report = run_quorum(
+            &ds,
+            &spec,
+            args.groups,
+            args.seed,
+            ExecutionMode::Sampled { shots },
+        );
+        let cm = report.evaluate_at_anomaly_count(labels);
+        rows.push(vec![
+            shots.to_string(),
+            format!("{:.3}", cm.f1()),
+            format!("{:.3}", cm.recall()),
+            format!("{:.3}", roc_auc(report.scores(), labels)),
+        ]);
+    }
+    let exact = run_quorum(&ds, &spec, args.groups, args.seed, ExecutionMode::Exact);
+    let cm = exact.evaluate_at_anomaly_count(labels);
+    rows.push(vec![
+        "exact".to_string(),
+        format!("{:.3}", cm.f1()),
+        format!("{:.3}", cm.recall()),
+        format!("{:.3}", roc_auc(exact.scores(), labels)),
+    ]);
+
+    print_table(
+        &format!(
+            "Ablation: shots per circuit on breast-cancer ({} groups, seed {})",
+            args.groups, args.seed
+        ),
+        &["Shots", "F1", "Recall", "ROC-AUC"],
+        &rows,
+    );
+    println!("\n(The paper uses 4,096 shots; the exact row is the infinite-shot limit.)");
+}

@@ -1,0 +1,70 @@
+//! Extension experiment (not a paper figure): classical unsupervised
+//! baselines from the paper's background section — Isolation Forest, LOF,
+//! k-means distance and per-feature z-scores — on the same four datasets,
+//! evaluated identically to Quorum (flag top-k, k = anomaly count).
+//!
+//! ```text
+//! cargo run -p quorum-bench --release --bin baselines_comparison [--groups N] [--seed S]
+//! ```
+
+use classical_baselines::{Detector, IsolationForest, KMeansDetector, LocalOutlierFactor, ZScoreDetector};
+use qmetrics::confusion::ConfusionMatrix;
+use qmetrics::{flag_top_n, roc_auc};
+use quorum_bench::{print_table, run_quorum, table1_specs, CliArgs};
+use quorum_core::ExecutionMode;
+
+fn main() {
+    let args = CliArgs::parse(100, 0);
+    let mut rows = Vec::new();
+
+    for spec in table1_specs() {
+        let ds = spec.load(args.seed);
+        let labels = ds.labels().expect("labelled");
+        let n_anom = spec.anomalies;
+        let stripped = ds.strip_labels();
+
+        let detectors: Vec<(String, Vec<f64>)> = vec![
+            (
+                "IsolationForest".into(),
+                IsolationForest::default().score(&stripped),
+            ),
+            (
+                "LOF".into(),
+                LocalOutlierFactor::default().score(&stripped),
+            ),
+            (
+                "KMeans-dist".into(),
+                KMeansDetector::default().score(&stripped),
+            ),
+            ("ZScore".into(), ZScoreDetector::default().score(&stripped)),
+            (
+                "Quorum".into(),
+                run_quorum(&ds, &spec, args.groups, args.seed, ExecutionMode::Exact)
+                    .scores()
+                    .to_vec(),
+            ),
+        ];
+
+        for (name, scores) in detectors {
+            let flags = flag_top_n(&scores, n_anom);
+            let cm = ConfusionMatrix::from_predictions(labels, &flags);
+            rows.push(vec![
+                spec.display.to_string(),
+                name,
+                format!("{:.3}", cm.recall()),
+                format!("{:.3}", cm.precision()),
+                format!("{:.3}", cm.f1()),
+                format!("{:.3}", roc_auc(&scores, labels)),
+            ]);
+        }
+    }
+
+    print_table(
+        &format!(
+            "Extension: classical baselines vs Quorum ({} groups, seed {})",
+            args.groups, args.seed
+        ),
+        &["Dataset", "Method", "Recall", "Precision", "F1", "ROC-AUC"],
+        &rows,
+    );
+}

@@ -1,0 +1,47 @@
+//! Regenerates **Table I**: the evaluation datasets with their anomaly
+//! statistics and bucket-probability targets, plus the bucket sizes the
+//! targets imply.
+//!
+//! ```text
+//! cargo run -p quorum-bench --release --bin table1_datasets
+//! ```
+
+use quorum_bench::{print_table, table1_specs, CliArgs};
+use quorum_core::bucket::BucketPlan;
+
+fn main() {
+    let args = CliArgs::parse(0, 0);
+    let rows: Vec<Vec<String>> = table1_specs()
+        .iter()
+        .map(|spec| {
+            let ds = spec.load(args.seed);
+            let plan =
+                BucketPlan::from_target(ds.num_samples(), spec.anomaly_rate(), spec.bucket_probability);
+            vec![
+                spec.display.to_string(),
+                ds.num_samples().to_string(),
+                ds.anomaly_count().expect("labelled").to_string(),
+                ds.num_features().to_string(),
+                format!("{:.2}", spec.bucket_probability),
+                plan.bucket_size().to_string(),
+                plan.num_buckets().to_string(),
+                format!("{:.3}", plan.actual_probability(spec.anomaly_rate())),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table I: Datasets used for Quorum's evaluation",
+        &[
+            "Dataset",
+            "Samples",
+            "Anomalies",
+            "Features",
+            "Pr[anomaly in bucket]",
+            "Bucket size",
+            "Buckets",
+            "Achieved Pr",
+        ],
+        &rows,
+    );
+    println!("\n(Bucket size = ceil(ln(1-p)/ln(1-r)); see DESIGN.md §3.4.)");
+}

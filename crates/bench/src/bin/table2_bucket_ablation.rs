@@ -1,0 +1,56 @@
+//! Regenerates **Table II**: F1 scores as the bucket-probability target
+//! `p` sweeps over {0.5, 0.6, 0.75, 0.95, 0.98} for every dataset.
+//!
+//! ```text
+//! cargo run -p quorum-bench --release --bin table2_bucket_ablation [--groups N] [--seed S]
+//! ```
+//!
+//! Paper shapes to check: very small buckets (low `p`) degrade F1, and
+//! moderate buckets often beat the largest ones — letter peaks toward
+//! `p = 0.95`, breast cancer and power plant around `p = 0.75`.
+
+use quorum_bench::{print_table, run_quorum, table1_specs, CliArgs};
+use quorum_core::bucket::BucketPlan;
+use quorum_core::ExecutionMode;
+
+const P_VALUES: [f64; 5] = [0.5, 0.6, 0.75, 0.95, 0.98];
+
+fn main() {
+    let args = CliArgs::parse(60, 0);
+    let mut rows = Vec::new();
+
+    for spec in table1_specs() {
+        let ds = spec.load(args.seed);
+        let labels = ds.labels().expect("labelled");
+        let mut row = vec![spec.display.to_string()];
+        for &p in &P_VALUES {
+            let mut spec_p = spec.clone();
+            spec_p.bucket_probability = p;
+            let report = run_quorum(&ds, &spec_p, args.groups, args.seed, ExecutionMode::Exact);
+            let cm = report.evaluate_at_anomaly_count(labels);
+            row.push(format!("{:.3}", cm.f1()));
+        }
+        // Also show the bucket size p implies, for context.
+        let sizes: Vec<String> = P_VALUES
+            .iter()
+            .map(|&p| {
+                BucketPlan::from_target(ds.num_samples(), spec.anomaly_rate(), p)
+                    .bucket_size()
+                    .to_string()
+            })
+            .collect();
+        row.push(sizes.join("/"));
+        rows.push(row);
+    }
+
+    print_table(
+        &format!(
+            "Table II: F1 scores for different bucket sizes ({} groups, seed {})",
+            args.groups, args.seed
+        ),
+        &[
+            "Dataset", "p=0.5", "p=0.6", "p=0.75", "p=0.95", "p=0.98", "bucket sizes",
+        ],
+        &rows,
+    );
+}

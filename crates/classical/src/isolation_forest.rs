@@ -1,0 +1,211 @@
+//! Isolation Forest (Liu, Ting & Zhou), the tree-based detector the paper's
+//! background cites: anomalies are isolated by fewer random splits.
+
+use crate::Detector;
+use qdata::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Isolation-forest configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsolationForest {
+    /// Number of trees (default 100).
+    pub num_trees: usize,
+    /// Sub-sample size per tree (default 256, clamped to the dataset).
+    pub subsample: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for IsolationForest {
+    fn default() -> Self {
+        IsolationForest {
+            num_trees: 100,
+            subsample: 256,
+            seed: 1,
+        }
+    }
+}
+
+enum Node {
+    Internal {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+    Leaf {
+        size: usize,
+    },
+}
+
+/// Average unsuccessful-search path length of a BST with `n` nodes — the
+/// normalising constant `c(n)` from the paper.
+fn c_factor(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let n = n as f64;
+    2.0 * ((n - 1.0).ln() + 0.5772156649015329) - 2.0 * (n - 1.0) / n
+}
+
+fn build_tree<R: Rng + ?Sized>(
+    rows: &[&[f64]],
+    depth: usize,
+    max_depth: usize,
+    rng: &mut R,
+) -> Node {
+    if rows.len() <= 1 || depth >= max_depth {
+        return Node::Leaf { size: rows.len() };
+    }
+    let num_features = rows[0].len();
+    // Pick a feature with spread; give up after a few attempts (constant
+    // data region).
+    for _ in 0..num_features.max(4) {
+        let feature = rng.gen_range(0..num_features);
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for r in rows {
+            lo = lo.min(r[feature]);
+            hi = hi.max(r[feature]);
+        }
+        if hi <= lo {
+            continue;
+        }
+        let threshold = rng.gen_range(lo..hi);
+        let (left_rows, right_rows): (Vec<&[f64]>, Vec<&[f64]>) =
+            rows.iter().partition(|r| r[feature] < threshold);
+        if left_rows.is_empty() || right_rows.is_empty() {
+            continue;
+        }
+        return Node::Internal {
+            feature,
+            threshold,
+            left: Box::new(build_tree(&left_rows, depth + 1, max_depth, rng)),
+            right: Box::new(build_tree(&right_rows, depth + 1, max_depth, rng)),
+        };
+    }
+    Node::Leaf { size: rows.len() }
+}
+
+fn path_length(node: &Node, row: &[f64], depth: f64) -> f64 {
+    match node {
+        Node::Leaf { size } => depth + c_factor(*size),
+        Node::Internal {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
+            if row[*feature] < *threshold {
+                path_length(left, row, depth + 1.0)
+            } else {
+                path_length(right, row, depth + 1.0)
+            }
+        }
+    }
+}
+
+impl Detector for IsolationForest {
+    fn name(&self) -> &'static str {
+        "isolation-forest"
+    }
+
+    fn score(&self, data: &Dataset) -> Vec<f64> {
+        let rows = data.rows();
+        let n = rows.len();
+        let psi = self.subsample.clamp(2, n);
+        let max_depth = (psi as f64).log2().ceil() as usize;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut trees = Vec::with_capacity(self.num_trees);
+        for _ in 0..self.num_trees {
+            // Sample psi rows without replacement.
+            let mut idx: Vec<usize> = (0..n).collect();
+            for i in 0..psi {
+                let j = rng.gen_range(i..n);
+                idx.swap(i, j);
+            }
+            let sample: Vec<&[f64]> = idx[..psi].iter().map(|&i| rows[i].as_slice()).collect();
+            trees.push(build_tree(&sample, 0, max_depth, &mut rng));
+        }
+        let c = c_factor(psi);
+        rows.iter()
+            .map(|row| {
+                let mean_path: f64 = trees
+                    .iter()
+                    .map(|t| path_length(t, row, 0.0))
+                    .sum::<f64>()
+                    / trees.len() as f64;
+                // s = 2^(−E[h]/c): → 1 for easy-to-isolate points.
+                2f64.powf(-mean_path / c.max(1e-12))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planted() -> Dataset {
+        let mut rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| {
+                let t = (i as f64) * 0.01;
+                vec![1.0 + t, 2.0 - t, 1.5 + t * 0.5]
+            })
+            .collect();
+        rows.push(vec![15.0, -10.0, 20.0]);
+        rows.push(vec![-12.0, 18.0, -9.0]);
+        let mut labels = vec![false; 60];
+        labels.extend([true, true]);
+        Dataset::from_rows("planted", rows, Some(labels)).unwrap()
+    }
+
+    #[test]
+    fn scores_isolate_planted_outliers() {
+        let ds = planted();
+        let forest = IsolationForest::default();
+        let scores = forest.score(&ds);
+        let flags = qmetrics::flag_top_n(&scores, 2);
+        assert!(flags[60] && flags[61], "outliers not top-scored");
+    }
+
+    #[test]
+    fn scores_are_in_unit_interval() {
+        let scores = IsolationForest::default().score(&planted());
+        for &s in &scores {
+            assert!((0.0..=1.0).contains(&s), "score {s}");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let ds = planted();
+        let a = IsolationForest::default().score(&ds);
+        let b = IsolationForest::default().score(&ds);
+        assert_eq!(a, b);
+        let c = IsolationForest {
+            seed: 99,
+            ..IsolationForest::default()
+        }
+        .score(&ds);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn c_factor_grows_logarithmically() {
+        assert_eq!(c_factor(1), 0.0);
+        assert!(c_factor(10) > 0.0);
+        assert!(c_factor(100) > c_factor(10));
+        assert!(c_factor(100) < c_factor(10) * 3.0);
+    }
+
+    #[test]
+    fn constant_dataset_degenerates_gracefully() {
+        let rows = vec![vec![1.0, 1.0]; 20];
+        let ds = Dataset::from_rows("const", rows, None).unwrap();
+        let scores = IsolationForest::default().score(&ds);
+        // Everyone equally isolated.
+        let first = scores[0];
+        assert!(scores.iter().all(|&s| (s - first).abs() < 1e-9));
+    }
+}

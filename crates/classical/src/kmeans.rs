@@ -1,0 +1,191 @@
+//! K-means distance detector: cluster the data, score each sample by its
+//! distance to the nearest centroid (the "clustering" baseline of the
+//! paper's background section).
+
+use crate::Detector;
+use qdata::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// K-means anomaly detector configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansDetector {
+    /// Number of clusters (default 8).
+    pub k: usize,
+    /// Lloyd iterations (default 50).
+    pub max_iters: usize,
+    /// RNG seed for k-means++ initialisation.
+    pub seed: u64,
+}
+
+impl Default for KMeansDetector {
+    fn default() -> Self {
+        KMeansDetector {
+            k: 8,
+            max_iters: 50,
+            seed: 1,
+        }
+    }
+}
+
+fn dist_sqr(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl KMeansDetector {
+    /// Runs k-means++ then Lloyd's algorithm, returning the centroids.
+    fn fit(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let n = rows.len();
+        let k = self.k.clamp(1, n);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // k-means++ seeding.
+        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+        centroids.push(rows[rng.gen_range(0..n)].clone());
+        while centroids.len() < k {
+            let d2: Vec<f64> = rows
+                .iter()
+                .map(|r| {
+                    centroids
+                        .iter()
+                        .map(|c| dist_sqr(r, c))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect();
+            let total: f64 = d2.iter().sum();
+            if total <= 0.0 {
+                // All points coincide with existing centroids.
+                centroids.push(rows[rng.gen_range(0..n)].clone());
+                continue;
+            }
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            centroids.push(rows[chosen].clone());
+        }
+        // Lloyd iterations.
+        let dim = rows[0].len();
+        for _ in 0..self.max_iters {
+            let mut sums = vec![vec![0.0; dim]; centroids.len()];
+            let mut counts = vec![0usize; centroids.len()];
+            for r in rows {
+                let nearest = centroids
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| dist_sqr(r, a.1).total_cmp(&dist_sqr(r, b.1)))
+                    .expect("k >= 1")
+                    .0;
+                for (s, v) in sums[nearest].iter_mut().zip(r) {
+                    *s += v;
+                }
+                counts[nearest] += 1;
+            }
+            let mut moved = 0.0;
+            for (c, (sum, count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+                if *count == 0 {
+                    continue;
+                }
+                let new: Vec<f64> = sum.iter().map(|s| s / *count as f64).collect();
+                moved += dist_sqr(c, &new);
+                *c = new;
+            }
+            if moved < 1e-12 {
+                break;
+            }
+        }
+        centroids
+    }
+}
+
+impl Detector for KMeansDetector {
+    fn name(&self) -> &'static str {
+        "kmeans-distance"
+    }
+
+    fn score(&self, data: &Dataset) -> Vec<f64> {
+        let rows = data.rows();
+        let centroids = self.fit(rows);
+        rows.iter()
+            .map(|r| {
+                centroids
+                    .iter()
+                    .map(|c| dist_sqr(r, c))
+                    .fold(f64::INFINITY, f64::min)
+                    .sqrt()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_clusters_and_outlier() -> Dataset {
+        let mut rows = Vec::new();
+        for i in 0..25 {
+            rows.push(vec![0.0 + (i as f64) * 0.01, 0.0]);
+            rows.push(vec![10.0 - (i as f64) * 0.01, 10.0]);
+        }
+        rows.push(vec![5.0, -8.0]);
+        Dataset::from_rows("km", rows, None).unwrap()
+    }
+
+    #[test]
+    fn outlier_is_farthest_from_centroids() {
+        let ds = two_clusters_and_outlier();
+        let det = KMeansDetector {
+            k: 2,
+            ..KMeansDetector::default()
+        };
+        let scores = det.score(&ds);
+        let top = qmetrics::top_n_indices(&scores, 1)[0];
+        assert_eq!(top, 50);
+    }
+
+    #[test]
+    fn cluster_members_score_low() {
+        let ds = two_clusters_and_outlier();
+        let det = KMeansDetector {
+            k: 2,
+            ..KMeansDetector::default()
+        };
+        let scores = det.score(&ds);
+        let mean_inlier: f64 = scores[..50].iter().sum::<f64>() / 50.0;
+        assert!(mean_inlier < 1.0, "inlier mean distance {mean_inlier}");
+        assert!(scores[50] > 5.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let ds = two_clusters_and_outlier();
+        let a = KMeansDetector::default().score(&ds);
+        let b = KMeansDetector::default().score(&ds);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_clamped() {
+        let rows = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let ds = Dataset::from_rows("small", rows, None).unwrap();
+        let det = KMeansDetector {
+            k: 10,
+            ..KMeansDetector::default()
+        };
+        let scores = det.score(&ds);
+        assert_eq!(scores.len(), 3);
+    }
+
+    #[test]
+    fn identical_points_converge() {
+        let rows = vec![vec![2.0, 2.0]; 12];
+        let ds = Dataset::from_rows("same", rows, None).unwrap();
+        let scores = KMeansDetector::default().score(&ds);
+        assert!(scores.iter().all(|&s| s < 1e-9));
+    }
+}

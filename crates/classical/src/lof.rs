@@ -1,0 +1,137 @@
+//! Local Outlier Factor (Breunig et al.): density-based anomaly scores via
+//! k-nearest-neighbour reachability. Brute-force distances — adequate for
+//! the paper's dataset sizes (≤ 1,000 samples).
+
+use crate::Detector;
+use qdata::Dataset;
+
+/// LOF configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalOutlierFactor {
+    /// Neighbourhood size (default 20).
+    pub k: usize,
+}
+
+impl Default for LocalOutlierFactor {
+    fn default() -> Self {
+        LocalOutlierFactor { k: 20 }
+    }
+}
+
+fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+impl Detector for LocalOutlierFactor {
+    fn name(&self) -> &'static str {
+        "lof"
+    }
+
+    fn score(&self, data: &Dataset) -> Vec<f64> {
+        let rows = data.rows();
+        let n = rows.len();
+        let k = self.k.clamp(1, n.saturating_sub(1).max(1));
+        // Pairwise distances and k-NN lists.
+        let mut neighbours: Vec<Vec<(f64, usize)>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut d: Vec<(f64, usize)> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| (euclidean(&rows[i], &rows[j]), j))
+                .collect();
+            d.sort_by(|a, b| a.0.total_cmp(&b.0));
+            d.truncate(k);
+            neighbours.push(d);
+        }
+        let k_distance: Vec<f64> = neighbours
+            .iter()
+            .map(|nb| nb.last().map_or(0.0, |x| x.0))
+            .collect();
+        // Local reachability density.
+        let lrd: Vec<f64> = (0..n)
+            .map(|i| {
+                let sum_reach: f64 = neighbours[i]
+                    .iter()
+                    .map(|&(d, j)| d.max(k_distance[j]))
+                    .sum();
+                if sum_reach <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    neighbours[i].len() as f64 / sum_reach
+                }
+            })
+            .collect();
+        // LOF = mean(lrd of neighbours) / own lrd.
+        (0..n)
+            .map(|i| {
+                if lrd[i].is_infinite() {
+                    return 1.0; // duplicate-dense point: perfectly normal
+                }
+                let mean_nb: f64 = neighbours[i]
+                    .iter()
+                    .map(|&(_, j)| if lrd[j].is_infinite() { lrd[i] } else { lrd[j] })
+                    .sum::<f64>()
+                    / neighbours[i].len() as f64;
+                mean_nb / lrd[i]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planted() -> Dataset {
+        let mut rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i % 7) as f64 * 0.1, (i % 5) as f64 * 0.1])
+            .collect();
+        rows.push(vec![5.0, 5.0]);
+        Dataset::from_rows("lof", rows, None).unwrap()
+    }
+
+    #[test]
+    fn outlier_has_highest_lof() {
+        let scores = LocalOutlierFactor::default().score(&planted());
+        let max_idx = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(max_idx, 50);
+        assert!(scores[50] > 1.5, "outlier LOF {}", scores[50]);
+    }
+
+    #[test]
+    fn inliers_score_near_one() {
+        let scores = LocalOutlierFactor::default().score(&planted());
+        let inlier_mean: f64 = scores[..50].iter().sum::<f64>() / 50.0;
+        assert!(
+            (inlier_mean - 1.0).abs() < 0.3,
+            "inlier mean LOF {inlier_mean}"
+        );
+    }
+
+    #[test]
+    fn duplicates_do_not_blow_up() {
+        let rows = vec![vec![1.0, 2.0]; 30];
+        let ds = Dataset::from_rows("dup", rows, None).unwrap();
+        let scores = LocalOutlierFactor::default().score(&ds);
+        for &s in &scores {
+            assert!(s.is_finite());
+        }
+    }
+
+    #[test]
+    fn k_is_clamped_for_tiny_datasets() {
+        let rows = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let ds = Dataset::from_rows("tiny", rows, None).unwrap();
+        let scores = LocalOutlierFactor { k: 50 }.score(&ds);
+        assert_eq!(scores.len(), 3);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+}

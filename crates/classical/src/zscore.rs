@@ -1,0 +1,109 @@
+//! Per-feature z-score detector: the simplest classical baseline. A sample
+//! scores by the largest absolute standard deviation any single feature
+//! shows — strong on marginal outliers, blind to correlation-breaking
+//! anomalies (which is exactly what the power-plant experiment probes).
+
+use crate::Detector;
+use qdata::Dataset;
+use qmetrics::stats;
+
+/// Z-score detector configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ZScoreDetector {
+    /// Use the mean of per-feature |z| instead of the maximum.
+    pub aggregate_mean: bool,
+}
+
+impl Detector for ZScoreDetector {
+    fn name(&self) -> &'static str {
+        "zscore"
+    }
+
+    fn score(&self, data: &Dataset) -> Vec<f64> {
+        let m = data.num_features();
+        let mut means = Vec::with_capacity(m);
+        let mut stds = Vec::with_capacity(m);
+        for j in 0..m {
+            let col = data.column(j);
+            means.push(stats::mean(&col));
+            stds.push(stats::population_std(&col));
+        }
+        data.rows()
+            .iter()
+            .map(|row| {
+                let zs = row
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &v)| stats::zscore(v, means[j], stds[j]).abs());
+                if self.aggregate_mean {
+                    let (sum, count) = zs.fold((0.0, 0usize), |(s, c), z| (s + z, c + 1));
+                    if count == 0 {
+                        0.0
+                    } else {
+                        sum / count as f64
+                    }
+                } else {
+                    zs.fold(0.0, f64::max)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_marginal_outlier() {
+        let mut rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 * 0.01, 5.0]).collect();
+        rows.push(vec![0.15, 50.0]);
+        let ds = Dataset::from_rows("z", rows, None).unwrap();
+        let scores = ZScoreDetector::default().score(&ds);
+        let top = qmetrics::top_n_indices(&scores, 1)[0];
+        assert_eq!(top, 30);
+    }
+
+    #[test]
+    fn misses_correlation_breaking_anomaly() {
+        // Two perfectly correlated features; the anomaly swaps them but
+        // stays in range — max-|z| cannot see it clearly.
+        let mut rows: Vec<Vec<f64>> = (0..40).map(|i| {
+            let t = i as f64 / 40.0;
+            vec![t, t]
+        }).collect();
+        rows.push(vec![0.1, 0.9]);
+        let ds = Dataset::from_rows("corr", rows, None).unwrap();
+        let scores = ZScoreDetector::default().score(&ds);
+        let anomaly_score = scores[40];
+        let max_normal = scores[..40].iter().cloned().fold(0.0, f64::max);
+        // The anomaly does NOT dominate: its score is comparable to the
+        // extreme normal points.
+        assert!(anomaly_score < max_normal * 1.5);
+    }
+
+    #[test]
+    fn mean_aggregation_differs_from_max() {
+        let rows = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![10.0, 0.1],
+        ];
+        let ds = Dataset::from_rows("agg", rows, None).unwrap();
+        let max_scores = ZScoreDetector::default().score(&ds);
+        let mean_scores = ZScoreDetector {
+            aggregate_mean: true,
+        }
+        .score(&ds);
+        assert_ne!(max_scores, mean_scores);
+    }
+
+    #[test]
+    fn constant_features_contribute_zero() {
+        let rows = vec![vec![3.0, 1.0], vec![3.0, 2.0], vec![3.0, 3.0]];
+        let ds = Dataset::from_rows("const", rows, None).unwrap();
+        let scores = ZScoreDetector::default().score(&ds);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+}

@@ -1,0 +1,201 @@
+//! The random autoencoder ansatz (paper §IV-D, Fig. 5).
+//!
+//! Each layer applies RX(θ) to every qubit, RZ(θ) to every qubit, then a
+//! linear CX entangling chain. All angles are drawn i.i.d. from
+//! `U(0, 2π)` — **never trained**. The decoder is the exact inverse
+//! (reversed gate order, negated angles), so without the partial reset the
+//! encoder–decoder pair would be the identity and the SWAP test would read
+//! zero deviation for every sample.
+
+use qsim::circuit::Circuit;
+use rand::Rng;
+use std::f64::consts::PI;
+
+/// Randomly drawn ansatz parameters for one ensemble group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnsatzParams {
+    num_qubits: usize,
+    /// `layers[l] = (rx_angles, rz_angles)`, each of length `num_qubits`.
+    layers: Vec<(Vec<f64>, Vec<f64>)>,
+}
+
+impl AnsatzParams {
+    /// Draws `num_layers` layers of uniform random angles for
+    /// `num_qubits` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits == 0` or `num_layers == 0`.
+    pub fn random<R: Rng + ?Sized>(num_qubits: usize, num_layers: usize, rng: &mut R) -> Self {
+        assert!(num_qubits > 0, "ansatz needs at least one qubit");
+        assert!(num_layers > 0, "ansatz needs at least one layer");
+        let layers = (0..num_layers)
+            .map(|_| {
+                let rx = (0..num_qubits).map(|_| rng.gen_range(0.0..2.0 * PI)).collect();
+                let rz = (0..num_qubits).map(|_| rng.gen_range(0.0..2.0 * PI)).collect();
+                (rx, rz)
+            })
+            .collect();
+        AnsatzParams { num_qubits, layers }
+    }
+
+    /// Builds params from explicit angles (tests/ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any layer's angle vectors have the wrong length.
+    pub fn from_layers(num_qubits: usize, layers: Vec<(Vec<f64>, Vec<f64>)>) -> Self {
+        for (rx, rz) in &layers {
+            assert_eq!(rx.len(), num_qubits, "rx angle count");
+            assert_eq!(rz.len(), num_qubits, "rz angle count");
+        }
+        AnsatzParams { num_qubits, layers }
+    }
+
+    /// Qubit count the ansatz targets.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The encoder circuit `E(θ)` over qubits `0..num_qubits`.
+    pub fn encoder(&self) -> Circuit {
+        let mut circ = Circuit::new(self.num_qubits);
+        for (rx, rz) in &self.layers {
+            for (q, &theta) in rx.iter().enumerate() {
+                circ.rx(theta, q);
+            }
+            for (q, &theta) in rz.iter().enumerate() {
+                circ.rz(theta, q);
+            }
+            for q in 0..self.num_qubits.saturating_sub(1) {
+                circ.cx(q, q + 1);
+            }
+        }
+        circ
+    }
+
+    /// The decoder circuit `D(θ) = E(θ)†`: reversed order, negated angles.
+    pub fn decoder(&self) -> Circuit {
+        self.encoder()
+            .inverse()
+            .expect("encoder is purely unitary")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::circuit::Operation;
+    use qsim::gate::Gate;
+    use qsim::statevector::Statevector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn apply(circ: &Circuit, sv: &mut Statevector) {
+        for instr in circ.instructions() {
+            if let Operation::Gate(g) = &instr.op {
+                sv.apply_gate(*g, &instr.qubits).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn encoder_structure_matches_fig5() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let params = AnsatzParams::random(3, 2, &mut rng);
+        let enc = params.encoder();
+        // Per layer: 3 RX + 3 RZ + 2 CX = 8 gates; 2 layers = 16.
+        assert_eq!(enc.len(), 16);
+        let ops = enc.count_ops();
+        assert_eq!(ops.iter().find(|(n, _)| n == "rx").unwrap().1, 6);
+        assert_eq!(ops.iter().find(|(n, _)| n == "rz").unwrap().1, 6);
+        assert_eq!(ops.iter().find(|(n, _)| n == "cx").unwrap().1, 4);
+    }
+
+    #[test]
+    fn decoder_inverts_encoder_exactly() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..5 {
+            let params = AnsatzParams::random(3, 2, &mut rng);
+            let mut sv = Statevector::new(3);
+            // Random-ish initial state.
+            sv.apply_gate(Gate::RY(0.9), &[0]).unwrap();
+            sv.apply_gate(Gate::RY(1.7), &[1]).unwrap();
+            sv.apply_gate(Gate::CX, &[0, 2]).unwrap();
+            let original = sv.clone();
+            apply(&params.encoder(), &mut sv);
+            apply(&params.decoder(), &mut sv);
+            assert!(
+                (sv.fidelity(&original).unwrap() - 1.0).abs() < 1e-10,
+                "decoder failed to invert encoder"
+            );
+        }
+    }
+
+    #[test]
+    fn decoder_negates_angles() {
+        let params = AnsatzParams::from_layers(
+            2,
+            vec![(vec![0.5, 0.7], vec![1.1, 1.3])],
+        );
+        let dec = params.decoder();
+        let angles: Vec<f64> = dec
+            .instructions()
+            .iter()
+            .filter_map(|i| match &i.op {
+                Operation::Gate(g) => g.angle(),
+                _ => None,
+            })
+            .collect();
+        assert!(angles.iter().all(|&a| a < 0.0), "angles {angles:?}");
+    }
+
+    #[test]
+    fn encoder_transforms_nontrivially() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let params = AnsatzParams::random(3, 2, &mut rng);
+        let mut sv = Statevector::new(3);
+        let original = sv.clone();
+        apply(&params.encoder(), &mut sv);
+        assert!(sv.fidelity(&original).unwrap() < 0.99, "encoder is ~identity");
+    }
+
+    #[test]
+    fn different_seeds_give_different_circuits() {
+        let a = AnsatzParams::random(3, 2, &mut StdRng::seed_from_u64(1));
+        let b = AnsatzParams::random(3, 2, &mut StdRng::seed_from_u64(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn single_qubit_ansatz_has_no_cx() {
+        let params = AnsatzParams::random(1, 2, &mut StdRng::seed_from_u64(1));
+        let enc = params.encoder();
+        assert_eq!(enc.count_multi_qubit_gates(), 0);
+        assert_eq!(enc.len(), 4); // rx + rz per layer
+    }
+
+    #[test]
+    fn angles_are_in_range() {
+        let params = AnsatzParams::random(4, 3, &mut StdRng::seed_from_u64(5));
+        let enc = params.encoder();
+        for instr in enc.instructions() {
+            if let Operation::Gate(g) = &instr.op {
+                if let Some(a) = g.angle() {
+                    assert!((0.0..2.0 * PI).contains(&a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn rejects_zero_layers() {
+        AnsatzParams::random(3, 0, &mut StdRng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,228 @@
+//! Bucketing: random partition of the dataset into small subsets sized so
+//! each holds at least one anomaly with a target probability (paper §IV-C,
+//! Table I).
+//!
+//! With anomaly rate `r`, a bucket of `s` samples misses every anomaly with
+//! probability `(1−r)^s`; solving `1 − (1−r)^s ≥ p` gives
+//! `s = ⌈ln(1−p) / ln(1−r)⌉`.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A bucket-sizing plan derived from the dataset size, anomaly-rate prior
+/// and target probability.
+///
+/// # Examples
+///
+/// ```
+/// use quorum_core::bucket::BucketPlan;
+///
+/// // Breast cancer: N=367, r≈10/367, p=0.75 (Table I row 1).
+/// let plan = BucketPlan::from_target(367, 10.0 / 367.0, 0.75);
+/// assert!((2..367).contains(&plan.bucket_size()));
+/// // The plan delivers at least the requested probability.
+/// assert!(plan.actual_probability(10.0 / 367.0) >= 0.75);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketPlan {
+    num_samples: usize,
+    bucket_size: usize,
+}
+
+impl BucketPlan {
+    /// Derives the bucket size for `num_samples` samples with anomaly rate
+    /// `anomaly_rate` and target probability `target_probability` of at
+    /// least one anomaly per bucket. The size is clamped to `[2, N]` (a
+    /// bucket of one sample has no deviation statistics).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < anomaly_rate < 1`, `0 < target_probability < 1`
+    /// and `num_samples > 0`.
+    pub fn from_target(num_samples: usize, anomaly_rate: f64, target_probability: f64) -> Self {
+        assert!(num_samples > 0, "empty dataset");
+        assert!(
+            anomaly_rate > 0.0 && anomaly_rate < 1.0,
+            "anomaly rate strictly inside (0,1)"
+        );
+        assert!(
+            target_probability > 0.0 && target_probability < 1.0,
+            "target probability strictly inside (0,1)"
+        );
+        let raw = ((1.0 - target_probability).ln() / (1.0 - anomaly_rate).ln()).ceil();
+        let size = if raw.is_finite() { raw as usize } else { num_samples };
+        BucketPlan {
+            num_samples,
+            bucket_size: size.clamp(2, num_samples),
+        }
+    }
+
+    /// Builds a plan with an explicit bucket size (for ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_size < 2` or `bucket_size > num_samples`.
+    pub fn with_size(num_samples: usize, bucket_size: usize) -> Self {
+        assert!(
+            (2..=num_samples).contains(&bucket_size),
+            "bucket size must lie in [2, N]"
+        );
+        BucketPlan {
+            num_samples,
+            bucket_size,
+        }
+    }
+
+    /// Samples per bucket.
+    pub fn bucket_size(&self) -> usize {
+        self.bucket_size
+    }
+
+    /// Number of buckets the partition will produce (`⌈N / size⌉`, with the
+    /// final partial bucket folded into its predecessor when it would be a
+    /// singleton).
+    pub fn num_buckets(&self) -> usize {
+        let full = self.num_samples / self.bucket_size;
+        let rem = self.num_samples % self.bucket_size;
+        match (full, rem) {
+            (0, _) => 1,
+            (_, 0) => full,
+            // a trailing single sample can't form statistics; merge it
+            (_, 1) => full,
+            _ => full + 1,
+        }
+    }
+
+    /// The actual probability a bucket of this size holds ≥ 1 anomaly at
+    /// the given rate.
+    pub fn actual_probability(&self, anomaly_rate: f64) -> f64 {
+        1.0 - (1.0 - anomaly_rate).powi(self.bucket_size as i32)
+    }
+
+    /// Randomly partitions sample indices `0..N` into buckets of the
+    /// planned size. Every index appears in exactly one bucket; a trailing
+    /// singleton is merged into the previous bucket.
+    pub fn assign<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Vec<usize>> {
+        let mut order: Vec<usize> = (0..self.num_samples).collect();
+        order.shuffle(rng);
+        let mut buckets: Vec<Vec<usize>> = order
+            .chunks(self.bucket_size)
+            .map(<[usize]>::to_vec)
+            .collect();
+        if buckets.len() > 1 && buckets.last().map_or(false, |b| b.len() == 1) {
+            let last = buckets.pop().expect("non-empty");
+            buckets
+                .last_mut()
+                .expect("at least one bucket remains")
+                .extend(last);
+        }
+        buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn formula_matches_hand_computation() {
+        // r = 0.1, p = 0.75: s = ln(0.25)/ln(0.9) = 13.16... -> 14
+        let plan = BucketPlan::from_target(1000, 0.1, 0.75);
+        assert_eq!(plan.bucket_size(), 14);
+        assert!(plan.actual_probability(0.1) >= 0.75);
+    }
+
+    #[test]
+    fn table1_bucket_sizes_are_reasonable() {
+        // The four (N, anomalies, p) rows of Table I.
+        let rows = [
+            (367usize, 10.0, 0.75),
+            (809, 90.0, 0.6),
+            (533, 33.0, 0.95),
+            (1000, 30.0, 0.75),
+        ];
+        for (n, a, p) in rows {
+            let r = a / n as f64;
+            let plan = BucketPlan::from_target(n, r, p);
+            assert!(plan.bucket_size() >= 2);
+            assert!(plan.bucket_size() <= n);
+            assert!(plan.actual_probability(r) >= p, "plan misses target");
+            // One size smaller would miss the target (minimality), unless
+            // clamped at 2.
+            if plan.bucket_size() > 2 {
+                let smaller = BucketPlan::with_size(n, plan.bucket_size() - 1);
+                assert!(smaller.actual_probability(r) < p);
+            }
+        }
+    }
+
+    #[test]
+    fn higher_probability_needs_bigger_buckets() {
+        let r = 33.0 / 533.0;
+        let sizes: Vec<usize> = [0.5, 0.6, 0.75, 0.95, 0.98]
+            .iter()
+            .map(|&p| BucketPlan::from_target(533, r, p).bucket_size())
+            .collect();
+        for w in sizes.windows(2) {
+            assert!(w[1] >= w[0], "sizes not monotone: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn clamps_to_dataset_size() {
+        // Tiny anomaly rate forces the bucket to the whole dataset.
+        let plan = BucketPlan::from_target(50, 1e-6, 0.99);
+        assert_eq!(plan.bucket_size(), 50);
+        assert_eq!(plan.num_buckets(), 1);
+    }
+
+    #[test]
+    fn assignment_is_a_partition() {
+        let plan = BucketPlan::from_target(103, 0.08, 0.75);
+        let mut rng = StdRng::seed_from_u64(4);
+        let buckets = plan.assign(&mut rng);
+        let mut seen = vec![false; 103];
+        for bucket in &buckets {
+            assert!(bucket.len() >= 2, "bucket too small: {}", bucket.len());
+            for &i in bucket {
+                assert!(!seen[i], "index {i} appears twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "missing indices");
+        assert_eq!(buckets.len(), plan.num_buckets());
+    }
+
+    #[test]
+    fn trailing_singleton_is_merged() {
+        // 7 samples, bucket size 3 -> chunks 3,3,1 -> merged to 3,4.
+        let plan = BucketPlan::with_size(7, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let buckets = plan.assign(&mut rng);
+        assert_eq!(buckets.len(), 2);
+        let sizes: Vec<usize> = buckets.iter().map(Vec::len).collect();
+        assert!(sizes.contains(&3) && sizes.contains(&4));
+    }
+
+    #[test]
+    fn different_rngs_give_different_partitions() {
+        let plan = BucketPlan::with_size(40, 5);
+        let a = plan.assign(&mut StdRng::seed_from_u64(1));
+        let b = plan.assign(&mut StdRng::seed_from_u64(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "anomaly rate")]
+    fn rejects_zero_rate() {
+        BucketPlan::from_target(10, 0.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket size")]
+    fn with_size_validates() {
+        BucketPlan::with_size(10, 1);
+    }
+}

@@ -1,0 +1,330 @@
+//! Quorum configuration.
+
+use crate::error::QuorumError;
+use qsim::NoiseModel;
+
+/// How SWAP-test probabilities are obtained.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[non_exhaustive]
+pub enum ExecutionMode {
+    /// Exact probabilities from the branching statevector backend — the
+    /// infinite-shot limit. Fastest and noise-free; the default.
+    #[default]
+    Exact,
+    /// Shot-sampled probabilities (the paper uses 4,096 shots per circuit).
+    Sampled {
+        /// Shots per circuit.
+        shots: u64,
+    },
+    /// Density-matrix simulation with a hardware noise model; when `shots`
+    /// is `Some`, measurement statistics are additionally shot-sampled.
+    Noisy {
+        /// The noise model (e.g. [`NoiseModel::brisbane`]).
+        noise: NoiseModel,
+        /// Optional shot sampling on top of the noisy probabilities.
+        shots: Option<u64>,
+    },
+}
+
+/// Which feature normalisation feeds the amplitude embedding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum Normalization {
+    /// The paper's §IV-A formula: `raw / (max · M)`. Faithful default.
+    #[default]
+    RangeMax,
+    /// Min–max rescaling `(raw − min) / ((max − min) · M)` — an extension
+    /// that restores contrast for offset-heavy features (see the
+    /// `ablation_normalization` experiment).
+    MinMax,
+}
+
+/// Full configuration for a [`crate::detector::QuorumDetector`].
+///
+/// Construct with [`QuorumConfig::default`] and override via the `with_*`
+/// methods:
+///
+/// ```
+/// use quorum_core::config::QuorumConfig;
+///
+/// let config = QuorumConfig::default()
+///     .with_ensemble_groups(200)
+///     .with_bucket_probability(0.95)
+///     .with_seed(7);
+/// assert_eq!(config.ensemble_groups, 200);
+/// config.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuorumConfig {
+    /// Qubits per data register; circuits use `2n + 1` qubits total. The
+    /// paper's experiments use 3 (7-qubit circuits).
+    pub data_qubits: usize,
+    /// Number of independent ensemble groups (the paper runs 1,000; shapes
+    /// stabilise far earlier, see EXPERIMENTS.md).
+    pub ensemble_groups: usize,
+    /// Layers in the random encoder ansatz (Fig. 5 uses 2).
+    pub ansatz_layers: usize,
+    /// Compression levels to run per group, each given as the number of
+    /// qubits reset in the bottleneck. Empty means "all levels"
+    /// (`1..=data_qubits-1`), matching §IV-E.
+    pub compression_levels: Vec<usize>,
+    /// Target probability that a bucket contains at least one anomaly
+    /// (Table I's rightmost column).
+    pub bucket_probability: f64,
+    /// Estimated anomaly rate used for bucket sizing. Quorum is
+    /// unsupervised: this is a prior, not a label. When `None`, the
+    /// detector falls back to 5%.
+    pub anomaly_rate_estimate: Option<f64>,
+    /// Execution mode (exact, shot-sampled, or noisy).
+    pub execution: ExecutionMode,
+    /// Feature normalisation strategy (paper-faithful by default).
+    pub normalization: Normalization,
+    /// Master RNG seed; every ensemble group derives its own stream.
+    pub seed: u64,
+    /// Worker threads for the embarrassingly parallel ensemble loop.
+    /// 0 means "use all available cores".
+    pub threads: usize,
+}
+
+impl Default for QuorumConfig {
+    fn default() -> Self {
+        QuorumConfig {
+            data_qubits: 3,
+            ensemble_groups: 100,
+            ansatz_layers: 2,
+            compression_levels: Vec::new(),
+            bucket_probability: 0.75,
+            anomaly_rate_estimate: None,
+            execution: ExecutionMode::Exact,
+            normalization: Normalization::RangeMax,
+            seed: 0xC0FFEE,
+            threads: 0,
+        }
+    }
+}
+
+impl QuorumConfig {
+    /// Sets the number of data qubits.
+    pub fn with_data_qubits(mut self, n: usize) -> Self {
+        self.data_qubits = n;
+        self
+    }
+
+    /// Sets the ensemble-group count.
+    pub fn with_ensemble_groups(mut self, n: usize) -> Self {
+        self.ensemble_groups = n;
+        self
+    }
+
+    /// Sets the number of ansatz layers.
+    pub fn with_ansatz_layers(mut self, n: usize) -> Self {
+        self.ansatz_layers = n;
+        self
+    }
+
+    /// Restricts the compression levels (numbers of reset qubits).
+    pub fn with_compression_levels(mut self, levels: Vec<usize>) -> Self {
+        self.compression_levels = levels;
+        self
+    }
+
+    /// Sets the bucket anomaly-probability target.
+    pub fn with_bucket_probability(mut self, p: f64) -> Self {
+        self.bucket_probability = p;
+        self
+    }
+
+    /// Sets the anomaly-rate prior for bucket sizing.
+    pub fn with_anomaly_rate_estimate(mut self, r: f64) -> Self {
+        self.anomaly_rate_estimate = Some(r);
+        self
+    }
+
+    /// Sets the execution mode.
+    pub fn with_execution(mut self, mode: ExecutionMode) -> Self {
+        self.execution = mode;
+        self
+    }
+
+    /// Sets the normalisation strategy.
+    pub fn with_normalization(mut self, normalization: Normalization) -> Self {
+        self.normalization = normalization;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count (0 = all cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The number of features embedded per circuit: `2^n − 1`, leaving one
+    /// amplitude for the overflow state (§IV-C).
+    pub fn features_per_circuit(&self) -> usize {
+        (1 << self.data_qubits) - 1
+    }
+
+    /// The compression levels that will actually run: the configured list,
+    /// or `1..=n-1` when empty.
+    pub fn effective_compression_levels(&self) -> Vec<usize> {
+        if self.compression_levels.is_empty() {
+            (1..self.data_qubits).collect()
+        } else {
+            self.compression_levels.clone()
+        }
+    }
+
+    /// Total circuit width: two data registers plus the SWAP-test ancilla.
+    pub fn total_qubits(&self) -> usize {
+        2 * self.data_qubits + 1
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuorumError::InvalidConfig`] with an explanation.
+    pub fn validate(&self) -> Result<(), QuorumError> {
+        if self.data_qubits < 2 {
+            return Err(QuorumError::InvalidConfig(
+                "at least 2 data qubits are required (compression needs a qubit to reset and one to keep)".into(),
+            ));
+        }
+        if self.data_qubits > 10 {
+            return Err(QuorumError::InvalidConfig(
+                "more than 10 data qubits would exceed simulator limits".into(),
+            ));
+        }
+        if self.ensemble_groups == 0 {
+            return Err(QuorumError::InvalidConfig(
+                "at least one ensemble group is required".into(),
+            ));
+        }
+        if self.ansatz_layers == 0 {
+            return Err(QuorumError::InvalidConfig(
+                "at least one ansatz layer is required".into(),
+            ));
+        }
+        if !(0.0 < self.bucket_probability && self.bucket_probability < 1.0) {
+            return Err(QuorumError::InvalidConfig(
+                "bucket probability must lie strictly between 0 and 1".into(),
+            ));
+        }
+        if let Some(r) = self.anomaly_rate_estimate {
+            if !(0.0 < r && r < 1.0) {
+                return Err(QuorumError::InvalidConfig(
+                    "anomaly rate estimate must lie strictly between 0 and 1".into(),
+                ));
+            }
+        }
+        for &l in &self.compression_levels {
+            if l == 0 || l >= self.data_qubits {
+                return Err(QuorumError::InvalidConfig(format!(
+                    "compression level {l} must reset between 1 and {} qubits",
+                    self.data_qubits - 1
+                )));
+            }
+        }
+        match &self.execution {
+            ExecutionMode::Sampled { shots } if *shots == 0 => {
+                return Err(QuorumError::InvalidConfig("shots must be positive".into()))
+            }
+            ExecutionMode::Noisy {
+                shots: Some(0), ..
+            } => return Err(QuorumError::InvalidConfig("shots must be positive".into())),
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_matches_paper() {
+        let c = QuorumConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.data_qubits, 3);
+        assert_eq!(c.total_qubits(), 7); // the paper's 7-qubit circuits
+        assert_eq!(c.features_per_circuit(), 7); // m = 2^n − 1
+        assert_eq!(c.effective_compression_levels(), vec![1, 2]);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = QuorumConfig::default()
+            .with_data_qubits(4)
+            .with_ensemble_groups(5)
+            .with_ansatz_layers(3)
+            .with_compression_levels(vec![2])
+            .with_bucket_probability(0.6)
+            .with_anomaly_rate_estimate(0.1)
+            .with_seed(99)
+            .with_threads(2);
+        c.validate().unwrap();
+        assert_eq!(c.features_per_circuit(), 15);
+        assert_eq!(c.effective_compression_levels(), vec![2]);
+        assert_eq!(c.total_qubits(), 9);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert!(QuorumConfig::default().with_data_qubits(1).validate().is_err());
+        assert!(QuorumConfig::default().with_data_qubits(11).validate().is_err());
+        assert!(QuorumConfig::default()
+            .with_ensemble_groups(0)
+            .validate()
+            .is_err());
+        assert!(QuorumConfig::default()
+            .with_ansatz_layers(0)
+            .validate()
+            .is_err());
+        assert!(QuorumConfig::default()
+            .with_bucket_probability(1.0)
+            .validate()
+            .is_err());
+        assert!(QuorumConfig::default()
+            .with_bucket_probability(0.0)
+            .validate()
+            .is_err());
+        assert!(QuorumConfig::default()
+            .with_anomaly_rate_estimate(0.0)
+            .validate()
+            .is_err());
+        assert!(QuorumConfig::default()
+            .with_compression_levels(vec![0])
+            .validate()
+            .is_err());
+        assert!(QuorumConfig::default()
+            .with_compression_levels(vec![3])
+            .validate()
+            .is_err());
+        assert!(QuorumConfig::default()
+            .with_execution(ExecutionMode::Sampled { shots: 0 })
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn noisy_mode_validates_shots() {
+        use qsim::NoiseModel;
+        let ok = QuorumConfig::default().with_execution(ExecutionMode::Noisy {
+            noise: NoiseModel::brisbane(),
+            shots: Some(4096),
+        });
+        ok.validate().unwrap();
+        let bad = QuorumConfig::default().with_execution(ExecutionMode::Noisy {
+            noise: NoiseModel::brisbane(),
+            shots: Some(0),
+        });
+        assert!(bad.validate().is_err());
+    }
+}

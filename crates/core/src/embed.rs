@@ -1,0 +1,132 @@
+//! Quantum embedding: normalised features → amplitude vector with an
+//! overflow state (paper §IV-B).
+//!
+//! After range normalisation every selected feature value `f_j` lies in
+//! `[0, 1/M]`; squaring converts it to a probability mass, and the
+//! remaining mass `1 − Σ f_j²` is assigned to the **overflow state** — the
+//! last basis state of the register — so the total quantum probability is
+//! exactly 1.
+
+use crate::error::QuorumError;
+
+/// Builds the `2^n`-entry amplitude vector for one sample's selected
+/// feature values: `[f_0, …, f_{m-1}, 0…, √(1 − Σ f_j²)]` with the overflow
+/// amplitude in the last slot.
+///
+/// # Errors
+///
+/// * [`QuorumError::InvalidData`] if more than `2^n − 1` values are given,
+///   a value is negative/non-finite, or the squared sum exceeds 1 beyond
+///   numerical tolerance.
+///
+/// # Examples
+///
+/// ```
+/// use quorum_core::embed::amplitudes_with_overflow;
+///
+/// let amps = amplitudes_with_overflow(&[0.3, 0.4], 2).unwrap();
+/// assert_eq!(amps.len(), 4);
+/// let total: f64 = amps.iter().map(|a| a * a).sum();
+/// assert!((total - 1.0).abs() < 1e-12);
+/// assert!((amps[3] - (1.0f64 - 0.25).sqrt()).abs() < 1e-12);
+/// ```
+pub fn amplitudes_with_overflow(values: &[f64], n_qubits: usize) -> Result<Vec<f64>, QuorumError> {
+    let dim = 1usize << n_qubits;
+    if values.len() > dim - 1 {
+        return Err(QuorumError::InvalidData(format!(
+            "{} feature values do not fit in {} amplitude slots (one is reserved for overflow)",
+            values.len(),
+            dim - 1
+        )));
+    }
+    let mut sum_sq = 0.0;
+    for (i, &v) in values.iter().enumerate() {
+        if !v.is_finite() || v < 0.0 {
+            return Err(QuorumError::InvalidData(format!(
+                "feature value at position {i} is {v}; normalised features must be finite and non-negative"
+            )));
+        }
+        sum_sq += v * v;
+    }
+    if sum_sq > 1.0 + 1e-9 {
+        return Err(QuorumError::InvalidData(format!(
+            "squared feature mass {sum_sq} exceeds 1; apply range normalisation first"
+        )));
+    }
+    let mut amps = vec![0.0; dim];
+    amps[..values.len()].copy_from_slice(values);
+    amps[dim - 1] = (1.0 - sum_sq).max(0.0).sqrt();
+    Ok(amps)
+}
+
+/// Maximum number of embeddable features for a register width: `2^n − 1`.
+pub fn max_features(n_qubits: usize) -> usize {
+    (1 << n_qubits) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overflow_completes_probability_mass() {
+        let amps = amplitudes_with_overflow(&[0.1, 0.2, 0.3], 2).unwrap();
+        let total: f64 = amps.iter().map(|a| a * a).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(amps.len(), 4);
+        // features occupy the leading slots
+        assert_eq!(amps[0], 0.1);
+        assert_eq!(amps[1], 0.2);
+        assert_eq!(amps[2], 0.3);
+    }
+
+    #[test]
+    fn fewer_features_than_slots_pads_with_zero() {
+        let amps = amplitudes_with_overflow(&[0.5], 3).unwrap();
+        assert_eq!(amps.len(), 8);
+        assert_eq!(amps[1..7], [0.0; 6]);
+        assert!((amps[7] - 0.75f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_sample_is_pure_overflow() {
+        let amps = amplitudes_with_overflow(&[0.0, 0.0], 2).unwrap();
+        assert!((amps[3] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_mass_leaves_zero_overflow() {
+        let amps = amplitudes_with_overflow(&[1.0], 1).unwrap();
+        assert_eq!(amps[1], 0.0);
+        // Tiny floating overshoot is clamped, not an error.
+        let v = (0.5f64).sqrt();
+        let amps = amplitudes_with_overflow(&[v, v], 2).unwrap();
+        assert!(amps[3] < 1e-7);
+    }
+
+    #[test]
+    fn rejects_too_many_values() {
+        assert!(matches!(
+            amplitudes_with_overflow(&[0.1; 4], 2),
+            Err(QuorumError::InvalidData(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_negative_and_nonfinite() {
+        assert!(amplitudes_with_overflow(&[-0.1], 2).is_err());
+        assert!(amplitudes_with_overflow(&[f64::NAN], 2).is_err());
+        assert!(amplitudes_with_overflow(&[f64::INFINITY], 2).is_err());
+    }
+
+    #[test]
+    fn rejects_unnormalised_mass() {
+        assert!(amplitudes_with_overflow(&[1.0, 1.0], 2).is_err());
+    }
+
+    #[test]
+    fn max_features_formula() {
+        assert_eq!(max_features(3), 7);
+        assert_eq!(max_features(4), 15);
+    }
+}

@@ -1,0 +1,250 @@
+//! Ensemble groups: one complete randomized pass of Quorum over the
+//! dataset (paper §IV-E).
+//!
+//! A group owns a fresh bucket partition, feature subset and ansatz draw.
+//! It evaluates every sample's SWAP-test deviation at every compression
+//! level and converts them to per-bucket absolute z-scores. Groups are
+//! independent — the detector fans them out across threads.
+
+use crate::ansatz::AnsatzParams;
+use crate::bucket::BucketPlan;
+use crate::circuit::build_sample_circuit;
+use crate::config::{ExecutionMode, QuorumConfig};
+use crate::error::QuorumError;
+use crate::features::FeatureSelection;
+use qdata::Dataset;
+use qmetrics::stats;
+use qsim::simulator::{Backend, DensityMatrixBackend, StatevectorBackend};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// SplitMix64: deterministic per-index seed derivation from a master seed.
+pub(crate) fn derive_seed(master: u64, index: u64) -> u64 {
+    let mut z = master ^ index.wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// One randomized ensemble group: buckets, feature subset and ansatz.
+#[derive(Debug, Clone)]
+pub struct EnsembleGroup {
+    index: usize,
+    ansatz: AnsatzParams,
+    features: FeatureSelection,
+    buckets: Vec<Vec<usize>>,
+}
+
+impl EnsembleGroup {
+    /// Draws the group's random state deterministically from the config's
+    /// master seed and the group index.
+    pub fn generate(
+        index: usize,
+        config: &QuorumConfig,
+        num_features: usize,
+        plan: &BucketPlan,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(derive_seed(config.seed, index as u64));
+        let buckets = plan.assign(&mut rng);
+        let features =
+            FeatureSelection::random(num_features, config.features_per_circuit(), &mut rng);
+        let ansatz = AnsatzParams::random(config.data_qubits, config.ansatz_layers, &mut rng);
+        EnsembleGroup {
+            index,
+            ansatz,
+            features,
+            buckets,
+        }
+    }
+
+    /// The group index within the ensemble.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The group's bucket partition (sample indices).
+    pub fn buckets(&self) -> &[Vec<usize>] {
+        &self.buckets
+    }
+
+    /// The group's feature subset.
+    pub fn features(&self) -> &FeatureSelection {
+        &self.features
+    }
+
+    /// The group's random ansatz.
+    pub fn ansatz(&self) -> &AnsatzParams {
+        &self.ansatz
+    }
+
+    /// Evaluates the SWAP-test deviation of every sample at one
+    /// compression level.
+    ///
+    /// # Errors
+    ///
+    /// Propagates embedding and simulation failures.
+    pub fn deviations(
+        &self,
+        normalized: &Dataset,
+        config: &QuorumConfig,
+        reset_count: usize,
+    ) -> Result<Vec<f64>, QuorumError> {
+        let sv_backend = StatevectorBackend::new();
+        let dm_backend = match &config.execution {
+            ExecutionMode::Noisy { noise, .. } => {
+                Some(DensityMatrixBackend::with_noise(noise.clone()))
+            }
+            _ => None,
+        };
+        let mut out = Vec::with_capacity(normalized.num_samples());
+        for (i, row) in normalized.rows().iter().enumerate() {
+            let values = self.features.project(row);
+            let circ = build_sample_circuit(&values, &self.ansatz, reset_count)?;
+            let shot_seed = derive_seed(
+                config.seed ^ 0x5107,
+                (self.index as u64) << 40 | (reset_count as u64) << 32 | i as u64,
+            );
+            let p = match &config.execution {
+                ExecutionMode::Exact => sv_backend.probabilities(&circ)?.marginal_one(0),
+                ExecutionMode::Sampled { shots } => sv_backend
+                    .run(&circ, *shots, shot_seed)?
+                    .marginal_one(0),
+                ExecutionMode::Noisy { shots, .. } => {
+                    let backend = dm_backend.as_ref().expect("constructed above");
+                    match shots {
+                        None => backend.probabilities(&circ)?.marginal_one(0),
+                        Some(s) => backend.run(&circ, *s, shot_seed)?.marginal_one(0),
+                    }
+                }
+            };
+            out.push(p);
+        }
+        Ok(out)
+    }
+
+    /// Runs the full group: all compression levels, bucket statistics, and
+    /// absolute z-score accumulation. Returns this group's additive
+    /// contribution to every sample's anomaly score (Fig. 7).
+    ///
+    /// # Errors
+    ///
+    /// Propagates embedding and simulation failures.
+    pub fn run(&self, normalized: &Dataset, config: &QuorumConfig) -> Result<Vec<f64>, QuorumError> {
+        let n = normalized.num_samples();
+        let mut scores = vec![0.0; n];
+        for reset_count in config.effective_compression_levels() {
+            let deviations = self.deviations(normalized, config, reset_count)?;
+            for bucket in &self.buckets {
+                let values: Vec<f64> = bucket.iter().map(|&i| deviations[i]).collect();
+                let mu = stats::mean(&values);
+                let sigma = stats::population_std(&values);
+                for &i in bucket {
+                    scores[i] += stats::zscore(deviations[i], mu, sigma).abs();
+                }
+            }
+        }
+        Ok(scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_dataset() -> Dataset {
+        // 12 samples, 7 features, already in the normalised range
+        // [0, 1/7]; sample 11 is a gross outlier direction.
+        let mut rows = Vec::new();
+        for i in 0..11 {
+            let base = 0.06 + 0.002 * (i as f64);
+            rows.push(vec![base, base * 0.9, base * 1.1, base, base * 0.95, base, base * 1.05]);
+        }
+        rows.push(vec![0.14, 0.0, 0.14, 0.0, 0.14, 0.0, 0.14]);
+        Dataset::from_rows("tiny", rows, None).unwrap()
+    }
+
+    fn config() -> QuorumConfig {
+        QuorumConfig::default()
+            .with_ensemble_groups(4)
+            .with_anomaly_rate_estimate(0.1)
+            .with_seed(11)
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_index() {
+        let ds = tiny_dataset();
+        let cfg = config();
+        let plan = BucketPlan::from_target(ds.num_samples(), 0.1, cfg.bucket_probability);
+        let a = EnsembleGroup::generate(3, &cfg, ds.num_features(), &plan);
+        let b = EnsembleGroup::generate(3, &cfg, ds.num_features(), &plan);
+        assert_eq!(a.buckets(), b.buckets());
+        assert_eq!(a.features(), b.features());
+        assert_eq!(a.ansatz(), b.ansatz());
+        let c = EnsembleGroup::generate(4, &cfg, ds.num_features(), &plan);
+        assert_ne!(a.buckets(), c.buckets());
+    }
+
+    #[test]
+    fn deviations_are_valid_probabilities() {
+        let ds = tiny_dataset();
+        let cfg = config();
+        let plan = BucketPlan::from_target(ds.num_samples(), 0.1, cfg.bucket_probability);
+        let group = EnsembleGroup::generate(0, &cfg, ds.num_features(), &plan);
+        let dev = group.deviations(&ds, &cfg, 1).unwrap();
+        assert_eq!(dev.len(), ds.num_samples());
+        for &p in &dev {
+            assert!((0.0..=0.5 + 1e-9).contains(&p), "deviation {p}");
+        }
+    }
+
+    #[test]
+    fn group_scores_are_nonnegative_and_finite() {
+        let ds = tiny_dataset();
+        let cfg = config();
+        let plan = BucketPlan::from_target(ds.num_samples(), 0.1, cfg.bucket_probability);
+        let group = EnsembleGroup::generate(1, &cfg, ds.num_features(), &plan);
+        let scores = group.run(&ds, &cfg).unwrap();
+        assert_eq!(scores.len(), ds.num_samples());
+        for &s in &scores {
+            assert!(s.is_finite() && s >= 0.0);
+        }
+        // Somebody must deviate from the bucket mean.
+        assert!(scores.iter().any(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn sampled_mode_approaches_exact_with_many_shots() {
+        let ds = tiny_dataset();
+        let cfg_exact = config();
+        let cfg_shots = config().with_execution(ExecutionMode::Sampled { shots: 60_000 });
+        let plan = BucketPlan::from_target(ds.num_samples(), 0.1, 0.75);
+        let group = EnsembleGroup::generate(0, &cfg_exact, ds.num_features(), &plan);
+        let exact = group.deviations(&ds, &cfg_exact, 1).unwrap();
+        let sampled = group.deviations(&ds, &cfg_shots, 1).unwrap();
+        for (e, s) in exact.iter().zip(&sampled) {
+            assert!((e - s).abs() < 0.02, "exact {e} vs sampled {s}");
+        }
+    }
+
+    #[test]
+    fn sampled_mode_is_seed_deterministic() {
+        let ds = tiny_dataset();
+        let cfg = config().with_execution(ExecutionMode::Sampled { shots: 256 });
+        let plan = BucketPlan::from_target(ds.num_samples(), 0.1, 0.75);
+        let group = EnsembleGroup::generate(2, &cfg, ds.num_features(), &plan);
+        let a = group.deviations(&ds, &cfg, 1).unwrap();
+        let b = group.deviations(&ds, &cfg, 1).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn derive_seed_spreads_indices() {
+        let s: Vec<u64> = (0..8).map(|i| derive_seed(42, i)).collect();
+        for i in 0..s.len() {
+            for j in (i + 1)..s.len() {
+                assert_ne!(s[i], s[j]);
+            }
+        }
+        assert_ne!(derive_seed(42, 0), derive_seed(43, 0));
+    }
+}

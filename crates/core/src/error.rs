@@ -1,0 +1,65 @@
+//! Error type for the Quorum pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by Quorum configuration, embedding or execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QuorumError {
+    /// The configuration is internally inconsistent.
+    InvalidConfig(String),
+    /// The dataset cannot be embedded (wrong shape, bad values).
+    InvalidData(String),
+    /// An underlying simulator failure.
+    Simulation(qsim::QsimError),
+}
+
+impl fmt::Display for QuorumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuorumError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            QuorumError::InvalidData(msg) => write!(f, "invalid data: {msg}"),
+            QuorumError::Simulation(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl Error for QuorumError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            QuorumError::Simulation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<qsim::QsimError> for QuorumError {
+    fn from(e: qsim::QsimError) -> Self {
+        QuorumError::Simulation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = QuorumError::InvalidConfig("zero ensembles".into());
+        assert!(e.to_string().contains("zero ensembles"));
+        let e: QuorumError = qsim::QsimError::QubitOutOfRange {
+            qubit: 9,
+            num_qubits: 3,
+        }
+        .into();
+        assert!(e.to_string().contains("simulation failed"));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<QuorumError>();
+    }
+}

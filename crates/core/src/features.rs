@@ -1,0 +1,121 @@
+//! Random feature selection (paper §IV-C, Fig. 4).
+//!
+//! Each ensemble group draws `m = 2^n − 1` feature columns uniformly at
+//! random — deliberately *not* PCA: random selection is cheaper, unbiased
+//! toward anomaly-relevant features, and explores combinations a variance
+//! criterion would discard. When the dataset has fewer than `m` columns
+//! (the power-plant data has 5 for `m = 7`), every column is used once in
+//! random order and the remaining amplitude slots stay zero.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A per-ensemble-group feature subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatureSelection {
+    columns: Vec<usize>,
+}
+
+impl FeatureSelection {
+    /// Draws a uniform random selection of `min(m, num_features)` distinct
+    /// columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_features == 0` or `m == 0`.
+    pub fn random<R: Rng + ?Sized>(num_features: usize, m: usize, rng: &mut R) -> Self {
+        assert!(num_features > 0, "dataset has no features");
+        assert!(m > 0, "cannot select zero features");
+        let mut all: Vec<usize> = (0..num_features).collect();
+        all.shuffle(rng);
+        all.truncate(m.min(num_features));
+        FeatureSelection { columns: all }
+    }
+
+    /// Uses explicit columns (for tests and ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate columns.
+    pub fn from_columns(columns: Vec<usize>) -> Self {
+        for (i, c) in columns.iter().enumerate() {
+            assert!(!columns[..i].contains(c), "duplicate column {c}");
+        }
+        FeatureSelection { columns }
+    }
+
+    /// The selected column indices, in embedding order.
+    pub fn columns(&self) -> &[usize] {
+        &self.columns
+    }
+
+    /// Number of selected columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the selection is empty (never true for valid selections).
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Projects one sample row onto the selected columns.
+    pub fn project(&self, row: &[f64]) -> Vec<f64> {
+        self.columns.iter().map(|&c| row[c]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn selects_m_distinct_columns() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sel = FeatureSelection::random(30, 7, &mut rng);
+        assert_eq!(sel.len(), 7);
+        let mut sorted = sel.columns().to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 7, "duplicates in selection");
+        assert!(sorted.iter().all(|&c| c < 30));
+    }
+
+    #[test]
+    fn small_datasets_use_every_column_once() {
+        // Power-plant case: M=5 < m=7.
+        let mut rng = StdRng::seed_from_u64(4);
+        let sel = FeatureSelection::random(5, 7, &mut rng);
+        assert_eq!(sel.len(), 5);
+        let mut sorted = sel.columns().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn different_draws_differ() {
+        let a = FeatureSelection::random(30, 7, &mut StdRng::seed_from_u64(1));
+        let b = FeatureSelection::random(30, 7, &mut StdRng::seed_from_u64(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn projection_reorders_row() {
+        let sel = FeatureSelection::from_columns(vec![2, 0]);
+        assert_eq!(sel.project(&[10.0, 20.0, 30.0]), vec![30.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn from_columns_rejects_duplicates() {
+        FeatureSelection::from_columns(vec![1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no features")]
+    fn random_rejects_empty_dataset() {
+        FeatureSelection::random(0, 3, &mut StdRng::seed_from_u64(0));
+    }
+}

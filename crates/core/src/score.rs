@@ -1,0 +1,205 @@
+//! Anomaly-score reports: the detector's output with evaluation helpers.
+
+use qmetrics::confusion::ConfusionMatrix;
+use qmetrics::curve::{detection_rate_curve, CurvePoint};
+use qmetrics::threshold::{flag_top_fraction, flag_top_n, top_n_indices};
+use serde::{Deserialize, Serialize};
+
+/// Per-sample anomaly scores from a full Quorum run (sum of absolute
+/// bucket z-scores over every ensemble group and compression level —
+/// Fig. 7; Fig. 10 plots exactly these values sorted).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoreReport {
+    dataset_name: String,
+    scores: Vec<f64>,
+    ensemble_groups: usize,
+    compression_levels: Vec<usize>,
+}
+
+impl ScoreReport {
+    /// Assembles a report.
+    pub fn new(
+        dataset_name: impl Into<String>,
+        scores: Vec<f64>,
+        ensemble_groups: usize,
+        compression_levels: Vec<usize>,
+    ) -> Self {
+        ScoreReport {
+            dataset_name: dataset_name.into(),
+            scores,
+            ensemble_groups,
+            compression_levels,
+        }
+    }
+
+    /// The dataset this report scored.
+    pub fn dataset_name(&self) -> &str {
+        &self.dataset_name
+    }
+
+    /// Raw per-sample anomaly scores (higher = more anomalous).
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// Number of samples scored.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// Whether the report is empty.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// Ensemble groups that contributed.
+    pub fn ensemble_groups(&self) -> usize {
+        self.ensemble_groups
+    }
+
+    /// Compression levels that contributed (reset counts).
+    pub fn compression_levels(&self) -> &[usize] {
+        &self.compression_levels
+    }
+
+    /// Sample indices sorted by descending score.
+    pub fn ranking(&self) -> Vec<usize> {
+        top_n_indices(&self.scores, self.scores.len())
+    }
+
+    /// Flags the `n` highest-scoring samples.
+    pub fn flag_top_n(&self, n: usize) -> Vec<bool> {
+        flag_top_n(&self.scores, n)
+    }
+
+    /// Flags the top `fraction` of samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    pub fn flag_top_fraction(&self, fraction: f64) -> Vec<bool> {
+        flag_top_fraction(&self.scores, fraction)
+    }
+
+    /// Evaluates the natural operating point — flag exactly as many samples
+    /// as there are true anomalies — against ground-truth labels. This is
+    /// how the paper's Fig. 8 metrics are computed for Quorum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != self.len()`.
+    pub fn evaluate_at_anomaly_count(&self, labels: &[bool]) -> ConfusionMatrix {
+        assert_eq!(labels.len(), self.len(), "label count mismatch");
+        let n_anomalies = labels.iter().filter(|&&l| l).count();
+        let flags = self.flag_top_n(n_anomalies);
+        ConfusionMatrix::from_predictions(labels, &flags)
+    }
+
+    /// Evaluates an arbitrary top-`n` operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != self.len()`.
+    pub fn evaluate_top_n(&self, labels: &[bool], n: usize) -> ConfusionMatrix {
+        assert_eq!(labels.len(), self.len(), "label count mismatch");
+        let flags = self.flag_top_n(n);
+        ConfusionMatrix::from_predictions(labels, &flags)
+    }
+
+    /// The detection-rate curve against ground truth (Fig. 9's series).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != self.len()`.
+    pub fn detection_curve(&self, labels: &[bool]) -> Vec<CurvePoint> {
+        assert_eq!(labels.len(), self.len(), "label count mismatch");
+        detection_rate_curve(&self.scores, labels)
+    }
+
+    /// Scores sorted ascending together with the matching label — the data
+    /// behind Fig. 10's separation plot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != self.len()`.
+    pub fn sorted_with_labels(&self, labels: &[bool]) -> Vec<(f64, bool)> {
+        assert_eq!(labels.len(), self.len(), "label count mismatch");
+        let mut pairs: Vec<(f64, bool)> = self
+            .scores
+            .iter()
+            .copied()
+            .zip(labels.iter().copied())
+            .collect();
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ScoreReport {
+        ScoreReport::new("demo", vec![1.0, 8.0, 2.0, 9.0, 0.5], 10, vec![1, 2])
+    }
+
+    #[test]
+    fn accessors() {
+        let r = report();
+        assert_eq!(r.dataset_name(), "demo");
+        assert_eq!(r.len(), 5);
+        assert!(!r.is_empty());
+        assert_eq!(r.ensemble_groups(), 10);
+        assert_eq!(r.compression_levels(), &[1, 2]);
+    }
+
+    #[test]
+    fn ranking_descends() {
+        assert_eq!(report().ranking(), vec![3, 1, 2, 0, 4]);
+    }
+
+    #[test]
+    fn flags_and_evaluation() {
+        let r = report();
+        let labels = [false, true, false, true, false];
+        let cm = r.evaluate_at_anomaly_count(&labels);
+        // Two anomalies, both at the top of the ranking: perfect.
+        assert_eq!(cm.f1(), 1.0);
+        let cm1 = r.evaluate_top_n(&labels, 1);
+        assert_eq!(cm1.true_positives(), 1);
+        assert_eq!(cm1.false_negatives(), 1);
+    }
+
+    #[test]
+    fn detection_curve_reaches_one() {
+        let r = report();
+        let labels = [false, true, false, true, false];
+        let curve = r.detection_curve(&labels);
+        assert!((curve.last().unwrap().fraction_detected - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sorted_with_labels_ascends() {
+        let r = report();
+        let labels = [false, true, false, true, false];
+        let sorted = r.sorted_with_labels(&labels);
+        for w in sorted.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        // The top two scores are the anomalies.
+        assert!(sorted[3].1 && sorted[4].1);
+    }
+
+    #[test]
+    fn clone_and_equality() {
+        let r = report();
+        let copy = r.clone();
+        assert_eq!(copy, r);
+    }
+
+    #[test]
+    #[should_panic(expected = "label count")]
+    fn evaluation_validates_lengths() {
+        report().evaluate_at_anomaly_count(&[true]);
+    }
+}

@@ -1,0 +1,314 @@
+//! Minimal CSV ingestion so the real evaluation datasets (Goldstein–Uchida
+//! exports, the UCI CCPP spreadsheet) can be dropped in when available.
+//!
+//! The parser handles the subset of RFC 4180 these files use: comma
+//! separation, optional double-quoting with `""` escapes, an optional
+//! header row, and CRLF/LF line endings. Non-numeric fields are hashed to
+//! floats via [`crate::preprocess::hash_to_unit`], matching the paper's
+//! preprocessing.
+
+use crate::dataset::{DataError, Dataset};
+use crate::preprocess::hash_to_unit;
+
+/// Options controlling CSV ingestion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvOptions {
+    /// Treat the first row as a header with feature names.
+    pub has_header: bool,
+    /// Zero-based column holding the anomaly label, removed from features.
+    /// Accepted truthy labels: `1`, `true`, `yes`, `anomaly`, `o`
+    /// (Goldstein–Uchida's "o" = outlier).
+    pub label_column: Option<usize>,
+    /// Dataset name to attach.
+    pub name: String,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            has_header: true,
+            label_column: None,
+            name: "csv".into(),
+        }
+    }
+}
+
+/// Parses CSV text into a [`Dataset`].
+///
+/// # Errors
+///
+/// Returns [`DataError::Parse`] on malformed quoting,
+/// [`DataError::RaggedRows`] on inconsistent widths, and [`DataError::Empty`]
+/// when no data rows are present.
+///
+/// # Examples
+///
+/// ```
+/// use qdata::csv::{parse_csv, CsvOptions};
+///
+/// let text = "a,b,label\n1.0,2.0,0\n3.0,4.0,1\n";
+/// let ds = parse_csv(text, &CsvOptions {
+///     has_header: true,
+///     label_column: Some(2),
+///     name: "demo".into(),
+/// }).unwrap();
+/// assert_eq!(ds.num_samples(), 2);
+/// assert_eq!(ds.num_features(), 2);
+/// assert_eq!(ds.anomaly_count(), Some(1));
+/// ```
+pub fn parse_csv(text: &str, options: &CsvOptions) -> Result<Dataset, DataError> {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (line_no, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        rows.push(split_record(line, line_no + 1)?);
+    }
+    if rows.is_empty() {
+        return Err(DataError::Empty);
+    }
+
+    let header: Option<Vec<String>> = if options.has_header {
+        Some(rows.remove(0))
+    } else {
+        None
+    };
+    if rows.is_empty() {
+        return Err(DataError::Empty);
+    }
+
+    let width = rows[0].len();
+    let mut features = Vec::with_capacity(rows.len());
+    let mut labels: Vec<bool> = Vec::new();
+    for (i, record) in rows.iter().enumerate() {
+        if record.len() != width {
+            return Err(DataError::RaggedRows {
+                row: i,
+                expected: width,
+                actual: record.len(),
+            });
+        }
+        let mut row = Vec::with_capacity(width);
+        for (j, field) in record.iter().enumerate() {
+            if Some(j) == options.label_column {
+                labels.push(is_truthy(field));
+            } else {
+                row.push(parse_field(field));
+            }
+        }
+        features.push(row);
+    }
+
+    let label_vec = options.label_column.map(|_| labels);
+    let mut ds = Dataset::from_rows(options.name.clone(), features, label_vec)?;
+    if let Some(h) = header {
+        let names: Vec<String> = h
+            .into_iter()
+            .enumerate()
+            .filter(|(j, _)| Some(*j) != options.label_column)
+            .map(|(_, n)| n)
+            .collect();
+        if names.len() == ds.num_features() {
+            ds = ds.with_feature_names(names);
+        }
+    }
+    Ok(ds)
+}
+
+/// Serialises a dataset back to CSV (header + optional trailing `label`
+/// column), for exporting generated data.
+pub fn to_csv(ds: &Dataset) -> String {
+    let mut out = String::new();
+    out.push_str(&ds.feature_names().join(","));
+    if ds.labels().is_some() {
+        out.push_str(",label");
+    }
+    out.push('\n');
+    for (i, row) in ds.rows().iter().enumerate() {
+        let fields: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        out.push_str(&fields.join(","));
+        if let Some(l) = ds.labels() {
+            out.push_str(if l[i] { ",1" } else { ",0" });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn parse_field(field: &str) -> f64 {
+    let t = field.trim();
+    t.parse::<f64>().unwrap_or_else(|_| hash_to_unit(t))
+}
+
+fn is_truthy(field: &str) -> bool {
+    matches!(
+        field.trim().to_ascii_lowercase().as_str(),
+        "1" | "true" | "yes" | "anomaly" | "o" | "outlier"
+    )
+}
+
+/// Splits one CSV record handling double-quoted fields with `""` escapes.
+fn split_record(line: &str, line_no: usize) -> Result<Vec<String>, DataError> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if field.is_empty() => in_quotes = true,
+            '"' => {
+                return Err(DataError::Parse {
+                    line: line_no,
+                    message: "unexpected quote inside unquoted field".into(),
+                })
+            }
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut field));
+            }
+            c => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(DataError::Parse {
+            line: line_no,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_numeric_csv_with_header() {
+        let ds = parse_csv("x,y\n1,2\n3,4\n", &CsvOptions::default()).unwrap();
+        assert_eq!(ds.num_samples(), 2);
+        assert_eq!(ds.feature_names(), &["x", "y"]);
+        assert_eq!(ds.sample(1), &[3.0, 4.0]);
+        assert!(ds.labels().is_none());
+    }
+
+    #[test]
+    fn parses_headerless_csv() {
+        let opts = CsvOptions {
+            has_header: false,
+            ..CsvOptions::default()
+        };
+        let ds = parse_csv("1,2\n3,4\n", &opts).unwrap();
+        assert_eq!(ds.num_samples(), 2);
+    }
+
+    #[test]
+    fn extracts_label_column() {
+        let opts = CsvOptions {
+            has_header: false,
+            label_column: Some(0),
+            name: "lab".into(),
+        };
+        let ds = parse_csv("o,5\nn,6\n1,7\n", &opts).unwrap();
+        assert_eq!(ds.num_features(), 1);
+        assert_eq!(ds.labels().unwrap(), &[true, false, true]);
+    }
+
+    #[test]
+    fn hashes_non_numeric_fields() {
+        let opts = CsvOptions {
+            has_header: false,
+            ..CsvOptions::default()
+        };
+        let ds = parse_csv("red,1\nblue,2\nred,3\n", &opts).unwrap();
+        let a = ds.sample(0)[0];
+        let b = ds.sample(1)[0];
+        let c = ds.sample(2)[0];
+        assert!((0.0..1.0).contains(&a));
+        assert_ne!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn handles_quoted_fields() {
+        let opts = CsvOptions {
+            has_header: false,
+            ..CsvOptions::default()
+        };
+        let ds = parse_csv("\"1.5\",\"a,b\"\n2.5,\"say \"\"hi\"\"\"\n", &opts).unwrap();
+        assert_eq!(ds.sample(0)[0], 1.5);
+        // "a,b" and `say "hi"` both hash; just check they parsed as one
+        // field each.
+        assert_eq!(ds.num_features(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_quoting() {
+        let opts = CsvOptions {
+            has_header: false,
+            ..CsvOptions::default()
+        };
+        assert!(matches!(
+            parse_csv("\"unterminated\n", &opts),
+            Err(DataError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_csv("ab\"cd\n", &opts),
+            Err(DataError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_ragged_and_empty() {
+        let opts = CsvOptions {
+            has_header: false,
+            ..CsvOptions::default()
+        };
+        assert!(matches!(
+            parse_csv("1,2\n3\n", &opts),
+            Err(DataError::RaggedRows { .. })
+        ));
+        assert!(matches!(parse_csv("", &opts), Err(DataError::Empty)));
+        assert!(matches!(
+            parse_csv("a,b\n", &CsvOptions::default()),
+            Err(DataError::Empty)
+        ));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let opts = CsvOptions {
+            has_header: false,
+            ..CsvOptions::default()
+        };
+        let ds = parse_csv("1,2\n\n3,4\n\n", &opts).unwrap();
+        assert_eq!(ds.num_samples(), 2);
+    }
+
+    #[test]
+    fn round_trips_through_to_csv() {
+        let ds = Dataset::from_rows(
+            "rt",
+            vec![vec![1.0, 2.5], vec![3.0, -4.0]],
+            Some(vec![false, true]),
+        )
+        .unwrap();
+        let text = to_csv(&ds);
+        let opts = CsvOptions {
+            has_header: true,
+            label_column: Some(2),
+            name: "rt".into(),
+        };
+        let back = parse_csv(&text, &opts).unwrap();
+        assert_eq!(back.num_samples(), 2);
+        assert_eq!(back.sample(0), ds.sample(0));
+        assert_eq!(back.labels().unwrap(), ds.labels().unwrap());
+    }
+}

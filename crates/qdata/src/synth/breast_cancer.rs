@@ -1,0 +1,184 @@
+//! Breast-cancer-like generator (367 samples, 10 anomalies, 30 features).
+//!
+//! Mirrors the Wisconsin Diagnostic structure used by Goldstein–Uchida:
+//! ten cell-nucleus measurements, each reported as (mean, standard error,
+//! worst) → 30 features. Benign tissue (normal) concentrates around a
+//! healthy morphology; malignant samples (anomalies) shift most
+//! measurements up by several standard deviations with heavier spread —
+//! which is why the paper finds this the most separable dataset.
+
+use super::{assemble, gaussian};
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Ten base measurements: (name, benign mean, benign std, malignant shift
+/// in stds). Scales intentionally span orders of magnitude (area vs
+/// fractal dimension) to exercise the paper's range normalisation.
+const MEASUREMENTS: [(&str, f64, f64, f64); 10] = [
+    ("radius", 12.1, 1.8, 3.0),
+    ("texture", 17.9, 4.0, 1.4),
+    ("perimeter", 78.1, 11.8, 3.1),
+    ("area", 462.8, 134.0, 3.4),
+    ("smoothness", 0.0925, 0.0134, 1.1),
+    ("compactness", 0.080, 0.034, 2.2),
+    ("concavity", 0.046, 0.044, 2.7),
+    ("concave-points", 0.0257, 0.0159, 3.2),
+    ("symmetry", 0.174, 0.025, 1.0),
+    ("fractal-dim", 0.0629, 0.0072, 0.4),
+];
+
+/// Generates the breast-cancer-like dataset with Table I's shape.
+pub fn breast_cancer(seed: u64) -> Dataset {
+    generate(367, 10, seed)
+}
+
+/// Parameterised variant with custom sample/anomaly counts (for
+/// ablations, scaling studies and tests).
+///
+/// # Panics
+///
+/// Panics if `num_anomalies >= num_samples`.
+pub fn generate(num_samples: usize, num_anomalies: usize, seed: u64) -> Dataset {
+    assert!(num_anomalies < num_samples, "more anomalies than samples");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xb5ea57);
+    let num_normal = num_samples - num_anomalies;
+
+    let normals: Vec<Vec<f64>> = (0..num_normal).map(|_| sample_row(&mut rng, false)).collect();
+    let anomalies: Vec<Vec<f64>> = (0..num_anomalies).map(|_| sample_row(&mut rng, true)).collect();
+
+    let mut names = Vec::with_capacity(30);
+    for stat in ["mean", "se", "worst"] {
+        for (base, ..) in MEASUREMENTS {
+            names.push(format!("{base}-{stat}"));
+        }
+    }
+    assemble("breast-cancer", normals, anomalies, &mut rng).with_feature_names(names)
+}
+
+/// One tissue sample. A shared latent "cell size" factor correlates the
+/// geometric measurements, as in the real data where radius, perimeter and
+/// area are nearly collinear.
+fn sample_row<R: Rng + ?Sized>(rng: &mut R, malignant: bool) -> Vec<f64> {
+    let latent = gaussian(rng, 0.0, 1.0);
+    // Malignant latent factor is shifted and noisier.
+    let (latent, spread) = if malignant {
+        (latent * 1.6 + 1.0, 1.5)
+    } else {
+        (latent, 1.0)
+    };
+    let mut row = Vec::with_capacity(30);
+    // means
+    let mut means = [0.0f64; 10];
+    for (i, &(_, mu, sigma, shift)) in MEASUREMENTS.iter().enumerate() {
+        let class_shift = if malignant { shift * sigma } else { 0.0 };
+        // Geometric features (first four) load strongly on the latent
+        // factor; the rest weakly.
+        let loading = if i < 4 { 0.8 } else { 0.3 };
+        let v = mu
+            + class_shift
+            + loading * sigma * latent
+            + gaussian(rng, 0.0, sigma * spread * (1.0 - loading * loading).sqrt());
+        means[i] = v.max(mu * 0.1);
+        row.push(means[i]);
+    }
+    // standard errors: proportional to the mean value with noise
+    for (i, &(_, mu, sigma, _)) in MEASUREMENTS.iter().enumerate() {
+        let se = (means[i] / mu) * sigma * 0.12 * (1.0 + 0.3 * gaussian(rng, 0.0, 1.0)).abs();
+        row.push(se.max(1e-6));
+    }
+    // worst: mean plus a positive excursion, larger for malignant
+    for (i, &(_, _, sigma, _)) in MEASUREMENTS.iter().enumerate() {
+        let excess = if malignant { 2.2 } else { 1.2 };
+        let worst = means[i] + sigma * excess * rng.gen::<f64>();
+        row.push(worst);
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_table1() {
+        let ds = breast_cancer(1);
+        assert_eq!(ds.num_samples(), 367);
+        assert_eq!(ds.num_features(), 30);
+        assert_eq!(ds.anomaly_count(), Some(10));
+        assert_eq!(ds.feature_names()[0], "radius-mean");
+        assert_eq!(ds.feature_names()[29], "fractal-dim-worst");
+    }
+
+    #[test]
+    fn anomalies_are_shifted_up_in_geometric_features() {
+        let ds = breast_cancer(5);
+        let labels = ds.labels().unwrap();
+        // Compare mean radius-mean between classes.
+        let mut normal_sum = 0.0;
+        let mut normal_n = 0.0;
+        let mut anom_sum = 0.0;
+        let mut anom_n = 0.0;
+        for (i, row) in ds.rows().iter().enumerate() {
+            if labels[i] {
+                anom_sum += row[0];
+                anom_n += 1.0;
+            } else {
+                normal_sum += row[0];
+                normal_n += 1.0;
+            }
+        }
+        let normal_mean = normal_sum / normal_n;
+        let anom_mean = anom_sum / anom_n;
+        assert!(
+            anom_mean > normal_mean + 2.0,
+            "malignant radius {anom_mean} vs benign {normal_mean}"
+        );
+    }
+
+    #[test]
+    fn geometric_features_are_correlated() {
+        // radius-mean and perimeter-mean should correlate strongly within
+        // normals (latent factor model).
+        let ds = breast_cancer(9);
+        let labels = ds.labels().unwrap();
+        let pairs: Vec<(f64, f64)> = ds
+            .rows()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !labels[*i])
+            .map(|(_, r)| (r[0], r[2]))
+            .collect();
+        let n = pairs.len() as f64;
+        let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+        let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+        let cov = pairs.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>() / n;
+        let sx = (pairs.iter().map(|p| (p.0 - mx).powi(2)).sum::<f64>() / n).sqrt();
+        let sy = (pairs.iter().map(|p| (p.1 - my).powi(2)).sum::<f64>() / n).sqrt();
+        let corr = cov / (sx * sy);
+        assert!(corr > 0.35, "correlation {corr}");
+    }
+
+    #[test]
+    fn values_are_positive_and_finite() {
+        let ds = breast_cancer(11);
+        for row in ds.rows() {
+            for &v in row {
+                assert!(v.is_finite() && v > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn custom_sizes() {
+        let ds = generate(50, 5, 2);
+        assert_eq!(ds.num_samples(), 50);
+        assert_eq!(ds.anomaly_count(), Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "more anomalies")]
+    fn rejects_all_anomalies() {
+        generate(5, 5, 1);
+    }
+}

@@ -1,0 +1,204 @@
+//! Pen-Global-like generator (809 samples, 90 anomalies, 16 features).
+//!
+//! The Goldstein–Uchida "pen-global" task keeps all samples of one
+//! handwritten digit (8) as the normal class and scatters samples of other
+//! digits as global anomalies. A pen trace is 8 resampled `(x, y)` points
+//! in a 0–100 tablet coordinate box → 16 features. We trace digits as
+//! Lissajous-style parametric strokes with per-writer affine jitter.
+
+use super::{assemble, gaussian};
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::PI;
+
+/// Number of resampled points per trace (8 points × 2 coords = 16 feats).
+const POINTS: usize = 8;
+
+/// Generates the pen-global-like dataset with Table I's shape.
+pub fn pen_global(seed: u64) -> Dataset {
+    generate(809, 90, seed)
+}
+
+/// Parameterised variant with custom sample/anomaly counts (for
+/// ablations, scaling studies and tests).
+///
+/// # Panics
+///
+/// Panics if `num_anomalies >= num_samples`.
+pub fn generate(num_samples: usize, num_anomalies: usize, seed: u64) -> Dataset {
+    assert!(num_anomalies < num_samples, "more anomalies than samples");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e4_61_0ba1);
+    let num_normal = num_samples - num_anomalies;
+
+    let normals: Vec<Vec<f64>> = (0..num_normal).map(|_| trace_digit(&mut rng, 8)).collect();
+    // Anomalies: digits other than 8, drawn round-robin for variety.
+    let other_digits = [0usize, 1, 2, 3, 5];
+    let anomalies: Vec<Vec<f64>> = (0..num_anomalies)
+        .map(|i| trace_digit(&mut rng, other_digits[i % other_digits.len()]))
+        .collect();
+
+    let mut names = Vec::with_capacity(16);
+    for p in 0..POINTS {
+        names.push(format!("x{p}"));
+        names.push(format!("y{p}"));
+    }
+    assemble("pen-global", normals, anomalies, &mut rng).with_feature_names(names)
+}
+
+/// Traces one digit as 8 sampled points of a parametric stroke, with
+/// per-sample affine jitter (writers differ in scale, placement and slant)
+/// and point noise.
+fn trace_digit<R: Rng + ?Sized>(rng: &mut R, digit: usize) -> Vec<f64> {
+    let scale = 1.0 + gaussian(rng, 0.0, 0.08);
+    let dx = gaussian(rng, 0.0, 4.0);
+    let dy = gaussian(rng, 0.0, 4.0);
+    let slant = gaussian(rng, 0.0, 0.06);
+    let mut row = Vec::with_capacity(2 * POINTS);
+    for p in 0..POINTS {
+        let t = p as f64 / (POINTS - 1) as f64;
+        let (x, y) = stroke(digit, t);
+        let (x, y) = (
+            50.0 + scale * (x - 50.0) + slant * (y - 50.0) + dx + gaussian(rng, 0.0, 1.8),
+            50.0 + scale * (y - 50.0) + dy + gaussian(rng, 0.0, 1.8),
+        );
+        row.push(x.clamp(0.0, 100.0));
+        row.push(y.clamp(0.0, 100.0));
+    }
+    row
+}
+
+/// Idealised pen strokes per digit in the 0–100 box, parameterised by
+/// `t ∈ [0, 1]`.
+fn stroke(digit: usize, t: f64) -> (f64, f64) {
+    match digit {
+        // Figure eight: x oscillates twice as fast as y completes a cycle.
+        8 => (
+            50.0 + 22.0 * (4.0 * PI * t).sin(),
+            50.0 + 38.0 * (2.0 * PI * t).cos(),
+        ),
+        // Oval.
+        0 => (
+            50.0 + 28.0 * (2.0 * PI * t).sin(),
+            50.0 + 40.0 * (2.0 * PI * t).cos(),
+        ),
+        // Vertical bar with a small flag.
+        1 => (55.0 - 10.0 * (1.0 - t) * (t < 0.2) as u8 as f64, 90.0 - 80.0 * t),
+        // S-curve with a base bar.
+        2 => (
+            30.0 + 40.0 * t + 12.0 * (2.0 * PI * t).sin(),
+            85.0 - 70.0 * t + 10.0 * (3.0 * PI * t).sin(),
+        ),
+        // Double bump on the right.
+        3 => (
+            55.0 + 20.0 * (2.0 * PI * t).sin().abs(),
+            88.0 - 76.0 * t,
+        ),
+        // Diagonal-and-loop.
+        5 => (
+            62.0 - 30.0 * t + 18.0 * (PI * t).sin(),
+            88.0 - 70.0 * t + 8.0 * (2.0 * PI * t).cos(),
+        ),
+        _ => (
+            50.0 + 25.0 * (2.0 * PI * t * (digit as f64 + 1.0) / 4.0).sin(),
+            50.0 + 35.0 * (2.0 * PI * t).cos(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_table1() {
+        let ds = pen_global(1);
+        assert_eq!(ds.num_samples(), 809);
+        assert_eq!(ds.num_features(), 16);
+        assert_eq!(ds.anomaly_count(), Some(90));
+    }
+
+    #[test]
+    fn coordinates_stay_in_tablet_box() {
+        let ds = pen_global(2);
+        for row in ds.rows() {
+            for &v in row {
+                assert!((0.0..=100.0).contains(&v), "coordinate {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn normals_cluster_tighter_than_anomalies() {
+        let ds = pen_global(3);
+        let labels = ds.labels().unwrap();
+        // Centroid of normals.
+        let normal_rows: Vec<&Vec<f64>> = ds
+            .rows()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !labels[*i])
+            .map(|(_, r)| r)
+            .collect();
+        let m = ds.num_features();
+        let mut centroid = vec![0.0; m];
+        for r in &normal_rows {
+            for (c, v) in centroid.iter_mut().zip(r.iter()) {
+                *c += v;
+            }
+        }
+        for c in &mut centroid {
+            *c /= normal_rows.len() as f64;
+        }
+        let dist = |r: &[f64]| -> f64 {
+            r.iter()
+                .zip(&centroid)
+                .map(|(a, b)| (a - b).powi(2))
+                .sum::<f64>()
+                .sqrt()
+        };
+        let mean_normal: f64 =
+            normal_rows.iter().map(|r| dist(r)).sum::<f64>() / normal_rows.len() as f64;
+        let anom_rows: Vec<&Vec<f64>> = ds
+            .rows()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| labels[*i])
+            .map(|(_, r)| r)
+            .collect();
+        let mean_anom: f64 = anom_rows.iter().map(|r| dist(r)).sum::<f64>() / anom_rows.len() as f64;
+        assert!(
+            mean_anom > mean_normal * 1.3,
+            "anomaly distance {mean_anom} vs normal {mean_normal}"
+        );
+    }
+
+    #[test]
+    fn anomalies_use_multiple_digit_shapes() {
+        // Anomalies from different digits should not all coincide: their
+        // pairwise spread must exceed the normal cluster's.
+        let ds = pen_global(4);
+        let labels = ds.labels().unwrap();
+        let anoms: Vec<&Vec<f64>> = ds
+            .rows()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| labels[*i])
+            .map(|(_, r)| r)
+            .collect();
+        let d01: f64 = anoms[0]
+            .iter()
+            .zip(anoms[1].iter())
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        assert!(d01 > 1.0, "anomalies are degenerate");
+    }
+
+    #[test]
+    fn custom_sizes() {
+        let ds = generate(100, 10, 6);
+        assert_eq!(ds.num_samples(), 100);
+        assert_eq!(ds.anomaly_count(), Some(10));
+    }
+}

@@ -1,0 +1,211 @@
+//! Confusion-matrix metrics: precision, recall, F1, accuracy — the four
+//! numbers of the paper's Fig. 8.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A binary confusion matrix where "positive" means *anomaly*.
+///
+/// # Examples
+///
+/// ```
+/// use qmetrics::confusion::ConfusionMatrix;
+///
+/// let truth =     [true,  true,  false, false, false];
+/// let predicted = [true,  false, true,  false, false];
+/// let cm = ConfusionMatrix::from_predictions(&truth, &predicted);
+/// assert_eq!(cm.true_positives(), 1);
+/// assert!((cm.precision() - 0.5).abs() < 1e-12);
+/// assert!((cm.recall() - 0.5).abs() < 1e-12);
+/// assert!((cm.f1() - 0.5).abs() < 1e-12);
+/// assert!((cm.accuracy() - 0.6).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    tp: usize,
+    fp: usize,
+    tn: usize,
+    fn_: usize,
+}
+
+impl ConfusionMatrix {
+    /// Builds from raw cell counts (`tp`, `fp`, `tn`, `fn`).
+    pub fn from_counts(tp: usize, fp: usize, tn: usize, fn_: usize) -> Self {
+        ConfusionMatrix { tp, fp, tn, fn_ }
+    }
+
+    /// Builds from parallel truth/prediction slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn from_predictions(truth: &[bool], predicted: &[bool]) -> Self {
+        assert_eq!(truth.len(), predicted.len(), "length mismatch");
+        let mut cm = ConfusionMatrix::default();
+        for (&t, &p) in truth.iter().zip(predicted) {
+            match (t, p) {
+                (true, true) => cm.tp += 1,
+                (false, true) => cm.fp += 1,
+                (false, false) => cm.tn += 1,
+                (true, false) => cm.fn_ += 1,
+            }
+        }
+        cm
+    }
+
+    /// Correctly flagged anomalies.
+    pub fn true_positives(&self) -> usize {
+        self.tp
+    }
+
+    /// Normal samples wrongly flagged.
+    pub fn false_positives(&self) -> usize {
+        self.fp
+    }
+
+    /// Correctly passed normal samples.
+    pub fn true_negatives(&self) -> usize {
+        self.tn
+    }
+
+    /// Missed anomalies.
+    pub fn false_negatives(&self) -> usize {
+        self.fn_
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// `TP / (TP + FP)`; 0 when nothing was flagged (the convention the
+    /// paper uses for the QNN's empty predictions on the letter dataset).
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// `TP / (TP + FN)`; 0 when there are no true anomalies.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall; 0 when both are 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// `(TP + TN) / total`; 0 for an empty matrix.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tp={} fp={} tn={} fn={} | P={:.3} R={:.3} F1={:.3} acc={:.3}",
+            self.tp,
+            self.fp,
+            self.tn,
+            self.fn_,
+            self.precision(),
+            self.recall(),
+            self.f1(),
+            self.accuracy()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let truth = [true, false, true, false];
+        let cm = ConfusionMatrix::from_predictions(&truth, &truth);
+        assert_eq!(cm.precision(), 1.0);
+        assert_eq!(cm.recall(), 1.0);
+        assert_eq!(cm.f1(), 1.0);
+        assert_eq!(cm.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn no_flags_yields_zero_precision_recall() {
+        // The QNN-on-letter case: nothing detected.
+        let truth = [true, true, false, false];
+        let predicted = [false; 4];
+        let cm = ConfusionMatrix::from_predictions(&truth, &predicted);
+        assert_eq!(cm.precision(), 0.0);
+        assert_eq!(cm.recall(), 0.0);
+        assert_eq!(cm.f1(), 0.0);
+        assert_eq!(cm.accuracy(), 0.5);
+    }
+
+    #[test]
+    fn conservative_detector_has_high_precision_low_recall() {
+        // 10 anomalies, flags only 2 of them, no false positives.
+        let mut truth = vec![false; 90];
+        truth.extend(vec![true; 10]);
+        let mut predicted = vec![false; 98];
+        predicted.extend(vec![true; 2]);
+        let cm = ConfusionMatrix::from_predictions(&truth, &predicted);
+        assert_eq!(cm.precision(), 1.0);
+        assert!((cm.recall() - 0.2).abs() < 1e-12);
+        assert!((cm.f1() - 2.0 * 0.2 / 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_counts_round_trip() {
+        let cm = ConfusionMatrix::from_counts(3, 2, 90, 5);
+        assert_eq!(cm.total(), 100);
+        assert!((cm.precision() - 0.6).abs() < 1e-12);
+        assert!((cm.recall() - 0.375).abs() < 1e-12);
+        assert!((cm.accuracy() - 0.93).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_yields_zeros() {
+        let cm = ConfusionMatrix::default();
+        assert_eq!(cm.precision(), 0.0);
+        assert_eq!(cm.recall(), 0.0);
+        assert_eq!(cm.f1(), 0.0);
+        assert_eq!(cm.accuracy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_lengths() {
+        ConfusionMatrix::from_predictions(&[true], &[true, false]);
+    }
+
+    #[test]
+    fn display_contains_all_metrics() {
+        let cm = ConfusionMatrix::from_counts(1, 1, 1, 1);
+        let text = cm.to_string();
+        assert!(text.contains("P=0.500"));
+        assert!(text.contains("acc=0.500"));
+    }
+}

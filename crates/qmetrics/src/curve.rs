@@ -1,0 +1,200 @@
+//! Ranking curves: detection-rate curves (Fig. 9) and ROC/AUC.
+
+use crate::threshold::top_n_indices;
+
+/// One point of a detection-rate curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Fraction of the dataset inspected (x-axis of Fig. 9).
+    pub fraction_inspected: f64,
+    /// Fraction of true anomalies found so far (y-axis of Fig. 9).
+    pub fraction_detected: f64,
+}
+
+/// Computes the full detection-rate curve: walking down the score ranking,
+/// what share of the anomalies has been seen after inspecting the top `k`
+/// samples, for every `k` from 0 to `n`.
+///
+/// # Panics
+///
+/// Panics if `scores` and `labels` lengths differ.
+///
+/// # Examples
+///
+/// ```
+/// use qmetrics::curve::detection_rate_curve;
+///
+/// let scores = [9.0, 1.0, 8.0];
+/// let labels = [true, false, true];
+/// let curve = detection_rate_curve(&scores, &labels);
+/// // After inspecting 2 of 3 samples, both anomalies are found.
+/// assert!((curve[2].fraction_detected - 1.0).abs() < 1e-12);
+/// ```
+pub fn detection_rate_curve(scores: &[f64], labels: &[bool]) -> Vec<CurvePoint> {
+    assert_eq!(scores.len(), labels.len(), "length mismatch");
+    let n = scores.len();
+    let total_anomalies = labels.iter().filter(|&&l| l).count().max(1);
+    let order = top_n_indices(scores, n);
+    let mut curve = Vec::with_capacity(n + 1);
+    curve.push(CurvePoint {
+        fraction_inspected: 0.0,
+        fraction_detected: 0.0,
+    });
+    let mut found = 0usize;
+    for (k, &idx) in order.iter().enumerate() {
+        if labels[idx] {
+            found += 1;
+        }
+        curve.push(CurvePoint {
+            fraction_inspected: (k + 1) as f64 / n as f64,
+            fraction_detected: found as f64 / total_anomalies as f64,
+        });
+    }
+    curve
+}
+
+/// Samples a detection-rate curve at chosen inspection fractions (for
+/// compact reporting of Fig. 9's series).
+pub fn sample_curve(curve: &[CurvePoint], fractions: &[f64]) -> Vec<CurvePoint> {
+    fractions
+        .iter()
+        .map(|&f| {
+            let detected = curve
+                .iter()
+                .filter(|p| p.fraction_inspected <= f + 1e-12)
+                .map(|p| p.fraction_detected)
+                .fold(0.0, f64::max);
+            CurvePoint {
+                fraction_inspected: f,
+                fraction_detected: detected,
+            }
+        })
+        .collect()
+}
+
+/// Area under the detection-rate curve via trapezoids — 1.0 means every
+/// anomaly outranks every normal sample; ~the anomaly rate under a random
+/// ranking is the floor.
+pub fn curve_auc(curve: &[CurvePoint]) -> f64 {
+    curve
+        .windows(2)
+        .map(|w| {
+            let dx = w[1].fraction_inspected - w[0].fraction_inspected;
+            dx * (w[0].fraction_detected + w[1].fraction_detected) / 2.0
+        })
+        .sum()
+}
+
+/// ROC-AUC by the rank-sum (Mann–Whitney) formulation, with tie handling.
+///
+/// # Panics
+///
+/// Panics if lengths differ. Returns 0.5 when either class is empty.
+pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "length mismatch");
+    let pos: Vec<f64> = scores
+        .iter()
+        .zip(labels)
+        .filter(|(_, &l)| l)
+        .map(|(&s, _)| s)
+        .collect();
+    let neg: Vec<f64> = scores
+        .iter()
+        .zip(labels)
+        .filter(|(_, &l)| !l)
+        .map(|(&s, _)| s)
+        .collect();
+    if pos.is_empty() || neg.is_empty() {
+        return 0.5;
+    }
+    let mut wins = 0.0;
+    for &p in &pos {
+        for &q in &neg {
+            if p > q {
+                wins += 1.0;
+            } else if p == q {
+                wins += 0.5;
+            }
+        }
+    }
+    wins / (pos.len() as f64 * neg.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_saturates_early() {
+        let scores = [10.0, 9.0, 1.0, 0.5, 0.2];
+        let labels = [true, true, false, false, false];
+        let curve = detection_rate_curve(&scores, &labels);
+        assert_eq!(curve.len(), 6);
+        assert!((curve[2].fraction_detected - 1.0).abs() < 1e-12);
+        assert!((curve_auc(&curve) - (1.0 - 0.2 - 0.1)).abs() < 0.11);
+        assert!((roc_auc(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_ranking_finds_anomalies_last() {
+        let scores = [0.1, 0.2, 5.0];
+        let labels = [true, false, false];
+        let curve = detection_rate_curve(&scores, &labels);
+        assert_eq!(curve[1].fraction_detected, 0.0);
+        assert_eq!(curve[2].fraction_detected, 0.0);
+        assert!((curve[3].fraction_detected - 1.0).abs() < 1e-12);
+        assert!(roc_auc(&scores, &labels) < 0.01);
+    }
+
+    #[test]
+    fn random_ranking_auc_near_half() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(8);
+        let scores: Vec<f64> = (0..2000).map(|_| rng.gen()).collect();
+        let labels: Vec<bool> = (0..2000).map(|_| rng.gen_bool(0.1)).collect();
+        let auc = roc_auc(&scores, &labels);
+        assert!((auc - 0.5).abs() < 0.05, "auc {auc}");
+    }
+
+    #[test]
+    fn ties_count_half() {
+        let scores = [1.0, 1.0];
+        let labels = [true, false];
+        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_classes_return_half() {
+        assert_eq!(roc_auc(&[1.0, 2.0], &[true, true]), 0.5);
+        assert_eq!(roc_auc(&[1.0, 2.0], &[false, false]), 0.5);
+    }
+
+    #[test]
+    fn sample_curve_picks_running_maximum() {
+        let scores = [9.0, 8.0, 1.0, 0.5];
+        let labels = [true, false, true, false];
+        let curve = detection_rate_curve(&scores, &labels);
+        let sampled = sample_curve(&curve, &[0.25, 0.5, 1.0]);
+        assert!((sampled[0].fraction_detected - 0.5).abs() < 1e-12);
+        assert!((sampled[1].fraction_detected - 0.5).abs() < 1e-12);
+        assert!((sampled[2].fraction_detected - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_is_monotonic() {
+        let scores = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6];
+        let labels = [false, true, true, false, true, false];
+        let curve = detection_rate_curve(&scores, &labels);
+        for w in curve.windows(2) {
+            assert!(w[1].fraction_detected >= w[0].fraction_detected);
+            assert!(w[1].fraction_inspected >= w[0].fraction_inspected);
+        }
+    }
+
+    #[test]
+    fn no_anomalies_curve_is_flat_zero() {
+        let curve = detection_rate_curve(&[1.0, 2.0], &[false, false]);
+        assert!(curve.iter().all(|p| p.fraction_detected == 0.0));
+    }
+}

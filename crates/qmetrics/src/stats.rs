@@ -1,0 +1,329 @@
+//! Scalar statistics used by Quorum's ensemble analysis and the evaluation
+//! harness.
+
+/// Arithmetic mean. Returns 0 for empty input.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population variance (divides by `n`), matching NumPy's default used by
+/// the paper's statistics pipeline. Returns 0 for empty input.
+pub fn population_variance(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation.
+pub fn population_std(values: &[f64]) -> f64 {
+    population_variance(values).sqrt()
+}
+
+/// Sample variance (divides by `n−1`). Returns 0 when `n < 2`.
+pub fn sample_variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64
+}
+
+/// Median by sorting a copy. Returns 0 for empty input.
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(f64::total_cmp);
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Linear-interpolated percentile, `q ∈ [0, 100]`.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `q` is outside `[0, 100]`.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&q), "percentile rank in [0,100]");
+    let mut v = values.to_vec();
+    v.sort_by(f64::total_cmp);
+    let pos = q / 100.0 * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        v[lo] + (pos - lo as f64) * (v[hi] - v[lo])
+    }
+}
+
+/// The z-score of `x` against a distribution with the given mean and
+/// standard deviation. Returns 0 when `std` is (numerically) zero — the
+/// convention Quorum's scoring uses so degenerate buckets contribute
+/// nothing.
+pub fn zscore(x: f64, mean: f64, std: f64) -> f64 {
+    if std <= 1e-300 {
+        0.0
+    } else {
+        (x - mean) / std
+    }
+}
+
+/// Spearman rank correlation between two score vectors (ties get average
+/// ranks). Returns 0 for degenerate inputs (length < 2 or zero variance).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn spearman_correlation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let ra = average_ranks(a);
+    let rb = average_ranks(b);
+    let ma = mean(&ra);
+    let mb = mean(&rb);
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in ra.iter().zip(&rb) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Assigns average ranks (1-based) with tie handling.
+fn average_ranks(values: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&i, &j| values[i].total_cmp(&values[j]));
+    let mut ranks = vec![0.0; values.len()];
+    let mut k = 0;
+    while k < order.len() {
+        let mut j = k;
+        while j + 1 < order.len() && values[order[j + 1]] == values[order[k]] {
+            j += 1;
+        }
+        let avg = (k + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[k..=j] {
+            ranks[idx] = avg;
+        }
+        k = j + 1;
+    }
+    ranks
+}
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use qmetrics::stats::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 6.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.count(), 3);
+/// assert!((w.mean() - 4.0).abs() < 1e-12);
+/// assert!((w.population_variance() - 8.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Running population variance (0 when empty).
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Running population standard deviation.
+    pub fn population_std(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.count = total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn mean_and_variances() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&v) - 2.5).abs() < TOL);
+        assert!((population_variance(&v) - 1.25).abs() < TOL);
+        assert!((sample_variance(&v) - 5.0 / 3.0).abs() < TOL);
+        assert!((population_std(&v) - 1.25f64.sqrt()).abs() < TOL);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(population_variance(&[]), 0.0);
+        assert_eq!(sample_variance(&[5.0]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert!((median(&[3.0, 1.0, 2.0]) - 2.0).abs() < TOL);
+        assert!((median(&[4.0, 1.0, 3.0, 2.0]) - 2.5).abs() < TOL);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert!((percentile(&v, 0.0) - 10.0).abs() < TOL);
+        assert!((percentile(&v, 100.0) - 40.0).abs() < TOL);
+        assert!((percentile(&v, 50.0) - 25.0).abs() < TOL);
+        assert!((percentile(&v, 25.0) - 17.5).abs() < TOL);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_rejects_empty() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn zscore_handles_degenerate_std() {
+        assert!((zscore(3.0, 1.0, 2.0) - 1.0).abs() < TOL);
+        assert_eq!(zscore(3.0, 1.0, 0.0), 0.0);
+        assert!(zscore(0.0, 1.0, 2.0) < 0.0);
+    }
+
+    #[test]
+    fn spearman_perfect_and_inverted() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((spearman_correlation(&a, &b) - 1.0).abs() < TOL);
+        let c = [40.0, 30.0, 20.0, 10.0];
+        assert!((spearman_correlation(&a, &c) + 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn spearman_is_rank_based_not_linear() {
+        // Monotone but nonlinear transform preserves rho = 1.
+        let a = [1.0f64, 2.0, 3.0, 4.0, 5.0];
+        let b: Vec<f64> = a.iter().map(|x| x.exp()).collect();
+        assert!((spearman_correlation(&a, &b) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn spearman_handles_ties_and_degenerate() {
+        let a = [1.0, 1.0, 2.0];
+        let b = [3.0, 3.0, 5.0];
+        assert!((spearman_correlation(&a, &b) - 1.0).abs() < TOL);
+        assert_eq!(spearman_correlation(&[1.0], &[2.0]), 0.0);
+        assert_eq!(spearman_correlation(&[2.0, 2.0], &[1.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn average_ranks_tie_handling() {
+        let r = average_ranks(&[10.0, 20.0, 10.0]);
+        assert_eq!(r, vec![1.5, 3.0, 1.5]);
+    }
+
+    #[test]
+    fn welford_matches_batch() {
+        let v: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut w = Welford::new();
+        for &x in &v {
+            w.push(x);
+        }
+        assert!((w.mean() - mean(&v)).abs() < 1e-10);
+        assert!((w.population_variance() - population_variance(&v)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn welford_merge_matches_sequential() {
+        let v: Vec<f64> = (0..57).map(|i| i as f64 * 0.37 - 4.0).collect();
+        let mut whole = Welford::new();
+        for &x in &v {
+            whole.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &v[..20] {
+            a.push(x);
+        }
+        for &x in &v[20..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.population_variance() - whole.population_variance()).abs() < 1e-10);
+        // Merging an empty accumulator is a no-op.
+        let before = a;
+        a.merge(&Welford::new());
+        assert_eq!(a, before);
+    }
+}

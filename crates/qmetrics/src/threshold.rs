@@ -1,0 +1,137 @@
+//! Score thresholding: turning anomaly scores into binary flags.
+//!
+//! Quorum flags the top `k`% of anomaly scores (the paper's "Detection
+//! Rate/Accuracy at various percentile thresholds"); the natural operating
+//! point flags exactly as many samples as the estimated anomaly count.
+
+/// Returns the indices of the `n` highest-scoring samples (ties broken by
+/// lower index first), in descending score order.
+///
+/// # Examples
+///
+/// ```
+/// use qmetrics::threshold::top_n_indices;
+///
+/// let scores = [0.1, 5.0, 3.0, 3.0];
+/// assert_eq!(top_n_indices(&scores, 2), vec![1, 2]);
+/// ```
+pub fn top_n_indices(scores: &[f64], n: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+    order.truncate(n.min(scores.len()));
+    order
+}
+
+/// Flags the `n` highest scores as anomalies.
+pub fn flag_top_n(scores: &[f64], n: usize) -> Vec<bool> {
+    let mut flags = vec![false; scores.len()];
+    for idx in top_n_indices(scores, n) {
+        flags[idx] = true;
+    }
+    flags
+}
+
+/// Flags the top `fraction` (`0.0..=1.0`) of scores as anomalies, rounding
+/// the count to the nearest sample.
+///
+/// # Panics
+///
+/// Panics if `fraction` is outside `[0, 1]`.
+pub fn flag_top_fraction(scores: &[f64], fraction: f64) -> Vec<bool> {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0,1]"
+    );
+    let n = (scores.len() as f64 * fraction).round() as usize;
+    flag_top_n(scores, n)
+}
+
+/// Flags scores at or above an absolute threshold.
+pub fn flag_at_threshold(scores: &[f64], threshold: f64) -> Vec<bool> {
+    scores.iter().map(|&s| s >= threshold).collect()
+}
+
+/// Detection rate at the top `fraction`: the share of true anomalies found
+/// among the highest-scoring `fraction` of the dataset (the paper's
+/// "Detection Rate … measuring the fraction of true anomalies captured in
+/// the top k% of anomaly scores").
+///
+/// # Panics
+///
+/// Panics if lengths differ or `fraction` is outside `[0, 1]`.
+pub fn detection_rate_at(scores: &[f64], labels: &[bool], fraction: f64) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "length mismatch");
+    let total_anomalies = labels.iter().filter(|&&l| l).count();
+    if total_anomalies == 0 {
+        return 0.0;
+    }
+    let flags = flag_top_fraction(scores, fraction);
+    let found = flags
+        .iter()
+        .zip(labels)
+        .filter(|(&f, &l)| f && l)
+        .count();
+    found as f64 / total_anomalies as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_n_orders_descending_with_stable_ties() {
+        let scores = [1.0, 9.0, 9.0, 2.0, 8.0];
+        assert_eq!(top_n_indices(&scores, 3), vec![1, 2, 4]);
+        assert_eq!(top_n_indices(&scores, 0), Vec::<usize>::new());
+        assert_eq!(top_n_indices(&scores, 99).len(), 5);
+    }
+
+    #[test]
+    fn flag_top_n_marks_correct_samples() {
+        let scores = [0.5, 2.0, 1.0];
+        assert_eq!(flag_top_n(&scores, 1), vec![false, true, false]);
+        assert_eq!(flag_top_n(&scores, 2), vec![false, true, true]);
+    }
+
+    #[test]
+    fn flag_top_fraction_rounds() {
+        let scores = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(
+            flag_top_fraction(&scores, 0.5),
+            vec![false, false, true, true]
+        );
+        assert_eq!(flag_top_fraction(&scores, 0.0), vec![false; 4]);
+        assert_eq!(flag_top_fraction(&scores, 1.0), vec![true; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn flag_top_fraction_validates() {
+        flag_top_fraction(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn threshold_flags() {
+        assert_eq!(
+            flag_at_threshold(&[0.1, 0.9, 0.5], 0.5),
+            vec![false, true, true]
+        );
+    }
+
+    #[test]
+    fn detection_rate_basics() {
+        // Score ranking: idx0 (9.0), idx2 (7.0), idx1 (5.0), idx3 (1.0);
+        // anomalies are ranked 1st and 3rd.
+        let scores = [9.0, 5.0, 7.0, 1.0];
+        let labels = [true, true, false, false];
+        assert!((detection_rate_at(&scores, &labels, 0.25) - 0.5).abs() < 1e-12);
+        assert!((detection_rate_at(&scores, &labels, 0.5) - 0.5).abs() < 1e-12);
+        assert!((detection_rate_at(&scores, &labels, 0.75) - 1.0).abs() < 1e-12);
+        assert!((detection_rate_at(&scores, &labels, 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detection_rate_no_anomalies_is_zero() {
+        assert_eq!(detection_rate_at(&[1.0, 2.0], &[false, false], 0.5), 0.0);
+    }
+}

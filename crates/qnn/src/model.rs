@@ -1,0 +1,223 @@
+//! The variational QNN classifier circuit.
+//!
+//! Architecture (hardware-efficient, after Kukliansky et al., the paper's
+//! "QNN" competitor): per re-uploading block, an **angle-encoding layer**
+//! (RY(π·x) per qubit over a rotating window of the feature vector)
+//! followed by a **trainable layer** (RY(w), RZ(w) per qubit and a CX
+//! ring). The readout is `⟨Z⟩` on qubit 0 mapped to an anomaly probability
+//! `p = (1 − ⟨Z⟩)/2`.
+
+use qsim::circuit::{Circuit, Operation};
+use qsim::statevector::Statevector;
+use rand::Rng;
+use std::f64::consts::PI;
+
+/// Trainable parameters: `2 × num_qubits` angles per block
+/// (RY then RZ per qubit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QnnModel {
+    num_qubits: usize,
+    blocks: usize,
+    /// Flattened parameters: `params[block][2 * qubit + {0: ry, 1: rz}]`.
+    params: Vec<f64>,
+}
+
+impl QnnModel {
+    /// Creates a model with small random initial weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits == 0` or `blocks == 0`.
+    pub fn random<R: Rng + ?Sized>(num_qubits: usize, blocks: usize, rng: &mut R) -> Self {
+        assert!(num_qubits > 0, "at least one qubit");
+        assert!(blocks > 0, "at least one block");
+        let params = (0..blocks * 2 * num_qubits)
+            .map(|_| rng.gen_range(-0.1..0.1))
+            .collect();
+        QnnModel {
+            num_qubits,
+            blocks,
+            params,
+        }
+    }
+
+    /// Qubit count.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Re-uploading block count.
+    pub fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// Immutable view of the flattened trainable parameters.
+    pub fn params(&self) -> &[f64] {
+        &self.params
+    }
+
+    /// Number of trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Overwrites one parameter (used by the parameter-shift rule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn set_param(&mut self, idx: usize, value: f64) {
+        self.params[idx] = value;
+    }
+
+    /// Applies a delta to every parameter (optimizer step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta.len() != self.num_params()`.
+    pub fn apply_update(&mut self, delta: &[f64]) {
+        assert_eq!(delta.len(), self.params.len(), "update length");
+        for (p, d) in self.params.iter_mut().zip(delta) {
+            *p += d;
+        }
+    }
+
+    /// Builds the full circuit for one input sample.
+    pub fn circuit(&self, features: &[f64]) -> Circuit {
+        let n = self.num_qubits;
+        let mut circ = Circuit::new(n);
+        for block in 0..self.blocks {
+            // Encoding layer: rotate each qubit by the next feature in a
+            // rotating window (re-uploading).
+            for q in 0..n {
+                let f = if features.is_empty() {
+                    0.0
+                } else {
+                    features[(block * n + q) % features.len()]
+                };
+                circ.ry(PI * f, q);
+            }
+            // Trainable layer.
+            for q in 0..n {
+                circ.ry(self.params[block * 2 * n + 2 * q], q);
+                circ.rz(self.params[block * 2 * n + 2 * q + 1], q);
+            }
+            // Entangling ring.
+            if n > 1 {
+                for q in 0..n {
+                    circ.cx(q, (q + 1) % n);
+                }
+            }
+        }
+        circ
+    }
+
+    /// Exact `⟨Z⟩` on qubit 0 for one sample (statevector evaluation — the
+    /// infinite-shot limit the optimizer trains against).
+    pub fn expectation(&self, features: &[f64]) -> f64 {
+        let circ = self.circuit(features);
+        let mut sv = Statevector::new(self.num_qubits);
+        for instr in circ.instructions() {
+            if let Operation::Gate(g) = &instr.op {
+                sv.apply_gate(*g, &instr.qubits).expect("valid circuit");
+            }
+        }
+        sv.expectation_z(0).expect("qubit 0 exists")
+    }
+
+    /// Anomaly probability `p = (1 − ⟨Z⟩)/2 ∈ [0, 1]`.
+    pub fn probability(&self, features: &[f64]) -> f64 {
+        (1.0 - self.expectation(features)) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model(seed: u64) -> QnnModel {
+        QnnModel::random(4, 2, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn construction_and_shapes() {
+        let m = model(1);
+        assert_eq!(m.num_qubits(), 4);
+        assert_eq!(m.blocks(), 2);
+        assert_eq!(m.num_params(), 16);
+    }
+
+    #[test]
+    fn circuit_structure() {
+        let m = model(2);
+        let circ = m.circuit(&[0.1, 0.2, 0.3]);
+        // Per block: 4 encode RY + 4 RY + 4 RZ + 4 CX = 16; 2 blocks = 32.
+        assert_eq!(circ.len(), 32);
+        assert_eq!(circ.num_qubits(), 4);
+    }
+
+    #[test]
+    fn probability_is_valid_and_depends_on_input() {
+        let m = model(3);
+        let p0 = m.probability(&[0.0, 0.0, 0.0, 0.0]);
+        let p1 = m.probability(&[0.9, 0.8, 0.7, 0.6]);
+        assert!((0.0..=1.0).contains(&p0));
+        assert!((0.0..=1.0).contains(&p1));
+        assert!((p0 - p1).abs() > 1e-6, "model ignores inputs");
+    }
+
+    #[test]
+    fn params_update_changes_output() {
+        let mut m = model(4);
+        let x = [0.3, 0.6, 0.1, 0.9];
+        let before = m.probability(&x);
+        let delta = vec![0.3; m.num_params()];
+        m.apply_update(&delta);
+        let after = m.probability(&x);
+        assert!((before - after).abs() > 1e-6);
+    }
+
+    #[test]
+    fn feature_window_rotates_across_blocks() {
+        // With more features than qubits, later blocks see later features:
+        // two different long inputs sharing the first 4 features must still
+        // produce different outputs.
+        let m = model(5);
+        let a = [0.1, 0.2, 0.3, 0.4, 0.9, 0.9, 0.9, 0.9];
+        let b = [0.1, 0.2, 0.3, 0.4, 0.0, 0.0, 0.0, 0.0];
+        assert!((m.probability(&a) - m.probability(&b)).abs() > 1e-6);
+    }
+
+    #[test]
+    fn empty_features_are_tolerated() {
+        let m = model(6);
+        let p = m.probability(&[]);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn parameter_shift_rule_holds() {
+        // d<Z>/dθ must equal (E(θ+π/2) − E(θ−π/2))/2 for rotation gates.
+        let m = model(7);
+        let x = [0.4, 0.2, 0.7, 0.5];
+        let idx = 3;
+        let theta = m.params()[idx];
+        let h = 1e-6;
+        let mut mp = m.clone();
+        mp.set_param(idx, theta + h);
+        let mut mm = m.clone();
+        mm.set_param(idx, theta - h);
+        let numeric = (mp.expectation(&x) - mm.expectation(&x)) / (2.0 * h);
+        let mut ms_p = m.clone();
+        ms_p.set_param(idx, theta + PI / 2.0);
+        let mut ms_m = m.clone();
+        ms_m.set_param(idx, theta - PI / 2.0);
+        let shift = (ms_p.expectation(&x) - ms_m.expectation(&x)) / 2.0;
+        assert!(
+            (numeric - shift).abs() < 1e-4,
+            "parameter shift {shift} vs numeric {numeric}"
+        );
+    }
+}

@@ -1,0 +1,602 @@
+//! Quantum circuit intermediate representation.
+//!
+//! A [`Circuit`] is an ordered list of [`Instruction`]s over `num_qubits`
+//! qubits and `num_clbits` classical bits. Besides unitary gates it supports
+//! the two non-unitary operations Quorum needs: mid-circuit **reset** (the
+//! autoencoder bottleneck) and terminal **measure** (the SWAP-test ancilla).
+
+use crate::error::QsimError;
+use crate::gate::Gate;
+use std::fmt;
+
+/// One operation in a circuit.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Operation {
+    /// A unitary gate.
+    Gate(Gate),
+    /// Non-unitary reset of one qubit to `|0⟩`.
+    Reset,
+    /// Projective measurement of one qubit into a classical bit.
+    Measure {
+        /// Destination classical bit.
+        clbit: usize,
+    },
+    /// A no-op scheduling barrier (kept for depth accounting parity with
+    /// Qiskit circuits; simulators skip it).
+    Barrier,
+}
+
+/// An [`Operation`] bound to concrete qubit operands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instruction {
+    /// What to do.
+    pub op: Operation,
+    /// Which qubits to do it to (order matters for controlled gates).
+    pub qubits: Vec<usize>,
+}
+
+impl Instruction {
+    /// Creates a gate instruction.
+    pub fn gate(gate: Gate, qubits: Vec<usize>) -> Self {
+        Instruction {
+            op: Operation::Gate(gate),
+            qubits,
+        }
+    }
+}
+
+/// An ordered quantum circuit over `num_qubits` qubits.
+///
+/// Builder methods return `&mut Self` so construction chains:
+///
+/// ```
+/// use qsim::circuit::Circuit;
+///
+/// let mut qc = Circuit::new(3);
+/// qc.h(0).cx(0, 1).rx(0.5, 2);
+/// assert_eq!(qc.len(), 3);
+/// assert_eq!(qc.depth(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    num_qubits: usize,
+    num_clbits: usize,
+    instructions: Vec<Instruction>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `num_qubits` qubits and no classical
+    /// bits.
+    pub fn new(num_qubits: usize) -> Self {
+        Circuit {
+            num_qubits,
+            num_clbits: 0,
+            instructions: Vec::new(),
+        }
+    }
+
+    /// Creates an empty circuit with classical bits for measurement results.
+    pub fn with_clbits(num_qubits: usize, num_clbits: usize) -> Self {
+        Circuit {
+            num_qubits,
+            num_clbits,
+            instructions: Vec::new(),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of classical bits.
+    pub fn num_clbits(&self) -> usize {
+        self.num_clbits
+    }
+
+    /// Number of instructions (including barriers).
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the circuit has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// The instruction list in program order.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Validates and appends an instruction.
+    ///
+    /// # Errors
+    ///
+    /// * [`QsimError::QubitOutOfRange`] if an operand exceeds the width.
+    /// * [`QsimError::DuplicateQubit`] if an operand repeats.
+    /// * [`QsimError::DimensionMismatch`] if the operand count does not
+    ///   match the gate arity.
+    /// * [`QsimError::ClbitOutOfRange`] for a bad measure destination.
+    pub fn push(&mut self, instr: Instruction) -> Result<&mut Self, QsimError> {
+        for (i, &q) in instr.qubits.iter().enumerate() {
+            if q >= self.num_qubits {
+                return Err(QsimError::QubitOutOfRange {
+                    qubit: q,
+                    num_qubits: self.num_qubits,
+                });
+            }
+            if instr.qubits[..i].contains(&q) {
+                return Err(QsimError::DuplicateQubit { qubit: q });
+            }
+        }
+        match &instr.op {
+            Operation::Gate(g) => {
+                if instr.qubits.len() != g.num_qubits() {
+                    return Err(QsimError::DimensionMismatch {
+                        expected: g.num_qubits(),
+                        actual: instr.qubits.len(),
+                    });
+                }
+            }
+            Operation::Reset => {
+                if instr.qubits.len() != 1 {
+                    return Err(QsimError::DimensionMismatch {
+                        expected: 1,
+                        actual: instr.qubits.len(),
+                    });
+                }
+            }
+            Operation::Measure { clbit } => {
+                if instr.qubits.len() != 1 {
+                    return Err(QsimError::DimensionMismatch {
+                        expected: 1,
+                        actual: instr.qubits.len(),
+                    });
+                }
+                if *clbit >= self.num_clbits {
+                    return Err(QsimError::ClbitOutOfRange {
+                        clbit: *clbit,
+                        num_clbits: self.num_clbits,
+                    });
+                }
+            }
+            Operation::Barrier => {}
+        }
+        self.instructions.push(instr);
+        Ok(self)
+    }
+
+    fn push_gate(&mut self, gate: Gate, qubits: Vec<usize>) -> &mut Self {
+        self.push(Instruction::gate(gate, qubits))
+            .expect("invalid gate operands");
+        self
+    }
+
+    /// Appends an identity gate (useful for noise-injection studies).
+    pub fn id(&mut self, q: usize) -> &mut Self {
+        self.push_gate(Gate::I, vec![q])
+    }
+
+    /// Appends a Hadamard gate.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.push_gate(Gate::H, vec![q])
+    }
+
+    /// Appends a Pauli-X gate.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.push_gate(Gate::X, vec![q])
+    }
+
+    /// Appends a Pauli-Y gate.
+    pub fn y(&mut self, q: usize) -> &mut Self {
+        self.push_gate(Gate::Y, vec![q])
+    }
+
+    /// Appends a Pauli-Z gate.
+    pub fn z(&mut self, q: usize) -> &mut Self {
+        self.push_gate(Gate::Z, vec![q])
+    }
+
+    /// Appends an S gate.
+    pub fn s(&mut self, q: usize) -> &mut Self {
+        self.push_gate(Gate::S, vec![q])
+    }
+
+    /// Appends an S† gate.
+    pub fn sdg(&mut self, q: usize) -> &mut Self {
+        self.push_gate(Gate::Sdg, vec![q])
+    }
+
+    /// Appends a T gate.
+    pub fn t(&mut self, q: usize) -> &mut Self {
+        self.push_gate(Gate::T, vec![q])
+    }
+
+    /// Appends a T† gate.
+    pub fn tdg(&mut self, q: usize) -> &mut Self {
+        self.push_gate(Gate::Tdg, vec![q])
+    }
+
+    /// Appends a √X gate.
+    pub fn sx(&mut self, q: usize) -> &mut Self {
+        self.push_gate(Gate::SX, vec![q])
+    }
+
+    /// Appends an RX rotation.
+    pub fn rx(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.push_gate(Gate::RX(theta), vec![q])
+    }
+
+    /// Appends an RY rotation.
+    pub fn ry(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.push_gate(Gate::RY(theta), vec![q])
+    }
+
+    /// Appends an RZ rotation.
+    pub fn rz(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.push_gate(Gate::RZ(theta), vec![q])
+    }
+
+    /// Appends a phase gate.
+    pub fn p(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.push_gate(Gate::Phase(theta), vec![q])
+    }
+
+    /// Appends a generic U(θ,φ,λ) rotation.
+    pub fn u(&mut self, theta: f64, phi: f64, lambda: f64, q: usize) -> &mut Self {
+        self.push_gate(Gate::U(theta, phi, lambda), vec![q])
+    }
+
+    /// Appends a CX with `control` and `target`.
+    pub fn cx(&mut self, control: usize, target: usize) -> &mut Self {
+        self.push_gate(Gate::CX, vec![control, target])
+    }
+
+    /// Appends a CZ.
+    pub fn cz(&mut self, a: usize, b: usize) -> &mut Self {
+        self.push_gate(Gate::CZ, vec![a, b])
+    }
+
+    /// Appends a controlled-RZ.
+    pub fn crz(&mut self, theta: f64, control: usize, target: usize) -> &mut Self {
+        self.push_gate(Gate::CRZ(theta), vec![control, target])
+    }
+
+    /// Appends a controlled-phase.
+    pub fn cp(&mut self, theta: f64, a: usize, b: usize) -> &mut Self {
+        self.push_gate(Gate::CPhase(theta), vec![a, b])
+    }
+
+    /// Appends a SWAP.
+    pub fn swap(&mut self, a: usize, b: usize) -> &mut Self {
+        self.push_gate(Gate::Swap, vec![a, b])
+    }
+
+    /// Appends a Toffoli with controls `c1`, `c2` and target `t`.
+    pub fn ccx(&mut self, c1: usize, c2: usize, t: usize) -> &mut Self {
+        self.push_gate(Gate::CCX, vec![c1, c2, t])
+    }
+
+    /// Appends a Fredkin (controlled-SWAP) with control `c` swapping
+    /// `t1`/`t2`.
+    pub fn cswap(&mut self, c: usize, t1: usize, t2: usize) -> &mut Self {
+        self.push_gate(Gate::CSwap, vec![c, t1, t2])
+    }
+
+    /// Appends a mid-circuit reset of `q` to `|0⟩`.
+    pub fn reset(&mut self, q: usize) -> &mut Self {
+        self.push(Instruction {
+            op: Operation::Reset,
+            qubits: vec![q],
+        })
+        .expect("invalid reset operand");
+        self
+    }
+
+    /// Appends a measurement of `q` into classical bit `clbit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clbit` is out of range; use [`Circuit::push`] for a
+    /// fallible version.
+    pub fn measure(&mut self, q: usize, clbit: usize) -> &mut Self {
+        self.push(Instruction {
+            op: Operation::Measure { clbit },
+            qubits: vec![q],
+        })
+        .expect("invalid measure operands");
+        self
+    }
+
+    /// Appends a barrier over all qubits.
+    pub fn barrier(&mut self) -> &mut Self {
+        let qubits: Vec<usize> = (0..self.num_qubits).collect();
+        self.push(Instruction {
+            op: Operation::Barrier,
+            qubits,
+        })
+        .expect("barrier is always valid");
+        self
+    }
+
+    /// Appends every instruction of `other`, offsetting its qubits by
+    /// `qubit_offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any shifted operand exceeds this circuit's width
+    /// or `other` measures into a classical bit this circuit lacks.
+    pub fn compose(&mut self, other: &Circuit, qubit_offset: usize) -> Result<&mut Self, QsimError> {
+        for instr in &other.instructions {
+            let shifted = Instruction {
+                op: instr.op.clone(),
+                qubits: instr.qubits.iter().map(|q| q + qubit_offset).collect(),
+            };
+            self.push(shifted)?;
+        }
+        Ok(self)
+    }
+
+    /// Returns the adjoint circuit: instructions reversed with every gate
+    /// inverted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::Unsupported`] if the circuit contains a reset or
+    /// measurement — non-unitary operations have no inverse.
+    pub fn inverse(&self) -> Result<Circuit, QsimError> {
+        let mut out = Circuit::with_clbits(self.num_qubits, self.num_clbits);
+        for instr in self.instructions.iter().rev() {
+            match &instr.op {
+                Operation::Gate(g) => {
+                    out.instructions.push(Instruction {
+                        op: Operation::Gate(g.inverse()),
+                        qubits: instr.qubits.clone(),
+                    });
+                }
+                Operation::Barrier => {
+                    out.instructions.push(instr.clone());
+                }
+                Operation::Reset | Operation::Measure { .. } => {
+                    return Err(QsimError::Unsupported(
+                        "inverse of a non-unitary circuit".into(),
+                    ));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Circuit depth: the length of the longest qubit-dependency chain,
+    /// counting gates, resets and measures (barriers force alignment but add
+    /// no depth, matching Qiskit's convention).
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.num_qubits];
+        for instr in &self.instructions {
+            match instr.op {
+                Operation::Barrier => {
+                    let max = instr.qubits.iter().map(|&q| level[q]).max().unwrap_or(0);
+                    for &q in &instr.qubits {
+                        level[q] = max;
+                    }
+                }
+                _ => {
+                    let max = instr.qubits.iter().map(|&q| level[q]).max().unwrap_or(0);
+                    for &q in &instr.qubits {
+                        level[q] = max + 1;
+                    }
+                }
+            }
+        }
+        level.into_iter().max().unwrap_or(0)
+    }
+
+    /// Counts instructions by mnemonic (`"cx"`, `"reset"`, ...), returned
+    /// sorted by name for deterministic output.
+    pub fn count_ops(&self) -> Vec<(String, usize)> {
+        let mut counts = std::collections::BTreeMap::new();
+        for instr in &self.instructions {
+            let name = match &instr.op {
+                Operation::Gate(g) => g.name().to_string(),
+                Operation::Reset => "reset".to_string(),
+                Operation::Measure { .. } => "measure".to_string(),
+                Operation::Barrier => "barrier".to_string(),
+            };
+            *counts.entry(name).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Number of one-qubit gates (excluding resets/measures/barriers).
+    pub fn count_1q_gates(&self) -> usize {
+        self.instructions
+            .iter()
+            .filter(|i| matches!(&i.op, Operation::Gate(g) if g.num_qubits() == 1))
+            .count()
+    }
+
+    /// Number of multi-qubit gates.
+    pub fn count_multi_qubit_gates(&self) -> usize {
+        self.instructions
+            .iter()
+            .filter(|i| matches!(&i.op, Operation::Gate(g) if g.num_qubits() > 1))
+            .count()
+    }
+
+    /// Whether the circuit contains any reset or measurement.
+    pub fn has_nonunitary_ops(&self) -> bool {
+        self.instructions
+            .iter()
+            .any(|i| matches!(i.op, Operation::Reset | Operation::Measure { .. }))
+    }
+
+    /// Indices of the classical bits written by measurements, in program
+    /// order.
+    pub fn measured_clbits(&self) -> Vec<usize> {
+        self.instructions
+            .iter()
+            .filter_map(|i| match i.op {
+                Operation::Measure { clbit } => Some(clbit),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "circuit<{} qubits, {} clbits, {} ops>",
+            self.num_qubits,
+            self.num_clbits,
+            self.instructions.len()
+        )?;
+        for instr in &self.instructions {
+            match &instr.op {
+                Operation::Gate(g) => writeln!(f, "  {} {:?}", g, instr.qubits)?,
+                Operation::Reset => writeln!(f, "  reset {:?}", instr.qubits)?,
+                Operation::Measure { clbit } => {
+                    writeln!(f, "  measure {:?} -> c{}", instr.qubits, clbit)?
+                }
+                Operation::Barrier => writeln!(f, "  barrier")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains_and_counts() {
+        let mut qc = Circuit::new(3);
+        qc.h(0).cx(0, 1).cx(1, 2).rz(0.5, 2);
+        assert_eq!(qc.len(), 4);
+        assert_eq!(qc.count_1q_gates(), 2);
+        assert_eq!(qc.count_multi_qubit_gates(), 2);
+        let ops = qc.count_ops();
+        assert_eq!(
+            ops,
+            vec![
+                ("cx".to_string(), 2),
+                ("h".to_string(), 1),
+                ("rz".to_string(), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn depth_tracks_longest_chain() {
+        let mut qc = Circuit::new(3);
+        // h(0) then cx(0,1) then cx(1,2): chain of 3 through the qubits.
+        qc.h(0).cx(0, 1).cx(1, 2);
+        assert_eq!(qc.depth(), 3);
+        // Parallel single-qubit gates add depth 1 total.
+        let mut qc2 = Circuit::new(3);
+        qc2.h(0).h(1).h(2);
+        assert_eq!(qc2.depth(), 1);
+    }
+
+    #[test]
+    fn barrier_aligns_but_adds_no_depth() {
+        let mut qc = Circuit::new(2);
+        qc.h(0).barrier().h(1);
+        // h(1) must come after the barrier which waited for h(0).
+        assert_eq!(qc.depth(), 2);
+    }
+
+    #[test]
+    fn push_validates_range_and_duplicates() {
+        let mut qc = Circuit::new(2);
+        let err = qc.push(Instruction::gate(Gate::H, vec![5])).unwrap_err();
+        assert!(matches!(err, QsimError::QubitOutOfRange { qubit: 5, .. }));
+        let err = qc.push(Instruction::gate(Gate::CX, vec![1, 1])).unwrap_err();
+        assert!(matches!(err, QsimError::DuplicateQubit { qubit: 1 }));
+        let err = qc.push(Instruction::gate(Gate::CX, vec![0])).unwrap_err();
+        assert!(matches!(err, QsimError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn measure_validates_clbit() {
+        let mut qc = Circuit::with_clbits(2, 1);
+        qc.measure(0, 0);
+        let err = qc
+            .push(Instruction {
+                op: Operation::Measure { clbit: 3 },
+                qubits: vec![1],
+            })
+            .unwrap_err();
+        assert!(matches!(err, QsimError::ClbitOutOfRange { clbit: 3, .. }));
+        assert_eq!(qc.measured_clbits(), vec![0]);
+    }
+
+    #[test]
+    fn inverse_reverses_and_negates() {
+        let mut qc = Circuit::new(2);
+        qc.rx(0.5, 0).cx(0, 1).rz(-1.5, 1);
+        let inv = qc.inverse().unwrap();
+        let gates: Vec<&Operation> = inv.instructions().iter().map(|i| &i.op).collect();
+        assert_eq!(gates.len(), 3);
+        assert_eq!(*gates[0], Operation::Gate(Gate::RZ(1.5)));
+        assert_eq!(*gates[1], Operation::Gate(Gate::CX));
+        assert_eq!(*gates[2], Operation::Gate(Gate::RX(-0.5)));
+    }
+
+    #[test]
+    fn inverse_rejects_nonunitary() {
+        let mut qc = Circuit::new(1);
+        qc.h(0).reset(0);
+        assert!(matches!(qc.inverse(), Err(QsimError::Unsupported(_))));
+    }
+
+    #[test]
+    fn compose_offsets_qubits() {
+        let mut inner = Circuit::new(2);
+        inner.h(0).cx(0, 1);
+        let mut outer = Circuit::new(4);
+        outer.compose(&inner, 2).unwrap();
+        assert_eq!(outer.instructions()[0].qubits, vec![2]);
+        assert_eq!(outer.instructions()[1].qubits, vec![2, 3]);
+    }
+
+    #[test]
+    fn compose_rejects_overflow() {
+        let mut inner = Circuit::new(2);
+        inner.cx(0, 1);
+        let mut outer = Circuit::new(2);
+        assert!(outer.compose(&inner, 1).is_err());
+    }
+
+    #[test]
+    fn nonunitary_detection() {
+        let mut qc = Circuit::new(2);
+        qc.h(0);
+        assert!(!qc.has_nonunitary_ops());
+        qc.reset(1);
+        assert!(qc.has_nonunitary_ops());
+    }
+
+    #[test]
+    fn display_renders_each_instruction() {
+        let mut qc = Circuit::with_clbits(2, 1);
+        qc.h(0).cx(0, 1).reset(0).measure(1, 0).barrier();
+        let text = qc.to_string();
+        assert!(text.contains("h [0]"));
+        assert!(text.contains("cx [0, 1]"));
+        assert!(text.contains("reset [0]"));
+        assert!(text.contains("measure [1] -> c0"));
+        assert!(text.contains("barrier"));
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let qc = Circuit::default();
+        assert!(qc.is_empty());
+        assert_eq!(qc.depth(), 0);
+    }
+}

@@ -1,0 +1,372 @@
+//! Minimal complex-number arithmetic for statevector simulation.
+//!
+//! The sanctioned dependency set does not include `num-complex`, and the
+//! subset of complex arithmetic a circuit simulator needs is small and hot,
+//! so it is implemented here directly. The type is `Copy` and all operations
+//! are `#[inline]` so that gate kernels vectorise well.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number `re + i·im`.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::complex::C64;
+///
+/// let a = C64::new(1.0, 2.0);
+/// let b = C64::new(3.0, -1.0);
+/// assert_eq!(a + b, C64::new(4.0, 1.0));
+/// assert_eq!(a * C64::I, C64::new(-2.0, 1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        C64::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Returns `e^{iθ}`, a unit-modulus phase factor.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        C64::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate `re − i·im`.
+    #[inline]
+    pub fn conj(self) -> Self {
+        C64::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `re² + im²`. This is the measurement probability of
+    /// an amplitude, so it is the hottest scalar operation in the simulator.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `sqrt(re² + im²)`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        C64::new(self.re * k, self.im * k)
+    }
+
+    /// Complex exponential `e^{self}`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        C64::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Multiplicative inverse. Returns NaN components when `self` is zero,
+    /// mirroring `f64` division semantics.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        C64::new(self.re / d, -self.im / d)
+    }
+
+    /// Returns `true` when both parts are within `tol` of `other`'s.
+    #[inline]
+    pub fn approx_eq(self, other: C64, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+
+    /// Returns `true` when either part is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// Returns `true` when both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl From<f64> for C64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        C64::from_real(re)
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: C64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: f64) -> C64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: C64) -> C64 {
+        self * rhs.recip()
+    }
+}
+
+impl Div<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: f64) -> C64 {
+        C64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn constructors_and_constants() {
+        assert_eq!(C64::ZERO, C64::new(0.0, 0.0));
+        assert_eq!(C64::ONE, C64::new(1.0, 0.0));
+        assert_eq!(C64::I, C64::new(0.0, 1.0));
+        assert_eq!(C64::from_real(2.5), C64::new(2.5, 0.0));
+        assert_eq!(C64::from(3.0), C64::new(3.0, 0.0));
+    }
+
+    #[test]
+    fn addition_and_subtraction() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(-0.5, 4.0);
+        assert_eq!(a + b, C64::new(0.5, 6.0));
+        assert_eq!(a - b, C64::new(1.5, -2.0));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+        c -= b;
+        assert!(c.approx_eq(a, TOL));
+    }
+
+    #[test]
+    fn multiplication_matches_expansion() {
+        let a = C64::new(2.0, 3.0);
+        let b = C64::new(4.0, -5.0);
+        // (2+3i)(4-5i) = 8 -10i +12i +15 = 23 + 2i
+        assert_eq!(a * b, C64::new(23.0, 2.0));
+        let mut c = a;
+        c *= b;
+        assert_eq!(c, a * b);
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(C64::I * C64::I, C64::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn scalar_multiplication_commutes() {
+        let a = C64::new(1.5, -2.5);
+        assert_eq!(a * 2.0, 2.0 * a);
+        assert_eq!(a * 2.0, C64::new(3.0, -5.0));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = C64::new(3.0, -7.0);
+        let b = C64::new(0.5, 2.0);
+        let q = a / b;
+        assert!((q * b).approx_eq(a, 1e-10));
+        assert!((a / 2.0).approx_eq(C64::new(1.5, -3.5), TOL));
+    }
+
+    #[test]
+    fn conjugate_and_modulus() {
+        let a = C64::new(3.0, 4.0);
+        assert_eq!(a.conj(), C64::new(3.0, -4.0));
+        assert!((a.norm_sqr() - 25.0).abs() < TOL);
+        assert!((a.abs() - 5.0).abs() < TOL);
+        // z * conj(z) is |z|^2 (a real number).
+        let p = a * a.conj();
+        assert!(p.approx_eq(C64::new(25.0, 0.0), TOL));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = C64::from_polar(2.0, std::f64::consts::FRAC_PI_3);
+        assert!((z.abs() - 2.0).abs() < TOL);
+        assert!((z.arg() - std::f64::consts::FRAC_PI_3).abs() < TOL);
+    }
+
+    #[test]
+    fn cis_is_unit_modulus() {
+        for k in 0..16 {
+            let theta = k as f64 * 0.39269908;
+            assert!((C64::cis(theta).abs() - 1.0).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn exp_of_imaginary_is_cis() {
+        let theta = 1.2345;
+        let z = C64::new(0.0, theta).exp();
+        assert!(z.approx_eq(C64::cis(theta), TOL));
+    }
+
+    #[test]
+    fn exp_of_real_matches_f64() {
+        let z = C64::from_real(1.5).exp();
+        assert!(z.approx_eq(C64::from_real(1.5f64.exp()), 1e-10));
+    }
+
+    #[test]
+    fn recip_is_inverse() {
+        let a = C64::new(2.0, -3.0);
+        assert!((a * a.recip()).approx_eq(C64::ONE, TOL));
+    }
+
+    #[test]
+    fn negation() {
+        let a = C64::new(1.0, -2.0);
+        assert_eq!(-a, C64::new(-1.0, 2.0));
+        assert_eq!(a + (-a), C64::ZERO);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: C64 = (0..4).map(|k| C64::new(k as f64, 1.0)).sum();
+        assert_eq!(total, C64::new(6.0, 4.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(C64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(C64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn nan_and_finite_checks() {
+        assert!(C64::new(f64::NAN, 0.0).is_nan());
+        assert!(!C64::ONE.is_nan());
+        assert!(C64::ONE.is_finite());
+        assert!(!C64::new(f64::INFINITY, 0.0).is_finite());
+    }
+}

@@ -1,0 +1,901 @@
+//! Mixed-state simulation: a `2^n × 2^n` density matrix with gate and
+//! Kraus-channel kernels.
+//!
+//! This backend exists for two reasons:
+//!
+//! 1. **Noise.** The paper's Fig. 9 "Noisy" series models IBM Brisbane;
+//!    Kraus channels (depolarizing, thermal relaxation, readout) require
+//!    mixed states.
+//! 2. **Ground truth.** A density matrix handles Quorum's mid-circuit resets
+//!    exactly, so it cross-validates the branching statevector backend
+//!    (see the `backend_agreement` integration tests).
+//!
+//! Bit convention matches [`crate::statevector`]: qubit `k` is bit `k` of
+//! the row/column index.
+
+use crate::complex::C64;
+use crate::error::QsimError;
+use crate::gate::Gate;
+use crate::matrix::CMatrix;
+use crate::statevector::Statevector;
+
+/// A mixed quantum state over `num_qubits` qubits.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::density::DensityMatrix;
+/// use qsim::gate::Gate;
+///
+/// let mut rho = DensityMatrix::new(1);
+/// rho.apply_gate(Gate::H, &[0]).unwrap();
+/// assert!((rho.purity() - 1.0).abs() < 1e-12);
+/// rho.reset(0).unwrap(); // non-unitary but exact
+/// assert!((rho.probability_one(0).unwrap()).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityMatrix {
+    num_qubits: usize,
+    dim: usize,
+    /// Row-major `dim × dim` matrix.
+    data: Vec<C64>,
+}
+
+impl DensityMatrix {
+    /// Creates `|0…0⟩⟨0…0|`.
+    pub fn new(num_qubits: usize) -> Self {
+        assert!(num_qubits <= 13, "density matrix would exceed memory");
+        let dim = 1usize << num_qubits;
+        let mut data = vec![C64::ZERO; dim * dim];
+        data[0] = C64::ONE;
+        DensityMatrix {
+            num_qubits,
+            dim,
+            data,
+        }
+    }
+
+    /// Builds the pure-state density matrix `|ψ⟩⟨ψ|`.
+    pub fn from_statevector(sv: &Statevector) -> Self {
+        let dim = sv.dim();
+        let amps = sv.amplitudes();
+        let mut data = vec![C64::ZERO; dim * dim];
+        for i in 0..dim {
+            for j in 0..dim {
+                data[i * dim + j] = amps[i] * amps[j].conj();
+            }
+        }
+        DensityMatrix {
+            num_qubits: sv.num_qubits(),
+            dim,
+            data,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Hilbert-space dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> C64 {
+        self.data[i * self.dim + j]
+    }
+
+    /// Trace of the density matrix (1 for a valid state).
+    pub fn trace(&self) -> f64 {
+        (0..self.dim).map(|i| self.at(i, i).re).sum()
+    }
+
+    /// Purity `Tr(ρ²)`; 1 for pure states, `1/2^n` for the maximally mixed
+    /// state.
+    pub fn purity(&self) -> f64 {
+        // Tr(ρ²) = Σ_ij ρ_ij ρ_ji = Σ_ij |ρ_ij|² for Hermitian ρ.
+        self.data.iter().map(|z| z.norm_sqr()).sum()
+    }
+
+    /// The basis-state probabilities (the real diagonal).
+    pub fn diagonal_probabilities(&self) -> Vec<f64> {
+        (0..self.dim).map(|i| self.at(i, i).re.max(0.0)).collect()
+    }
+
+    /// Probability that qubit `q` reads `|1⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::QubitOutOfRange`] for a bad operand.
+    pub fn probability_one(&self, q: usize) -> Result<f64, QsimError> {
+        if q >= self.num_qubits {
+            return Err(QsimError::QubitOutOfRange {
+                qubit: q,
+                num_qubits: self.num_qubits,
+            });
+        }
+        let mask = 1usize << q;
+        Ok((0..self.dim)
+            .filter(|i| i & mask != 0)
+            .map(|i| self.at(i, i).re)
+            .sum())
+    }
+
+    fn check_qubits(&self, qubits: &[usize]) -> Result<(), QsimError> {
+        for (i, &q) in qubits.iter().enumerate() {
+            if q >= self.num_qubits {
+                return Err(QsimError::QubitOutOfRange {
+                    qubit: q,
+                    num_qubits: self.num_qubits,
+                });
+            }
+            if qubits[..i].contains(&q) {
+                return Err(QsimError::DuplicateQubit { qubit: q });
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a unitary gate: `ρ → U ρ U†`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an operand-validation error (see
+    /// [`Statevector::apply_gate`](crate::statevector::Statevector::apply_gate)).
+    pub fn apply_gate(&mut self, gate: Gate, qubits: &[usize]) -> Result<(), QsimError> {
+        self.check_qubits(qubits)?;
+        if qubits.len() != gate.num_qubits() {
+            return Err(QsimError::DimensionMismatch {
+                expected: gate.num_qubits(),
+                actual: qubits.len(),
+            });
+        }
+        // Fast paths for the two gate classes that dominate lowered
+        // circuits: single-qubit unitaries (fused 4×4 superoperator) and
+        // CX (a pure index permutation).
+        if gate.num_qubits() == 1 {
+            let u = gate.matrix_1q();
+            let mut s = [[C64::ZERO; 4]; 4];
+            for i in 0..2 {
+                for j in 0..2 {
+                    for k in 0..2 {
+                        for l in 0..2 {
+                            s[i * 2 + k][j * 2 + l] = u[i][j] * u[k][l].conj();
+                        }
+                    }
+                }
+            }
+            return self.apply_superop_1q(qubits[0], &s);
+        }
+        if gate == Gate::CX {
+            self.permute_cx(qubits[0], qubits[1]);
+            return Ok(());
+        }
+        let m = gate.matrix();
+        self.apply_unitary_small(&m, qubits);
+        Ok(())
+    }
+
+    /// `ρ → CX ρ CX` as a row/column permutation (CX is self-inverse).
+    fn permute_cx(&mut self, control: usize, target: usize) {
+        let cmask = 1usize << control;
+        let tmask = 1usize << target;
+        let dim = self.dim;
+        // Swap row pairs (i, i ^ tmask) for rows with the control bit set.
+        for i in 0..dim {
+            if i & cmask != 0 && i & tmask == 0 {
+                let j = i | tmask;
+                for col in 0..dim {
+                    self.data.swap(i * dim + col, j * dim + col);
+                }
+            }
+        }
+        // Swap column pairs likewise.
+        for row in 0..dim {
+            let base = row * dim;
+            for i in 0..dim {
+                if i & cmask != 0 && i & tmask == 0 {
+                    self.data.swap(base + i, base + (i | tmask));
+                }
+            }
+        }
+    }
+
+    /// Applies an arbitrary small unitary (2, 4 or 8 dimensional) given as a
+    /// dense matrix over the listed qubits (first operand = most significant
+    /// sub-index bit). Exposed for the transpiler's equivalence tests.
+    pub fn apply_unitary_small(&mut self, m: &CMatrix, qubits: &[usize]) {
+        self.left_mul_small(m, qubits);
+        self.right_mul_dagger_small(m, qubits);
+    }
+
+    /// Applies a Kraus channel `ρ → Σ_m K_m ρ K_m†` over the listed qubits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::DimensionMismatch`] if a Kraus operator's
+    /// dimension does not match `2^{qubits.len()}`.
+    pub fn apply_kraus(&mut self, kraus: &[CMatrix], qubits: &[usize]) -> Result<(), QsimError> {
+        self.check_qubits(qubits)?;
+        let k = 1usize << qubits.len();
+        for op in kraus {
+            if op.rows() != k || op.cols() != k {
+                return Err(QsimError::DimensionMismatch {
+                    expected: k,
+                    actual: op.rows(),
+                });
+            }
+        }
+        let mut acc = vec![C64::ZERO; self.data.len()];
+        let original = self.data.clone();
+        for op in kraus {
+            self.data.copy_from_slice(&original);
+            self.left_mul_small(op, qubits);
+            self.right_mul_dagger_small(op, qubits);
+            for (a, &b) in acc.iter_mut().zip(&self.data) {
+                *a += b;
+            }
+        }
+        self.data = acc;
+        Ok(())
+    }
+
+    /// Exact reset of qubit `q` to `|0⟩` via the Kraus pair
+    /// `{|0⟩⟨0|, |0⟩⟨1|}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::QubitOutOfRange`] for a bad operand.
+    pub fn reset(&mut self, q: usize) -> Result<(), QsimError> {
+        let k0 = CMatrix::from_rows(&[&[C64::ONE, C64::ZERO], &[C64::ZERO, C64::ZERO]]);
+        let k1 = CMatrix::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ZERO, C64::ZERO]]);
+        self.apply_kraus(&[k0, k1], &[q])
+    }
+
+    /// Dephases qubit `q` in the computational basis (projective measurement
+    /// whose outcome is discarded into the classical record). Used to model
+    /// mid-circuit measurement exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::QubitOutOfRange`] for a bad operand.
+    pub fn dephase(&mut self, q: usize) -> Result<(), QsimError> {
+        let p0 = CMatrix::from_rows(&[&[C64::ONE, C64::ZERO], &[C64::ZERO, C64::ZERO]]);
+        let p1 = CMatrix::from_rows(&[&[C64::ZERO, C64::ZERO], &[C64::ZERO, C64::ONE]]);
+        self.apply_kraus(&[p0, p1], &[q])
+    }
+
+    /// `A = M · ρ` where `M` acts on the sub-space of `qubits`.
+    fn left_mul_small(&mut self, m: &CMatrix, qubits: &[usize]) {
+        let k = qubits.len();
+        let sub_dim = 1usize << k;
+        let dim = self.dim;
+        // Enumerate row groups: rows that differ only in the operand bits.
+        let mut scratch = vec![C64::ZERO; sub_dim];
+        let masks: Vec<usize> = qubits.iter().map(|&q| 1usize << q).collect();
+        let all_mask: usize = masks.iter().sum();
+        for col in 0..dim {
+            for base in 0..dim {
+                if base & all_mask != 0 {
+                    continue;
+                }
+                // Gather, transform, scatter the sub_dim rows of this group.
+                for s in 0..sub_dim {
+                    let row = expand_index(base, s, &masks, k);
+                    scratch[s] = self.data[row * dim + col];
+                }
+                for s_out in 0..sub_dim {
+                    let mut acc = C64::ZERO;
+                    for s_in in 0..sub_dim {
+                        acc += m[(s_out, s_in)] * scratch[s_in];
+                    }
+                    let row = expand_index(base, s_out, &masks, k);
+                    self.data[row * dim + col] = acc;
+                }
+            }
+        }
+    }
+
+    /// `A = ρ · M†` where `M` acts on the sub-space of `qubits`.
+    fn right_mul_dagger_small(&mut self, m: &CMatrix, qubits: &[usize]) {
+        let k = qubits.len();
+        let sub_dim = 1usize << k;
+        let dim = self.dim;
+        let mut scratch = vec![C64::ZERO; sub_dim];
+        let masks: Vec<usize> = qubits.iter().map(|&q| 1usize << q).collect();
+        let all_mask: usize = masks.iter().sum();
+        for row in 0..dim {
+            for base in 0..dim {
+                if base & all_mask != 0 {
+                    continue;
+                }
+                for s in 0..sub_dim {
+                    let col = expand_index(base, s, &masks, k);
+                    scratch[s] = self.data[row * dim + col];
+                }
+                for s_out in 0..sub_dim {
+                    // (ρ M†)[row, col_out] = Σ_in ρ[row, col_in] · conj(M[col_out, col_in])
+                    let mut acc = C64::ZERO;
+                    for s_in in 0..sub_dim {
+                        acc += scratch[s_in] * m[(s_out, s_in)].conj();
+                    }
+                    let col = expand_index(base, s_out, &masks, k);
+                    self.data[row * dim + col] = acc;
+                }
+            }
+        }
+    }
+
+    /// Applies a precomputed single-qubit superoperator to qubit `q`.
+    ///
+    /// `s` is the 4×4 row-major matrix acting on the vectorised 2×2 block
+    /// `[ρ00, ρ01, ρ10, ρ11]` (row bit first). Built from Kraus operators
+    /// with [`superop_from_kraus`]; composing a gate's full channel stack
+    /// into one superoperator makes the noisy backend ~8× faster than
+    /// repeated [`DensityMatrix::apply_kraus`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::QubitOutOfRange`] for a bad operand.
+    pub fn apply_superop_1q(&mut self, q: usize, s: &[[C64; 4]; 4]) -> Result<(), QsimError> {
+        self.check_qubits(&[q])?;
+        let mask = 1usize << q;
+        let dim = self.dim;
+        for r0 in 0..dim {
+            if r0 & mask != 0 {
+                continue;
+            }
+            let r1 = r0 | mask;
+            for c0 in 0..dim {
+                if c0 & mask != 0 {
+                    continue;
+                }
+                let c1 = c0 | mask;
+                let v = [
+                    self.data[r0 * dim + c0],
+                    self.data[r0 * dim + c1],
+                    self.data[r1 * dim + c0],
+                    self.data[r1 * dim + c1],
+                ];
+                let mut out = [C64::ZERO; 4];
+                for (i, o) in out.iter_mut().enumerate() {
+                    let row = &s[i];
+                    *o = row[0] * v[0] + row[1] * v[1] + row[2] * v[2] + row[3] * v[3];
+                }
+                self.data[r0 * dim + c0] = out[0];
+                self.data[r0 * dim + c1] = out[1];
+                self.data[r1 * dim + c0] = out[2];
+                self.data[r1 * dim + c1] = out[3];
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a precomputed two-qubit superoperator to `(qa, qb)` (`qa`
+    /// is the most significant sub-index bit). `s` is 16×16 row-major over
+    /// the vectorised 4×4 block.
+    ///
+    /// # Errors
+    ///
+    /// Returns an operand-validation error for bad qubit indices or a
+    /// dimension error if `s` is not 16×16.
+    pub fn apply_superop_2q(&mut self, qa: usize, qb: usize, s: &CMatrix) -> Result<(), QsimError> {
+        self.check_qubits(&[qa, qb])?;
+        if s.rows() != 16 || s.cols() != 16 {
+            return Err(QsimError::DimensionMismatch {
+                expected: 16,
+                actual: s.rows(),
+            });
+        }
+        let ma = 1usize << qa;
+        let mb = 1usize << qb;
+        let both = ma | mb;
+        let dim = self.dim;
+        // Row/column sub-index expansion: sub 0..4, bit1 = qa, bit0 = qb.
+        let expand = |base: usize, sub: usize| -> usize {
+            let mut idx = base;
+            if sub & 2 != 0 {
+                idx |= ma;
+            }
+            if sub & 1 != 0 {
+                idx |= mb;
+            }
+            idx
+        };
+        let mut v = [C64::ZERO; 16];
+        for r_base in 0..dim {
+            if r_base & both != 0 {
+                continue;
+            }
+            for c_base in 0..dim {
+                if c_base & both != 0 {
+                    continue;
+                }
+                for rs in 0..4 {
+                    let row = expand(r_base, rs);
+                    for cs in 0..4 {
+                        v[rs * 4 + cs] = self.data[row * dim + expand(c_base, cs)];
+                    }
+                }
+                for rs in 0..4 {
+                    let row = expand(r_base, rs);
+                    for cs in 0..4 {
+                        let i = rs * 4 + cs;
+                        let mut acc = C64::ZERO;
+                        for (j, &vj) in v.iter().enumerate() {
+                            acc += s[(i, j)] * vj;
+                        }
+                        self.data[row * dim + expand(c_base, cs)] = acc;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the two-qubit depolarizing channel with Kraus parameter `p`
+    /// directly via its closed form
+    /// `ρ → (1−λ)ρ + λ (I/4) ⊗ Tr_{ab}(ρ)` with `λ = 16p/15` — equivalent
+    /// to the 16-operator Kraus set of
+    /// [`crate::noise::depolarizing_2q`] but ~15× cheaper.
+    ///
+    /// # Errors
+    ///
+    /// Returns an operand-validation error or
+    /// [`QsimError::InvalidProbability`] if `p` is outside `[0, 15/16]`.
+    pub fn apply_depolarizing_2q(&mut self, qa: usize, qb: usize, p: f64) -> Result<(), QsimError> {
+        self.check_qubits(&[qa, qb])?;
+        let lambda = 16.0 * p / 15.0;
+        if !(0.0..=1.0).contains(&lambda) {
+            return Err(QsimError::InvalidProbability { value: p });
+        }
+        let ma = 1usize << qa;
+        let mb = 1usize << qb;
+        let both = ma | mb;
+        let dim = self.dim;
+        let keep = 1.0 - lambda;
+        let expand = |base: usize, sub: usize| -> usize {
+            let mut idx = base;
+            if sub & 2 != 0 {
+                idx |= ma;
+            }
+            if sub & 1 != 0 {
+                idx |= mb;
+            }
+            idx
+        };
+        for r_base in 0..dim {
+            if r_base & both != 0 {
+                continue;
+            }
+            for c_base in 0..dim {
+                if c_base & both != 0 {
+                    continue;
+                }
+                // Block trace over the two-qubit subsystem.
+                let mut t = C64::ZERO;
+                for s in 0..4 {
+                    t += self.data[expand(r_base, s) * dim + expand(c_base, s)];
+                }
+                let mixed = t.scale(lambda / 4.0);
+                for rs in 0..4 {
+                    let row = expand(r_base, rs) * dim;
+                    for cs in 0..4 {
+                        let idx = row + expand(c_base, cs);
+                        let mut v = self.data[idx].scale(keep);
+                        if rs == cs {
+                            v += mixed;
+                        }
+                        self.data[idx] = v;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Traces out every qubit *not* listed in `keep`, returning the reduced
+    /// density matrix over `keep` (in the given order: first listed qubit
+    /// becomes the most significant bit of the reduced index).
+    ///
+    /// # Errors
+    ///
+    /// Returns an operand-validation error for bad qubit indices.
+    pub fn partial_trace(&self, keep: &[usize]) -> Result<DensityMatrix, QsimError> {
+        self.check_qubits(keep)?;
+        let k = keep.len();
+        let sub_dim = 1usize << k;
+        let masks: Vec<usize> = keep.iter().map(|&q| 1usize << q).collect();
+        let all_mask: usize = masks.iter().sum();
+        let mut out = vec![C64::ZERO; sub_dim * sub_dim];
+        for i in 0..self.dim {
+            let si = compress_index(i, &masks, k);
+            let rest_i = i & !all_mask;
+            for j in 0..self.dim {
+                if (j & !all_mask) != rest_i {
+                    continue;
+                }
+                let sj = compress_index(j, &masks, k);
+                out[si * sub_dim + sj] += self.at(i, j);
+            }
+        }
+        Ok(DensityMatrix {
+            num_qubits: k,
+            dim: sub_dim,
+            data: out,
+        })
+    }
+
+    /// Returns the full matrix as a [`CMatrix`] (for tests/diagnostics).
+    pub fn to_cmatrix(&self) -> CMatrix {
+        let mut m = CMatrix::zeros(self.dim, self.dim);
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                m[(i, j)] = self.at(i, j);
+            }
+        }
+        m
+    }
+
+    /// Hilbert–Schmidt overlap `Tr(ρ σ)`, the mixed-state generalisation of
+    /// fidelity used by the SWAP test.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::DimensionMismatch`] if widths differ.
+    pub fn overlap(&self, other: &DensityMatrix) -> Result<f64, QsimError> {
+        if self.dim != other.dim {
+            return Err(QsimError::DimensionMismatch {
+                expected: self.dim,
+                actual: other.dim,
+            });
+        }
+        // Tr(ρσ) = Σ_ij ρ_ij σ_ji; both Hermitian so the result is real.
+        let mut acc = C64::ZERO;
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                acc += self.at(i, j) * other.at(j, i);
+            }
+        }
+        Ok(acc.re)
+    }
+}
+
+/// Builds the superoperator matrix `S = Σ_m K_m ⊗ conj(K_m)` of a Kraus
+/// channel, acting on row-major vectorised blocks: for `d`-dimensional
+/// Kraus operators the result is `d² × d²` with
+/// `S[(i·d+k), (j·d+l)] = Σ_m K_m[i,j] · conj(K_m[k,l])`.
+///
+/// # Panics
+///
+/// Panics if the Kraus list is empty or operators are non-square/unequal
+/// in size.
+pub fn superop_from_kraus(kraus: &[CMatrix]) -> CMatrix {
+    assert!(!kraus.is_empty(), "empty Kraus set");
+    let d = kraus[0].rows();
+    for k in kraus {
+        assert_eq!(k.rows(), d, "inconsistent Kraus dimensions");
+        assert_eq!(k.cols(), d, "non-square Kraus operator");
+    }
+    let mut s = CMatrix::zeros(d * d, d * d);
+    for k in kraus {
+        for i in 0..d {
+            for j in 0..d {
+                let kij = k[(i, j)];
+                if kij == C64::ZERO {
+                    continue;
+                }
+                for kk in 0..d {
+                    for l in 0..d {
+                        s[(i * d + kk, j * d + l)] += kij * k[(kk, l)].conj();
+                    }
+                }
+            }
+        }
+    }
+    s
+}
+
+/// Composes superoperators so that `first` acts before `second`
+/// (matrix product `second · first`).
+pub fn compose_superops(first: &CMatrix, second: &CMatrix) -> CMatrix {
+    second * first
+}
+
+/// Converts a 4×4 [`CMatrix`] superoperator into the fixed-size array
+/// [`DensityMatrix::apply_superop_1q`] consumes.
+///
+/// # Panics
+///
+/// Panics unless the matrix is 4×4.
+pub fn superop_to_array_1q(s: &CMatrix) -> [[C64; 4]; 4] {
+    assert_eq!((s.rows(), s.cols()), (4, 4), "superoperator must be 4×4");
+    let mut out = [[C64::ZERO; 4]; 4];
+    for (i, row) in out.iter_mut().enumerate() {
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = s[(i, j)];
+        }
+    }
+    out
+}
+
+/// Inserts the bits of `sub` (width `k`) into `base` at the positions given
+/// by `masks` (masks[0] = most significant sub bit).
+#[inline]
+fn expand_index(base: usize, sub: usize, masks: &[usize], k: usize) -> usize {
+    let mut idx = base;
+    for (pos, &mask) in masks.iter().enumerate() {
+        if sub >> (k - 1 - pos) & 1 == 1 {
+            idx |= mask;
+        }
+    }
+    idx
+}
+
+/// Extracts the sub-index bits of `idx` at `masks` positions.
+#[inline]
+fn compress_index(idx: usize, masks: &[usize], k: usize) -> usize {
+    let mut sub = 0usize;
+    for (pos, &mask) in masks.iter().enumerate() {
+        if idx & mask != 0 {
+            sub |= 1 << (k - 1 - pos);
+        }
+    }
+    sub
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-10;
+
+    #[test]
+    fn fresh_state_is_pure_zero() {
+        let rho = DensityMatrix::new(2);
+        assert!((rho.trace() - 1.0).abs() < TOL);
+        assert!((rho.purity() - 1.0).abs() < TOL);
+        assert!((rho.diagonal_probabilities()[0] - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn gate_evolution_matches_statevector() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut sv = Statevector::new(3);
+        let mut rho = DensityMatrix::new(3);
+        for _ in 0..30 {
+            let q = rng.gen_range(0..3);
+            let theta: f64 = rng.gen_range(0.0..6.28);
+            let choice = rng.gen_range(0..6);
+            let (gate, qubits): (Gate, Vec<usize>) = match choice {
+                0 => (Gate::RX(theta), vec![q]),
+                1 => (Gate::RY(theta), vec![q]),
+                2 => (Gate::RZ(theta), vec![q]),
+                3 => (Gate::H, vec![q]),
+                4 => {
+                    let t = (q + 1) % 3;
+                    (Gate::CX, vec![q, t])
+                }
+                _ => {
+                    let t = (q + 1) % 3;
+                    let u = (q + 2) % 3;
+                    (Gate::CSwap, vec![q, t, u])
+                }
+            };
+            sv.apply_gate(gate, &qubits).unwrap();
+            rho.apply_gate(gate, &qubits).unwrap();
+        }
+        let expected = DensityMatrix::from_statevector(&sv);
+        assert!(rho.to_cmatrix().approx_eq(&expected.to_cmatrix(), 1e-9));
+    }
+
+    #[test]
+    fn reset_produces_exact_mixture_marginal() {
+        // H then reset: ρ = |0><0| on that qubit, trace preserved.
+        let mut rho = DensityMatrix::new(1);
+        rho.apply_gate(Gate::H, &[0]).unwrap();
+        rho.reset(0).unwrap();
+        assert!((rho.trace() - 1.0).abs() < TOL);
+        assert!(rho.probability_one(0).unwrap().abs() < TOL);
+    }
+
+    #[test]
+    fn reset_of_entangled_qubit_leaves_partner_mixed() {
+        // Bell state; resetting qubit 0 leaves qubit 1 maximally mixed.
+        let mut rho = DensityMatrix::new(2);
+        rho.apply_gate(Gate::H, &[0]).unwrap();
+        rho.apply_gate(Gate::CX, &[0, 1]).unwrap();
+        rho.reset(0).unwrap();
+        assert!((rho.trace() - 1.0).abs() < TOL);
+        assert!((rho.probability_one(1).unwrap() - 0.5).abs() < TOL);
+        // Purity of the 2-qubit state: qubit0 pure ⊗ qubit1 mixed = 1/2.
+        assert!((rho.purity() - 0.5).abs() < TOL);
+    }
+
+    #[test]
+    fn dephase_kills_coherences() {
+        let mut rho = DensityMatrix::new(1);
+        rho.apply_gate(Gate::H, &[0]).unwrap();
+        assert!(rho.at(0, 1).abs() > 0.4);
+        rho.dephase(0).unwrap();
+        assert!(rho.at(0, 1).abs() < TOL);
+        assert!((rho.probability_one(0).unwrap() - 0.5).abs() < TOL);
+    }
+
+    #[test]
+    fn kraus_identity_channel_is_noop() {
+        let mut rho = DensityMatrix::new(2);
+        rho.apply_gate(Gate::H, &[0]).unwrap();
+        rho.apply_gate(Gate::CX, &[0, 1]).unwrap();
+        let before = rho.clone();
+        rho.apply_kraus(&[CMatrix::identity(2)], &[1]).unwrap();
+        assert!(rho.to_cmatrix().approx_eq(&before.to_cmatrix(), TOL));
+    }
+
+    #[test]
+    fn kraus_dimension_validation() {
+        let mut rho = DensityMatrix::new(2);
+        let err = rho.apply_kraus(&[CMatrix::identity(4)], &[0]).unwrap_err();
+        assert!(matches!(err, QsimError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn two_qubit_kraus_depolarizes_to_mixed() {
+        // Full 2q depolarizing: ρ → I/4 via 16 Pauli Kraus ops with p=1.
+        let paulis = [Gate::I, Gate::X, Gate::Y, Gate::Z];
+        let mut kraus = Vec::new();
+        for a in paulis {
+            for b in paulis {
+                kraus.push(a.matrix().kron(&b.matrix()).scaled(C64::from_real(0.25)));
+            }
+        }
+        let mut rho = DensityMatrix::new(2);
+        rho.apply_gate(Gate::H, &[0]).unwrap();
+        rho.apply_gate(Gate::CX, &[0, 1]).unwrap();
+        rho.apply_kraus(&kraus, &[0, 1]).unwrap();
+        assert!((rho.trace() - 1.0).abs() < TOL);
+        assert!((rho.purity() - 0.25).abs() < TOL);
+    }
+
+    #[test]
+    fn partial_trace_of_bell_state_is_maximally_mixed() {
+        let mut rho = DensityMatrix::new(2);
+        rho.apply_gate(Gate::H, &[0]).unwrap();
+        rho.apply_gate(Gate::CX, &[0, 1]).unwrap();
+        let reduced = rho.partial_trace(&[1]).unwrap();
+        assert_eq!(reduced.num_qubits(), 1);
+        assert!((reduced.at(0, 0).re - 0.5).abs() < TOL);
+        assert!((reduced.at(1, 1).re - 0.5).abs() < TOL);
+        assert!(reduced.at(0, 1).abs() < TOL);
+    }
+
+    #[test]
+    fn partial_trace_of_product_state_is_factor() {
+        let mut rho = DensityMatrix::new(2);
+        rho.apply_gate(Gate::X, &[1]).unwrap();
+        rho.apply_gate(Gate::H, &[0]).unwrap();
+        let reduced = rho.partial_trace(&[0]).unwrap();
+        assert!((reduced.at(0, 0).re - 0.5).abs() < TOL);
+        assert!((reduced.at(0, 1).re - 0.5).abs() < TOL);
+    }
+
+    #[test]
+    fn overlap_generalises_fidelity() {
+        let mut a = Statevector::new(1);
+        a.apply_gate(Gate::H, &[0]).unwrap();
+        let b = Statevector::new(1);
+        let ra = DensityMatrix::from_statevector(&a);
+        let rb = DensityMatrix::from_statevector(&b);
+        assert!((ra.overlap(&rb).unwrap() - 0.5).abs() < TOL);
+        assert!((ra.overlap(&ra).unwrap() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn probability_one_checks_range() {
+        let rho = DensityMatrix::new(2);
+        assert!(rho.probability_one(5).is_err());
+    }
+
+    fn random_mixed_state(seed: u64) -> DensityMatrix {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rho = DensityMatrix::new(3);
+        for _ in 0..12 {
+            let q = rng.gen_range(0..3);
+            rho.apply_gate(Gate::RY(rng.gen_range(0.0..6.28)), &[q]).unwrap();
+            rho.apply_gate(Gate::CX, &[q, (q + 1) % 3]).unwrap();
+        }
+        rho.apply_kraus(&crate::noise::depolarizing_1q(0.2), &[1]).unwrap();
+        rho
+    }
+
+    #[test]
+    fn superop_1q_matches_kraus_application() {
+        let kraus = crate::noise::amplitude_damping(0.3);
+        let s = superop_to_array_1q(&superop_from_kraus(&kraus));
+        for seed in 0..3 {
+            let mut a = random_mixed_state(seed);
+            let mut b = a.clone();
+            a.apply_kraus(&kraus, &[2]).unwrap();
+            b.apply_superop_1q(2, &s).unwrap();
+            assert!(a.to_cmatrix().approx_eq(&b.to_cmatrix(), 1e-10));
+        }
+    }
+
+    #[test]
+    fn superop_composition_matches_sequential_channels() {
+        let depol = crate::noise::depolarizing_1q(0.05);
+        let damp = crate::noise::amplitude_damping(0.2);
+        let s_first = superop_from_kraus(&depol);
+        let s_second = superop_from_kraus(&damp);
+        let combined = superop_to_array_1q(&compose_superops(&s_first, &s_second));
+        let mut a = random_mixed_state(7);
+        let mut b = a.clone();
+        a.apply_kraus(&depol, &[0]).unwrap();
+        a.apply_kraus(&damp, &[0]).unwrap();
+        b.apply_superop_1q(0, &combined).unwrap();
+        assert!(a.to_cmatrix().approx_eq(&b.to_cmatrix(), 1e-10));
+    }
+
+    #[test]
+    fn superop_2q_matches_kraus_application() {
+        let kraus = crate::noise::depolarizing_2q(0.1);
+        let s = superop_from_kraus(&kraus);
+        assert_eq!(s.rows(), 16);
+        for seed in 0..3 {
+            let mut a = random_mixed_state(100 + seed);
+            let mut b = a.clone();
+            a.apply_kraus(&kraus, &[0, 2]).unwrap();
+            b.apply_superop_2q(0, 2, &s).unwrap();
+            assert!(a.to_cmatrix().approx_eq(&b.to_cmatrix(), 1e-10));
+        }
+    }
+
+    #[test]
+    fn identity_superop_is_noop() {
+        let id = superop_from_kraus(&[CMatrix::identity(2)]);
+        let s = superop_to_array_1q(&id);
+        let mut rho = random_mixed_state(3);
+        let before = rho.clone();
+        rho.apply_superop_1q(1, &s).unwrap();
+        assert!(rho.to_cmatrix().approx_eq(&before.to_cmatrix(), 1e-12));
+    }
+
+    #[test]
+    fn closed_form_depolarizing_2q_matches_kraus() {
+        let p = 0.08;
+        let kraus = crate::noise::depolarizing_2q(p);
+        for seed in 0..3 {
+            let mut a = random_mixed_state(50 + seed);
+            let mut b = a.clone();
+            a.apply_kraus(&kraus, &[2, 0]).unwrap();
+            b.apply_depolarizing_2q(2, 0, p).unwrap();
+            assert!(
+                a.to_cmatrix().approx_eq(&b.to_cmatrix(), 1e-10),
+                "closed form diverges from Kraus (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn closed_form_depolarizing_validates() {
+        let mut rho = DensityMatrix::new(2);
+        assert!(rho.apply_depolarizing_2q(0, 1, 1.0).is_err());
+        assert!(rho.apply_depolarizing_2q(0, 1, -0.1).is_err());
+        assert!(rho.apply_depolarizing_2q(0, 1, 0.0).is_ok());
+    }
+
+    #[test]
+    fn superop_validation() {
+        let mut rho = DensityMatrix::new(2);
+        let s4 = CMatrix::identity(4);
+        assert!(rho.apply_superop_2q(0, 1, &s4).is_err()); // wrong dim
+        let s16 = CMatrix::identity(16);
+        assert!(rho.apply_superop_2q(0, 5, &s16).is_err()); // bad qubit
+    }
+}

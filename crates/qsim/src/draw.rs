@@ -1,0 +1,239 @@
+//! ASCII circuit rendering.
+//!
+//! A compact wire diagram for debugging and documentation: one row per
+//! qubit, one column per circuit moment (gates packed greedily left, as in
+//! the depth computation). Multi-qubit gates draw vertical connectors.
+//!
+//! ```text
+//! q0: ─[ry 0.93]─■──────X──
+//! q1: ───────────┼──────■──
+//! q2: ───────────X─[rz]────
+//! ```
+
+use crate::circuit::{Circuit, Operation};
+use crate::gate::Gate;
+
+/// Renders the circuit as a multi-line ASCII diagram.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::circuit::Circuit;
+/// use qsim::draw::draw;
+///
+/// let mut qc = Circuit::with_clbits(2, 1);
+/// qc.h(0).cx(0, 1).measure(1, 0);
+/// let art = draw(&qc);
+/// assert!(art.contains("q0:"));
+/// assert!(art.contains("[h]"));
+/// assert!(art.contains("[M0]"));
+/// ```
+pub fn draw(circ: &Circuit) -> String {
+    let n = circ.num_qubits();
+    if n == 0 {
+        return String::from("(empty circuit)\n");
+    }
+    // Assign each instruction to the earliest column where all its qubits
+    // are free (mirrors Circuit::depth).
+    let mut level = vec![0usize; n];
+    // cells[column][qubit] = label
+    let mut cells: Vec<Vec<Option<CellLabel>>> = Vec::new();
+    for instr in circ.instructions() {
+        if matches!(instr.op, Operation::Barrier) {
+            let max = instr.qubits.iter().map(|&q| level[q]).max().unwrap_or(0);
+            for &q in &instr.qubits {
+                level[q] = max;
+            }
+            continue;
+        }
+        let col = instr.qubits.iter().map(|&q| level[q]).max().unwrap_or(0);
+        while cells.len() <= col {
+            cells.push(vec![None; n]);
+        }
+        let lo = *instr.qubits.iter().min().expect("non-empty operands");
+        let hi = *instr.qubits.iter().max().expect("non-empty operands");
+        match &instr.op {
+            Operation::Gate(g) => {
+                let labels = gate_labels(g, &instr.qubits);
+                for (&q, label) in instr.qubits.iter().zip(labels) {
+                    cells[col][q] = Some(CellLabel::Text(label));
+                }
+            }
+            Operation::Reset => {
+                cells[col][instr.qubits[0]] = Some(CellLabel::Text("[reset]".into()));
+            }
+            Operation::Measure { clbit } => {
+                cells[col][instr.qubits[0]] = Some(CellLabel::Text(format!("[M{clbit}]")));
+            }
+            Operation::Barrier => unreachable!("handled above"),
+        }
+        // Vertical connectors through pass-through wires of multi-qubit
+        // gates.
+        if hi > lo {
+            for q in lo + 1..hi {
+                if !instr.qubits.contains(&q) {
+                    cells[col][q] = Some(CellLabel::Passthrough);
+                }
+            }
+        }
+        for &q in &instr.qubits {
+            level[q] = col + 1;
+        }
+        for q in lo..=hi {
+            level[q] = level[q].max(col + 1);
+        }
+    }
+
+    // Column widths.
+    let widths: Vec<usize> = cells
+        .iter()
+        .map(|col| {
+            col.iter()
+                .map(|c| match c {
+                    Some(CellLabel::Text(t)) => t.len(),
+                    Some(CellLabel::Passthrough) => 1,
+                    None => 1,
+                })
+                .max()
+                .unwrap_or(1)
+        })
+        .collect();
+
+    let mut out = String::new();
+    for q in 0..n {
+        out.push_str(&format!("q{q}: "));
+        for (col, width) in cells.iter().zip(&widths) {
+            out.push('─');
+            match &col[q] {
+                Some(CellLabel::Text(t)) => {
+                    out.push_str(t);
+                    out.push_str(&"─".repeat(width - t.len()));
+                }
+                Some(CellLabel::Passthrough) => {
+                    out.push('┼');
+                    out.push_str(&"─".repeat(width - 1));
+                }
+                None => out.push_str(&"─".repeat(*width)),
+            }
+        }
+        out.push('─');
+        out.push('\n');
+    }
+    out
+}
+
+#[derive(Clone)]
+enum CellLabel {
+    Text(String),
+    Passthrough,
+}
+
+/// Per-operand labels: controls draw as `■`, targets by gate.
+fn gate_labels(g: &Gate, qubits: &[usize]) -> Vec<String> {
+    match g {
+        Gate::CX => vec!["■".into(), "X".into()],
+        Gate::CZ => vec!["■".into(), "■".into()],
+        Gate::CRZ(t) => vec!["■".into(), format!("[rz {t:.2}]")],
+        Gate::CPhase(t) => vec!["■".into(), format!("[p {t:.2}]")],
+        Gate::Swap => vec!["x".into(), "x".into()],
+        Gate::CCX => vec!["■".into(), "■".into(), "X".into()],
+        Gate::CSwap => vec!["■".into(), "x".into(), "x".into()],
+        g if qubits.len() == 1 => {
+            let label = match g.angle() {
+                Some(t) => format!("[{} {t:.2}]", g.name()),
+                None => format!("[{}]", g.name()),
+            };
+            vec![label]
+        }
+        g => qubits.iter().map(|_| format!("[{}]", g.name())).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bell_diagram_shape() {
+        let mut qc = Circuit::with_clbits(2, 2);
+        qc.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        let art = draw(&qc);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("q0:"));
+        assert!(lines[0].contains("[h]"));
+        assert!(lines[0].contains('■'));
+        assert!(lines[1].contains('X'));
+        assert!(lines[0].contains("[M0]"));
+        assert!(lines[1].contains("[M1]"));
+    }
+
+    #[test]
+    fn parallel_gates_share_a_column() {
+        let mut qc = Circuit::new(2);
+        qc.h(0).h(1);
+        let art = draw(&qc);
+        let lines: Vec<&str> = art.lines().collect();
+        // Both [h] labels appear at the same column offset.
+        let pos0 = lines[0].find("[h]").unwrap();
+        let pos1 = lines[1].find("[h]").unwrap();
+        assert_eq!(pos0, pos1);
+    }
+
+    #[test]
+    fn dependent_gates_occupy_later_columns() {
+        let mut qc = Circuit::new(1);
+        qc.h(0).x(0);
+        let art = draw(&qc);
+        let line = art.lines().next().unwrap();
+        assert!(line.find("[h]").unwrap() < line.find("[x]").unwrap());
+    }
+
+    #[test]
+    fn cswap_draws_control_and_swaps() {
+        let mut qc = Circuit::new(3);
+        qc.cswap(2, 0, 1);
+        let art = draw(&qc);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[2].contains('■'));
+        assert!(lines[0].contains('x'));
+        assert!(lines[1].contains('x'));
+    }
+
+    #[test]
+    fn passthrough_wires_show_connector() {
+        let mut qc = Circuit::new(3);
+        qc.cx(0, 2);
+        let art = draw(&qc);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[1].contains('┼'), "middle wire missing connector: {art}");
+    }
+
+    #[test]
+    fn rotations_show_angles() {
+        let mut qc = Circuit::new(1);
+        qc.rx(1.5, 0);
+        let art = draw(&qc);
+        assert!(art.contains("[rx 1.50]"));
+    }
+
+    #[test]
+    fn reset_and_empty() {
+        let mut qc = Circuit::new(1);
+        qc.reset(0);
+        assert!(draw(&qc).contains("[reset]"));
+        assert_eq!(draw(&Circuit::new(0)), "(empty circuit)\n");
+    }
+
+    #[test]
+    fn barrier_does_not_render_but_aligns() {
+        let mut qc = Circuit::new(2);
+        qc.h(0).barrier().h(1);
+        let art = draw(&qc);
+        let lines: Vec<&str> = art.lines().collect();
+        // h(1) must be in a later-or-equal column than h(0)'s.
+        let pos0 = lines[0].find("[h]").unwrap();
+        let pos1 = lines[1].find("[h]").unwrap();
+        assert!(pos1 >= pos0);
+    }
+}

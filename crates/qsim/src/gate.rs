@@ -1,0 +1,524 @@
+//! The gate library: every unitary the Quorum circuits need.
+//!
+//! Single-qubit gates carry their 2×2 matrix; two- and three-qubit gates are
+//! applied with specialised kernels in the state backends, but every gate can
+//! also produce its full dense matrix via [`Gate::matrix`] for verification
+//! and transpiler testing.
+
+use crate::complex::C64;
+use crate::matrix::CMatrix;
+use std::fmt;
+
+const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+/// A quantum gate.
+///
+/// Rotation angles are in radians. The matrix conventions follow the paper's
+/// Background section (and Qiskit): e.g.
+/// `RX(θ) = [[cos θ/2, −i sin θ/2], [−i sin θ/2, cos θ/2]]`.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::gate::Gate;
+///
+/// let g = Gate::RX(std::f64::consts::PI);
+/// assert_eq!(g.num_qubits(), 1);
+/// assert!(g.matrix().is_unitary(1e-12));
+/// assert_eq!(g.inverse(), Gate::RX(-std::f64::consts::PI));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Gate {
+    /// Identity.
+    I,
+    /// Hadamard.
+    H,
+    /// Pauli-X (NOT).
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Phase gate S = diag(1, i).
+    S,
+    /// S†.
+    Sdg,
+    /// T = diag(1, e^{iπ/4}).
+    T,
+    /// T†.
+    Tdg,
+    /// √X, the native IBM single-qubit gate.
+    SX,
+    /// √X†.
+    SXdg,
+    /// Rotation about the x-axis by the given angle.
+    RX(f64),
+    /// Rotation about the y-axis by the given angle.
+    RY(f64),
+    /// Rotation about the z-axis by the given angle.
+    RZ(f64),
+    /// Phase rotation diag(1, e^{iθ}).
+    Phase(f64),
+    /// Generic single-qubit rotation U(θ, φ, λ) in the Qiskit convention.
+    U(f64, f64, f64),
+    /// Controlled-X; operand order is `(control, target)`.
+    CX,
+    /// Controlled-Z (symmetric in its operands).
+    CZ,
+    /// Controlled RZ(θ); operand order is `(control, target)`.
+    CRZ(f64),
+    /// Controlled phase diag(1,1,1,e^{iθ}) (symmetric in its operands).
+    CPhase(f64),
+    /// Swaps two qubits.
+    Swap,
+    /// Toffoli (CCX); operand order is `(control, control, target)`.
+    CCX,
+    /// Fredkin (controlled-SWAP); operand order is `(control, target, target)`.
+    CSwap,
+}
+
+impl Gate {
+    /// The number of qubits this gate acts on.
+    pub fn num_qubits(&self) -> usize {
+        match self {
+            Gate::I
+            | Gate::H
+            | Gate::X
+            | Gate::Y
+            | Gate::Z
+            | Gate::S
+            | Gate::Sdg
+            | Gate::T
+            | Gate::Tdg
+            | Gate::SX
+            | Gate::SXdg
+            | Gate::RX(_)
+            | Gate::RY(_)
+            | Gate::RZ(_)
+            | Gate::Phase(_)
+            | Gate::U(..) => 1,
+            Gate::CX | Gate::CZ | Gate::CRZ(_) | Gate::CPhase(_) | Gate::Swap => 2,
+            Gate::CCX | Gate::CSwap => 3,
+        }
+    }
+
+    /// A short lowercase mnemonic (Qiskit-compatible where possible).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::I => "id",
+            Gate::H => "h",
+            Gate::X => "x",
+            Gate::Y => "y",
+            Gate::Z => "z",
+            Gate::S => "s",
+            Gate::Sdg => "sdg",
+            Gate::T => "t",
+            Gate::Tdg => "tdg",
+            Gate::SX => "sx",
+            Gate::SXdg => "sxdg",
+            Gate::RX(_) => "rx",
+            Gate::RY(_) => "ry",
+            Gate::RZ(_) => "rz",
+            Gate::Phase(_) => "p",
+            Gate::U(..) => "u",
+            Gate::CX => "cx",
+            Gate::CZ => "cz",
+            Gate::CRZ(_) => "crz",
+            Gate::CPhase(_) => "cp",
+            Gate::Swap => "swap",
+            Gate::CCX => "ccx",
+            Gate::CSwap => "cswap",
+        }
+    }
+
+    /// The inverse gate `G†`.
+    pub fn inverse(&self) -> Gate {
+        match *self {
+            Gate::S => Gate::Sdg,
+            Gate::Sdg => Gate::S,
+            Gate::T => Gate::Tdg,
+            Gate::Tdg => Gate::T,
+            Gate::SX => Gate::SXdg,
+            Gate::SXdg => Gate::SX,
+            Gate::RX(t) => Gate::RX(-t),
+            Gate::RY(t) => Gate::RY(-t),
+            Gate::RZ(t) => Gate::RZ(-t),
+            Gate::Phase(t) => Gate::Phase(-t),
+            Gate::U(t, p, l) => Gate::U(-t, -l, -p),
+            Gate::CRZ(t) => Gate::CRZ(-t),
+            Gate::CPhase(t) => Gate::CPhase(-t),
+            // Self-inverse gates.
+            g => g,
+        }
+    }
+
+    /// The 2×2 matrix of a single-qubit gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a multi-qubit gate; use [`Gate::matrix`] there.
+    pub fn matrix_1q(&self) -> [[C64; 2]; 2] {
+        let o = C64::ZERO;
+        let l = C64::ONE;
+        let i = C64::I;
+        match *self {
+            Gate::I => [[l, o], [o, l]],
+            Gate::H => [
+                [C64::from_real(FRAC_1_SQRT_2), C64::from_real(FRAC_1_SQRT_2)],
+                [C64::from_real(FRAC_1_SQRT_2), C64::from_real(-FRAC_1_SQRT_2)],
+            ],
+            Gate::X => [[o, l], [l, o]],
+            Gate::Y => [[o, -i], [i, o]],
+            Gate::Z => [[l, o], [o, -l]],
+            Gate::S => [[l, o], [o, i]],
+            Gate::Sdg => [[l, o], [o, -i]],
+            Gate::T => [[l, o], [o, C64::cis(std::f64::consts::FRAC_PI_4)]],
+            Gate::Tdg => [[l, o], [o, C64::cis(-std::f64::consts::FRAC_PI_4)]],
+            // SX = (1/2) [[1+i, 1-i], [1-i, 1+i]]
+            Gate::SX => [
+                [C64::new(0.5, 0.5), C64::new(0.5, -0.5)],
+                [C64::new(0.5, -0.5), C64::new(0.5, 0.5)],
+            ],
+            Gate::SXdg => [
+                [C64::new(0.5, -0.5), C64::new(0.5, 0.5)],
+                [C64::new(0.5, 0.5), C64::new(0.5, -0.5)],
+            ],
+            Gate::RX(t) => {
+                let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
+                [
+                    [C64::from_real(c), C64::new(0.0, -s)],
+                    [C64::new(0.0, -s), C64::from_real(c)],
+                ]
+            }
+            Gate::RY(t) => {
+                let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
+                [
+                    [C64::from_real(c), C64::from_real(-s)],
+                    [C64::from_real(s), C64::from_real(c)],
+                ]
+            }
+            Gate::RZ(t) => [
+                [C64::cis(-t / 2.0), o],
+                [o, C64::cis(t / 2.0)],
+            ],
+            Gate::Phase(t) => [[l, o], [o, C64::cis(t)]],
+            Gate::U(theta, phi, lambda) => {
+                let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+                [
+                    [C64::from_real(c), -C64::cis(lambda) * s],
+                    [C64::cis(phi) * s, C64::cis(phi + lambda) * c],
+                ]
+            }
+            _ => panic!("matrix_1q called on multi-qubit gate {self}"),
+        }
+    }
+
+    /// The full dense matrix of the gate (2×2, 4×4 or 8×8).
+    ///
+    /// For multi-qubit gates the first operand is the most significant bit
+    /// of the row/column index (so CX on `(control, target)` flips the
+    /// *second* bit when the *first* is 1).
+    pub fn matrix(&self) -> CMatrix {
+        match self.num_qubits() {
+            1 => {
+                let m = self.matrix_1q();
+                CMatrix::from_rows(&[&m[0], &m[1]])
+            }
+            2 => {
+                let mut m = CMatrix::identity(4);
+                match *self {
+                    Gate::CX => {
+                        // |10> <-> |11>
+                        m[(2, 2)] = C64::ZERO;
+                        m[(3, 3)] = C64::ZERO;
+                        m[(2, 3)] = C64::ONE;
+                        m[(3, 2)] = C64::ONE;
+                    }
+                    Gate::CZ => {
+                        m[(3, 3)] = -C64::ONE;
+                    }
+                    Gate::CRZ(t) => {
+                        m[(2, 2)] = C64::cis(-t / 2.0);
+                        m[(3, 3)] = C64::cis(t / 2.0);
+                    }
+                    Gate::CPhase(t) => {
+                        m[(3, 3)] = C64::cis(t);
+                    }
+                    Gate::Swap => {
+                        m[(1, 1)] = C64::ZERO;
+                        m[(2, 2)] = C64::ZERO;
+                        m[(1, 2)] = C64::ONE;
+                        m[(2, 1)] = C64::ONE;
+                    }
+                    _ => unreachable!(),
+                }
+                m
+            }
+            3 => {
+                let mut m = CMatrix::identity(8);
+                match *self {
+                    Gate::CCX => {
+                        // |110> <-> |111>
+                        m[(6, 6)] = C64::ZERO;
+                        m[(7, 7)] = C64::ZERO;
+                        m[(6, 7)] = C64::ONE;
+                        m[(7, 6)] = C64::ONE;
+                    }
+                    Gate::CSwap => {
+                        // |101> <-> |110>
+                        m[(5, 5)] = C64::ZERO;
+                        m[(6, 6)] = C64::ZERO;
+                        m[(5, 6)] = C64::ONE;
+                        m[(6, 5)] = C64::ONE;
+                    }
+                    _ => unreachable!(),
+                }
+                m
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Whether this gate is diagonal in the computational basis.
+    pub fn is_diagonal(&self) -> bool {
+        matches!(
+            self,
+            Gate::I
+                | Gate::Z
+                | Gate::S
+                | Gate::Sdg
+                | Gate::T
+                | Gate::Tdg
+                | Gate::RZ(_)
+                | Gate::Phase(_)
+                | Gate::CZ
+                | Gate::CRZ(_)
+                | Gate::CPhase(_)
+        )
+    }
+
+    /// The rotation angle, if this is a parameterised single-parameter gate.
+    pub fn angle(&self) -> Option<f64> {
+        match *self {
+            Gate::RX(t) | Gate::RY(t) | Gate::RZ(t) | Gate::Phase(t) | Gate::CRZ(t)
+            | Gate::CPhase(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Gate::RX(t) => write!(f, "rx({t:.4})"),
+            Gate::RY(t) => write!(f, "ry({t:.4})"),
+            Gate::RZ(t) => write!(f, "rz({t:.4})"),
+            Gate::Phase(t) => write!(f, "p({t:.4})"),
+            Gate::CRZ(t) => write!(f, "crz({t:.4})"),
+            Gate::CPhase(t) => write!(f, "cp({t:.4})"),
+            Gate::U(t, p, l) => write!(f, "u({t:.4},{p:.4},{l:.4})"),
+            g => write!(f, "{}", g.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    const TOL: f64 = 1e-12;
+
+    fn all_test_gates() -> Vec<Gate> {
+        vec![
+            Gate::I,
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::SX,
+            Gate::SXdg,
+            Gate::RX(0.7),
+            Gate::RY(-1.3),
+            Gate::RZ(2.9),
+            Gate::Phase(0.4),
+            Gate::U(0.3, 1.1, -0.8),
+            Gate::CX,
+            Gate::CZ,
+            Gate::CRZ(1.7),
+            Gate::CPhase(-0.6),
+            Gate::Swap,
+            Gate::CCX,
+            Gate::CSwap,
+        ]
+    }
+
+    #[test]
+    fn every_gate_is_unitary() {
+        for g in all_test_gates() {
+            assert!(g.matrix().is_unitary(TOL), "{g} is not unitary");
+        }
+    }
+
+    #[test]
+    fn inverse_matrices_are_daggers() {
+        for g in all_test_gates() {
+            let gi = g.inverse().matrix();
+            let gd = g.matrix().dagger();
+            assert!(gi.approx_eq(&gd, TOL), "{g} inverse mismatch");
+        }
+    }
+
+    #[test]
+    fn rx_matches_paper_definition() {
+        let t = 0.95;
+        let m = Gate::RX(t).matrix_1q();
+        assert!(m[0][0].approx_eq(C64::from_real((t / 2.0).cos()), TOL));
+        assert!(m[0][1].approx_eq(C64::new(0.0, -(t / 2.0).sin()), TOL));
+        assert!(m[1][0].approx_eq(C64::new(0.0, -(t / 2.0).sin()), TOL));
+        assert!(m[1][1].approx_eq(C64::from_real((t / 2.0).cos()), TOL));
+    }
+
+    #[test]
+    fn ry_matches_paper_definition() {
+        let t = 1.21;
+        let m = Gate::RY(t).matrix_1q();
+        assert!(m[0][1].approx_eq(C64::from_real(-(t / 2.0).sin()), TOL));
+        assert!(m[1][0].approx_eq(C64::from_real((t / 2.0).sin()), TOL));
+    }
+
+    #[test]
+    fn rz_matches_paper_definition() {
+        let t = 0.33;
+        let m = Gate::RZ(t).matrix_1q();
+        assert!(m[0][0].approx_eq(C64::cis(-t / 2.0), TOL));
+        assert!(m[1][1].approx_eq(C64::cis(t / 2.0), TOL));
+        assert!(m[0][1].approx_eq(C64::ZERO, TOL));
+    }
+
+    #[test]
+    fn cx_matches_paper_definition() {
+        // Paper: CX = [[1,0,0,0],[0,1,0,0],[0,0,0,1],[0,0,1,0]]
+        let m = Gate::CX.matrix();
+        assert!(m[(0, 0)].approx_eq(C64::ONE, TOL));
+        assert!(m[(1, 1)].approx_eq(C64::ONE, TOL));
+        assert!(m[(2, 3)].approx_eq(C64::ONE, TOL));
+        assert!(m[(3, 2)].approx_eq(C64::ONE, TOL));
+        assert!(m[(2, 2)].approx_eq(C64::ZERO, TOL));
+    }
+
+    #[test]
+    fn sx_squared_is_x() {
+        let sx = Gate::SX.matrix();
+        let x = Gate::X.matrix();
+        assert!((&sx * &sx).approx_eq(&x, TOL));
+    }
+
+    #[test]
+    fn s_squared_is_z_and_t_squared_is_s() {
+        let s = Gate::S.matrix();
+        assert!((&s * &s).approx_eq(&Gate::Z.matrix(), TOL));
+        let t = Gate::T.matrix();
+        assert!((&t * &t).approx_eq(&s, TOL));
+    }
+
+    #[test]
+    fn hadamard_conjugates_x_to_z() {
+        let h = Gate::H.matrix();
+        let hxh = &(&h * &Gate::X.matrix()) * &h;
+        assert!(hxh.approx_eq(&Gate::Z.matrix(), TOL));
+    }
+
+    #[test]
+    fn rx_pi_is_x_up_to_phase() {
+        assert!(Gate::RX(PI)
+            .matrix()
+            .approx_eq_up_to_phase(&Gate::X.matrix(), TOL));
+    }
+
+    #[test]
+    fn rz_is_phase_up_to_global_phase() {
+        let t = 1.1;
+        assert!(Gate::RZ(t)
+            .matrix()
+            .approx_eq_up_to_phase(&Gate::Phase(t).matrix(), TOL));
+    }
+
+    #[test]
+    fn u_gate_specialisations() {
+        // U(θ, -π/2, π/2) = RX(θ)
+        let t = 0.77;
+        assert!(Gate::U(t, -FRAC_PI_2, FRAC_PI_2)
+            .matrix()
+            .approx_eq(&Gate::RX(t).matrix(), TOL));
+        // U(θ, 0, 0) = RY(θ)
+        assert!(Gate::U(t, 0.0, 0.0)
+            .matrix()
+            .approx_eq(&Gate::RY(t).matrix(), TOL));
+        // U(π/2, 0, π) = H
+        assert!(Gate::U(FRAC_PI_2, 0.0, PI)
+            .matrix()
+            .approx_eq(&Gate::H.matrix(), TOL));
+    }
+
+    #[test]
+    fn u_inverse_round_trips() {
+        let g = Gate::U(0.3, 1.1, -0.8);
+        let prod = &g.matrix() * &g.inverse().matrix();
+        assert!(prod.approx_eq(&CMatrix::identity(2), TOL));
+    }
+
+    #[test]
+    fn swap_matrix_swaps_basis_states() {
+        let m = Gate::Swap.matrix();
+        // |01> (index 1) <-> |10> (index 2)
+        assert!(m[(1, 2)].approx_eq(C64::ONE, TOL));
+        assert!(m[(2, 1)].approx_eq(C64::ONE, TOL));
+    }
+
+    #[test]
+    fn cswap_only_permutes_when_control_set() {
+        let m = Gate::CSwap.matrix();
+        // control=1 block: |101> <-> |110>
+        assert!(m[(5, 6)].approx_eq(C64::ONE, TOL));
+        assert!(m[(6, 5)].approx_eq(C64::ONE, TOL));
+        // control=0 block untouched
+        for k in 0..4 {
+            assert!(m[(k, k)].approx_eq(C64::ONE, TOL));
+        }
+    }
+
+    #[test]
+    fn arity_and_names() {
+        assert_eq!(Gate::H.num_qubits(), 1);
+        assert_eq!(Gate::CX.num_qubits(), 2);
+        assert_eq!(Gate::CSwap.num_qubits(), 3);
+        assert_eq!(Gate::CSwap.name(), "cswap");
+        assert_eq!(Gate::RX(1.0).name(), "rx");
+    }
+
+    #[test]
+    fn diagonal_classification() {
+        assert!(Gate::RZ(0.3).is_diagonal());
+        assert!(Gate::CZ.is_diagonal());
+        assert!(!Gate::RX(0.3).is_diagonal());
+        assert!(!Gate::CX.is_diagonal());
+    }
+
+    #[test]
+    fn angle_accessor() {
+        assert_eq!(Gate::RX(0.5).angle(), Some(0.5));
+        assert_eq!(Gate::H.angle(), None);
+    }
+
+    #[test]
+    fn display_includes_parameters() {
+        assert_eq!(Gate::RX(0.5).to_string(), "rx(0.5000)");
+        assert_eq!(Gate::H.to_string(), "h");
+    }
+}

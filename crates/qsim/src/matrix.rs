@@ -1,0 +1,422 @@
+//! Small dense complex matrices for gate algebra.
+//!
+//! Gates are at most 8×8 (three-qubit CSWAP), so a simple row-major
+//! `Vec<C64>` representation is both adequate and cache-friendly. The type is
+//! used for gate definitions, unitarity checks, transpiler verification, and
+//! Kraus-channel algebra — not for state evolution, which uses specialised
+//! kernels in [`crate::statevector`] and [`crate::density`].
+
+use crate::complex::C64;
+use crate::error::QsimError;
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A dense, row-major complex matrix.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::matrix::CMatrix;
+/// use qsim::complex::C64;
+///
+/// let x = CMatrix::from_rows(&[
+///     &[C64::ZERO, C64::ONE],
+///     &[C64::ONE, C64::ZERO],
+/// ]);
+/// assert!(x.is_unitary(1e-12));
+/// assert!((&x * &x).approx_eq(&CMatrix::identity(2), 1e-12));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<C64>,
+}
+
+impl CMatrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMatrix {
+            rows,
+            cols,
+            data: vec![C64::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = C64::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[C64]]) -> Self {
+        assert!(!rows.is_empty(), "matrix must have at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "inconsistent row length");
+            data.extend_from_slice(r);
+        }
+        CMatrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Builds a square matrix from a flat row-major slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::DimensionMismatch`] when `data.len()` is not a
+    /// perfect square.
+    pub fn from_flat(data: &[C64]) -> Result<Self, QsimError> {
+        let n = (data.len() as f64).sqrt().round() as usize;
+        if n * n != data.len() {
+            return Err(QsimError::DimensionMismatch {
+                expected: n * n,
+                actual: data.len(),
+            });
+        }
+        Ok(CMatrix {
+            rows: n,
+            cols: n,
+            data: data.to_vec(),
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of the row-major backing storage.
+    pub fn as_slice(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Conjugate transpose `A†`.
+    pub fn dagger(&self) -> CMatrix {
+        let mut out = CMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        out
+    }
+
+    /// Matrix trace. Defined for square matrices only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> C64 {
+        assert_eq!(self.rows, self.cols, "trace requires a square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Kronecker (tensor) product `self ⊗ other`.
+    pub fn kron(&self, other: &CMatrix) -> CMatrix {
+        let mut out = CMatrix::zeros(self.rows * other.rows, self.cols * other.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                for k in 0..other.rows {
+                    for l in 0..other.cols {
+                        out[(i * other.rows + k, j * other.cols + l)] = a * other[(k, l)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Scales every entry by a complex factor.
+    pub fn scaled(&self, k: C64) -> CMatrix {
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&z| z * k).collect(),
+        }
+    }
+
+    /// Matrix–vector product `A·v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[C64]) -> Vec<C64> {
+        assert_eq!(v.len(), self.cols, "vector length must match columns");
+        let mut out = vec![C64::ZERO; self.rows];
+        for i in 0..self.rows {
+            let mut acc = C64::ZERO;
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for (a, x) in row.iter().zip(v) {
+                acc += *a * *x;
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Returns `true` when every entry is within `tol` of `other`'s.
+    pub fn approx_eq(&self, other: &CMatrix, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Returns `true` when `self` equals `other` up to a global phase
+    /// `e^{iφ}`. Used to validate transpiler rewrites, which are only
+    /// required to preserve physics (global phase is unobservable).
+    pub fn approx_eq_up_to_phase(&self, other: &CMatrix, tol: f64) -> bool {
+        if self.rows != other.rows || self.cols != other.cols {
+            return false;
+        }
+        // Find the entry of largest modulus in `other` to anchor the phase.
+        let (idx, _) = other
+            .data
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.norm_sqr().total_cmp(&b.norm_sqr()))
+            .expect("matrix is non-empty");
+        if other.data[idx].norm_sqr() < tol * tol {
+            return self.approx_eq(other, tol);
+        }
+        let phase = self.data[idx] / other.data[idx];
+        if (phase.abs() - 1.0).abs() > tol.max(1e-9) {
+            return false;
+        }
+        self.approx_eq(&other.scaled(phase), tol)
+    }
+
+    /// Checks `A†A = I` within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        let product = &self.dagger() * self;
+        product.approx_eq(&CMatrix::identity(self.rows), tol)
+    }
+
+    /// Checks `A = A†` within `tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.rows == self.cols && self.approx_eq(&self.dagger(), tol)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for CMatrix {
+    type Output = C64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &C64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for CMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut C64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Mul for &CMatrix {
+    type Output = CMatrix;
+    fn mul(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        let mut out = CMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == C64::ZERO {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Add for &CMatrix {
+    type Output = CMatrix;
+    fn add(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a + *b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub for &CMatrix {
+    type Output = CMatrix;
+    fn sub(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a - *b)
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for CMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> C64 {
+        C64::new(re, im)
+    }
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let a = CMatrix::from_rows(&[
+            &[c(1.0, 1.0), c(2.0, 0.0)],
+            &[c(0.0, -1.0), c(3.0, 0.5)],
+        ]);
+        let i = CMatrix::identity(2);
+        assert!((&a * &i).approx_eq(&a, 1e-12));
+        assert!((&i * &a).approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = CMatrix::from_rows(&[&[c(1.0, 0.0), c(2.0, 0.0)], &[c(3.0, 0.0), c(4.0, 0.0)]]);
+        let b = CMatrix::from_rows(&[&[c(5.0, 0.0), c(6.0, 0.0)], &[c(7.0, 0.0), c(8.0, 0.0)]]);
+        let p = &a * &b;
+        assert!(p.approx_eq(
+            &CMatrix::from_rows(&[&[c(19.0, 0.0), c(22.0, 0.0)], &[c(43.0, 0.0), c(50.0, 0.0)]]),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn dagger_reverses_products() {
+        let a = CMatrix::from_rows(&[&[c(1.0, 2.0), c(0.0, 1.0)], &[c(2.0, 0.0), c(1.0, -1.0)]]);
+        let b = CMatrix::from_rows(&[&[c(0.5, 0.0), c(1.0, 1.0)], &[c(0.0, -2.0), c(3.0, 0.0)]]);
+        let lhs = (&a * &b).dagger();
+        let rhs = &b.dagger() * &a.dagger();
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn trace_is_sum_of_diagonal() {
+        let a = CMatrix::from_rows(&[&[c(1.0, 2.0), c(9.0, 9.0)], &[c(9.0, 9.0), c(3.0, -1.0)]]);
+        assert!(a.trace().approx_eq(c(4.0, 1.0), 1e-12));
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let x = CMatrix::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ONE, C64::ZERO]]);
+        let i = CMatrix::identity(2);
+        let xi = x.kron(&i);
+        assert_eq!(xi.rows(), 4);
+        // X ⊗ I swaps the two-qubit basis blocks: |0a> <-> |1a>.
+        let v = vec![c(1.0, 0.0), c(2.0, 0.0), c(3.0, 0.0), c(4.0, 0.0)];
+        let w = xi.mul_vec(&v);
+        assert!(w[0].approx_eq(c(3.0, 0.0), 1e-12));
+        assert!(w[1].approx_eq(c(4.0, 0.0), 1e-12));
+        assert!(w[2].approx_eq(c(1.0, 0.0), 1e-12));
+        assert!(w[3].approx_eq(c(2.0, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn unitarity_check_accepts_hadamard_rejects_scaled() {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let h = CMatrix::from_rows(&[
+            &[c(s, 0.0), c(s, 0.0)],
+            &[c(s, 0.0), c(-s, 0.0)],
+        ]);
+        assert!(h.is_unitary(1e-12));
+        assert!(!h.scaled(c(2.0, 0.0)).is_unitary(1e-9));
+    }
+
+    #[test]
+    fn hermitian_check() {
+        let a = CMatrix::from_rows(&[&[c(2.0, 0.0), c(1.0, 1.0)], &[c(1.0, -1.0), c(5.0, 0.0)]]);
+        assert!(a.is_hermitian(1e-12));
+        let b = CMatrix::from_rows(&[&[c(2.0, 0.0), c(1.0, 1.0)], &[c(1.0, 1.0), c(5.0, 0.0)]]);
+        assert!(!b.is_hermitian(1e-9));
+    }
+
+    #[test]
+    fn phase_insensitive_equality() {
+        let a = CMatrix::identity(2);
+        let b = a.scaled(C64::cis(0.7));
+        assert!(b.approx_eq_up_to_phase(&a, 1e-12));
+        assert!(!b.approx_eq(&a, 1e-9));
+        let c_ = CMatrix::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ONE, C64::ZERO]]);
+        assert!(!c_.approx_eq_up_to_phase(&a, 1e-9));
+    }
+
+    #[test]
+    fn from_flat_rejects_non_square() {
+        assert!(CMatrix::from_flat(&[C64::ZERO; 3]).is_err());
+        assert!(CMatrix::from_flat(&[C64::ZERO; 4]).is_ok());
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = CMatrix::from_rows(&[&[c(1.0, 1.0), c(2.0, 2.0)], &[c(3.0, 3.0), c(4.0, 4.0)]]);
+        let b = CMatrix::identity(2);
+        let sum = &a + &b;
+        let back = &sum - &b;
+        assert!(back.approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_dimension_mismatch_panics() {
+        let a = CMatrix::zeros(2, 3);
+        let b = CMatrix::zeros(2, 2);
+        let _ = &a * &b;
+    }
+}

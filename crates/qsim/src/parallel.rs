@@ -1,0 +1,209 @@
+//! Parallel batch execution.
+//!
+//! Quorum's ensemble groups are "embarrassingly parallel" (paper §IV-F):
+//! every group is independent. This module provides a work-stealing batch
+//! runner over any [`Backend`] using crossbeam scoped threads — no `'static`
+//! bounds, no unsafe.
+
+use crate::circuit::Circuit;
+use crate::error::QsimError;
+use crate::simulator::{Backend, OutcomeDistribution};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Computes the exact outcome distribution of every circuit, fanning work
+/// out over `threads` OS threads (1 = sequential). Result order matches
+/// input order.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::circuit::Circuit;
+/// use qsim::parallel::run_batch;
+/// use qsim::simulator::StatevectorBackend;
+///
+/// let mut qc = Circuit::with_clbits(1, 1);
+/// qc.h(0).measure(0, 0);
+/// let circuits = vec![qc.clone(), qc];
+/// let results = run_batch(&StatevectorBackend::new(), &circuits, 2);
+/// assert_eq!(results.len(), 2);
+/// assert!(results[0].as_ref().unwrap().marginal_one(0) > 0.49);
+/// ```
+pub fn run_batch<B: Backend>(
+    backend: &B,
+    circuits: &[Circuit],
+    threads: usize,
+) -> Vec<Result<OutcomeDistribution, QsimError>> {
+    let threads = threads.max(1).min(circuits.len().max(1));
+    if threads == 1 {
+        return circuits.iter().map(|c| backend.probabilities(c)).collect();
+    }
+    let mut results: Vec<Option<Result<OutcomeDistribution, QsimError>>> =
+        (0..circuits.len()).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    let results_ptr = ResultsCell(&mut results);
+
+    crossbeam::thread::scope(|scope| {
+        let results_ref = &results_ptr;
+        let next_ref = &next;
+        for _ in 0..threads {
+            scope.spawn(move |_| loop {
+                let idx = next_ref.fetch_add(1, Ordering::Relaxed);
+                if idx >= circuits.len() {
+                    break;
+                }
+                let out = backend.probabilities(&circuits[idx]);
+                // SAFETY-free: each index is claimed exactly once by the
+                // atomic counter, so no two threads write the same slot.
+                results_ref.set(idx, out);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every index was claimed"))
+        .collect()
+}
+
+/// Shared mutable results buffer with disjoint-index writes coordinated by
+/// an atomic counter. Wrapped in a tiny cell type to confine the single
+/// `unsafe` block.
+struct ResultsCell<'a>(&'a mut [Option<Result<OutcomeDistribution, QsimError>>]);
+
+unsafe impl Sync for ResultsCell<'_> {}
+
+impl ResultsCell<'_> {
+    fn set(&self, idx: usize, value: Result<OutcomeDistribution, QsimError>) {
+        // SAFETY: `idx` is claimed exactly once via fetch_add, so writes
+        // never alias; the buffer outlives the thread scope.
+        unsafe {
+            let slot = self.0.as_ptr().add(idx) as *mut Option<Result<OutcomeDistribution, QsimError>>;
+            *slot = Some(value);
+        }
+    }
+}
+
+/// Runs a closure over indexed work items in parallel, collecting outputs
+/// in input order. Generic helper for ensemble-level parallelism where the
+/// work is not a single circuit (e.g. a whole Quorum ensemble group).
+pub fn map_indexed<T, F>(num_items: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(num_items.max(1));
+    if threads == 1 {
+        return (0..num_items).map(f).collect();
+    }
+    let mut results: Vec<Option<T>> = (0..num_items).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    let cell = MapCell(&mut results);
+
+    crossbeam::thread::scope(|scope| {
+        let cell_ref = &cell;
+        let next_ref = &next;
+        let f_ref = &f;
+        for _ in 0..threads {
+            scope.spawn(move |_| loop {
+                let idx = next_ref.fetch_add(1, Ordering::Relaxed);
+                if idx >= num_items {
+                    break;
+                }
+                cell_ref.set(idx, f_ref(idx));
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every index was claimed"))
+        .collect()
+}
+
+struct MapCell<'a, T>(&'a mut [Option<T>]);
+
+unsafe impl<T: Send> Sync for MapCell<'_, T> {}
+
+impl<T> MapCell<'_, T> {
+    fn set(&self, idx: usize, value: T) {
+        // SAFETY: disjoint indices via fetch_add; buffer outlives the scope.
+        unsafe {
+            let slot = self.0.as_ptr().add(idx) as *mut Option<T>;
+            *slot = Some(value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::StatevectorBackend;
+
+    fn sample_circuit(theta: f64) -> Circuit {
+        let mut qc = Circuit::with_clbits(2, 1);
+        qc.ry(theta, 0).cx(0, 1).measure(1, 0);
+        qc
+    }
+
+    #[test]
+    fn batch_results_preserve_order() {
+        let circuits: Vec<Circuit> = (0..16)
+            .map(|i| sample_circuit(i as f64 * 0.2))
+            .collect();
+        let backend = StatevectorBackend::new();
+        let seq = run_batch(&backend, &circuits, 1);
+        let par = run_batch(&backend, &circuits, 4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert!((a.marginal_one(0) - b.marginal_one(0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn batch_handles_more_threads_than_work() {
+        let circuits = vec![sample_circuit(0.3)];
+        let out = run_batch(&StatevectorBackend::new(), &circuits, 64);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].is_ok());
+    }
+
+    #[test]
+    fn batch_handles_empty_input() {
+        let out = run_batch(&StatevectorBackend::new(), &[], 4);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn batch_propagates_errors_per_item() {
+        let good = sample_circuit(0.5);
+        let mut bad = Circuit::with_clbits(2, 1);
+        // Valid circuit object but will exceed the branch cap at runtime.
+        bad.h(0).h(1);
+        for _ in 0..15 {
+            bad.reset(0);
+            bad.h(0);
+        }
+        bad.measure(0, 0);
+        let backend = StatevectorBackend::new().with_max_branches(4);
+        let out = run_batch(&backend, &[good, bad], 2);
+        assert!(out[0].is_ok());
+        assert!(out[1].is_err());
+    }
+
+    #[test]
+    fn map_indexed_matches_sequential() {
+        let seq = map_indexed(100, 1, |i| i * i);
+        let par = map_indexed(100, 8, |i| i * i);
+        assert_eq!(seq, par);
+        assert_eq!(seq[7], 49);
+    }
+
+    #[test]
+    fn map_indexed_empty() {
+        let out: Vec<usize> = map_indexed(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+}

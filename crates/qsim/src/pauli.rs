@@ -1,0 +1,343 @@
+//! Pauli-string observables.
+//!
+//! Expectation values `⟨P⟩ = ⟨ψ|P|ψ⟩` (or `Tr(ρP)` for mixed states) for
+//! tensor products of Pauli operators — the readout abstraction variational
+//! models use (the QNN baseline reads `⟨Z₀⟩`) and a convenient diagnostic
+//! for Quorum's transformed registers.
+
+use crate::complex::C64;
+use crate::density::DensityMatrix;
+use crate::error::QsimError;
+use crate::statevector::Statevector;
+use std::fmt;
+use std::str::FromStr;
+
+/// A single-qubit Pauli operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pauli {
+    /// Identity.
+    I,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+}
+
+/// A Pauli string: one [`Pauli`] per qubit, e.g. `ZIZ` on three qubits.
+///
+/// The string is written **most-significant qubit first**, matching ket
+/// notation: `PauliString::from_str("ZX")` puts `Z` on qubit 1 and `X` on
+/// qubit 0.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::pauli::PauliString;
+/// use qsim::statevector::Statevector;
+/// use qsim::gate::Gate;
+///
+/// let mut sv = Statevector::new(2);
+/// sv.apply_gate(Gate::X, &[0]).unwrap();
+/// let zz: PauliString = "ZZ".parse().unwrap();
+/// // |01⟩: qubit0 = 1 (eigenvalue −1), qubit1 = 0 (+1) => ⟨ZZ⟩ = −1.
+/// assert!((zz.expectation(&sv).unwrap() + 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PauliString {
+    /// `ops[k]` acts on qubit `k` (LSB first internally).
+    ops: Vec<Pauli>,
+}
+
+impl PauliString {
+    /// Builds from per-qubit operators, `ops[k]` acting on qubit `k`.
+    pub fn new(ops: Vec<Pauli>) -> Self {
+        PauliString { ops }
+    }
+
+    /// The identity string on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        PauliString {
+            ops: vec![Pauli::I; n],
+        }
+    }
+
+    /// A single `Z` on `qubit` within an `n`-qubit register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit >= n`.
+    pub fn z_on(n: usize, qubit: usize) -> Self {
+        assert!(qubit < n, "qubit out of range");
+        let mut ops = vec![Pauli::I; n];
+        ops[qubit] = Pauli::Z;
+        PauliString { ops }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The operator acting on `qubit`.
+    pub fn op(&self, qubit: usize) -> Pauli {
+        self.ops[qubit]
+    }
+
+    /// Weight: the number of non-identity factors.
+    pub fn weight(&self) -> usize {
+        self.ops.iter().filter(|&&p| p != Pauli::I).count()
+    }
+
+    /// Applies `P|ψ⟩` into a fresh amplitude buffer.
+    fn apply_to_amps(&self, amps: &[C64]) -> Vec<C64> {
+        let n = self.ops.len();
+        let mut out = vec![C64::ZERO; amps.len()];
+        for (i, &a) in amps.iter().enumerate() {
+            if a == C64::ZERO {
+                continue;
+            }
+            let mut j = i;
+            let mut phase = C64::ONE;
+            for (q, &p) in self.ops.iter().enumerate().take(n) {
+                let bit = i >> q & 1;
+                match p {
+                    Pauli::I => {}
+                    Pauli::X => j ^= 1 << q,
+                    Pauli::Y => {
+                        j ^= 1 << q;
+                        // Y|0> = i|1>, Y|1> = -i|0>
+                        phase = phase * if bit == 0 { C64::I } else { -C64::I };
+                    }
+                    Pauli::Z => {
+                        if bit == 1 {
+                            phase = -phase;
+                        }
+                    }
+                }
+            }
+            out[j] += phase * a;
+        }
+        out
+    }
+
+    /// `⟨ψ|P|ψ⟩` for a pure state. Always real for Hermitian `P`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::DimensionMismatch`] if the widths differ.
+    pub fn expectation(&self, sv: &Statevector) -> Result<f64, QsimError> {
+        if sv.num_qubits() != self.num_qubits() {
+            return Err(QsimError::DimensionMismatch {
+                expected: self.num_qubits(),
+                actual: sv.num_qubits(),
+            });
+        }
+        let transformed = self.apply_to_amps(sv.amplitudes());
+        let value: C64 = sv
+            .amplitudes()
+            .iter()
+            .zip(&transformed)
+            .map(|(a, b)| a.conj() * *b)
+            .sum();
+        Ok(value.re)
+    }
+
+    /// `Tr(ρP)` for a mixed state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::DimensionMismatch`] if the widths differ.
+    pub fn expectation_density(&self, rho: &DensityMatrix) -> Result<f64, QsimError> {
+        if rho.num_qubits() != self.num_qubits() {
+            return Err(QsimError::DimensionMismatch {
+                expected: self.num_qubits(),
+                actual: rho.num_qubits(),
+            });
+        }
+        // Tr(ρP) = Σ_i (ρP)[i,i] = Σ_{i,j} ρ[i,j] P[j,i]; use P columns via
+        // apply_to_amps on basis vectors is wasteful — instead apply P to
+        // each row of ρ read as a bra.
+        let m = rho.to_cmatrix();
+        let dim = m.rows();
+        // Build P's action once per basis state j: P|j> = phase(j) |perm(j)>.
+        let mut perm = vec![0usize; dim];
+        let mut phase = vec![C64::ONE; dim];
+        for j in 0..dim {
+            let mut basis = vec![C64::ZERO; dim];
+            basis[j] = C64::ONE;
+            let out = self.apply_to_amps(&basis);
+            let (target, &amp) = out
+                .iter()
+                .enumerate()
+                .find(|(_, a)| a.norm_sqr() > 0.5)
+                .expect("Pauli strings permute basis states");
+            perm[j] = target;
+            phase[j] = amp;
+        }
+        let mut total = C64::ZERO;
+        for j in 0..dim {
+            // P[perm(j), j] = phase(j)  =>  Tr(ρP) = Σ_j ρ[j? ...]
+            total += m[(j, perm[j])] * phase[perm[j]];
+        }
+        Ok(total.re)
+    }
+}
+
+impl FromStr for PauliString {
+    type Err = QsimError;
+
+    /// Parses ket-ordered text like `"ZIX"` (leftmost = highest qubit).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut ops = Vec::with_capacity(s.len());
+        for ch in s.chars().rev() {
+            ops.push(match ch.to_ascii_uppercase() {
+                'I' => Pauli::I,
+                'X' => Pauli::X,
+                'Y' => Pauli::Y,
+                'Z' => Pauli::Z,
+                other => {
+                    return Err(QsimError::Unsupported(format!(
+                        "invalid Pauli character '{other}'"
+                    )))
+                }
+            });
+        }
+        if ops.is_empty() {
+            return Err(QsimError::Unsupported("empty Pauli string".into()));
+        }
+        Ok(PauliString { ops })
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &p in self.ops.iter().rev() {
+            let c = match p {
+                Pauli::I => 'I',
+                Pauli::X => 'X',
+                Pauli::Y => 'Y',
+                Pauli::Z => 'Z',
+            };
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let p: PauliString = "ZIXY".parse().unwrap();
+        assert_eq!(p.num_qubits(), 4);
+        assert_eq!(p.to_string(), "ZIXY");
+        // Leftmost char is the highest qubit.
+        assert_eq!(p.op(3), Pauli::Z);
+        assert_eq!(p.op(0), Pauli::Y);
+        assert_eq!(p.weight(), 3);
+        assert!("ZQ".parse::<PauliString>().is_err());
+        assert!("".parse::<PauliString>().is_err());
+    }
+
+    #[test]
+    fn z_expectation_on_basis_states() {
+        let mut sv = Statevector::new(2);
+        let z0 = PauliString::z_on(2, 0);
+        assert!((z0.expectation(&sv).unwrap() - 1.0).abs() < TOL);
+        sv.apply_gate(Gate::X, &[0]).unwrap();
+        assert!((z0.expectation(&sv).unwrap() + 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn x_expectation_on_plus_state() {
+        let mut sv = Statevector::new(1);
+        sv.apply_gate(Gate::H, &[0]).unwrap();
+        let x: PauliString = "X".parse().unwrap();
+        assert!((x.expectation(&sv).unwrap() - 1.0).abs() < TOL);
+        let z: PauliString = "Z".parse().unwrap();
+        assert!(z.expectation(&sv).unwrap().abs() < TOL);
+    }
+
+    #[test]
+    fn y_expectation_on_circular_state() {
+        // S·H|0> = (|0> + i|1>)/√2, the +1 eigenstate of Y.
+        let mut sv = Statevector::new(1);
+        sv.apply_gate(Gate::H, &[0]).unwrap();
+        sv.apply_gate(Gate::S, &[0]).unwrap();
+        let y: PauliString = "Y".parse().unwrap();
+        assert!((y.expectation(&sv).unwrap() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn zz_correlation_of_bell_state() {
+        let mut sv = Statevector::new(2);
+        sv.apply_gate(Gate::H, &[0]).unwrap();
+        sv.apply_gate(Gate::CX, &[0, 1]).unwrap();
+        let zz: PauliString = "ZZ".parse().unwrap();
+        let xx: PauliString = "XX".parse().unwrap();
+        let yy: PauliString = "YY".parse().unwrap();
+        assert!((zz.expectation(&sv).unwrap() - 1.0).abs() < TOL);
+        assert!((xx.expectation(&sv).unwrap() - 1.0).abs() < TOL);
+        assert!((yy.expectation(&sv).unwrap() + 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn identity_expectation_is_one() {
+        let mut sv = Statevector::new(3);
+        sv.apply_gate(Gate::RY(1.1), &[0]).unwrap();
+        sv.apply_gate(Gate::CX, &[0, 2]).unwrap();
+        let id = PauliString::identity(3);
+        assert!((id.expectation(&sv).unwrap() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn density_expectation_matches_statevector() {
+        let mut sv = Statevector::new(2);
+        sv.apply_gate(Gate::RY(0.8), &[0]).unwrap();
+        sv.apply_gate(Gate::CX, &[0, 1]).unwrap();
+        sv.apply_gate(Gate::RZ(0.4), &[1]).unwrap();
+        let rho = DensityMatrix::from_statevector(&sv);
+        for text in ["ZI", "IZ", "XX", "YZ", "YY"] {
+            let p: PauliString = text.parse().unwrap();
+            let a = p.expectation(&sv).unwrap();
+            let b = p.expectation_density(&rho).unwrap();
+            assert!((a - b).abs() < 1e-10, "{text}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn mixed_state_expectation() {
+        // Maximally mixed single qubit: every non-identity Pauli reads 0.
+        let mut rho = DensityMatrix::new(1);
+        rho.apply_gate(Gate::H, &[0]).unwrap();
+        rho.dephase(0).unwrap();
+        rho.apply_gate(Gate::H, &[0]).unwrap();
+        rho.dephase(0).unwrap();
+        let z: PauliString = "Z".parse().unwrap();
+        assert!(z.expectation_density(&rho).unwrap().abs() < 1e-10);
+    }
+
+    #[test]
+    fn matches_statevector_expectation_z() {
+        let mut sv = Statevector::new(2);
+        sv.apply_gate(Gate::RY(0.9), &[1]).unwrap();
+        let z1 = PauliString::z_on(2, 1);
+        assert!(
+            (z1.expectation(&sv).unwrap() - sv.expectation_z(1).unwrap()).abs() < TOL
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_errors() {
+        let sv = Statevector::new(2);
+        let p: PauliString = "ZZZ".parse().unwrap();
+        assert!(p.expectation(&sv).is_err());
+    }
+}

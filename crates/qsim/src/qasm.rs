@@ -1,0 +1,387 @@
+//! OpenQASM 2.0 interchange.
+//!
+//! Quorum circuits can be exported for execution on real IBM hardware (the
+//! paper's intended target once run volumes become affordable) and
+//! re-imported for cross-checking. The supported subset covers everything
+//! [`crate::circuit::Circuit`] can express: the gate library, `reset`,
+//! `measure`, and `barrier`, over one quantum and one classical register.
+
+use crate::circuit::{Circuit, Instruction, Operation};
+use crate::error::QsimError;
+use crate::gate::Gate;
+use std::fmt::Write as _;
+
+/// Serialises a circuit to OpenQASM 2.0 text.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::circuit::Circuit;
+/// use qsim::qasm::{to_qasm, from_qasm};
+///
+/// let mut qc = Circuit::with_clbits(2, 1);
+/// qc.h(0).cx(0, 1).measure(1, 0);
+/// let text = to_qasm(&qc);
+/// assert!(text.contains("cx q[0],q[1];"));
+/// let back = from_qasm(&text).unwrap();
+/// assert_eq!(back.num_qubits(), 2);
+/// assert_eq!(back.len(), qc.len());
+/// ```
+pub fn to_qasm(circ: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{}];", circ.num_qubits().max(1));
+    if circ.num_clbits() > 0 {
+        let _ = writeln!(out, "creg c[{}];", circ.num_clbits());
+    }
+    for instr in circ.instructions() {
+        let q = &instr.qubits;
+        match &instr.op {
+            Operation::Gate(g) => {
+                let name = qasm_gate_name(g);
+                let params = qasm_params(g);
+                let operands = q
+                    .iter()
+                    .map(|i| format!("q[{i}]"))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let _ = writeln!(out, "{name}{params} {operands};");
+            }
+            Operation::Reset => {
+                let _ = writeln!(out, "reset q[{}];", q[0]);
+            }
+            Operation::Measure { clbit } => {
+                let _ = writeln!(out, "measure q[{}] -> c[{}];", q[0], clbit);
+            }
+            Operation::Barrier => {
+                let operands = q
+                    .iter()
+                    .map(|i| format!("q[{i}]"))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let _ = writeln!(out, "barrier {operands};");
+            }
+        }
+    }
+    out
+}
+
+fn qasm_gate_name(g: &Gate) -> &'static str {
+    match g {
+        Gate::Phase(_) => "u1", // qelib1's phase gate
+        Gate::U(..) => "u3",
+        Gate::CPhase(_) => "cu1",
+        Gate::SXdg => "sxdg",
+        g => g.name(),
+    }
+}
+
+fn qasm_params(g: &Gate) -> String {
+    match *g {
+        Gate::RX(t) | Gate::RY(t) | Gate::RZ(t) | Gate::Phase(t) | Gate::CRZ(t)
+        | Gate::CPhase(t) => format!("({t})"),
+        Gate::U(a, b, c) => format!("({a},{b},{c})"),
+        _ => String::new(),
+    }
+}
+
+/// Parses the OpenQASM 2.0 subset produced by [`to_qasm`] (single `q`/`c`
+/// registers, the qelib1 gate names this crate emits).
+///
+/// # Errors
+///
+/// Returns [`QsimError::Unsupported`] for syntax or gates outside the
+/// subset, and propagates circuit-validation errors for bad operands.
+pub fn from_qasm(text: &str) -> Result<Circuit, QsimError> {
+    let mut num_qubits = 0usize;
+    let mut num_clbits = 0usize;
+    let mut body: Vec<(String, Vec<f64>, Vec<usize>, Option<usize>)> = Vec::new();
+
+    for raw_line in text.lines() {
+        let line = raw_line.trim();
+        if line.is_empty()
+            || line.starts_with("//")
+            || line.starts_with("OPENQASM")
+            || line.starts_with("include")
+        {
+            continue;
+        }
+        let line = line
+            .strip_suffix(';')
+            .ok_or_else(|| QsimError::Unsupported(format!("missing semicolon: {line}")))?;
+        if let Some(rest) = line.strip_prefix("qreg ") {
+            num_qubits = parse_reg_size(rest, 'q')?;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("creg ") {
+            num_clbits = parse_reg_size(rest, 'c')?;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("measure ") {
+            let (qpart, cpart) = rest
+                .split_once("->")
+                .ok_or_else(|| QsimError::Unsupported(format!("bad measure: {rest}")))?;
+            let qubit = parse_index(qpart.trim(), 'q')?;
+            let clbit = parse_index(cpart.trim(), 'c')?;
+            body.push(("measure".into(), vec![], vec![qubit], Some(clbit)));
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("reset ") {
+            body.push(("reset".into(), vec![], vec![parse_index(rest.trim(), 'q')?], None));
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("barrier ") {
+            let qubits = rest
+                .split(',')
+                .map(|t| parse_index(t.trim(), 'q'))
+                .collect::<Result<Vec<usize>, _>>()?;
+            body.push(("barrier".into(), vec![], qubits, None));
+            continue;
+        }
+        // Gate: name[(params)] operands
+        let (head, operands) = line
+            .split_once(' ')
+            .ok_or_else(|| QsimError::Unsupported(format!("bad statement: {line}")))?;
+        let (name, params) = match head.split_once('(') {
+            Some((n, p)) => {
+                let p = p
+                    .strip_suffix(')')
+                    .ok_or_else(|| QsimError::Unsupported(format!("bad params: {head}")))?;
+                let values = p
+                    .split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse::<f64>()
+                            .map_err(|_| QsimError::Unsupported(format!("bad angle: {t}")))
+                    })
+                    .collect::<Result<Vec<f64>, _>>()?;
+                (n.to_string(), values)
+            }
+            None => (head.to_string(), vec![]),
+        };
+        let qubits = operands
+            .split(',')
+            .map(|t| parse_index(t.trim(), 'q'))
+            .collect::<Result<Vec<usize>, _>>()?;
+        body.push((name, params, qubits, None));
+    }
+
+    let mut circ = Circuit::with_clbits(num_qubits, num_clbits);
+    for (name, params, qubits, clbit) in body {
+        let instr = match name.as_str() {
+            "measure" => Instruction {
+                op: Operation::Measure {
+                    clbit: clbit.expect("parsed above"),
+                },
+                qubits,
+            },
+            "reset" => Instruction {
+                op: Operation::Reset,
+                qubits,
+            },
+            "barrier" => Instruction {
+                op: Operation::Barrier,
+                qubits,
+            },
+            _ => Instruction {
+                op: Operation::Gate(gate_from_qasm(&name, &params)?),
+                qubits,
+            },
+        };
+        circ.push(instr)?;
+    }
+    Ok(circ)
+}
+
+fn gate_from_qasm(name: &str, params: &[f64]) -> Result<Gate, QsimError> {
+    let need = |n: usize| -> Result<(), QsimError> {
+        if params.len() == n {
+            Ok(())
+        } else {
+            Err(QsimError::Unsupported(format!(
+                "gate {name} expects {n} parameters, got {}",
+                params.len()
+            )))
+        }
+    };
+    Ok(match name {
+        "id" => Gate::I,
+        "h" => Gate::H,
+        "x" => Gate::X,
+        "y" => Gate::Y,
+        "z" => Gate::Z,
+        "s" => Gate::S,
+        "sdg" => Gate::Sdg,
+        "t" => Gate::T,
+        "tdg" => Gate::Tdg,
+        "sx" => Gate::SX,
+        "sxdg" => Gate::SXdg,
+        "rx" => {
+            need(1)?;
+            Gate::RX(params[0])
+        }
+        "ry" => {
+            need(1)?;
+            Gate::RY(params[0])
+        }
+        "rz" => {
+            need(1)?;
+            Gate::RZ(params[0])
+        }
+        "u1" | "p" => {
+            need(1)?;
+            Gate::Phase(params[0])
+        }
+        "u3" | "u" => {
+            need(3)?;
+            Gate::U(params[0], params[1], params[2])
+        }
+        "cx" => Gate::CX,
+        "cz" => Gate::CZ,
+        "crz" => {
+            need(1)?;
+            Gate::CRZ(params[0])
+        }
+        "cu1" | "cp" => {
+            need(1)?;
+            Gate::CPhase(params[0])
+        }
+        "swap" => Gate::Swap,
+        "ccx" => Gate::CCX,
+        "cswap" => Gate::CSwap,
+        other => return Err(QsimError::Unsupported(format!("unknown gate {other}"))),
+    })
+}
+
+fn parse_reg_size(rest: &str, reg: char) -> Result<usize, QsimError> {
+    // e.g. "q[7]"
+    let inner = rest
+        .trim()
+        .strip_prefix(reg)
+        .and_then(|s| s.strip_prefix('['))
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| QsimError::Unsupported(format!("bad register declaration: {rest}")))?;
+    inner
+        .parse()
+        .map_err(|_| QsimError::Unsupported(format!("bad register size: {rest}")))
+}
+
+fn parse_index(token: &str, reg: char) -> Result<usize, QsimError> {
+    let inner = token
+        .strip_prefix(reg)
+        .and_then(|s| s.strip_prefix('['))
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| QsimError::Unsupported(format!("bad operand: {token}")))?;
+    inner
+        .parse()
+        .map_err(|_| QsimError::Unsupported(format!("bad operand index: {token}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::{Backend, StatevectorBackend};
+
+    fn assert_round_trip(circ: &Circuit) {
+        let text = to_qasm(circ);
+        let back = from_qasm(&text).expect("parses");
+        assert_eq!(back.num_qubits(), circ.num_qubits());
+        assert_eq!(back.num_clbits(), circ.num_clbits());
+        assert_eq!(back.len(), circ.len());
+        // Outcome distributions agree.
+        if circ.num_clbits() > 0 {
+            let backend = StatevectorBackend::new();
+            let a = backend.probabilities(circ).unwrap();
+            let b = backend.probabilities(&back).unwrap();
+            for (pattern, p) in a.entries() {
+                assert!((p - b.probability(pattern)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn bell_circuit_round_trips() {
+        let mut qc = Circuit::with_clbits(2, 2);
+        qc.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        assert_round_trip(&qc);
+    }
+
+    #[test]
+    fn every_gate_round_trips() {
+        let mut qc = Circuit::new(3);
+        qc.id(0)
+            .h(0)
+            .x(1)
+            .y(2)
+            .z(0)
+            .s(1)
+            .sdg(2)
+            .t(0)
+            .tdg(1)
+            .sx(2)
+            .rx(0.3, 0)
+            .ry(-1.2, 1)
+            .rz(2.5, 2)
+            .p(0.7, 0)
+            .u(0.1, 0.2, 0.3, 1)
+            .cx(0, 1)
+            .cz(1, 2)
+            .crz(0.9, 0, 2)
+            .cp(-0.4, 1, 0)
+            .swap(0, 2)
+            .ccx(0, 1, 2)
+            .cswap(2, 0, 1);
+        assert_round_trip(&qc);
+    }
+
+    #[test]
+    fn quorum_circuit_round_trips() {
+        use crate::stateprep::prepare_real_amplitudes;
+        let prep = prepare_real_amplitudes(2, &[0.3, 0.5, 0.2, 0.7]).unwrap();
+        let mut qc = Circuit::with_clbits(5, 1);
+        qc.compose(&prep, 0).unwrap();
+        qc.compose(&prep, 2).unwrap();
+        qc.reset(1);
+        qc.barrier();
+        qc.h(4);
+        qc.cswap(4, 0, 2).cswap(4, 1, 3);
+        qc.h(4);
+        qc.measure(4, 0);
+        assert_round_trip(&qc);
+    }
+
+    #[test]
+    fn emitted_text_is_valid_qasm_prologue() {
+        let mut qc = Circuit::with_clbits(1, 1);
+        qc.h(0).measure(0, 0);
+        let text = to_qasm(&qc);
+        assert!(text.starts_with("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n"));
+        assert!(text.contains("qreg q[1];"));
+        assert!(text.contains("creg c[1];"));
+        assert!(text.contains("measure q[0] -> c[0];"));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_gates_and_syntax() {
+        assert!(from_qasm("qreg q[1];\nfoo q[0];\n").is_err());
+        assert!(from_qasm("qreg q[1];\nh q[0]\n").is_err()); // missing ;
+        assert!(from_qasm("qreg q[oops];\n").is_err());
+        assert!(from_qasm("qreg q[2];\nrx() q[0];\n").is_err());
+        assert!(from_qasm("qreg q[1];\nrx(0.1,0.2) q[0];\n").is_err());
+    }
+
+    #[test]
+    fn parse_validates_operands() {
+        // Qubit out of range caught by circuit validation.
+        assert!(from_qasm("qreg q[1];\nh q[5];\n").is_err());
+        // Measure into undeclared creg.
+        assert!(from_qasm("qreg q[1];\nmeasure q[0] -> c[0];\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "OPENQASM 2.0;\n// a comment\n\nqreg q[1];\nh q[0];\n";
+        let circ = from_qasm(text).unwrap();
+        assert_eq!(circ.len(), 1);
+    }
+}

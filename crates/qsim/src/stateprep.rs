@@ -1,0 +1,256 @@
+//! Amplitude-encoding state preparation.
+//!
+//! Quorum amplitude-encodes each data sample (paper §IV-B). For a
+//! non-negative real target vector this is a pure rotation-tree problem:
+//! the Möttönen-style construction emits one uniformly-controlled RY
+//! multiplexor per tree level, each decomposed recursively into plain RY
+//! and CX gates. An `n`-qubit preparation uses `2^n − 1` RY rotations and
+//! `2^n − n − 1` CX gates.
+
+use crate::circuit::Circuit;
+use crate::error::QsimError;
+
+/// Builds a circuit over `num_qubits` qubits that maps `|0…0⟩` to
+/// `Σ_i a_i |i⟩` for the given non-negative real amplitudes (length
+/// `2^num_qubits`, automatically normalised).
+///
+/// # Errors
+///
+/// * [`QsimError::DimensionMismatch`] if `amplitudes.len() != 2^num_qubits`.
+/// * [`QsimError::InvalidAmplitude`] on negative or non-finite entries.
+/// * [`QsimError::NotNormalized`] if all amplitudes are zero.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::stateprep::prepare_real_amplitudes;
+/// use qsim::statevector::Statevector;
+/// use qsim::circuit::Operation;
+///
+/// let amps = [0.5, 0.5, 0.5, 0.5];
+/// let circ = prepare_real_amplitudes(2, &amps).unwrap();
+/// let mut sv = Statevector::new(2);
+/// for instr in circ.instructions() {
+///     if let Operation::Gate(g) = &instr.op {
+///         sv.apply_gate(*g, &instr.qubits).unwrap();
+///     }
+/// }
+/// assert!((sv.amplitude(3).re - 0.5).abs() < 1e-10);
+/// ```
+pub fn prepare_real_amplitudes(num_qubits: usize, amplitudes: &[f64]) -> Result<Circuit, QsimError> {
+    let dim = 1usize << num_qubits;
+    if amplitudes.len() != dim {
+        return Err(QsimError::DimensionMismatch {
+            expected: dim,
+            actual: amplitudes.len(),
+        });
+    }
+    for (i, &a) in amplitudes.iter().enumerate() {
+        if !a.is_finite() || a < 0.0 {
+            return Err(QsimError::InvalidAmplitude { index: i });
+        }
+    }
+    let norm_sqr: f64 = amplitudes.iter().map(|a| a * a).sum();
+    if norm_sqr <= 0.0 {
+        return Err(QsimError::NotNormalized { norm_sqr });
+    }
+
+    // probs[i] = normalised probability of basis state i.
+    let probs: Vec<f64> = amplitudes.iter().map(|a| a * a / norm_sqr).collect();
+
+    let mut circ = Circuit::new(num_qubits);
+    // Level k splits on qubit (num_qubits-1-k), controlled by the k more
+    // significant qubits.
+    for k in 0..num_qubits {
+        let target = num_qubits - 1 - k;
+        let num_patterns = 1usize << k;
+        let mut angles = vec![0.0f64; num_patterns];
+        for (s, angle) in angles.iter_mut().enumerate() {
+            // P(prefix s, next bit b) summed over the remaining low bits.
+            let mut p0 = 0.0;
+            let mut p1 = 0.0;
+            let low_bits = num_qubits - 1 - k;
+            for rest in 0..(1usize << low_bits) {
+                let base = (s << (low_bits + 1)) | rest;
+                p0 += probs[base];
+                p1 += probs[base | (1 << low_bits)];
+            }
+            *angle = 2.0 * p1.sqrt().atan2(p0.sqrt());
+        }
+        // Controls in LSB-first pattern order: pattern bit j corresponds to
+        // qubit (target+1+j).
+        let controls: Vec<usize> = (0..k).map(|j| target + 1 + j).collect();
+        emit_ucry(&mut circ, &angles, &controls, target);
+    }
+    Ok(circ)
+}
+
+/// Emits a uniformly-controlled RY multiplexor: applies `RY(angles[s])` to
+/// `target` when the control register (LSB-first over `controls`) reads
+/// `s`. Decomposed recursively: a k-control multiplexor becomes two
+/// (k−1)-control multiplexors sandwiched between CX gates.
+fn emit_ucry(circ: &mut Circuit, angles: &[f64], controls: &[usize], target: usize) {
+    debug_assert_eq!(angles.len(), 1 << controls.len());
+    if controls.is_empty() {
+        if angles[0].abs() > 1e-14 {
+            circ.ry(angles[0], target);
+        }
+        return;
+    }
+    let k = controls.len();
+    let half = 1usize << (k - 1);
+    let msb_control = controls[k - 1];
+    let inner = &controls[..k - 1];
+    // beta plays when the MSB control is 0/1-mixed; see module docs.
+    let mut beta = Vec::with_capacity(half);
+    let mut gamma = Vec::with_capacity(half);
+    for j in 0..half {
+        beta.push((angles[j] + angles[j + half]) / 2.0);
+        gamma.push((angles[j] - angles[j + half]) / 2.0);
+    }
+    // Skip the CX pair entirely when the two halves agree (gamma == 0):
+    // the multiplexor degenerates to the unconditional half.
+    if gamma.iter().all(|g| g.abs() < 1e-14) {
+        emit_ucry(circ, &beta, inner, target);
+        return;
+    }
+    emit_ucry(circ, &beta, inner, target);
+    circ.cx(msb_control, target);
+    emit_ucry(circ, &gamma, inner, target);
+    circ.cx(msb_control, target);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Operation;
+    use crate::statevector::Statevector;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn run(circ: &Circuit) -> Statevector {
+        let mut sv = Statevector::new(circ.num_qubits());
+        for instr in circ.instructions() {
+            if let Operation::Gate(g) = &instr.op {
+                sv.apply_gate(*g, &instr.qubits).unwrap();
+            }
+        }
+        sv
+    }
+
+    fn assert_prepares(num_qubits: usize, amps: &[f64]) {
+        let circ = prepare_real_amplitudes(num_qubits, amps).unwrap();
+        let sv = run(&circ);
+        let norm: f64 = amps.iter().map(|a| a * a).sum::<f64>().sqrt();
+        for (i, &a) in amps.iter().enumerate() {
+            let expected = a / norm;
+            let got = sv.amplitude(i);
+            assert!(
+                (got.re - expected).abs() < 1e-10 && got.im.abs() < 1e-10,
+                "index {i}: expected {expected}, got {got} (n={num_qubits})"
+            );
+        }
+    }
+
+    #[test]
+    fn prepares_basis_states() {
+        for i in 0..8 {
+            let mut amps = [0.0; 8];
+            amps[i] = 1.0;
+            assert_prepares(3, &amps);
+        }
+    }
+
+    #[test]
+    fn prepares_uniform_superposition() {
+        assert_prepares(2, &[0.5; 4]);
+        assert_prepares(3, &[1.0; 8]);
+    }
+
+    #[test]
+    fn prepares_bell_like_state() {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        assert_prepares(2, &[s, 0.0, 0.0, s]);
+    }
+
+    #[test]
+    fn prepares_random_vectors() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for n in 1..=5usize {
+            for _ in 0..10 {
+                let amps: Vec<f64> = (0..(1 << n)).map(|_| rng.gen::<f64>()).collect();
+                assert_prepares(n, &amps);
+            }
+        }
+    }
+
+    #[test]
+    fn prepares_sparse_vectors() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..10 {
+            let mut amps: Vec<f64> = vec![0.0; 16];
+            for _ in 0..3 {
+                let idx = rng.gen_range(0..16);
+                amps[idx] = rng.gen::<f64>() + 0.01;
+            }
+            assert_prepares(4, &amps);
+        }
+    }
+
+    #[test]
+    fn normalises_unnormalised_input() {
+        let circ = prepare_real_amplitudes(1, &[3.0, 4.0]).unwrap();
+        let sv = run(&circ);
+        assert!((sv.amplitude(0).re - 0.6).abs() < 1e-10);
+        assert!((sv.amplitude(1).re - 0.8).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gate_count_is_bounded() {
+        // 2^n − 1 RY rotations and at most 2^n − n − 1 CX (fewer when
+        // angles degenerate).
+        let amps: Vec<f64> = (1..=8).map(|x| x as f64).collect();
+        let circ = prepare_real_amplitudes(3, &amps).unwrap();
+        let ry = circ
+            .count_ops()
+            .iter()
+            .find(|(n, _)| n == "ry")
+            .map(|(_, c)| *c)
+            .unwrap_or(0);
+        let cx = circ
+            .count_ops()
+            .iter()
+            .find(|(n, _)| n == "cx")
+            .map(|(_, c)| *c)
+            .unwrap_or(0);
+        assert!(ry <= 7, "ry count {ry}");
+        assert!(cx <= 8, "cx count {cx}");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(matches!(
+            prepare_real_amplitudes(2, &[1.0, 0.0]),
+            Err(QsimError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            prepare_real_amplitudes(1, &[1.0, -0.5]),
+            Err(QsimError::InvalidAmplitude { index: 1 })
+        ));
+        assert!(matches!(
+            prepare_real_amplitudes(1, &[0.0, 0.0]),
+            Err(QsimError::NotNormalized { .. })
+        ));
+        assert!(matches!(
+            prepare_real_amplitudes(1, &[f64::NAN, 1.0]),
+            Err(QsimError::InvalidAmplitude { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn zero_qubit_edge_case() {
+        // A single amplitude over zero qubits: the empty circuit.
+        let circ = prepare_real_amplitudes(0, &[1.0]).unwrap();
+        assert!(circ.is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! Bucket-size tuning: the Table II ablation on a single dataset, showing
+//! how the probability target `p` trades statistical robustness against
+//! local sensitivity.
+//!
+//! ```text
+//! cargo run --release --example bucket_tuning
+//! ```
+
+use quorum::core::bucket::BucketPlan;
+use quorum::core::{QuorumConfig, QuorumDetector};
+use quorum::data::synth;
+
+fn main() {
+    // The letter dataset: the paper's hardest (subtle anomalies), and the
+    // one whose Table II row peaks at large buckets (p = 0.95).
+    let data = synth::letter(42);
+    println!("{data}\n");
+    let labels = data.labels().expect("labelled").to_vec();
+    let rate = 33.0 / 533.0;
+
+    println!("p      bucket  buckets  F1     recall");
+    println!("-----  ------  -------  -----  ------");
+    for p in [0.5, 0.6, 0.75, 0.95, 0.98] {
+        let plan = BucketPlan::from_target(data.num_samples(), rate, p);
+        let detector = QuorumDetector::new(
+            QuorumConfig::default()
+                .with_ensemble_groups(40)
+                .with_bucket_probability(p)
+                .with_anomaly_rate_estimate(rate)
+                .with_seed(13),
+        )
+        .expect("valid configuration");
+        let report = detector.score(&data).expect("scores");
+        let cm = report.evaluate_at_anomaly_count(&labels);
+        println!(
+            "{p:<5.2}  {:<6}  {:<7}  {:.3}  {:.3}",
+            plan.bucket_size(),
+            plan.num_buckets(),
+            cm.f1(),
+            cm.recall()
+        );
+    }
+
+    println!("\nSmall buckets (low p) give noisy statistics; huge buckets average");
+    println!("anomalies into the crowd. The sweet spot sits in between (paper §VI,");
+    println!("Table II: letter peaks toward p = 0.95).");
+}

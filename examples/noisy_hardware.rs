@@ -1,0 +1,81 @@
+//! Near-term-hardware scenario: how much does IBM-Brisbane-like noise
+//! degrade Quorum? (The paper's Fig. 9 answer: barely.)
+//!
+//! Runs the same detector twice — exact noiseless simulation vs a
+//! density-matrix simulation with the paper's Brisbane noise medians —
+//! on a compact dataset and compares rankings.
+//!
+//! ```text
+//! cargo run --release --example noisy_hardware
+//! ```
+
+use quorum::core::{ExecutionMode, QuorumConfig, QuorumDetector};
+use quorum::data::Dataset;
+use quorum::metrics::roc_auc;
+use quorum::sim::NoiseModel;
+
+fn compact_dataset() -> Dataset {
+    // 56 correlated samples + 4 planted anomalies = 60 total.
+    let mut rows: Vec<Vec<f64>> = (0..56)
+        .map(|i| {
+            let t = i as f64 / 56.0;
+            vec![
+                3.0 + t,
+                6.0 - 0.5 * t,
+                2.0 + 0.8 * t,
+                5.0 + 0.2 * t,
+                4.0 - 0.3 * t,
+                1.0 + t,
+                2.5,
+            ]
+        })
+        .collect();
+    for k in 0..4 {
+        let s = 1.0 + k as f64 * 0.1;
+        rows.push(vec![9.0 * s, 0.4, 8.0 * s, 0.3, 9.5, 0.2 * s, 8.4]);
+    }
+    let mut labels = vec![false; 56];
+    labels.extend([true; 4]);
+    Dataset::from_rows("compact", rows, Some(labels)).unwrap()
+}
+
+fn main() {
+    let data = compact_dataset();
+    let labels = data.labels().unwrap().to_vec();
+    let base = QuorumConfig::default()
+        .with_ensemble_groups(12)
+        .with_anomaly_rate_estimate(4.0 / 60.0)
+        .with_seed(5);
+
+    println!("Running noiseless (exact statevector) ...");
+    let start = std::time::Instant::now();
+    let clean = QuorumDetector::new(base.clone())
+        .expect("valid")
+        .score(&data)
+        .expect("scores");
+    println!("  done in {:.1?}", start.elapsed());
+
+    println!("Running noisy (density matrix, IBM-Brisbane medians) ...");
+    let start = std::time::Instant::now();
+    let noisy = QuorumDetector::new(base.with_execution(ExecutionMode::Noisy {
+        noise: NoiseModel::brisbane(),
+        shots: Some(4096), // the paper's shot count
+    }))
+    .expect("valid")
+    .score(&data)
+    .expect("scores");
+    println!("  done in {:.1?}", start.elapsed());
+
+    let auc_clean = roc_auc(clean.scores(), &labels);
+    let auc_noisy = roc_auc(noisy.scores(), &labels);
+    println!("\nROC-AUC  noiseless: {auc_clean:.3}   Brisbane-noisy: {auc_noisy:.3}");
+
+    let top_clean = &clean.ranking()[..4];
+    let top_noisy = &noisy.ranking()[..4];
+    let overlap = top_clean.iter().filter(|i| top_noisy.contains(i)).count();
+    println!("Top-4 overlap between the two rankings: {overlap}/4");
+    println!("Noiseless top-4: {top_clean:?}");
+    println!("Noisy     top-4: {top_noisy:?}");
+    println!("\nQuorum's z-scores compare samples that went through the *same* noisy");
+    println!("channel, so uniform hardware noise largely cancels out (paper §VI).");
+}

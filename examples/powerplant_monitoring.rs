@@ -1,0 +1,89 @@
+//! Industrial monitoring scenario: the combined-cycle power plant.
+//!
+//! The anomalies here are the interesting kind: every individual sensor
+//! reading is within its legal range, but the *joint* reading violates the
+//! plant physics (e.g. high output at high ambient temperature). This is
+//! the paper's hardest dataset for everyone — and it exposes a real
+//! preprocessing subtlety: the paper's `raw/max` normalisation compresses
+//! offset-heavy sensors (ambient pressure ≈ 1000 mbar ± 2%) into nearly
+//! constant amplitudes. This example runs Quorum with both the faithful
+//! normalisation and this reproduction's min–max extension, next to a
+//! per-sensor z-score baseline.
+//!
+//! ```text
+//! cargo run --release -p quorum --example powerplant_monitoring
+//! ```
+
+use quorum::classical::{Detector, ZScoreDetector};
+use quorum::core::{Normalization, QuorumConfig, QuorumDetector};
+use quorum::data::synth;
+use quorum::metrics::{flag_top_n, roc_auc, ConfusionMatrix};
+
+fn main() {
+    // 1,000 operating points, 5 features (AT, V, AP, RH, PE), 30 injected
+    // "plausible" anomalies (Table I row 4).
+    let data = synth::power_plant(42);
+    println!("{data}");
+    let labels = data.labels().expect("labelled").to_vec();
+    let n_anomalies = labels.iter().filter(|&&l| l).count();
+
+    let base = QuorumConfig::default()
+        .with_ensemble_groups(100)
+        .with_bucket_probability(0.75)
+        .with_anomaly_rate_estimate(30.0 / 1000.0)
+        .with_seed(42);
+
+    let mut results: Vec<(&str, Vec<f64>)> = Vec::new();
+    for (name, strategy) in [
+        ("Quorum (paper raw/max)", Normalization::RangeMax),
+        ("Quorum (min-max ext.) ", Normalization::MinMax),
+    ] {
+        let report = QuorumDetector::new(base.clone().with_normalization(strategy))
+            .expect("valid configuration")
+            .score(&data)
+            .expect("scoring succeeds");
+        results.push((name, report.scores().to_vec()));
+    }
+    // A marginal per-sensor baseline: checks each sensor against its own
+    // distribution — exactly what these joint anomalies partially evade.
+    results.push((
+        "per-sensor |z|        ",
+        ZScoreDetector::default().score(&data.strip_labels()),
+    ));
+
+    println!("\nFlagging the top {n_anomalies} suspicious operating points:");
+    for (name, scores) in &results {
+        let cm = ConfusionMatrix::from_predictions(&labels, &flag_top_n(scores, n_anomalies));
+        println!(
+            "  {name}: recall {:.3}  F1 {:.3}  ROC-AUC {:.3}",
+            cm.recall(),
+            cm.f1(),
+            roc_auc(scores, &labels)
+        );
+    }
+
+    // Complementarity: which anomalies does Quorum catch that the marginal
+    // detector misses? (The paper's claim: "Quorum consistently identifies
+    // subtle anomalies that [others] may overlook".)
+    let quorum_flags = flag_top_n(&results[1].1, n_anomalies);
+    let z_flags = flag_top_n(&results[2].1, n_anomalies);
+    let only_quorum: Vec<usize> = (0..labels.len())
+        .filter(|&i| labels[i] && quorum_flags[i] && !z_flags[i])
+        .collect();
+    let only_z: Vec<usize> = (0..labels.len())
+        .filter(|&i| labels[i] && z_flags[i] && !quorum_flags[i])
+        .collect();
+    println!(
+        "\nTrue anomalies found by Quorum but missed per-sensor: {}",
+        only_quorum.len()
+    );
+    println!(
+        "True anomalies found per-sensor but missed by Quorum: {}",
+        only_z.len()
+    );
+    println!("\nTakeaways: the min-max extension improves Quorum's ranking quality");
+    println!("(ROC-AUC) on this offset-heavy dataset over the paper's raw/max");
+    println!("formula, and different detector families flag different anomalies —");
+    println!("in production, ensemble them (see ablation_normalization for the");
+    println!("full sweep).");
+}

