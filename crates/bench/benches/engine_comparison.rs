@@ -1,0 +1,87 @@
+//! Head-to-head of the scoring engines on the flagship pipeline
+//! configuration (n = 3 data qubits, 30 ensemble groups): the analytic
+//! reduced-register engine vs the paper-literal circuit engine, plus a
+//! direct speedup report. The acceptance bar for the analytic engine is
+//! ≥ 5× on this configuration.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdata::Dataset;
+use quorum_bench::table1_specs;
+use quorum_core::{EngineKind, QuorumConfig, QuorumDetector};
+use std::time::Instant;
+
+const FLAGSHIP_GROUPS: usize = 30;
+const FLAGSHIP_SAMPLES: usize = 96;
+
+fn truncate(ds: &Dataset, n: usize) -> Dataset {
+    let rows = ds.rows()[..n].to_vec();
+    let labels = ds.labels().map(|l| l[..n].to_vec());
+    Dataset::from_rows(ds.name(), rows, labels).unwrap()
+}
+
+fn flagship_config(engine: EngineKind) -> QuorumConfig {
+    let spec = &table1_specs()[0];
+    QuorumConfig::default()
+        .with_ensemble_groups(FLAGSHIP_GROUPS)
+        .with_bucket_probability(spec.bucket_probability)
+        .with_anomaly_rate_estimate(spec.anomaly_rate())
+        .with_engine(engine)
+        .with_threads(1)
+        .with_seed(42)
+}
+
+fn flagship_dataset() -> Dataset {
+    truncate(&table1_specs()[0].load(42), FLAGSHIP_SAMPLES)
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let ds = flagship_dataset();
+    let mut group = c.benchmark_group("engine_flagship_n3_30groups");
+    group.sample_size(10);
+    for (label, kind) in [
+        ("analytic", EngineKind::Analytic),
+        ("circuit", EngineKind::Circuit),
+    ] {
+        let detector = QuorumDetector::new(flagship_config(kind)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(label), &ds, |b, ds| {
+            b.iter(|| black_box(detector.score(ds).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// Times both engines directly and prints the speedup ratio the
+/// acceptance criterion asks for.
+fn report_speedup(_c: &mut Criterion) {
+    let ds = flagship_dataset();
+    let time_engine = |kind: EngineKind| {
+        let detector = QuorumDetector::new(flagship_config(kind)).unwrap();
+        // Warm up once, then take the best of three.
+        black_box(detector.score(&ds).unwrap());
+        (0..3)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(detector.score(&ds).unwrap());
+                start.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+    let analytic = time_engine(EngineKind::Analytic);
+    let circuit = time_engine(EngineKind::Circuit);
+    let speedup = circuit.as_secs_f64() / analytic.as_secs_f64();
+    println!(
+        "engine_flagship_speedup                                  analytic {analytic:.2?} vs circuit {circuit:.2?} => x{speedup:.1}"
+    );
+    assert!(
+        speedup >= 5.0,
+        "analytic engine must be ≥5× faster on the flagship config, got ×{speedup:.1}"
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engines, report_speedup
+}
+criterion_main!(benches);

@@ -6,9 +6,9 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use qdata::Dataset;
 use qmetrics::curve::{curve_auc, detection_rate_curve};
+use qsim::NoiseModel;
 use quorum_bench::table1_specs;
 use quorum_core::{ExecutionMode, QuorumConfig, QuorumDetector};
-use qsim::NoiseModel;
 
 fn small_labelled() -> Dataset {
     let spec = &table1_specs()[0];

@@ -2,10 +2,10 @@
 //! statevector vs density matrix vs Brisbane-noisy density matrix.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use quorum_core::ansatz::AnsatzParams;
-use quorum_core::circuit::build_sample_circuit;
 use qsim::simulator::{Backend, DensityMatrixBackend, StatevectorBackend};
 use qsim::NoiseModel;
+use quorum_core::ansatz::AnsatzParams;
+use quorum_core::circuit::build_sample_circuit;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -42,11 +42,14 @@ fn main() {
     }
 
     print_table(
-        &format!(
-            "Ablation: ensemble-size convergence (seed {})",
-            args.seed
-        ),
-        &["Dataset", "Groups", "F1", "ROC-AUC", "Rank-stability vs final"],
+        &format!("Ablation: ensemble-size convergence (seed {})", args.seed),
+        &[
+            "Dataset",
+            "Groups",
+            "F1",
+            "ROC-AUC",
+            "Rank-stability vs final",
+        ],
         &rows,
     );
     println!("\n(Rank stability = Spearman correlation against the final ensemble's");

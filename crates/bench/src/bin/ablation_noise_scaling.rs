@@ -11,9 +11,9 @@
 
 use qdata::Dataset;
 use qmetrics::roc_auc;
+use qsim::NoiseModel;
 use quorum_bench::{print_table, quorum_config, table1_specs, CliArgs};
 use quorum_core::{ExecutionMode, QuorumDetector};
-use qsim::NoiseModel;
 
 fn main() {
     let args = CliArgs::parse(0, 6);

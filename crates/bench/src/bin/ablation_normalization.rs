@@ -22,8 +22,7 @@ fn main() {
             ("raw/max (paper)", Normalization::RangeMax),
             ("min-max", Normalization::MinMax),
         ] {
-            let config =
-                quorum_config(&spec, args.groups, args.seed).with_normalization(strategy);
+            let config = quorum_config(&spec, args.groups, args.seed).with_normalization(strategy);
             let report = QuorumDetector::new(config)
                 .expect("valid")
                 .score(&ds)

@@ -7,7 +7,9 @@
 //! cargo run -p quorum-bench --release --bin baselines_comparison [--groups N] [--seed S]
 //! ```
 
-use classical_baselines::{Detector, IsolationForest, KMeansDetector, LocalOutlierFactor, ZScoreDetector};
+use classical_baselines::{
+    Detector, IsolationForest, KMeansDetector, LocalOutlierFactor, ZScoreDetector,
+};
 use qmetrics::confusion::ConfusionMatrix;
 use qmetrics::{flag_top_n, roc_auc};
 use quorum_bench::{print_table, run_quorum, table1_specs, CliArgs};
@@ -28,10 +30,7 @@ fn main() {
                 "IsolationForest".into(),
                 IsolationForest::default().score(&stripped),
             ),
-            (
-                "LOF".into(),
-                LocalOutlierFactor::default().score(&stripped),
-            ),
+            ("LOF".into(), LocalOutlierFactor::default().score(&stripped)),
             (
                 "KMeans-dist".into(),
                 KMeansDetector::default().score(&stripped),

@@ -42,10 +42,7 @@ fn main() {
         f1_quorum_sum += quorum.f1;
         f1_qnn_sum += qnn.f1;
 
-        for (method, m, t) in [
-            ("QNN", qnn, qnn_time),
-            ("Quorum", quorum, quorum_time),
-        ] {
+        for (method, m, t) in [("QNN", qnn, qnn_time), ("Quorum", quorum, quorum_time)] {
             rows.push(vec![
                 spec.display.to_string(),
                 method.to_string(),
@@ -64,7 +61,13 @@ fn main() {
             args.groups, args.seed
         ),
         &[
-            "Dataset", "Method", "Recall", "Precision", "F1", "Accuracy", "Wall",
+            "Dataset",
+            "Method",
+            "Recall",
+            "Precision",
+            "F1",
+            "Accuracy",
+            "Wall",
         ],
         &rows,
     );

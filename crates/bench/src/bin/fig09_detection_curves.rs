@@ -13,9 +13,9 @@
 //! noiseless counterparts closely.
 
 use qmetrics::curve::{curve_auc, sample_curve};
+use qsim::NoiseModel;
 use quorum_bench::{print_table, run_quorum, table1_specs, CliArgs};
 use quorum_core::ExecutionMode;
-use qsim::NoiseModel;
 
 const FRACTIONS: [f64; 11] = [0.0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0];
 

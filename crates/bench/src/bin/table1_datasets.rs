@@ -15,8 +15,11 @@ fn main() {
         .iter()
         .map(|spec| {
             let ds = spec.load(args.seed);
-            let plan =
-                BucketPlan::from_target(ds.num_samples(), spec.anomaly_rate(), spec.bucket_probability);
+            let plan = BucketPlan::from_target(
+                ds.num_samples(),
+                spec.anomaly_rate(),
+                spec.bucket_probability,
+            );
             vec![
                 spec.display.to_string(),
                 ds.num_samples().to_string(),

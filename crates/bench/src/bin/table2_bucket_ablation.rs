@@ -49,7 +49,13 @@ fn main() {
             args.groups, args.seed
         ),
         &[
-            "Dataset", "p=0.5", "p=0.6", "p=0.75", "p=0.95", "p=0.98", "bucket sizes",
+            "Dataset",
+            "p=0.5",
+            "p=0.6",
+            "p=0.75",
+            "p=0.95",
+            "p=0.98",
+            "bucket sizes",
         ],
         &rows,
     );

@@ -80,6 +80,9 @@ pub fn table1_specs() -> Vec<DatasetSpec> {
 }
 
 /// Builds the paper-faithful Quorum configuration for a dataset spec.
+///
+/// Engine selection is `Auto`: noiseless runs use the analytic
+/// reduced-register engine, noisy runs fall back to the circuit engine.
 pub fn quorum_config(spec: &DatasetSpec, groups: usize, seed: u64) -> QuorumConfig {
     QuorumConfig::default()
         .with_ensemble_groups(groups)

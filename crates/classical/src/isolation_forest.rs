@@ -130,10 +130,7 @@ impl Detector for IsolationForest {
         let c = c_factor(psi);
         rows.iter()
             .map(|row| {
-                let mean_path: f64 = trees
-                    .iter()
-                    .map(|t| path_length(t, row, 0.0))
-                    .sum::<f64>()
+                let mean_path: f64 = trees.iter().map(|t| path_length(t, row, 0.0)).sum::<f64>()
                     / trees.len() as f64;
                 // s = 2^(−E[h]/c): → 1 for easy-to-isolate points.
                 2f64.powf(-mean_path / c.max(1e-12))

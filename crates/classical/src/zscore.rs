@@ -68,10 +68,12 @@ mod tests {
     fn misses_correlation_breaking_anomaly() {
         // Two perfectly correlated features; the anomaly swaps them but
         // stays in range — max-|z| cannot see it clearly.
-        let mut rows: Vec<Vec<f64>> = (0..40).map(|i| {
-            let t = i as f64 / 40.0;
-            vec![t, t]
-        }).collect();
+        let mut rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let t = i as f64 / 40.0;
+                vec![t, t]
+            })
+            .collect();
         rows.push(vec![0.1, 0.9]);
         let ds = Dataset::from_rows("corr", rows, None).unwrap();
         let scores = ZScoreDetector::default().score(&ds);

@@ -93,7 +93,7 @@ pub fn convergence_trace(
     checkpoints: &[usize],
 ) -> Result<ConvergenceTrace, QuorumError> {
     config.validate()?;
-    if checkpoints.is_empty() || checkpoints.iter().any(|&c| c == 0) {
+    if checkpoints.is_empty() || checkpoints.contains(&0) {
         return Err(QuorumError::InvalidConfig(
             "checkpoints must be non-empty and positive".into(),
         ));
@@ -118,9 +118,7 @@ pub fn convergence_trace(
             )
             .expect("shape preserved")
         }
-        crate::config::Normalization::MinMax => {
-            qdata::MinMaxNormalizer::fit_transform(&unlabeled)
-        }
+        crate::config::Normalization::MinMax => qdata::MinMaxNormalizer::fit_transform(&unlabeled),
     };
 
     let rate = config.anomaly_rate_estimate.unwrap_or(0.05);

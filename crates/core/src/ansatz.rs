@@ -31,8 +31,12 @@ impl AnsatzParams {
         assert!(num_layers > 0, "ansatz needs at least one layer");
         let layers = (0..num_layers)
             .map(|_| {
-                let rx = (0..num_qubits).map(|_| rng.gen_range(0.0..2.0 * PI)).collect();
-                let rz = (0..num_qubits).map(|_| rng.gen_range(0.0..2.0 * PI)).collect();
+                let rx = (0..num_qubits)
+                    .map(|_| rng.gen_range(0.0..2.0 * PI))
+                    .collect();
+                let rz = (0..num_qubits)
+                    .map(|_| rng.gen_range(0.0..2.0 * PI))
+                    .collect();
                 (rx, rz)
             })
             .collect();
@@ -81,9 +85,7 @@ impl AnsatzParams {
 
     /// The decoder circuit `D(θ) = E(θ)†`: reversed order, negated angles.
     pub fn decoder(&self) -> Circuit {
-        self.encoder()
-            .inverse()
-            .expect("encoder is purely unitary")
+        self.encoder().inverse().expect("encoder is purely unitary")
     }
 }
 
@@ -139,10 +141,7 @@ mod tests {
 
     #[test]
     fn decoder_negates_angles() {
-        let params = AnsatzParams::from_layers(
-            2,
-            vec![(vec![0.5, 0.7], vec![1.1, 1.3])],
-        );
+        let params = AnsatzParams::from_layers(2, vec![(vec![0.5, 0.7], vec![1.1, 1.3])]);
         let dec = params.decoder();
         let angles: Vec<f64> = dec
             .instructions()
@@ -162,7 +161,10 @@ mod tests {
         let mut sv = Statevector::new(3);
         let original = sv.clone();
         apply(&params.encoder(), &mut sv);
-        assert!(sv.fidelity(&original).unwrap() < 0.99, "encoder is ~identity");
+        assert!(
+            sv.fidelity(&original).unwrap() < 0.99,
+            "encoder is ~identity"
+        );
     }
 
     #[test]

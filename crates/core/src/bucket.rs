@@ -50,7 +50,11 @@ impl BucketPlan {
             "target probability strictly inside (0,1)"
         );
         let raw = ((1.0 - target_probability).ln() / (1.0 - anomaly_rate).ln()).ceil();
-        let size = if raw.is_finite() { raw as usize } else { num_samples };
+        let size = if raw.is_finite() {
+            raw as usize
+        } else {
+            num_samples
+        };
         BucketPlan {
             num_samples,
             bucket_size: size.clamp(2, num_samples),
@@ -109,7 +113,7 @@ impl BucketPlan {
             .chunks(self.bucket_size)
             .map(<[usize]>::to_vec)
             .collect();
-        if buckets.len() > 1 && buckets.last().map_or(false, |b| b.len() == 1) {
+        if buckets.len() > 1 && buckets.last().is_some_and(|b| b.len() == 1) {
             let last = buckets.pop().expect("non-empty");
             buckets
                 .last_mut()
@@ -183,7 +187,7 @@ mod tests {
         let plan = BucketPlan::from_target(103, 0.08, 0.75);
         let mut rng = StdRng::seed_from_u64(4);
         let buckets = plan.assign(&mut rng);
-        let mut seen = vec![false; 103];
+        let mut seen = [false; 103];
         for bucket in &buckets {
             assert!(bucket.len() >= 2, "bucket too small: {}", bucket.len());
             for &i in bucket {

@@ -91,8 +91,8 @@ mod tests {
 
     #[test]
     fn circuit_shape_matches_paper() {
-        let circ = build_sample_circuit(&[0.1, 0.2, 0.05, 0.12, 0.3, 0.02, 0.07], &ansatz(1), 1)
-            .unwrap();
+        let circ =
+            build_sample_circuit(&[0.1, 0.2, 0.05, 0.12, 0.3, 0.02, 0.07], &ansatz(1), 1).unwrap();
         // 7 qubits (2*3+1), one classical bit — the paper's configuration.
         assert_eq!(circ.num_qubits(), 7);
         assert_eq!(circ.num_clbits(), 1);
@@ -174,8 +174,8 @@ mod tests {
 
     #[test]
     fn bottleneck_causes_nonzero_deviation_for_generic_input() {
-        let circ = build_sample_circuit(&[0.25, 0.1, 0.3, 0.05, 0.2, 0.15, 0.1], &ansatz(4), 2)
-            .unwrap();
+        let circ =
+            build_sample_circuit(&[0.25, 0.1, 0.3, 0.05, 0.2, 0.15, 0.1], &ansatz(4), 2).unwrap();
         let p = StatevectorBackend::new()
             .probabilities(&circ)
             .unwrap()

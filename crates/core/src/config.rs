@@ -26,6 +26,27 @@ pub enum ExecutionMode {
     },
 }
 
+/// Which scoring engine evaluates the per-sample deviations.
+///
+/// See [`crate::engine`] for the implementations. `Auto` picks the
+/// analytic reduced-register engine whenever the execution mode allows it
+/// (Exact and Sampled) and falls back to the gate-level circuit engine for
+/// Noisy runs, which need density-matrix evolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum EngineKind {
+    /// Analytic for Exact/Sampled execution, circuit for Noisy. Default.
+    #[default]
+    Auto,
+    /// Force the analytic reduced-register engine
+    /// ([`crate::engine::AnalyticEngine`]). Invalid with Noisy execution.
+    Analytic,
+    /// Force the gate-level circuit engine
+    /// ([`crate::engine::CircuitEngine`]) — the paper-literal Fig. 2
+    /// simulation, kept as a cross-check oracle.
+    Circuit,
+}
+
 /// Which feature normalisation feeds the amplitude embedding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[non_exhaustive]
@@ -77,6 +98,8 @@ pub struct QuorumConfig {
     pub anomaly_rate_estimate: Option<f64>,
     /// Execution mode (exact, shot-sampled, or noisy).
     pub execution: ExecutionMode,
+    /// Scoring engine selection (see [`EngineKind`]).
+    pub engine: EngineKind,
     /// Feature normalisation strategy (paper-faithful by default).
     pub normalization: Normalization,
     /// Master RNG seed; every ensemble group derives its own stream.
@@ -96,6 +119,7 @@ impl Default for QuorumConfig {
             bucket_probability: 0.75,
             anomaly_rate_estimate: None,
             execution: ExecutionMode::Exact,
+            engine: EngineKind::Auto,
             normalization: Normalization::RangeMax,
             seed: 0xC0FFEE,
             threads: 0,
@@ -144,6 +168,24 @@ impl QuorumConfig {
     pub fn with_execution(mut self, mode: ExecutionMode) -> Self {
         self.execution = mode;
         self
+    }
+
+    /// Sets the scoring-engine selection.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The engine that will actually run, with `Auto` resolved against the
+    /// execution mode.
+    pub fn effective_engine(&self) -> EngineKind {
+        match self.engine {
+            EngineKind::Auto => match self.execution {
+                ExecutionMode::Noisy { .. } => EngineKind::Circuit,
+                _ => EngineKind::Analytic,
+            },
+            kind => kind,
+        }
     }
 
     /// Sets the normalisation strategy.
@@ -235,11 +277,14 @@ impl QuorumConfig {
             ExecutionMode::Sampled { shots } if *shots == 0 => {
                 return Err(QuorumError::InvalidConfig("shots must be positive".into()))
             }
-            ExecutionMode::Noisy {
-                shots: Some(0), ..
-            } => return Err(QuorumError::InvalidConfig("shots must be positive".into())),
+            ExecutionMode::Noisy { shots: Some(0), .. } => {
+                return Err(QuorumError::InvalidConfig("shots must be positive".into()))
+            }
             _ => {}
         }
+        // Engine resolution enforces engine/execution compatibility
+        // (e.g. a forced analytic engine under noisy execution).
+        crate::engine::resolve(self)?;
         Ok(())
     }
 }
@@ -277,8 +322,14 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_configs() {
-        assert!(QuorumConfig::default().with_data_qubits(1).validate().is_err());
-        assert!(QuorumConfig::default().with_data_qubits(11).validate().is_err());
+        assert!(QuorumConfig::default()
+            .with_data_qubits(1)
+            .validate()
+            .is_err());
+        assert!(QuorumConfig::default()
+            .with_data_qubits(11)
+            .validate()
+            .is_err());
         assert!(QuorumConfig::default()
             .with_ensemble_groups(0)
             .validate()
@@ -311,6 +362,43 @@ mod tests {
             .with_execution(ExecutionMode::Sampled { shots: 0 })
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn auto_engine_resolves_by_execution_mode() {
+        use qsim::NoiseModel;
+        let c = QuorumConfig::default();
+        assert_eq!(c.engine, EngineKind::Auto);
+        assert_eq!(c.effective_engine(), EngineKind::Analytic);
+        let sampled = c
+            .clone()
+            .with_execution(ExecutionMode::Sampled { shots: 128 });
+        assert_eq!(sampled.effective_engine(), EngineKind::Analytic);
+        let noisy = c.clone().with_execution(ExecutionMode::Noisy {
+            noise: NoiseModel::brisbane(),
+            shots: None,
+        });
+        assert_eq!(noisy.effective_engine(), EngineKind::Circuit);
+        let forced = c.with_engine(EngineKind::Circuit);
+        assert_eq!(forced.effective_engine(), EngineKind::Circuit);
+    }
+
+    #[test]
+    fn analytic_engine_rejects_noisy_execution() {
+        use qsim::NoiseModel;
+        let bad = QuorumConfig::default()
+            .with_engine(EngineKind::Analytic)
+            .with_execution(ExecutionMode::Noisy {
+                noise: NoiseModel::brisbane(),
+                shots: None,
+            });
+        assert!(bad.validate().is_err());
+        // Auto silently falls back to the circuit engine instead.
+        let ok = QuorumConfig::default().with_execution(ExecutionMode::Noisy {
+            noise: NoiseModel::brisbane(),
+            shots: None,
+        });
+        ok.validate().unwrap();
     }
 
     #[test]

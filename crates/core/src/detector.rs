@@ -106,21 +106,16 @@ impl QuorumDetector {
             self.config.threads
         };
 
+        // Resolve the scoring engine once; every group shares it.
+        let engine = crate::engine::resolve(&self.config)?;
         let config = &self.config;
         let normalized_ref = &normalized;
-        let partials: Vec<Result<Vec<f64>, QuorumError>> = map_indexed(
-            self.config.ensemble_groups,
-            threads,
-            move |g| {
-                let group = EnsembleGroup::generate(
-                    g,
-                    config,
-                    normalized_ref.num_features(),
-                    &plan,
-                );
-                group.run(normalized_ref, config)
-            },
-        );
+        let partials: Vec<Result<Vec<f64>, QuorumError>> =
+            map_indexed(self.config.ensemble_groups, threads, move |g| {
+                let group =
+                    EnsembleGroup::generate(g, config, normalized_ref.num_features(), &plan);
+                group.run_with(engine, normalized_ref, config)
+            });
 
         let mut totals = vec![0.0; normalized.num_samples()];
         for partial in partials {

@@ -1,0 +1,397 @@
+//! Pluggable scoring engines: how per-sample SWAP-test deviations are
+//! actually evaluated.
+//!
+//! The paper's Fig. 2 circuit spans `2n + 1` qubits: register A runs
+//! through the autoencoder, register B holds an untouched reference copy,
+//! and a SWAP-test ancilla measures `P(1) = (1 − Tr(ρ_A ρ_B)) / 2`.
+//! Simulating that literally ([`CircuitEngine`]) pays for a `2^(2n+1)`-dim
+//! statevector, two amplitude-preparation gate sequences and CSWAP kernels
+//! per sample — even though register B is never touched and the measured
+//! quantity is an overlap computable on register A alone.
+//!
+//! [`AnalyticEngine`] exploits that reduction (the same trash/reference
+//! trick used in quantum-autoencoder anomaly detection,
+//! arXiv:2112.04958):
+//!
+//! 1. the sample's amplitudes are injected directly into an `n`-qubit
+//!    state — no state-prep gates;
+//! 2. the group's encoder circuit is **fused once per group** into a
+//!    dense `2^n × 2^n` unitary
+//!    ([`qsim::circuit::Circuit::to_unitary`]) and applied as a matvec
+//!    (`φ = E ψ`);
+//! 3. the `r`-qubit reset bottleneck expands into at most `2^r` weighted
+//!    pure branches `(w_k, |χ_k⟩)` on `n` qubits;
+//! 4. `Tr(ρ_A ρ_B) = Σ_k w_k |⟨ψ|D|χ_k⟩|²` comes from plain inner
+//!    products — and since `D = E†`, each term collapses to
+//!    `|⟨φ|χ_k⟩|²` over the already-encoded `φ`, so the decoder is never
+//!    applied at all; `P(1) = (1 − Σ_k |⟨φ[..2^{n−r}]|block_k⟩|²) / 2`.
+//!
+//! Exact mode reproduces the branching backend's semantics to ≲1e-12;
+//! Sampled mode draws the same binomial statistics from the exact
+//! deviation through [`qsim::sampling`]. Noisy execution needs
+//! density-matrix evolution and stays on the circuit engine — `Auto`
+//! engine selection handles that split.
+
+use crate::circuit::build_sample_circuit;
+use crate::config::{EngineKind, ExecutionMode, QuorumConfig};
+use crate::ensemble::{derive_seed, EnsembleGroup};
+use crate::error::QuorumError;
+use qdata::Dataset;
+use qsim::complex::C64;
+use qsim::matrix::CMatrix;
+use qsim::simulator::{Backend, DensityMatrixBackend, OutcomeDistribution, StatevectorBackend};
+use std::collections::HashMap;
+
+/// Branches lighter than this are dropped, mirroring the branching
+/// statevector backend's prune threshold.
+const BRANCH_PRUNE: f64 = 1e-14;
+
+/// Evaluates SWAP-test deviations for every sample of a dataset at one
+/// compression level, under one ensemble group's random draw.
+///
+/// Implementations must be `Send + Sync`: the detector fans groups out
+/// across threads and shares one engine reference.
+pub trait ScoringEngine: Send + Sync {
+    /// Short human-readable engine name.
+    fn name(&self) -> &'static str;
+
+    /// The deviation `P(ancilla = 1)` of every sample in `normalized`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates embedding and simulation failures; engines reject
+    /// execution modes they cannot honour.
+    fn deviations(
+        &self,
+        group: &EnsembleGroup,
+        normalized: &Dataset,
+        config: &QuorumConfig,
+        reset_count: usize,
+    ) -> Result<Vec<f64>, QuorumError>;
+}
+
+/// Resolves the configured [`EngineKind`] to a concrete engine.
+///
+/// # Errors
+///
+/// Returns [`QuorumError::InvalidConfig`] for the analytic engine under
+/// noisy execution (the combination [`QuorumConfig::validate`] also
+/// rejects).
+pub fn resolve(config: &QuorumConfig) -> Result<&'static dyn ScoringEngine, QuorumError> {
+    static CIRCUIT: CircuitEngine = CircuitEngine;
+    static ANALYTIC: AnalyticEngine = AnalyticEngine;
+    match config.effective_engine() {
+        EngineKind::Circuit => Ok(&CIRCUIT),
+        EngineKind::Analytic => {
+            ensure_pure_state(config)?;
+            Ok(&ANALYTIC)
+        }
+        // `effective_engine` never returns Auto, but EngineKind is
+        // non-exhaustive.
+        _ => unreachable!("Auto resolves to a concrete engine"),
+    }
+}
+
+/// The single guard (and error message) for the analytic engine's
+/// pure-state-only limitation.
+fn ensure_pure_state(config: &QuorumConfig) -> Result<(), QuorumError> {
+    if matches!(config.execution, ExecutionMode::Noisy { .. }) {
+        return Err(QuorumError::InvalidConfig(
+            "the analytic engine is pure-state only; noisy execution needs the circuit engine"
+                .into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Deterministic per-measurement seed, shared by both engines so sampled
+/// runs stay comparable across engine switches.
+fn shot_seed(config: &QuorumConfig, group_index: usize, reset_count: usize, sample: usize) -> u64 {
+    derive_seed(
+        config.seed ^ 0x5107,
+        (group_index as u64) << 40 | (reset_count as u64) << 32 | sample as u64,
+    )
+}
+
+/// The paper-literal engine: builds and simulates the full `2n + 1`-qubit
+/// Fig. 2 circuit per sample on the branching statevector backend (or the
+/// density-matrix backend for noisy runs). Kept as the cross-check oracle
+/// and as the only engine able to run noise models.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CircuitEngine;
+
+impl ScoringEngine for CircuitEngine {
+    fn name(&self) -> &'static str {
+        "circuit"
+    }
+
+    fn deviations(
+        &self,
+        group: &EnsembleGroup,
+        normalized: &Dataset,
+        config: &QuorumConfig,
+        reset_count: usize,
+    ) -> Result<Vec<f64>, QuorumError> {
+        let sv_backend = StatevectorBackend::new();
+        let dm_backend = match &config.execution {
+            ExecutionMode::Noisy { noise, .. } => {
+                Some(DensityMatrixBackend::with_noise(noise.clone()))
+            }
+            _ => None,
+        };
+        let mut out = Vec::with_capacity(normalized.num_samples());
+        for (i, row) in normalized.rows().iter().enumerate() {
+            let values = group.features().project(row);
+            let circ = build_sample_circuit(&values, group.ansatz(), reset_count)?;
+            let seed = shot_seed(config, group.index(), reset_count, i);
+            let p = match &config.execution {
+                ExecutionMode::Exact => sv_backend.probabilities(&circ)?.marginal_one(0),
+                ExecutionMode::Sampled { shots } => {
+                    sv_backend.run(&circ, *shots, seed)?.marginal_one(0)
+                }
+                ExecutionMode::Noisy { shots, .. } => {
+                    let backend = dm_backend.as_ref().expect("constructed above");
+                    match shots {
+                        None => backend.probabilities(&circ)?.marginal_one(0),
+                        Some(s) => backend.run(&circ, *s, seed)?.marginal_one(0),
+                    }
+                }
+            };
+            out.push(p);
+        }
+        Ok(out)
+    }
+}
+
+/// The analytic reduced-register engine: per-group fused unitaries and
+/// `n`-qubit pure-state algebra (see the module docs for the math).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalyticEngine;
+
+impl AnalyticEngine {
+    /// `P(ancilla = 1)` for one embedded sample `psi` (unit-norm, length
+    /// `2^n`) under a fused `encoder` with `reset_count` top qubits reset
+    /// between it and its inverse.
+    ///
+    /// The decoder never has to be applied: with `D = E†`,
+    /// `⟨ψ|D|χ_k⟩ = ⟨Eψ|χ_k⟩ = ⟨φ|χ_k⟩`, and `χ_k` is just the `k`-th
+    /// block of `φ` renormalised and relocated to the low slots — so each
+    /// branch overlap is one `2^(n−r)`-element dot product over `φ`.
+    fn deviation_of(psi: &[C64], encoder: &CMatrix, num_qubits: usize, reset_count: usize) -> f64 {
+        let kept = num_qubits - reset_count;
+        let low_dim = 1usize << kept;
+        let branches = 1usize << reset_count;
+
+        // Encoder on register A.
+        let phi = encoder.mul_vec(psi);
+
+        // Expand the reset into ≤ 2^r weighted pure branches. Outcome `k`
+        // of the reset qubits keeps the block phi[k·2^kept ..],
+        // renormalised and relocated to the reset-to-zero (low) block.
+        let mut trace_overlap = 0.0;
+        for k in 0..branches {
+            let block = &phi[k * low_dim..(k + 1) * low_dim];
+            let weight: f64 = block.iter().map(|a| a.norm_sqr()).sum();
+            if weight <= BRANCH_PRUNE {
+                continue;
+            }
+            // overlap = ⟨φ|χ_k⟩ with χ_k = block/√w_k on the low slots;
+            // the branch term w_k·|overlap|² cancels the 1/w_k from the
+            // renormalisation, leaving |⟨φ[..2^kept]|block⟩|² outright.
+            let overlap: C64 = phi[..low_dim]
+                .iter()
+                .zip(block)
+                .map(|(a, b)| a.conj() * *b)
+                .sum();
+            trace_overlap += overlap.norm_sqr();
+        }
+        ((1.0 - trace_overlap) / 2.0).clamp(0.0, 0.5)
+    }
+}
+
+impl ScoringEngine for AnalyticEngine {
+    fn name(&self) -> &'static str {
+        "analytic"
+    }
+
+    fn deviations(
+        &self,
+        group: &EnsembleGroup,
+        normalized: &Dataset,
+        config: &QuorumConfig,
+        reset_count: usize,
+    ) -> Result<Vec<f64>, QuorumError> {
+        ensure_pure_state(config)?;
+        let n = group.ansatz().num_qubits();
+        if reset_count == 0 || reset_count >= n {
+            return Err(QuorumError::InvalidConfig(format!(
+                "reset count {reset_count} must lie in 1..{n}"
+            )));
+        }
+        // Fuse the group's encoder once; every sample reuses the matrix.
+        // The decoder is its exact adjoint and cancels out of the overlap
+        // (see `deviation_of`), so it is never materialised.
+        let encoder = group.ansatz().encoder().to_unitary()?;
+
+        let mut out = Vec::with_capacity(normalized.num_samples());
+        for (i, row) in normalized.rows().iter().enumerate() {
+            let values = group.features().project(row);
+            let amps = crate::embed::amplitudes_with_overflow(&values, n)?;
+            // Inject amplitudes directly (the circuit path's state prep
+            // normalises, so mirror it here).
+            let norm: f64 = amps.iter().map(|a| a * a).sum::<f64>().sqrt();
+            let psi: Vec<C64> = amps.iter().map(|&a| C64::from_real(a / norm)).collect();
+
+            let exact = Self::deviation_of(&psi, &encoder, n, reset_count);
+            let p = match &config.execution {
+                ExecutionMode::Sampled { shots } => {
+                    // Binomial draw from the exact deviation, through the
+                    // same distribution sampler the backends use.
+                    let mut probs = HashMap::new();
+                    probs.insert(0u64, 1.0 - exact);
+                    probs.insert(1u64, exact);
+                    let dist = OutcomeDistribution::from_probs(1, probs);
+                    use rand::SeedableRng;
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(shot_seed(
+                        config,
+                        group.index(),
+                        reset_count,
+                        i,
+                    ));
+                    dist.sample(*shots, &mut rng).marginal_one(0)
+                }
+                _ => exact,
+            };
+            out.push(p);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bucket::BucketPlan;
+
+    fn tiny_dataset() -> Dataset {
+        let mut rows = Vec::new();
+        for i in 0..10 {
+            let base = 0.05 + 0.003 * (i as f64);
+            rows.push(vec![
+                base,
+                base * 1.1,
+                base * 0.9,
+                base,
+                base,
+                base * 1.2,
+                base,
+            ]);
+        }
+        rows.push(vec![0.14, 0.0, 0.14, 0.0, 0.14, 0.0, 0.14]);
+        Dataset::from_rows("engine-tiny", rows, None).unwrap()
+    }
+
+    fn group_for(config: &QuorumConfig, ds: &Dataset, index: usize) -> EnsembleGroup {
+        let plan = BucketPlan::from_target(ds.num_samples(), 0.1, config.bucket_probability);
+        EnsembleGroup::generate(index, config, ds.num_features(), &plan)
+    }
+
+    #[test]
+    fn engines_agree_on_exact_deviations() {
+        let ds = tiny_dataset();
+        let config = QuorumConfig::default().with_seed(5);
+        for index in 0..3 {
+            let group = group_for(&config, &ds, index);
+            for reset_count in 1..config.data_qubits {
+                let circuit = CircuitEngine
+                    .deviations(&group, &ds, &config, reset_count)
+                    .unwrap();
+                let analytic = AnalyticEngine
+                    .deviations(&group, &ds, &config, reset_count)
+                    .unwrap();
+                for (c, a) in circuit.iter().zip(&analytic) {
+                    assert!(
+                        (c - a).abs() < 1e-9,
+                        "group {index} reset {reset_count}: circuit {c} vs analytic {a}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_sampled_matches_circuit_sampled() {
+        // Same exact deviation + same seed + same sampler ⇒ identical
+        // binomial draws (up to knife-edge rounding, absent here).
+        let ds = tiny_dataset();
+        let config = QuorumConfig::default()
+            .with_seed(9)
+            .with_execution(ExecutionMode::Sampled { shots: 2048 });
+        let group = group_for(&config, &ds, 1);
+        let circuit = CircuitEngine.deviations(&group, &ds, &config, 1).unwrap();
+        let analytic = AnalyticEngine.deviations(&group, &ds, &config, 1).unwrap();
+        for (c, a) in circuit.iter().zip(&analytic) {
+            assert!((c - a).abs() < 1e-12, "circuit {c} vs analytic {a}");
+        }
+    }
+
+    #[test]
+    fn analytic_rejects_noisy_execution() {
+        let ds = tiny_dataset();
+        let config = QuorumConfig::default().with_execution(ExecutionMode::Noisy {
+            noise: qsim::NoiseModel::brisbane(),
+            shots: None,
+        });
+        let group = group_for(&config, &ds, 0);
+        assert!(matches!(
+            AnalyticEngine.deviations(&group, &ds, &config, 1),
+            Err(QuorumError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn analytic_rejects_bad_reset_counts() {
+        let ds = tiny_dataset();
+        let config = QuorumConfig::default();
+        let group = group_for(&config, &ds, 0);
+        assert!(AnalyticEngine.deviations(&group, &ds, &config, 0).is_err());
+        assert!(AnalyticEngine
+            .deviations(&group, &ds, &config, config.data_qubits)
+            .is_err());
+    }
+
+    #[test]
+    fn resolve_follows_configuration() {
+        let auto = QuorumConfig::default();
+        assert_eq!(resolve(&auto).unwrap().name(), "analytic");
+        let forced = QuorumConfig::default().with_engine(EngineKind::Circuit);
+        assert_eq!(resolve(&forced).unwrap().name(), "circuit");
+        let noisy = QuorumConfig::default().with_execution(ExecutionMode::Noisy {
+            noise: qsim::NoiseModel::brisbane(),
+            shots: None,
+        });
+        assert_eq!(resolve(&noisy).unwrap().name(), "circuit");
+        let bad = QuorumConfig::default()
+            .with_engine(EngineKind::Analytic)
+            .with_execution(ExecutionMode::Noisy {
+                noise: qsim::NoiseModel::brisbane(),
+                shots: None,
+            });
+        assert!(resolve(&bad).is_err());
+    }
+
+    #[test]
+    fn deviations_stay_in_swap_test_range() {
+        let ds = tiny_dataset();
+        let config = QuorumConfig::default().with_seed(31);
+        let group = group_for(&config, &ds, 2);
+        for reset_count in 1..config.data_qubits {
+            for p in AnalyticEngine
+                .deviations(&group, &ds, &config, reset_count)
+                .unwrap()
+            {
+                assert!((0.0..=0.5).contains(&p), "deviation {p}");
+            }
+        }
+    }
+}

@@ -8,13 +8,12 @@
 
 use crate::ansatz::AnsatzParams;
 use crate::bucket::BucketPlan;
-use crate::circuit::build_sample_circuit;
-use crate::config::{ExecutionMode, QuorumConfig};
+use crate::config::QuorumConfig;
+use crate::engine::{self, ScoringEngine};
 use crate::error::QuorumError;
 use crate::features::FeatureSelection;
 use qdata::Dataset;
 use qmetrics::stats;
-use qsim::simulator::{Backend, DensityMatrixBackend, StatevectorBackend};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -78,7 +77,7 @@ impl EnsembleGroup {
     }
 
     /// Evaluates the SWAP-test deviation of every sample at one
-    /// compression level.
+    /// compression level, through the engine the configuration selects.
     ///
     /// # Errors
     ///
@@ -89,37 +88,23 @@ impl EnsembleGroup {
         config: &QuorumConfig,
         reset_count: usize,
     ) -> Result<Vec<f64>, QuorumError> {
-        let sv_backend = StatevectorBackend::new();
-        let dm_backend = match &config.execution {
-            ExecutionMode::Noisy { noise, .. } => {
-                Some(DensityMatrixBackend::with_noise(noise.clone()))
-            }
-            _ => None,
-        };
-        let mut out = Vec::with_capacity(normalized.num_samples());
-        for (i, row) in normalized.rows().iter().enumerate() {
-            let values = self.features.project(row);
-            let circ = build_sample_circuit(&values, &self.ansatz, reset_count)?;
-            let shot_seed = derive_seed(
-                config.seed ^ 0x5107,
-                (self.index as u64) << 40 | (reset_count as u64) << 32 | i as u64,
-            );
-            let p = match &config.execution {
-                ExecutionMode::Exact => sv_backend.probabilities(&circ)?.marginal_one(0),
-                ExecutionMode::Sampled { shots } => sv_backend
-                    .run(&circ, *shots, shot_seed)?
-                    .marginal_one(0),
-                ExecutionMode::Noisy { shots, .. } => {
-                    let backend = dm_backend.as_ref().expect("constructed above");
-                    match shots {
-                        None => backend.probabilities(&circ)?.marginal_one(0),
-                        Some(s) => backend.run(&circ, *s, shot_seed)?.marginal_one(0),
-                    }
-                }
-            };
-            out.push(p);
-        }
-        Ok(out)
+        self.deviations_with(engine::resolve(config)?, normalized, config, reset_count)
+    }
+
+    /// Evaluates deviations with an explicitly chosen engine (equivalence
+    /// tests and the engine-comparison bench).
+    ///
+    /// # Errors
+    ///
+    /// Propagates embedding and simulation failures.
+    pub fn deviations_with(
+        &self,
+        engine: &dyn ScoringEngine,
+        normalized: &Dataset,
+        config: &QuorumConfig,
+        reset_count: usize,
+    ) -> Result<Vec<f64>, QuorumError> {
+        engine.deviations(self, normalized, config, reset_count)
     }
 
     /// Runs the full group: all compression levels, bucket statistics, and
@@ -129,11 +114,30 @@ impl EnsembleGroup {
     /// # Errors
     ///
     /// Propagates embedding and simulation failures.
-    pub fn run(&self, normalized: &Dataset, config: &QuorumConfig) -> Result<Vec<f64>, QuorumError> {
+    pub fn run(
+        &self,
+        normalized: &Dataset,
+        config: &QuorumConfig,
+    ) -> Result<Vec<f64>, QuorumError> {
+        self.run_with(engine::resolve(config)?, normalized, config)
+    }
+
+    /// Runs the full group with an explicitly chosen engine. The detector
+    /// resolves the engine once and passes it to every group.
+    ///
+    /// # Errors
+    ///
+    /// Propagates embedding and simulation failures.
+    pub fn run_with(
+        &self,
+        engine: &dyn ScoringEngine,
+        normalized: &Dataset,
+        config: &QuorumConfig,
+    ) -> Result<Vec<f64>, QuorumError> {
         let n = normalized.num_samples();
         let mut scores = vec![0.0; n];
         for reset_count in config.effective_compression_levels() {
-            let deviations = self.deviations(normalized, config, reset_count)?;
+            let deviations = self.deviations_with(engine, normalized, config, reset_count)?;
             for bucket in &self.buckets {
                 let values: Vec<f64> = bucket.iter().map(|&i| deviations[i]).collect();
                 let mu = stats::mean(&values);
@@ -150,6 +154,7 @@ impl EnsembleGroup {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ExecutionMode;
 
     fn tiny_dataset() -> Dataset {
         // 12 samples, 7 features, already in the normalised range
@@ -157,7 +162,15 @@ mod tests {
         let mut rows = Vec::new();
         for i in 0..11 {
             let base = 0.06 + 0.002 * (i as f64);
-            rows.push(vec![base, base * 0.9, base * 1.1, base, base * 0.95, base, base * 1.05]);
+            rows.push(vec![
+                base,
+                base * 0.9,
+                base * 1.1,
+                base,
+                base * 0.95,
+                base,
+                base * 1.05,
+            ]);
         }
         rows.push(vec![0.14, 0.0, 0.14, 0.0, 0.14, 0.0, 0.14]);
         Dataset::from_rows("tiny", rows, None).unwrap()

@@ -18,7 +18,12 @@
 //! 5. **Random autoencoder** ([`ansatz`], [`circuit`]): an untrained
 //!    encoder with angles from `U(0, 2π)`, a partial-reset bottleneck, the
 //!    exact inverse decoder, then a SWAP test against the reference.
-//! 6. **Ensemble statistics** ([`ensemble`], [`score`]): per-bucket
+//! 6. **Scoring engine** ([`engine`]): the SWAP-test deviation is
+//!    evaluated either analytically on register A alone (the default for
+//!    noiseless runs — fused per-group unitaries, no circuit simulation)
+//!    or by simulating the full Fig. 2 circuit (the noisy path and
+//!    cross-check oracle).
+//! 7. **Ensemble statistics** ([`ensemble`], [`score`]): per-bucket
 //!    absolute z-scores of the SWAP deviations, summed over groups and
 //!    compression levels.
 //!
@@ -52,12 +57,14 @@ pub mod circuit;
 pub mod config;
 pub mod detector;
 pub mod embed;
+pub mod engine;
 pub mod ensemble;
 pub mod error;
 pub mod features;
 pub mod score;
 
-pub use config::{ExecutionMode, Normalization, QuorumConfig};
+pub use config::{EngineKind, ExecutionMode, Normalization, QuorumConfig};
 pub use detector::QuorumDetector;
+pub use engine::{AnalyticEngine, CircuitEngine, ScoringEngine};
 pub use error::QuorumError;
 pub use score::ScoreReport;

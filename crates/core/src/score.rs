@@ -3,12 +3,11 @@
 use qmetrics::confusion::ConfusionMatrix;
 use qmetrics::curve::{detection_rate_curve, CurvePoint};
 use qmetrics::threshold::{flag_top_fraction, flag_top_n, top_n_indices};
-use serde::{Deserialize, Serialize};
 
 /// Per-sample anomaly scores from a full Quorum run (sum of absolute
 /// bucket z-scores over every ensemble group and compression level —
 /// Fig. 7; Fig. 10 plots exactly these values sorted).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScoreReport {
     dataset_name: String,
     scores: Vec<f64>,

@@ -2,7 +2,6 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A tabular dataset of `f64` features with optional anomaly labels.
@@ -25,7 +24,7 @@ use std::fmt;
 /// assert_eq!(ds.num_features(), 2);
 /// assert_eq!(ds.anomaly_count(), Some(1));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     name: String,
     /// Row-major samples: `features[sample][feature]`.
@@ -80,10 +79,7 @@ impl fmt::Display for DataError {
                 row,
                 expected,
                 actual,
-            } => write!(
-                f,
-                "row {row} has {actual} features, expected {expected}"
-            ),
+            } => write!(f, "row {row} has {actual} features, expected {expected}"),
             DataError::LabelLengthMismatch { samples, labels } => {
                 write!(f, "{labels} labels for {samples} samples")
             }
@@ -393,9 +389,9 @@ mod tests {
         // The anomalous sample [-9, 1] must keep its label through the
         // shuffle.
         let labels = ds.labels().unwrap();
-        for i in 0..4 {
+        for (i, &label) in labels.iter().enumerate() {
             let is_anom_row = ds.sample(i)[0] == -9.0;
-            assert_eq!(labels[i], is_anom_row);
+            assert_eq!(label, is_anom_row);
         }
     }
 

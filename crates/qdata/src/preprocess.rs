@@ -75,9 +75,13 @@ impl RangeNormalizer {
                     .collect()
             })
             .collect();
-        Dataset::from_rows(format!("{}-normalized", ds.name()), rows, ds.labels().map(<[bool]>::to_vec))
-            .expect("normalising preserves shape")
-            .with_feature_names(ds.feature_names().to_vec())
+        Dataset::from_rows(
+            format!("{}-normalized", ds.name()),
+            rows,
+            ds.labels().map(<[bool]>::to_vec),
+        )
+        .expect("normalising preserves shape")
+        .with_feature_names(ds.feature_names().to_vec())
     }
 
     /// Convenience: fit on `ds` and transform it.
@@ -264,18 +268,16 @@ mod tests {
     #[test]
     fn minmax_restores_contrast_on_offset_features() {
         // An "ambient pressure"-like feature: large offset, small range.
-        let ds = Dataset::from_rows(
-            "ap",
-            vec![vec![995.0], vec![1015.0], vec![1035.0]],
-            None,
-        )
-        .unwrap();
+        let ds =
+            Dataset::from_rows("ap", vec![vec![995.0], vec![1015.0], vec![1035.0]], None).unwrap();
         let range_max = RangeNormalizer::fit_transform(&ds);
         let min_max = MinMaxNormalizer::fit_transform(&ds);
         // raw/max collapses the spread to ~4%; min-max spans the full
         // [0, 1/M] interval.
-        let spread = |d: &Dataset| d.column(0).iter().cloned().fold(f64::MIN, f64::max)
-            - d.column(0).iter().cloned().fold(f64::MAX, f64::min);
+        let spread = |d: &Dataset| {
+            d.column(0).iter().cloned().fold(f64::MIN, f64::max)
+                - d.column(0).iter().cloned().fold(f64::MAX, f64::min)
+        };
         assert!(spread(&range_max) < 0.05);
         assert!((spread(&min_max) - 1.0).abs() < 1e-12); // M = 1 here
     }

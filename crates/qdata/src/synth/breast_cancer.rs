@@ -44,8 +44,12 @@ pub fn generate(num_samples: usize, num_anomalies: usize, seed: u64) -> Dataset 
     let mut rng = StdRng::seed_from_u64(seed ^ 0xb5ea57);
     let num_normal = num_samples - num_anomalies;
 
-    let normals: Vec<Vec<f64>> = (0..num_normal).map(|_| sample_row(&mut rng, false)).collect();
-    let anomalies: Vec<Vec<f64>> = (0..num_anomalies).map(|_| sample_row(&mut rng, true)).collect();
+    let normals: Vec<Vec<f64>> = (0..num_normal)
+        .map(|_| sample_row(&mut rng, false))
+        .collect();
+    let anomalies: Vec<Vec<f64>> = (0..num_anomalies)
+        .map(|_| sample_row(&mut rng, true))
+        .collect();
 
     let mut names = Vec::with_capacity(30);
     for stat in ["mean", "se", "worst"] {

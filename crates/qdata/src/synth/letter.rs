@@ -35,7 +35,9 @@ pub fn generate(num_samples: usize, num_anomalies: usize, seed: u64) -> Dataset 
 
     // Cluster centres live in a moderate shell around a shared base point,
     // mimicking letters that share global stroke statistics.
-    let base: Vec<f64> = (0..FEATURES).map(|_| gaussian(&mut rng, 7.5, 1.2)).collect();
+    let base: Vec<f64> = (0..FEATURES)
+        .map(|_| gaussian(&mut rng, 7.5, 1.2))
+        .collect();
     let make_centre = |rng: &mut StdRng, radius: f64| -> Vec<f64> {
         base.iter()
             .map(|&b| b + gaussian(rng, 0.0, radius))

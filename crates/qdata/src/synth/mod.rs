@@ -149,8 +149,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let samples: Vec<f64> = (0..20_000).map(|_| gaussian(&mut rng, 3.0, 2.0)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.25, "var {var}");
     }

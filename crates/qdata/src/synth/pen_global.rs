@@ -28,7 +28,7 @@ pub fn pen_global(seed: u64) -> Dataset {
 /// Panics if `num_anomalies >= num_samples`.
 pub fn generate(num_samples: usize, num_anomalies: usize, seed: u64) -> Dataset {
     assert!(num_anomalies < num_samples, "more anomalies than samples");
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e4_61_0ba1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e4610ba1);
     let num_normal = num_samples - num_anomalies;
 
     let normals: Vec<Vec<f64>> = (0..num_normal).map(|_| trace_digit(&mut rng, 8)).collect();
@@ -83,17 +83,17 @@ fn stroke(digit: usize, t: f64) -> (f64, f64) {
             50.0 + 40.0 * (2.0 * PI * t).cos(),
         ),
         // Vertical bar with a small flag.
-        1 => (55.0 - 10.0 * (1.0 - t) * (t < 0.2) as u8 as f64, 90.0 - 80.0 * t),
+        1 => (
+            55.0 - 10.0 * (1.0 - t) * (t < 0.2) as u8 as f64,
+            90.0 - 80.0 * t,
+        ),
         // S-curve with a base bar.
         2 => (
             30.0 + 40.0 * t + 12.0 * (2.0 * PI * t).sin(),
             85.0 - 70.0 * t + 10.0 * (3.0 * PI * t).sin(),
         ),
         // Double bump on the right.
-        3 => (
-            55.0 + 20.0 * (2.0 * PI * t).sin().abs(),
-            88.0 - 76.0 * t,
-        ),
+        3 => (55.0 + 20.0 * (2.0 * PI * t).sin().abs(), 88.0 - 76.0 * t),
         // Diagonal-and-loop.
         5 => (
             62.0 - 30.0 * t + 18.0 * (PI * t).sin(),
@@ -166,7 +166,8 @@ mod tests {
             .filter(|(i, _)| labels[*i])
             .map(|(_, r)| r)
             .collect();
-        let mean_anom: f64 = anom_rows.iter().map(|r| dist(r)).sum::<f64>() / anom_rows.len() as f64;
+        let mean_anom: f64 =
+            anom_rows.iter().map(|r| dist(r)).sum::<f64>() / anom_rows.len() as f64;
         assert!(
             mean_anom > mean_normal * 1.3,
             "anomaly distance {mean_anom} vs normal {mean_normal}"

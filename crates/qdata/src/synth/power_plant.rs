@@ -41,7 +41,9 @@ pub fn generate(num_samples: usize, num_anomalies: usize, seed: u64) -> Dataset 
     let num_normal = num_samples - num_anomalies;
 
     let normals: Vec<Vec<f64>> = (0..num_normal).map(|_| physical_row(&mut rng)).collect();
-    let anomalies: Vec<Vec<f64>> = (0..num_anomalies).map(|_| plausible_row(&mut rng)).collect();
+    let anomalies: Vec<Vec<f64>> = (0..num_anomalies)
+        .map(|_| plausible_row(&mut rng))
+        .collect();
 
     let names = RANGES.iter().map(|(n, ..)| (*n).to_string()).collect();
     assemble("power-plant", normals, anomalies, &mut rng).with_feature_names(names)
@@ -53,12 +55,10 @@ fn physical_row<R: Rng + ?Sized>(rng: &mut R) -> Vec<f64> {
     // Ambient temperature drives everything.
     let at = (gaussian(rng, 19.6, 7.4)).clamp(RANGES[0].1, RANGES[0].2);
     // Vacuum rises with temperature (turbine back-pressure).
-    let v = (25.36 + 1.35 * (at - 1.81) + gaussian(rng, 0.0, 5.0))
-        .clamp(RANGES[1].1, RANGES[1].2);
+    let v = (25.36 + 1.35 * (at - 1.81) + gaussian(rng, 0.0, 5.0)).clamp(RANGES[1].1, RANGES[1].2);
     let ap = gaussian(rng, 1013.0, 5.9).clamp(RANGES[2].1, RANGES[2].2);
     // Humidity is mildly anti-correlated with temperature.
-    let rh = (73.0 - 0.8 * (at - 19.6) + gaussian(rng, 0.0, 11.0))
-        .clamp(RANGES[3].1, RANGES[3].2);
+    let rh = (73.0 - 0.8 * (at - 19.6) + gaussian(rng, 0.0, 11.0)).clamp(RANGES[3].1, RANGES[3].2);
     // The well-known CCPP regression: PE falls ~1.7 MW per °C and ~0.3 MW
     // per cm Hg of vacuum.
     let pe = (497.0 - 1.70 * at - 0.30 * (v - 25.36) + 0.06 * (ap - 1013.0)

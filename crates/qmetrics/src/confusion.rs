@@ -1,7 +1,6 @@
 //! Confusion-matrix metrics: precision, recall, F1, accuracy — the four
 //! numbers of the paper's Fig. 8.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A binary confusion matrix where "positive" means *anomaly*.
@@ -20,7 +19,7 @@ use std::fmt;
 /// assert!((cm.f1() - 0.5).abs() < 1e-12);
 /// assert!((cm.accuracy() - 0.6).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ConfusionMatrix {
     tp: usize,
     fp: usize,

@@ -38,10 +38,7 @@ pub fn flag_top_n(scores: &[f64], n: usize) -> Vec<bool> {
 ///
 /// Panics if `fraction` is outside `[0, 1]`.
 pub fn flag_top_fraction(scores: &[f64], fraction: f64) -> Vec<bool> {
-    assert!(
-        (0.0..=1.0).contains(&fraction),
-        "fraction must be in [0,1]"
-    );
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
     let n = (scores.len() as f64 * fraction).round() as usize;
     flag_top_n(scores, n)
 }
@@ -66,11 +63,7 @@ pub fn detection_rate_at(scores: &[f64], labels: &[bool], fraction: f64) -> f64 
         return 0.0;
     }
     let flags = flag_top_fraction(scores, fraction);
-    let found = flags
-        .iter()
-        .zip(labels)
-        .filter(|(&f, &l)| f && l)
-        .count();
+    let found = flags.iter().zip(labels).filter(|(&f, &l)| f && l).count();
     found as f64 / total_anomalies as f64
 }
 

@@ -7,8 +7,8 @@
 //! evaluations per sample.
 
 use crate::model::QnnModel;
-use qdata::Dataset;
 use qdata::preprocess::RangeNormalizer;
+use qdata::Dataset;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -141,14 +141,14 @@ pub fn train(data: &Dataset, config: &TrainConfig) -> TrainedQnn {
                 // dL/dz = dL/dp · dp/dz = ((p − y)/(p(1−p))) · (−1/2)
                 let dl_dz = -0.5 * (p - y) / (p * (1.0 - p));
                 // Parameter-shift rule per trainable angle.
-                for k in 0..model.num_params() {
+                for (k, g) in grad.iter_mut().enumerate() {
                     let theta = model.params()[k];
                     model.set_param(k, theta + FRAC_PI_2);
                     let z_plus = model.expectation(x);
                     model.set_param(k, theta - FRAC_PI_2);
                     let z_minus = model.expectation(x);
                     model.set_param(k, theta);
-                    grad[k] += dl_dz * (z_plus - z_minus) / 2.0;
+                    *g += dl_dz * (z_plus - z_minus) / 2.0;
                 }
             }
             let scale = 1.0 / batch.len() as f64;

@@ -328,7 +328,11 @@ impl Circuit {
     ///
     /// Returns an error if any shifted operand exceeds this circuit's width
     /// or `other` measures into a classical bit this circuit lacks.
-    pub fn compose(&mut self, other: &Circuit, qubit_offset: usize) -> Result<&mut Self, QsimError> {
+    pub fn compose(
+        &mut self,
+        other: &Circuit,
+        qubit_offset: usize,
+    ) -> Result<&mut Self, QsimError> {
         for instr in &other.instructions {
             let shifted = Instruction {
                 op: instr.op.clone(),
@@ -443,6 +447,67 @@ impl Circuit {
             })
             .collect()
     }
+
+    /// Accumulates the circuit into a single dense `2^n × 2^n` unitary by
+    /// evolving every computational basis state through the gate list.
+    ///
+    /// This is the fusion primitive behind analytic scoring engines: a
+    /// fixed subcircuit (e.g. an autoencoder ansatz) is folded into one
+    /// matrix once, then applied to many states as a plain matvec via
+    /// [`crate::statevector::Statevector::apply_unitary`].
+    ///
+    /// # Errors
+    ///
+    /// * [`QsimError::Unsupported`] if the circuit contains a reset or
+    ///   measurement (non-unitary), or spans more than 12 qubits (the
+    ///   dense matrix would exceed sensible memory).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qsim::circuit::Circuit;
+    ///
+    /// let mut qc = Circuit::new(1);
+    /// qc.h(0);
+    /// let u = qc.to_unitary().unwrap();
+    /// assert!(u.is_unitary(1e-12));
+    /// let s = std::f64::consts::FRAC_1_SQRT_2;
+    /// assert!((u[(0, 0)].re - s).abs() < 1e-12);
+    /// assert!((u[(1, 1)].re + s).abs() < 1e-12);
+    /// ```
+    pub fn to_unitary(&self) -> Result<crate::matrix::CMatrix, QsimError> {
+        use crate::complex::C64;
+        use crate::statevector::Statevector;
+
+        if self.num_qubits > 12 {
+            return Err(QsimError::Unsupported(format!(
+                "dense unitary of a {}-qubit circuit would be too large",
+                self.num_qubits
+            )));
+        }
+        let dim = 1usize << self.num_qubits;
+        let mut unitary = crate::matrix::CMatrix::zeros(dim, dim);
+        for col in 0..dim {
+            let mut amps = vec![C64::ZERO; dim];
+            amps[col] = C64::ONE;
+            let mut sv = Statevector::from_amplitudes(amps)?;
+            for instr in &self.instructions {
+                match &instr.op {
+                    Operation::Gate(g) => sv.apply_gate(*g, &instr.qubits)?,
+                    Operation::Barrier => {}
+                    Operation::Reset | Operation::Measure { .. } => {
+                        return Err(QsimError::Unsupported(
+                            "dense unitary of a non-unitary circuit".into(),
+                        ))
+                    }
+                }
+            }
+            for (row, &a) in sv.amplitudes().iter().enumerate() {
+                unitary[(row, col)] = a;
+            }
+        }
+        Ok(unitary)
+    }
 }
 
 impl fmt::Display for Circuit {
@@ -515,7 +580,9 @@ mod tests {
         let mut qc = Circuit::new(2);
         let err = qc.push(Instruction::gate(Gate::H, vec![5])).unwrap_err();
         assert!(matches!(err, QsimError::QubitOutOfRange { qubit: 5, .. }));
-        let err = qc.push(Instruction::gate(Gate::CX, vec![1, 1])).unwrap_err();
+        let err = qc
+            .push(Instruction::gate(Gate::CX, vec![1, 1]))
+            .unwrap_err();
         assert!(matches!(err, QsimError::DuplicateQubit { qubit: 1 }));
         let err = qc.push(Instruction::gate(Gate::CX, vec![0])).unwrap_err();
         assert!(matches!(err, QsimError::DimensionMismatch { .. }));

@@ -201,6 +201,7 @@ impl Mul<C64> for f64 {
 impl Div for C64 {
     type Output = C64;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z · w⁻¹ by definition
     fn div(self, rhs: C64) -> C64 {
         self * rhs.recip()
     }
@@ -319,7 +320,7 @@ mod tests {
     #[test]
     fn cis_is_unit_modulus() {
         for k in 0..16 {
-            let theta = k as f64 * 0.39269908;
+            let theta = k as f64 * std::f64::consts::FRAC_PI_8;
             assert!((C64::cis(theta).abs() - 1.0).abs() < TOL);
         }
     }

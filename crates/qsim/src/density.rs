@@ -282,9 +282,9 @@ impl DensityMatrix {
                     continue;
                 }
                 // Gather, transform, scatter the sub_dim rows of this group.
-                for s in 0..sub_dim {
+                for (s, slot) in scratch.iter_mut().enumerate() {
                     let row = expand_index(base, s, &masks, k);
-                    scratch[s] = self.data[row * dim + col];
+                    *slot = self.data[row * dim + col];
                 }
                 for s_out in 0..sub_dim {
                     let mut acc = C64::ZERO;
@@ -311,9 +311,9 @@ impl DensityMatrix {
                 if base & all_mask != 0 {
                     continue;
                 }
-                for s in 0..sub_dim {
+                for (s, slot) in scratch.iter_mut().enumerate() {
                     let col = expand_index(base, s, &masks, k);
-                    scratch[s] = self.data[row * dim + col];
+                    *slot = self.data[row * dim + col];
                 }
                 for s_out in 0..sub_dim {
                     // (ρ M†)[row, col_out] = Σ_in ρ[row, col_in] · conj(M[col_out, col_in])
@@ -669,7 +669,7 @@ mod tests {
         let mut rho = DensityMatrix::new(3);
         for _ in 0..30 {
             let q = rng.gen_range(0..3);
-            let theta: f64 = rng.gen_range(0.0..6.28);
+            let theta: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
             let choice = rng.gen_range(0..6);
             let (gate, qubits): (Gate, Vec<usize>) = match choice {
                 0 => (Gate::RX(theta), vec![q]),
@@ -807,10 +807,12 @@ mod tests {
         let mut rho = DensityMatrix::new(3);
         for _ in 0..12 {
             let q = rng.gen_range(0..3);
-            rho.apply_gate(Gate::RY(rng.gen_range(0.0..6.28)), &[q]).unwrap();
+            rho.apply_gate(Gate::RY(rng.gen_range(0.0..std::f64::consts::TAU)), &[q])
+                .unwrap();
             rho.apply_gate(Gate::CX, &[q, (q + 1) % 3]).unwrap();
         }
-        rho.apply_kraus(&crate::noise::depolarizing_1q(0.2), &[1]).unwrap();
+        rho.apply_kraus(&crate::noise::depolarizing_1q(0.2), &[1])
+            .unwrap();
         rho
     }
 

@@ -70,17 +70,17 @@ pub fn draw(circ: &Circuit) -> String {
         // Vertical connectors through pass-through wires of multi-qubit
         // gates.
         if hi > lo {
-            for q in lo + 1..hi {
-                if !instr.qubits.contains(&q) {
-                    cells[col][q] = Some(CellLabel::Passthrough);
+            for (offset, cell) in cells[col][lo + 1..hi].iter_mut().enumerate() {
+                if !instr.qubits.contains(&(lo + 1 + offset)) {
+                    *cell = Some(CellLabel::Passthrough);
                 }
             }
         }
         for &q in &instr.qubits {
             level[q] = col + 1;
         }
-        for q in lo..=hi {
-            level[q] = level[q].max(col + 1);
+        for lvl in &mut level[lo..=hi] {
+            *lvl = (*lvl).max(col + 1);
         }
     }
 
@@ -206,7 +206,10 @@ mod tests {
         qc.cx(0, 2);
         let art = draw(&qc);
         let lines: Vec<&str> = art.lines().collect();
-        assert!(lines[1].contains('┼'), "middle wire missing connector: {art}");
+        assert!(
+            lines[1].contains('┼'),
+            "middle wire missing connector: {art}"
+        );
     }
 
     #[test]

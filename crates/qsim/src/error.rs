@@ -57,7 +57,10 @@ impl fmt::Display for QsimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QsimError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "qubit index {qubit} out of range for {num_qubits} qubits")
+                write!(
+                    f,
+                    "qubit index {qubit} out of range for {num_qubits} qubits"
+                )
             }
             QsimError::DuplicateQubit { qubit } => {
                 write!(f, "qubit {qubit} used more than once in a single operation")
@@ -75,7 +78,10 @@ impl fmt::Display for QsimError {
                 write!(f, "probability {value} outside [0, 1]")
             }
             QsimError::ClbitOutOfRange { clbit, num_clbits } => {
-                write!(f, "classical bit {clbit} out of range for {num_clbits} bits")
+                write!(
+                    f,
+                    "classical bit {clbit} out of range for {num_clbits} bits"
+                )
             }
             QsimError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
         }

@@ -166,7 +166,10 @@ impl Gate {
             Gate::I => [[l, o], [o, l]],
             Gate::H => [
                 [C64::from_real(FRAC_1_SQRT_2), C64::from_real(FRAC_1_SQRT_2)],
-                [C64::from_real(FRAC_1_SQRT_2), C64::from_real(-FRAC_1_SQRT_2)],
+                [
+                    C64::from_real(FRAC_1_SQRT_2),
+                    C64::from_real(-FRAC_1_SQRT_2),
+                ],
             ],
             Gate::X => [[o, l], [l, o]],
             Gate::Y => [[o, -i], [i, o]],
@@ -198,10 +201,7 @@ impl Gate {
                     [C64::from_real(s), C64::from_real(c)],
                 ]
             }
-            Gate::RZ(t) => [
-                [C64::cis(-t / 2.0), o],
-                [o, C64::cis(t / 2.0)],
-            ],
+            Gate::RZ(t) => [[C64::cis(-t / 2.0), o], [o, C64::cis(t / 2.0)]],
             Gate::Phase(t) => [[l, o], [o, C64::cis(t)]],
             Gate::U(theta, phi, lambda) => {
                 let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
@@ -301,7 +301,11 @@ impl Gate {
     /// The rotation angle, if this is a parameterised single-parameter gate.
     pub fn angle(&self) -> Option<f64> {
         match *self {
-            Gate::RX(t) | Gate::RY(t) | Gate::RZ(t) | Gate::Phase(t) | Gate::CRZ(t)
+            Gate::RX(t)
+            | Gate::RY(t)
+            | Gate::RZ(t)
+            | Gate::Phase(t)
+            | Gate::CRZ(t)
             | Gate::CPhase(t) => Some(t),
             _ => None,
         }

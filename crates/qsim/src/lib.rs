@@ -20,6 +20,8 @@
 //!   branching statevector and density matrix.
 //! * [`parallel`] — batch execution across threads ("embarrassingly
 //!   parallel" ensembles, paper §IV-F).
+//! * [`sampling`] — the shared cumulative-distribution shot sampler used
+//!   by every backend and engine.
 //!
 //! ## Quick example: a SWAP test
 //!
@@ -49,9 +51,10 @@ pub mod error;
 pub mod gate;
 pub mod matrix;
 pub mod noise;
-pub mod pauli;
 pub mod parallel;
+pub mod pauli;
 pub mod qasm;
+pub mod sampling;
 pub mod simulator;
 pub mod stateprep;
 pub mod statevector;
@@ -62,5 +65,7 @@ pub use complex::C64;
 pub use error::QsimError;
 pub use gate::Gate;
 pub use noise::NoiseModel;
-pub use simulator::{Backend, Counts, DensityMatrixBackend, OutcomeDistribution, StatevectorBackend};
+pub use simulator::{
+    Backend, Counts, DensityMatrixBackend, OutcomeDistribution, StatevectorBackend,
+};
 pub use statevector::Statevector;

@@ -162,13 +162,13 @@ impl CMatrix {
     pub fn mul_vec(&self, v: &[C64]) -> Vec<C64> {
         assert_eq!(v.len(), self.cols, "vector length must match columns");
         let mut out = vec![C64::ZERO; self.rows];
-        for i in 0..self.rows {
+        for (i, slot) in out.iter_mut().enumerate() {
             let mut acc = C64::ZERO;
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
             for (a, x) in row.iter().zip(v) {
                 acc += *a * *x;
             }
-            out[i] = acc;
+            *slot = acc;
         }
         out
     }
@@ -318,10 +318,7 @@ mod tests {
 
     #[test]
     fn identity_is_multiplicative_unit() {
-        let a = CMatrix::from_rows(&[
-            &[c(1.0, 1.0), c(2.0, 0.0)],
-            &[c(0.0, -1.0), c(3.0, 0.5)],
-        ]);
+        let a = CMatrix::from_rows(&[&[c(1.0, 1.0), c(2.0, 0.0)], &[c(0.0, -1.0), c(3.0, 0.5)]]);
         let i = CMatrix::identity(2);
         assert!((&a * &i).approx_eq(&a, 1e-12));
         assert!((&i * &a).approx_eq(&a, 1e-12));
@@ -371,10 +368,7 @@ mod tests {
     #[test]
     fn unitarity_check_accepts_hadamard_rejects_scaled() {
         let s = std::f64::consts::FRAC_1_SQRT_2;
-        let h = CMatrix::from_rows(&[
-            &[c(s, 0.0), c(s, 0.0)],
-            &[c(s, 0.0), c(-s, 0.0)],
-        ]);
+        let h = CMatrix::from_rows(&[&[c(s, 0.0), c(s, 0.0)], &[c(s, 0.0), c(-s, 0.0)]]);
         assert!(h.is_unitary(1e-12));
         assert!(!h.scaled(c(2.0, 0.0)).is_unitary(1e-9));
     }

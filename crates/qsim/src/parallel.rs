@@ -2,8 +2,8 @@
 //!
 //! Quorum's ensemble groups are "embarrassingly parallel" (paper §IV-F):
 //! every group is independent. This module provides a work-stealing batch
-//! runner over any [`Backend`] using crossbeam scoped threads — no `'static`
-//! bounds, no unsafe.
+//! runner over any [`Backend`] using `std::thread::scope` — no `'static`
+//! bounds required.
 
 use crate::circuit::Circuit;
 use crate::error::QsimError;
@@ -42,11 +42,11 @@ pub fn run_batch<B: Backend>(
     let next = AtomicUsize::new(0);
     let results_ptr = ResultsCell(&mut results);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let results_ref = &results_ptr;
         let next_ref = &next;
         for _ in 0..threads {
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let idx = next_ref.fetch_add(1, Ordering::Relaxed);
                 if idx >= circuits.len() {
                     break;
@@ -57,8 +57,7 @@ pub fn run_batch<B: Backend>(
                 results_ref.set(idx, out);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     results
         .into_iter()
@@ -78,7 +77,8 @@ impl ResultsCell<'_> {
         // SAFETY: `idx` is claimed exactly once via fetch_add, so writes
         // never alias; the buffer outlives the thread scope.
         unsafe {
-            let slot = self.0.as_ptr().add(idx) as *mut Option<Result<OutcomeDistribution, QsimError>>;
+            let slot =
+                self.0.as_ptr().add(idx) as *mut Option<Result<OutcomeDistribution, QsimError>>;
             *slot = Some(value);
         }
     }
@@ -100,12 +100,12 @@ where
     let next = AtomicUsize::new(0);
     let cell = MapCell(&mut results);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let cell_ref = &cell;
         let next_ref = &next;
         let f_ref = &f;
         for _ in 0..threads {
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let idx = next_ref.fetch_add(1, Ordering::Relaxed);
                 if idx >= num_items {
                     break;
@@ -113,8 +113,7 @@ where
                 cell_ref.set(idx, f_ref(idx));
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     results
         .into_iter()
@@ -149,9 +148,7 @@ mod tests {
 
     #[test]
     fn batch_results_preserve_order() {
-        let circuits: Vec<Circuit> = (0..16)
-            .map(|i| sample_circuit(i as f64 * 0.2))
-            .collect();
+        let circuits: Vec<Circuit> = (0..16).map(|i| sample_circuit(i as f64 * 0.2)).collect();
         let backend = StatevectorBackend::new();
         let seq = run_batch(&backend, &circuits, 1);
         let par = run_batch(&backend, &circuits, 4);

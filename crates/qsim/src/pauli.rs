@@ -108,7 +108,7 @@ impl PauliString {
                     Pauli::Y => {
                         j ^= 1 << q;
                         // Y|0> = i|1>, Y|1> = -i|0>
-                        phase = phase * if bit == 0 { C64::I } else { -C64::I };
+                        phase *= if bit == 0 { C64::I } else { -C64::I };
                     }
                     Pauli::Z => {
                         if bit == 1 {
@@ -329,9 +329,7 @@ mod tests {
         let mut sv = Statevector::new(2);
         sv.apply_gate(Gate::RY(0.9), &[1]).unwrap();
         let z1 = PauliString::z_on(2, 1);
-        assert!(
-            (z1.expectation(&sv).unwrap() - sv.expectation_z(1).unwrap()).abs() < TOL
-        );
+        assert!((z1.expectation(&sv).unwrap() - sv.expectation_z(1).unwrap()).abs() < TOL);
     }
 
     #[test]

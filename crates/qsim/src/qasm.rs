@@ -78,7 +78,11 @@ fn qasm_gate_name(g: &Gate) -> &'static str {
 
 fn qasm_params(g: &Gate) -> String {
     match *g {
-        Gate::RX(t) | Gate::RY(t) | Gate::RZ(t) | Gate::Phase(t) | Gate::CRZ(t)
+        Gate::RX(t)
+        | Gate::RY(t)
+        | Gate::RZ(t)
+        | Gate::Phase(t)
+        | Gate::CRZ(t)
         | Gate::CPhase(t) => format!("({t})"),
         Gate::U(a, b, c) => format!("({a},{b},{c})"),
         _ => String::new(),
@@ -93,9 +97,13 @@ fn qasm_params(g: &Gate) -> String {
 /// Returns [`QsimError::Unsupported`] for syntax or gates outside the
 /// subset, and propagates circuit-validation errors for bad operands.
 pub fn from_qasm(text: &str) -> Result<Circuit, QsimError> {
+    /// One parsed statement: mnemonic, angle parameters, qubit operands,
+    /// and the destination clbit for measures.
+    type ParsedOp = (String, Vec<f64>, Vec<usize>, Option<usize>);
+
     let mut num_qubits = 0usize;
     let mut num_clbits = 0usize;
-    let mut body: Vec<(String, Vec<f64>, Vec<usize>, Option<usize>)> = Vec::new();
+    let mut body: Vec<ParsedOp> = Vec::new();
 
     for raw_line in text.lines() {
         let line = raw_line.trim();
@@ -127,7 +135,12 @@ pub fn from_qasm(text: &str) -> Result<Circuit, QsimError> {
             continue;
         }
         if let Some(rest) = line.strip_prefix("reset ") {
-            body.push(("reset".into(), vec![], vec![parse_index(rest.trim(), 'q')?], None));
+            body.push((
+                "reset".into(),
+                vec![],
+                vec![parse_index(rest.trim(), 'q')?],
+                None,
+            ));
             continue;
         }
         if let Some(rest) = line.strip_prefix("barrier ") {

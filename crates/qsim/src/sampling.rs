@@ -1,0 +1,93 @@
+//! Shared cumulative-distribution sampling.
+//!
+//! Every shot-sampling path in the stack — [`crate::statevector::Statevector::sample_counts`],
+//! [`crate::simulator::OutcomeDistribution::sample`] and the analytic
+//! scoring engine's binomial draws — reduces to the same primitive: draw
+//! `shots` indices from a weight vector. This module is the single
+//! implementation, with a binary-search hot loop over the prefix-sum
+//! table.
+
+use rand::Rng;
+
+/// Draws `shots` indices proportional to `weights` and returns the count
+/// per index (`result.len() == weights.len()`).
+///
+/// Weights need not be normalised; draws are taken against the running
+/// total. Zero-weight entries are never selected (up to floating-point
+/// boundary effects identical to the previous per-call-site
+/// implementations). An empty weight vector yields an empty count vector
+/// regardless of `shots`.
+pub fn sample_counts_by_index<R: Rng + ?Sized>(
+    weights: &[f64],
+    shots: u64,
+    rng: &mut R,
+) -> Vec<u64> {
+    if weights.is_empty() {
+        return Vec::new();
+    }
+    let mut cumulative = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for &w in weights {
+        acc += w;
+        cumulative.push(acc);
+    }
+    let mut counts = vec![0u64; weights.len()];
+    for _ in 0..shots {
+        let r: f64 = rng.gen::<f64>() * acc;
+        // Binary search for the first cumulative weight ≥ r.
+        let idx = cumulative
+            .partition_point(|&c| c < r)
+            .min(weights.len() - 1);
+        counts[idx] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counts_sum_to_shots() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let counts = sample_counts_by_index(&[0.2, 0.3, 0.5], 10_000, &mut rng);
+        assert_eq!(counts.iter().sum::<u64>(), 10_000);
+    }
+
+    #[test]
+    fn frequencies_track_weights() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let counts = sample_counts_by_index(&[1.0, 3.0], 40_000, &mut rng);
+        let frac = counts[1] as f64 / 40_000.0;
+        assert!((frac - 0.75).abs() < 0.01, "sampled {frac}");
+    }
+
+    #[test]
+    fn zero_weight_entries_are_never_drawn() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let counts = sample_counts_by_index(&[0.5, 0.0, 0.5], 5_000, &mut rng);
+        assert_eq!(counts[1], 0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = sample_counts_by_index(&[0.1, 0.9], 500, &mut StdRng::seed_from_u64(7));
+        let b = sample_counts_by_index(&[0.1, 0.9], 500, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_weights_yield_empty_counts() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(sample_counts_by_index(&[], 100, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn single_entry_takes_everything() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let counts = sample_counts_by_index(&[0.123], 64, &mut rng);
+        assert_eq!(counts, vec![64]);
+    }
+}

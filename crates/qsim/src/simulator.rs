@@ -73,20 +73,13 @@ impl OutcomeDistribution {
     /// Draws `shots` samples.
     pub fn sample<R: Rng + ?Sized>(&self, shots: u64, rng: &mut R) -> Counts {
         let entries = self.entries();
-        let mut cumulative = Vec::with_capacity(entries.len());
-        let mut acc = 0.0;
-        for &(_, p) in &entries {
-            acc += p;
-            cumulative.push(acc);
-        }
-        let mut map = HashMap::new();
-        for _ in 0..shots {
-            let r: f64 = rng.gen::<f64>() * acc;
-            let idx = cumulative
-                .partition_point(|&c| c < r)
-                .min(entries.len().saturating_sub(1));
-            *map.entry(entries[idx].0).or_insert(0) += 1;
-        }
+        let weights: Vec<f64> = entries.iter().map(|&(_, p)| p).collect();
+        let map = crate::sampling::sample_counts_by_index(&weights, shots, rng)
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, c)| c > 0)
+            .map(|(idx, c)| (entries[idx].0, c))
+            .collect();
         Counts {
             num_clbits: self.num_clbits,
             shots,
@@ -335,12 +328,12 @@ impl StatevectorBackend {
                 }
                 let mut sv = b.sv.clone();
                 sv.collapse(q, outcome)?;
-                let clbits = if outcome { b.clbits | bit } else { b.clbits & !bit };
-                out.push(Branch {
-                    weight,
-                    sv,
-                    clbits,
-                });
+                let clbits = if outcome {
+                    b.clbits | bit
+                } else {
+                    b.clbits & !bit
+                };
+                out.push(Branch { weight, sv, clbits });
             }
         }
         Ok(out)

@@ -37,7 +37,10 @@ use crate::error::QsimError;
 /// }
 /// assert!((sv.amplitude(3).re - 0.5).abs() < 1e-10);
 /// ```
-pub fn prepare_real_amplitudes(num_qubits: usize, amplitudes: &[f64]) -> Result<Circuit, QsimError> {
+pub fn prepare_real_amplitudes(
+    num_qubits: usize,
+    amplitudes: &[f64],
+) -> Result<Circuit, QsimError> {
     let dim = 1usize << num_qubits;
     if amplitudes.len() != dim {
         return Err(QsimError::DimensionMismatch {
@@ -190,7 +193,7 @@ mod tests {
         for _ in 0..10 {
             let mut amps: Vec<f64> = vec![0.0; 16];
             for _ in 0..3 {
-                let idx = rng.gen_range(0..16);
+                let idx: usize = rng.gen_range(0..16);
                 amps[idx] = rng.gen::<f64>() + 0.01;
             }
             assert_prepares(4, &amps);

@@ -248,7 +248,7 @@ impl Statevector {
         let mask = 1usize << q;
         for (i, a) in self.amps.iter_mut().enumerate() {
             if i & mask != 0 {
-                *a = *a * factor;
+                *a *= factor;
             }
         }
     }
@@ -259,7 +259,7 @@ impl Statevector {
         let minus = C64::cis(-theta / 2.0);
         let plus = C64::cis(theta / 2.0);
         for (i, a) in self.amps.iter_mut().enumerate() {
-            *a = *a * if i & mask == 0 { minus } else { plus };
+            *a *= if i & mask == 0 { minus } else { plus };
         }
     }
 
@@ -279,7 +279,7 @@ impl Statevector {
         let mask = (1usize << a) | (1usize << b);
         for (i, amp) in self.amps.iter_mut().enumerate() {
             if i & mask == mask {
-                *amp = *amp * factor;
+                *amp *= factor;
             }
         }
     }
@@ -292,7 +292,7 @@ impl Statevector {
         let plus = C64::cis(theta / 2.0);
         for (i, amp) in self.amps.iter_mut().enumerate() {
             if i & cmask != 0 {
-                *amp = *amp * if i & tmask == 0 { minus } else { plus };
+                *amp *= if i & tmask == 0 { minus } else { plus };
             }
         }
     }
@@ -329,6 +329,34 @@ impl Statevector {
                 self.amps.swap(i, i ^ amask ^ bmask);
             }
         }
+    }
+
+    /// Applies a dense `2^n × 2^n` unitary to the whole register as one
+    /// matrix–vector product.
+    ///
+    /// Combined with [`crate::circuit::Circuit::to_unitary`] this fuses a
+    /// fixed subcircuit into a single operation: one cached matrix applied
+    /// per state instead of replaying a gate list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::DimensionMismatch`] if `u` is not
+    /// `dim() × dim()`.
+    pub fn apply_unitary(&mut self, u: &crate::matrix::CMatrix) -> Result<(), QsimError> {
+        if u.rows() != self.dim() || u.cols() != self.dim() {
+            // Report whichever dimension is off (rows first if both are).
+            let actual = if u.rows() != self.dim() {
+                u.rows()
+            } else {
+                u.cols()
+            };
+            return Err(QsimError::DimensionMismatch {
+                expected: self.dim(),
+                actual,
+            });
+        }
+        self.amps = u.mul_vec(&self.amps);
+        Ok(())
     }
 
     /// Probability of measuring qubit `q` as `|1⟩`.
@@ -420,19 +448,12 @@ impl Statevector {
         rng: &mut R,
     ) -> std::collections::HashMap<u64, u64> {
         let probs = self.probabilities();
-        let mut cumulative = Vec::with_capacity(probs.len());
-        let mut acc = 0.0;
-        for p in &probs {
-            acc += p;
-            cumulative.push(acc);
-        }
-        let mut counts = std::collections::HashMap::new();
-        for _ in 0..shots {
-            let r: f64 = rng.gen::<f64>() * acc;
-            let idx = cumulative.partition_point(|&c| c < r).min(probs.len() - 1);
-            *counts.entry(idx as u64).or_insert(0) += 1;
-        }
-        counts
+        crate::sampling::sample_counts_by_index(&probs, shots, rng)
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, c)| c > 0)
+            .map(|(idx, c)| (idx as u64, c))
+            .collect()
     }
 
     /// Inner product `⟨self|other⟩`.
@@ -710,6 +731,45 @@ mod tests {
         let t = one.tensor(&zero);
         // self=|1> becomes bit 1 => index 2.
         assert!(t.amplitude(2).approx_eq(C64::ONE, TOL));
+    }
+
+    #[test]
+    fn apply_unitary_matches_gate_application() {
+        use crate::circuit::Circuit;
+        let mut qc = Circuit::new(2);
+        qc.h(0).cx(0, 1).rz(0.4, 1);
+        let u = qc.to_unitary().unwrap();
+
+        let mut via_matrix = Statevector::new(2);
+        via_matrix.apply_unitary(&u).unwrap();
+        let mut via_gates = Statevector::new(2);
+        via_gates.apply_gate(Gate::H, &[0]).unwrap();
+        via_gates.apply_gate(Gate::CX, &[0, 1]).unwrap();
+        via_gates.apply_gate(Gate::RZ(0.4), &[1]).unwrap();
+        assert!((via_matrix.fidelity(&via_gates).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_unitary_rejects_wrong_dimensions() {
+        use crate::matrix::CMatrix;
+        let mut sv = Statevector::new(2);
+        let err = sv.apply_unitary(&CMatrix::zeros(2, 2)).unwrap_err();
+        assert!(matches!(
+            err,
+            QsimError::DimensionMismatch {
+                expected: 4,
+                actual: 2
+            }
+        ));
+        // A non-square matrix with matching rows reports the bad columns.
+        let err = sv.apply_unitary(&CMatrix::zeros(4, 2)).unwrap_err();
+        assert!(matches!(
+            err,
+            QsimError::DimensionMismatch {
+                expected: 4,
+                actual: 2
+            }
+        ));
     }
 
     #[test]

@@ -288,7 +288,14 @@ fn last_touching(pending: &[Instruction], qubits: &[usize]) -> Option<usize> {
 fn is_self_inverse(g: Gate) -> bool {
     matches!(
         g,
-        Gate::H | Gate::X | Gate::Y | Gate::Z | Gate::CX | Gate::CZ | Gate::Swap | Gate::CCX
+        Gate::H
+            | Gate::X
+            | Gate::Y
+            | Gate::Z
+            | Gate::CX
+            | Gate::CZ
+            | Gate::Swap
+            | Gate::CCX
             | Gate::CSwap
     )
 }
@@ -411,9 +418,7 @@ mod tests {
         ];
         for g in gates {
             let mut ideal = Circuit::new(1);
-            ideal
-                .push(Instruction::gate(g, vec![0]))
-                .unwrap();
+            ideal.push(Instruction::gate(g, vec![0])).unwrap();
             let lowered = lower_1q_to_basis(&ideal);
             for instr in lowered.instructions() {
                 if let Operation::Gate(lg) = &instr.op {

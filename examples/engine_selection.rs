@@ -1,0 +1,74 @@
+//! Choosing a scoring engine: `Auto` (default), forced `Analytic`, or
+//! forced `Circuit` — and what each buys you.
+//!
+//! ```text
+//! cargo run --release --example engine_selection
+//! ```
+
+use quorum::core::{EngineKind, ExecutionMode, QuorumConfig, QuorumDetector};
+use quorum::data::Dataset;
+use quorum::sim::NoiseModel;
+use std::time::Instant;
+
+fn main() {
+    // 40 correlated readings plus two corrupted ones.
+    let mut rows: Vec<Vec<f64>> = (0..40)
+        .map(|i| {
+            let t = i as f64 * 0.02;
+            vec![
+                5.0 + t,
+                3.0 - t,
+                4.0 + 0.5 * t,
+                2.0,
+                6.0 - 0.3 * t,
+                3.5,
+                2.8,
+            ]
+        })
+        .collect();
+    rows.push(vec![0.3, 9.4, 0.2, 9.8, 0.1, 9.9, 0.4]);
+    rows.push(vec![9.7, 0.2, 9.9, 0.3, 9.6, 0.1, 9.8]);
+    let data = Dataset::from_rows("engine-demo", rows, None).unwrap();
+
+    let base = QuorumConfig::default()
+        .with_ensemble_groups(20)
+        .with_anomaly_rate_estimate(0.05)
+        .with_seed(7);
+
+    // The same pipeline through each engine: identical scores, very
+    // different wall time.
+    for kind in [EngineKind::Analytic, EngineKind::Circuit] {
+        let detector = QuorumDetector::new(base.clone().with_engine(kind)).unwrap();
+        let start = Instant::now();
+        let report = detector.score(&data).unwrap();
+        println!(
+            "{kind:>10?}: top-2 = {:?}  in {:.2?}",
+            &report.ranking()[..2],
+            start.elapsed()
+        );
+    }
+
+    // `Auto` resolves per execution mode: analytic when noiseless …
+    println!(
+        "\nAuto + Exact  resolves to: {:?}",
+        base.clone().effective_engine()
+    );
+    // … and the circuit engine when a noise model is attached.
+    let noisy = base.clone().with_execution(ExecutionMode::Noisy {
+        noise: NoiseModel::brisbane(),
+        shots: None,
+    });
+    println!("Auto + Noisy  resolves to: {:?}", noisy.effective_engine());
+
+    // Forcing the analytic engine under noise is rejected up front.
+    let invalid = base
+        .with_engine(EngineKind::Analytic)
+        .with_execution(ExecutionMode::Noisy {
+            noise: NoiseModel::brisbane(),
+            shots: None,
+        });
+    match QuorumDetector::new(invalid) {
+        Err(e) => println!("Analytic + Noisy is rejected: {e}"),
+        Ok(_) => unreachable!("validation must reject this combination"),
+    }
+}

@@ -20,7 +20,12 @@ fn main() {
     let sample = [0.11, 0.05, 0.09, 0.13, 0.02, 0.08, 0.10];
     let circ = build_sample_circuit(&sample, &ansatz, 1).expect("valid sample");
 
-    println!("Logical circuit: {} qubits, {} ops, depth {}", circ.num_qubits(), circ.len(), circ.depth());
+    println!(
+        "Logical circuit: {} qubits, {} ops, depth {}",
+        circ.num_qubits(),
+        circ.len(),
+        circ.depth()
+    );
 
     // Lower to the IBM basis {rz, sx, x, cx} — what the device executes.
     let native = transpile::to_native(&circ);

@@ -15,11 +15,11 @@ fn main() {
         .map(|i| {
             let drift = i as f64 * 0.01;
             vec![
-                20.0 + drift,      // temperature
-                1013.0 - drift,    // pressure
+                20.0 + drift,       // temperature
+                1013.0 - drift,     // pressure
                 55.0 + drift * 2.0, // humidity
-                0.82,              // duty cycle
-                11.9 + drift,      // supply voltage
+                0.82,               // duty cycle
+                11.9 + drift,       // supply voltage
             ]
         })
         .collect();

@@ -19,13 +19,13 @@ fn random_circuit(seed: u64, resets: usize) -> Circuit {
         let q = rng.gen_range(0..4);
         match rng.gen_range(0..5) {
             0 => {
-                qc.rx(rng.gen_range(0.0..6.28), q);
+                qc.rx(rng.gen_range(0.0..std::f64::consts::TAU), q);
             }
             1 => {
-                qc.ry(rng.gen_range(0.0..6.28), q);
+                qc.ry(rng.gen_range(0.0..std::f64::consts::TAU), q);
             }
             2 => {
-                qc.rz(rng.gen_range(0.0..6.28), q);
+                qc.rz(rng.gen_range(0.0..std::f64::consts::TAU), q);
             }
             3 => {
                 qc.h(q);
@@ -107,7 +107,10 @@ fn brisbane_noise_shifts_probabilities_mildly() {
         // Probabilities remain valid and close (Brisbane error rates are
         // per-mille scale per gate; these circuits have ~20 gates).
         assert!((0.0..=1.0).contains(&noisy));
-        assert!((clean - noisy).abs() < 0.15, "seed {seed}: {clean} vs {noisy}");
+        assert!(
+            (clean - noisy).abs() < 0.15,
+            "seed {seed}: {clean} vs {noisy}"
+        );
     }
     // Noise must do *something* in aggregate.
     assert!((clean_sum - noisy_sum).abs() > 1e-6);
@@ -133,7 +136,13 @@ fn transpiled_circuits_agree_across_backends() {
     // circuit on the statevector backend.
     use quorum::sim::transpile::decompose_multiqubit;
     let mut qc = Circuit::with_clbits(5, 1);
-    qc.h(0).ry(0.8, 1).cswap(0, 1, 2).ccx(1, 2, 3).swap(3, 4).cz(0, 4).measure(4, 0);
+    qc.h(0)
+        .ry(0.8, 1)
+        .cswap(0, 1, 2)
+        .ccx(1, 2, 3)
+        .swap(3, 4)
+        .cz(0, 4)
+        .measure(4, 0);
     let lowered = decompose_multiqubit(&qc);
     let sv = StatevectorBackend::new();
     let a = sv.probabilities(&qc).unwrap().marginal_one(0);

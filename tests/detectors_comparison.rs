@@ -49,7 +49,14 @@ fn all_unsupervised_detectors_separate_planted_anomalies() {
         // k = 1: with only four anomalies, k-means++ would seed extra
         // centroids directly on them (scores of 0); a single centroid is
         // the robust configuration at this scale.
-        ("kmeans", KMeansDetector { k: 1, ..KMeansDetector::default() }.score(&stripped)),
+        (
+            "kmeans",
+            KMeansDetector {
+                k: 1,
+                ..KMeansDetector::default()
+            }
+            .score(&stripped),
+        ),
     ];
     for (name, scores) in candidates {
         let auc = roc_auc(&scores, &labels);
@@ -73,9 +80,7 @@ fn qnn_needs_labels_quorum_does_not() {
     assert_eq!(report.len(), 60);
 
     // The QNN cannot: training without labels panics by design.
-    let result = std::panic::catch_unwind(|| {
-        train(&ds.strip_labels(), &TrainConfig::default())
-    });
+    let result = std::panic::catch_unwind(|| train(&ds.strip_labels(), &TrainConfig::default()));
     assert!(result.is_err(), "QNN trained without labels");
 }
 
@@ -84,7 +89,6 @@ fn quorum_matches_or_beats_qnn_f1_on_shared_data() {
     // The paper's flagship claim at miniature scale.
     let ds = shared_dataset();
     let labels = ds.labels().unwrap().to_vec();
-    let n_anom = 4;
 
     let quorum = QuorumDetector::new(
         QuorumConfig::default()
@@ -114,7 +118,10 @@ fn quorum_matches_or_beats_qnn_f1_on_shared_data() {
         quorum_cm.f1(),
         qnn_cm.f1()
     );
-    assert!(quorum_cm.f1() > 0.7, "Quorum absolute F1 too low: {quorum_cm}");
+    assert!(
+        quorum_cm.f1() > 0.7,
+        "Quorum absolute F1 too low: {quorum_cm}"
+    );
 }
 
 #[test]
@@ -133,9 +140,6 @@ fn evaluation_protocol_is_consistent_across_detectors() {
     .score(&ds)
     .unwrap();
     let via_report = report.evaluate_at_anomaly_count(&labels);
-    let via_manual = ConfusionMatrix::from_predictions(
-        &labels,
-        &flag_top_n(report.scores(), 4),
-    );
+    let via_manual = ConfusionMatrix::from_predictions(&labels, &flag_top_n(report.scores(), 4));
     assert_eq!(via_report, via_manual);
 }

@@ -87,11 +87,7 @@ fn more_groups_stabilise_scores() {
         };
         let na = norm(&a);
         let nb = norm(&b);
-        na.iter()
-            .zip(&nb)
-            .map(|(x, y)| (x - y).abs())
-            .sum::<f64>()
-            / na.len() as f64
+        na.iter().zip(&nb).map(|(x, y)| (x - y).abs()).sum::<f64>() / na.len() as f64
     };
     let small = spread(4);
     let large = spread(32);
@@ -107,14 +103,10 @@ fn four_qubit_encoding_works() {
     // 15 features per circuit, compression levels 1..=3.
     let ds = planted_dataset(24, 2);
     let labels = ds.labels().unwrap().to_vec();
-    let report = QuorumDetector::new(
-        base_config()
-            .with_data_qubits(4)
-            .with_ensemble_groups(8),
-    )
-    .unwrap()
-    .score(&ds)
-    .unwrap();
+    let report = QuorumDetector::new(base_config().with_data_qubits(4).with_ensemble_groups(8))
+        .unwrap()
+        .score(&ds)
+        .unwrap();
     assert_eq!(report.compression_levels(), &[1, 2, 3]);
     assert!(roc_auc(report.scores(), &labels) > 0.8);
 }
@@ -147,14 +139,12 @@ fn noisy_execution_preserves_top_ranking() {
         .unwrap()
         .score(&ds)
         .unwrap();
-    let noisy = QuorumDetector::new(
-        base_config()
-            .with_ensemble_groups(5)
-            .with_execution(ExecutionMode::Noisy {
-                noise: NoiseModel::brisbane(),
-                shots: None,
-            }),
-    )
+    let noisy = QuorumDetector::new(base_config().with_ensemble_groups(5).with_execution(
+        ExecutionMode::Noisy {
+            noise: NoiseModel::brisbane(),
+            shots: None,
+        },
+    ))
     .unwrap()
     .score(&ds)
     .unwrap();
@@ -170,7 +160,10 @@ fn noisy_execution_preserves_top_ranking() {
 fn report_survives_evaluation_workflows() {
     let ds = planted_dataset(30, 3);
     let labels = ds.labels().unwrap().to_vec();
-    let report = QuorumDetector::new(base_config()).unwrap().score(&ds).unwrap();
+    let report = QuorumDetector::new(base_config())
+        .unwrap()
+        .score(&ds)
+        .unwrap();
     // Every public evaluation path runs without panicking and is
     // internally consistent.
     let curve = report.detection_curve(&labels);
