@@ -123,11 +123,7 @@ pub fn convergence_trace(
 
     let rate = config.anomaly_rate_estimate.unwrap_or(0.05);
     let plan = BucketPlan::from_target(normalized.num_samples(), rate, config.bucket_probability);
-    let threads = if config.threads == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    } else {
-        config.threads
-    };
+    let threads = config.effective_threads();
 
     let normalized_ref = &normalized;
     let plan_ref = &plan;

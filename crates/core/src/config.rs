@@ -29,17 +29,26 @@ pub enum ExecutionMode {
 /// Which scoring engine evaluates the per-sample deviations.
 ///
 /// See [`crate::engine`] for the implementations. `Auto` picks the
-/// analytic reduced-register engine whenever the execution mode allows it
-/// (Exact and Sampled) and falls back to the gate-level circuit engine for
-/// Noisy runs, which need density-matrix evolution.
+/// batched analytic engine whenever the execution mode allows it (Exact
+/// and Sampled) and falls back to the gate-level circuit engine for Noisy
+/// runs, which need density-matrix evolution. The per-sample `Analytic`
+/// and paper-literal `Circuit` engines stay selectable as cross-check
+/// oracles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[non_exhaustive]
 pub enum EngineKind {
-    /// Analytic for Exact/Sampled execution, circuit for Noisy. Default.
+    /// Batched analytic for Exact/Sampled execution, circuit for Noisy.
+    /// Default.
     #[default]
     Auto,
-    /// Force the analytic reduced-register engine
-    /// ([`crate::engine::AnalyticEngine`]). Invalid with Noisy execution.
+    /// Force the batched analytic engine
+    /// ([`crate::engine::BatchedAnalyticEngine`]): whole-group GEMM
+    /// scoring with the per-group fused-unitary cache. Invalid with Noisy
+    /// execution.
+    Batched,
+    /// Force the per-sample analytic reduced-register engine
+    /// ([`crate::engine::AnalyticEngine`]) — the batched engine's
+    /// one-matvec-per-sample reference. Invalid with Noisy execution.
     Analytic,
     /// Force the gate-level circuit engine
     /// ([`crate::engine::CircuitEngine`]) — the paper-literal Fig. 2
@@ -182,7 +191,7 @@ impl QuorumConfig {
         match self.engine {
             EngineKind::Auto => match self.execution {
                 ExecutionMode::Noisy { .. } => EngineKind::Circuit,
-                _ => EngineKind::Analytic,
+                _ => EngineKind::Batched,
             },
             kind => kind,
         }
@@ -204,6 +213,17 @@ impl QuorumConfig {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// The worker-thread count that will actually run, with 0 resolved to
+    /// the machine's available parallelism. The single source of truth
+    /// for every fan-out site (detector, analysis, engine kernels).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.threads
+        }
     }
 
     /// The number of features embedded per circuit: `2^n − 1`, leaving one
@@ -369,30 +389,35 @@ mod tests {
         use qsim::NoiseModel;
         let c = QuorumConfig::default();
         assert_eq!(c.engine, EngineKind::Auto);
-        assert_eq!(c.effective_engine(), EngineKind::Analytic);
+        assert_eq!(c.effective_engine(), EngineKind::Batched);
         let sampled = c
             .clone()
             .with_execution(ExecutionMode::Sampled { shots: 128 });
-        assert_eq!(sampled.effective_engine(), EngineKind::Analytic);
+        assert_eq!(sampled.effective_engine(), EngineKind::Batched);
         let noisy = c.clone().with_execution(ExecutionMode::Noisy {
             noise: NoiseModel::brisbane(),
             shots: None,
         });
         assert_eq!(noisy.effective_engine(), EngineKind::Circuit);
-        let forced = c.with_engine(EngineKind::Circuit);
+        let forced = c.clone().with_engine(EngineKind::Circuit);
         assert_eq!(forced.effective_engine(), EngineKind::Circuit);
+        let forced = c.with_engine(EngineKind::Analytic);
+        assert_eq!(forced.effective_engine(), EngineKind::Analytic);
     }
 
     #[test]
-    fn analytic_engine_rejects_noisy_execution() {
+    fn analytic_engines_reject_noisy_execution() {
         use qsim::NoiseModel;
-        let bad = QuorumConfig::default()
-            .with_engine(EngineKind::Analytic)
-            .with_execution(ExecutionMode::Noisy {
-                noise: NoiseModel::brisbane(),
-                shots: None,
-            });
-        assert!(bad.validate().is_err());
+        for kind in [EngineKind::Analytic, EngineKind::Batched] {
+            let bad =
+                QuorumConfig::default()
+                    .with_engine(kind)
+                    .with_execution(ExecutionMode::Noisy {
+                        noise: NoiseModel::brisbane(),
+                        shots: None,
+                    });
+            assert!(bad.validate().is_err(), "{kind:?} must reject Noisy");
+        }
         // Auto silently falls back to the circuit engine instead.
         let ok = QuorumConfig::default().with_execution(ExecutionMode::Noisy {
             noise: NoiseModel::brisbane(),

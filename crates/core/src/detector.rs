@@ -100,13 +100,12 @@ impl QuorumDetector {
             self.config.bucket_probability,
         );
 
-        let threads = if self.config.threads == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        } else {
-            self.config.threads
-        };
+        let threads = self.config.effective_threads();
 
-        // Resolve the scoring engine once; every group shares it.
+        // Resolve the scoring engine once; every group shares it. Under
+        // `Auto` this is the batched analytic engine for noiseless runs:
+        // each group scores its whole batch per compression level through
+        // one GEMM against its cached fused encoder.
         let engine = crate::engine::resolve(&self.config)?;
         let config = &self.config;
         let normalized_ref = &normalized;

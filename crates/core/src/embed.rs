@@ -31,7 +31,31 @@ use crate::error::QuorumError;
 /// assert!((amps[3] - (1.0f64 - 0.25).sqrt()).abs() < 1e-12);
 /// ```
 pub fn amplitudes_with_overflow(values: &[f64], n_qubits: usize) -> Result<Vec<f64>, QuorumError> {
+    let mut amps = vec![0.0; 1usize << n_qubits];
+    amplitudes_with_overflow_into(values, n_qubits, &mut amps)?;
+    Ok(amps)
+}
+
+/// Allocation-free variant of [`amplitudes_with_overflow`]: writes the
+/// amplitude vector into `out`, which must already have length `2^n`. The
+/// batched scoring engine reuses one scratch buffer across a whole batch.
+///
+/// # Errors
+///
+/// Same conditions as [`amplitudes_with_overflow`], plus
+/// [`QuorumError::InvalidData`] when `out.len() != 2^n`.
+pub fn amplitudes_with_overflow_into(
+    values: &[f64],
+    n_qubits: usize,
+    out: &mut [f64],
+) -> Result<(), QuorumError> {
     let dim = 1usize << n_qubits;
+    if out.len() != dim {
+        return Err(QuorumError::InvalidData(format!(
+            "amplitude buffer holds {} slots, the {n_qubits}-qubit register needs {dim}",
+            out.len()
+        )));
+    }
     if values.len() > dim - 1 {
         return Err(QuorumError::InvalidData(format!(
             "{} feature values do not fit in {} amplitude slots (one is reserved for overflow)",
@@ -53,10 +77,10 @@ pub fn amplitudes_with_overflow(values: &[f64], n_qubits: usize) -> Result<Vec<f
             "squared feature mass {sum_sq} exceeds 1; apply range normalisation first"
         )));
     }
-    let mut amps = vec![0.0; dim];
-    amps[..values.len()].copy_from_slice(values);
-    amps[dim - 1] = (1.0 - sum_sq).max(0.0).sqrt();
-    Ok(amps)
+    out[..values.len()].copy_from_slice(values);
+    out[values.len()..dim - 1].fill(0.0);
+    out[dim - 1] = (1.0 - sum_sq).max(0.0).sqrt();
+    Ok(())
 }
 
 /// Maximum number of embeddable features for a register width: `2^n − 1`.
@@ -128,5 +152,15 @@ mod tests {
     fn max_features_formula() {
         assert_eq!(max_features(3), 7);
         assert_eq!(max_features(4), 15);
+    }
+
+    #[test]
+    fn into_variant_matches_and_overwrites_stale_state() {
+        let mut scratch = vec![0.9; 8]; // stale garbage everywhere
+        amplitudes_with_overflow_into(&[0.1, 0.2], 3, &mut scratch).unwrap();
+        assert_eq!(scratch, amplitudes_with_overflow(&[0.1, 0.2], 3).unwrap());
+
+        let mut wrong_size = vec![0.0; 4];
+        assert!(amplitudes_with_overflow_into(&[0.1], 3, &mut wrong_size).is_err());
     }
 }

@@ -26,11 +26,23 @@
 //!    `|⟨φ|χ_k⟩|²` over the already-encoded `φ`, so the decoder is never
 //!    applied at all; `P(1) = (1 − Σ_k |⟨φ[..2^{n−r}]|block_k⟩|²) / 2`.
 //!
+//! [`BatchedAnalyticEngine`] — the default for noiseless runs — pushes the
+//! same reduction one level further: instead of one `2^n`-dim matvec per
+//! sample it packs **every** sample of the group column-wise into a single
+//! `2^n × S` matrix `Ψ`, applies the fused encoder once as a blocked
+//! matrix–matrix product `Φ = E·Ψ` ([`qsim::matrix::CMatrix::matmul`]),
+//! and expands the reset branches as batched column dot products over `Φ`,
+//! emitting the whole group's deviation vector in one call. The encoder
+//! fusion itself is hoisted into a per-group `OnceLock` cache
+//! ([`crate::ensemble::EnsembleGroup::fused_encoder`]) so all compression
+//! levels of a group reuse one `to_unitary` result.
+//!
 //! Exact mode reproduces the branching backend's semantics to ≲1e-12;
 //! Sampled mode draws the same binomial statistics from the exact
-//! deviation through [`qsim::sampling`]. Noisy execution needs
-//! density-matrix evolution and stays on the circuit engine — `Auto`
-//! engine selection handles that split.
+//! deviation through [`qsim::sampling`], with per-measurement seeds shared
+//! across all three engines. Noisy execution needs density-matrix
+//! evolution and stays on the circuit engine — `Auto` engine selection
+//! handles that split.
 
 use crate::circuit::build_sample_circuit;
 use crate::config::{EngineKind, ExecutionMode, QuorumConfig};
@@ -68,6 +80,30 @@ pub trait ScoringEngine: Send + Sync {
         config: &QuorumConfig,
         reset_count: usize,
     ) -> Result<Vec<f64>, QuorumError>;
+
+    /// Deviations at every compression level in `levels`, in order —
+    /// the granularity at which a full group pass actually runs.
+    ///
+    /// The default implementation evaluates level by level through
+    /// [`ScoringEngine::deviations`]. The batched engine overrides it to
+    /// share everything that is level-independent (sample packing and the
+    /// encoder product) across the whole sweep.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ScoringEngine::deviations`].
+    fn deviations_all_levels(
+        &self,
+        group: &EnsembleGroup,
+        normalized: &Dataset,
+        config: &QuorumConfig,
+        levels: &[usize],
+    ) -> Result<Vec<Vec<f64>>, QuorumError> {
+        levels
+            .iter()
+            .map(|&reset_count| self.deviations(group, normalized, config, reset_count))
+            .collect()
+    }
 }
 
 /// Resolves the configured [`EngineKind`] to a concrete engine.
@@ -80,11 +116,16 @@ pub trait ScoringEngine: Send + Sync {
 pub fn resolve(config: &QuorumConfig) -> Result<&'static dyn ScoringEngine, QuorumError> {
     static CIRCUIT: CircuitEngine = CircuitEngine;
     static ANALYTIC: AnalyticEngine = AnalyticEngine;
+    static BATCHED: BatchedAnalyticEngine = BatchedAnalyticEngine;
     match config.effective_engine() {
         EngineKind::Circuit => Ok(&CIRCUIT),
         EngineKind::Analytic => {
             ensure_pure_state(config)?;
             Ok(&ANALYTIC)
+        }
+        EngineKind::Batched => {
+            ensure_pure_state(config)?;
+            Ok(&BATCHED)
         }
         // `effective_engine` never returns Auto, but EngineKind is
         // non-exhaustive.
@@ -104,13 +145,38 @@ fn ensure_pure_state(config: &QuorumConfig) -> Result<(), QuorumError> {
     Ok(())
 }
 
-/// Deterministic per-measurement seed, shared by both engines so sampled
+/// Deterministic per-measurement seed, shared by every engine so sampled
 /// runs stay comparable across engine switches.
 fn shot_seed(config: &QuorumConfig, group_index: usize, reset_count: usize, sample: usize) -> u64 {
     derive_seed(
         config.seed ^ 0x5107,
         (group_index as u64) << 40 | (reset_count as u64) << 32 | sample as u64,
     )
+}
+
+/// The shared guard for analytic reset counts: at least one qubit must be
+/// reset and at least one kept.
+fn ensure_reset_range(reset_count: usize, num_qubits: usize) -> Result<(), QuorumError> {
+    if reset_count == 0 || reset_count >= num_qubits {
+        return Err(QuorumError::InvalidConfig(format!(
+            "reset count {reset_count} must lie in 1..{num_qubits}"
+        )));
+    }
+    Ok(())
+}
+
+/// Binomial draw of `shots` ancilla measurements from an exact deviation,
+/// through the same cumulative-distribution sampler the circuit backends
+/// use — so all engines produce bit-identical sampled statistics from the
+/// same seed.
+fn sampled_deviation(exact: f64, shots: u64, seed: u64) -> f64 {
+    use rand::SeedableRng;
+    let mut probs = HashMap::new();
+    probs.insert(0u64, 1.0 - exact);
+    probs.insert(1u64, exact);
+    let dist = OutcomeDistribution::from_probs(1, probs);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    dist.sample(shots, &mut rng).marginal_one(0)
 }
 
 /// The paper-literal engine: builds and simulates the full `2n + 1`-qubit
@@ -223,14 +289,12 @@ impl ScoringEngine for AnalyticEngine {
     ) -> Result<Vec<f64>, QuorumError> {
         ensure_pure_state(config)?;
         let n = group.ansatz().num_qubits();
-        if reset_count == 0 || reset_count >= n {
-            return Err(QuorumError::InvalidConfig(format!(
-                "reset count {reset_count} must lie in 1..{n}"
-            )));
-        }
-        // Fuse the group's encoder once; every sample reuses the matrix.
-        // The decoder is its exact adjoint and cancels out of the overlap
-        // (see `deviation_of`), so it is never materialised.
+        ensure_reset_range(reset_count, n)?;
+        // Fuse the group's encoder once per call; every sample reuses the
+        // matrix. (The batched engine goes further and reuses one fusion
+        // across all compression levels via the group's cache.) The
+        // decoder is the encoder's exact adjoint and cancels out of the
+        // overlap (see `deviation_of`), so it is never materialised.
         let encoder = group.ansatz().encoder().to_unitary()?;
 
         let mut out = Vec::with_capacity(normalized.num_samples());
@@ -247,24 +311,184 @@ impl ScoringEngine for AnalyticEngine {
                 ExecutionMode::Sampled { shots } => {
                     // Binomial draw from the exact deviation, through the
                     // same distribution sampler the backends use.
-                    let mut probs = HashMap::new();
-                    probs.insert(0u64, 1.0 - exact);
-                    probs.insert(1u64, exact);
-                    let dist = OutcomeDistribution::from_probs(1, probs);
-                    use rand::SeedableRng;
-                    let mut rng = rand::rngs::StdRng::seed_from_u64(shot_seed(
-                        config,
-                        group.index(),
-                        reset_count,
-                        i,
-                    ));
-                    dist.sample(*shots, &mut rng).marginal_one(0)
+                    let seed = shot_seed(config, group.index(), reset_count, i);
+                    sampled_deviation(exact, *shots, seed)
                 }
                 _ => exact,
             };
             out.push(p);
         }
         Ok(out)
+    }
+}
+
+/// One GEMM per (group, level) is far too small at flagship scale
+/// (`8×8 · 8×96`) to amortise thread spawn, so the batched engine only
+/// threads the product when a single one is genuinely large (roughly
+/// `n ≥ 7` at realistic batch sizes).
+const GEMM_PARALLEL_WORK: usize = 1 << 21;
+
+/// Worker threads for one encoder GEMM, from the configured thread count
+/// and the product's `dim² × samples` work estimate. Multi-group
+/// ensembles keep the GEMM sequential regardless of size: the detector
+/// already fans groups out across cores, and threading inside each
+/// worker would multiply the two levels of parallelism into
+/// oversubscription. Thread counts never change the results either way
+/// (panel outputs are position-fixed).
+fn gemm_threads(config: &QuorumConfig, dim: usize, samples: usize) -> usize {
+    if config.ensemble_groups > 1 || dim * dim * samples < GEMM_PARALLEL_WORK {
+        1
+    } else {
+        config.effective_threads()
+    }
+}
+
+/// The batched analytic engine: the whole group's samples are packed
+/// column-wise into one `2^n × S` matrix, the cached fused encoder is
+/// applied as a single blocked matrix–matrix product, and the reset
+/// branches expand into batched column dot products — one call emits the
+/// entire deviation vector. The default for Exact and Sampled execution.
+///
+/// Produces the same numbers as [`AnalyticEngine`] (the per-column
+/// accumulation order of the GEMM matches the per-sample matvec), but
+/// amortises the encoder application across samples and the encoder
+/// *fusion* across compression levels via
+/// [`EnsembleGroup::fused_encoder`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchedAnalyticEngine;
+
+impl BatchedAnalyticEngine {
+    /// Packs every sample's amplitude embedding into the columns of a
+    /// `2^n × S` matrix, unit-normalising each column the way the circuit
+    /// path's state preparation does. Projection and embedding run
+    /// through reusable scratch buffers — no per-sample allocations.
+    fn pack_samples(
+        group: &EnsembleGroup,
+        normalized: &Dataset,
+        num_qubits: usize,
+    ) -> Result<CMatrix, QuorumError> {
+        let dim = 1usize << num_qubits;
+        let mut psi = CMatrix::zeros(dim, normalized.num_samples());
+        let mut values = Vec::with_capacity(group.features().len());
+        let mut amps = vec![0.0_f64; dim];
+        for (col, row) in normalized.rows().iter().enumerate() {
+            group.features().project_into(row, &mut values);
+            crate::embed::amplitudes_with_overflow_into(&values, num_qubits, &mut amps)?;
+            let norm: f64 = amps.iter().map(|a| a * a).sum::<f64>().sqrt();
+            for (i, &a) in amps.iter().enumerate() {
+                psi[(i, col)] = C64::from_real(a / norm);
+            }
+        }
+        Ok(psi)
+    }
+
+    /// The level-independent half of a group pass: pack the batch and
+    /// push it through the cached fused encoder in one GEMM, yielding
+    /// `Φ = E·Ψ` with one encoded sample per column.
+    fn encode_batch(
+        group: &EnsembleGroup,
+        normalized: &Dataset,
+        config: &QuorumConfig,
+    ) -> Result<CMatrix, QuorumError> {
+        let n = group.ansatz().num_qubits();
+        let encoder = group.fused_encoder()?;
+        let psi = Self::pack_samples(group, normalized, n)?;
+        let threads = gemm_threads(config, 1 << n, psi.cols());
+        Ok(encoder.matmul_threaded(&psi, threads)?)
+    }
+
+    /// `P(ancilla = 1)` for every column of the encoded matrix `Φ = E·Ψ`.
+    ///
+    /// The per-sample branch expansion (see [`AnalyticEngine`]) becomes
+    /// row-wise sweeps over `Φ`: for branch `k` and kept index `i`, row
+    /// `k·2^kept + i` holds every sample's `k`-th block entry contiguously,
+    /// so branch weights and overlaps accumulate for all `S` samples in
+    /// one pass per row — same per-sample summation order as the matvec
+    /// path, hence bit-identical deviations.
+    fn deviations_of(phi: &CMatrix, num_qubits: usize, reset_count: usize) -> Vec<f64> {
+        let kept = num_qubits - reset_count;
+        let low_dim = 1usize << kept;
+        let branches = 1usize << reset_count;
+        let samples = phi.cols();
+
+        let mut trace_overlap = vec![0.0; samples];
+        let mut overlap = vec![C64::ZERO; samples];
+        let mut weight = vec![0.0; samples];
+        for k in 0..branches {
+            overlap.fill(C64::ZERO);
+            weight.fill(0.0);
+            for i in 0..low_dim {
+                let low = phi.row(i);
+                let top = phi.row(k * low_dim + i);
+                for (((o, w), &l), &t) in overlap.iter_mut().zip(&mut weight).zip(low).zip(top) {
+                    *w += t.norm_sqr();
+                    *o += l.conj() * t;
+                }
+            }
+            for ((t, &o), &w) in trace_overlap.iter_mut().zip(&overlap).zip(&weight) {
+                // Mirror the per-sample path's branch pruning exactly.
+                if w > BRANCH_PRUNE {
+                    *t += o.norm_sqr();
+                }
+            }
+        }
+        trace_overlap
+            .iter()
+            .map(|t| ((1.0 - t) / 2.0).clamp(0.0, 0.5))
+            .collect()
+    }
+}
+
+impl ScoringEngine for BatchedAnalyticEngine {
+    fn name(&self) -> &'static str {
+        "batched"
+    }
+
+    fn deviations(
+        &self,
+        group: &EnsembleGroup,
+        normalized: &Dataset,
+        config: &QuorumConfig,
+        reset_count: usize,
+    ) -> Result<Vec<f64>, QuorumError> {
+        let mut all = self.deviations_all_levels(group, normalized, config, &[reset_count])?;
+        Ok(all.pop().expect("one level requested"))
+    }
+
+    fn deviations_all_levels(
+        &self,
+        group: &EnsembleGroup,
+        normalized: &Dataset,
+        config: &QuorumConfig,
+        levels: &[usize],
+    ) -> Result<Vec<Vec<f64>>, QuorumError> {
+        ensure_pure_state(config)?;
+        let n = group.ansatz().num_qubits();
+        for &reset_count in levels {
+            ensure_reset_range(reset_count, n)?;
+        }
+
+        // Everything level-independent happens once per group: packing,
+        // fusion (cached across calls too) and the encoder GEMM.
+        let phi = Self::encode_batch(group, normalized, config)?;
+
+        levels
+            .iter()
+            .map(|&reset_count| {
+                let exact = Self::deviations_of(&phi, n, reset_count);
+                Ok(match &config.execution {
+                    ExecutionMode::Sampled { shots } => exact
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &e)| {
+                            let seed = shot_seed(config, group.index(), reset_count, i);
+                            sampled_deviation(e, *shots, seed)
+                        })
+                        .collect(),
+                    _ => exact,
+                })
+            })
+            .collect()
     }
 }
 
@@ -336,7 +560,7 @@ mod tests {
     }
 
     #[test]
-    fn analytic_rejects_noisy_execution() {
+    fn analytic_engines_reject_noisy_execution() {
         let ds = tiny_dataset();
         let config = QuorumConfig::default().with_execution(ExecutionMode::Noisy {
             noise: qsim::NoiseModel::brisbane(),
@@ -347,23 +571,34 @@ mod tests {
             AnalyticEngine.deviations(&group, &ds, &config, 1),
             Err(QuorumError::InvalidConfig(_))
         ));
+        assert!(matches!(
+            BatchedAnalyticEngine.deviations(&group, &ds, &config, 1),
+            Err(QuorumError::InvalidConfig(_))
+        ));
     }
 
     #[test]
-    fn analytic_rejects_bad_reset_counts() {
+    fn analytic_engines_reject_bad_reset_counts() {
         let ds = tiny_dataset();
         let config = QuorumConfig::default();
         let group = group_for(&config, &ds, 0);
-        assert!(AnalyticEngine.deviations(&group, &ds, &config, 0).is_err());
-        assert!(AnalyticEngine
-            .deviations(&group, &ds, &config, config.data_qubits)
-            .is_err());
+        for engine in [
+            &AnalyticEngine as &dyn ScoringEngine,
+            &BatchedAnalyticEngine,
+        ] {
+            assert!(engine.deviations(&group, &ds, &config, 0).is_err());
+            assert!(engine
+                .deviations(&group, &ds, &config, config.data_qubits)
+                .is_err());
+        }
     }
 
     #[test]
     fn resolve_follows_configuration() {
         let auto = QuorumConfig::default();
-        assert_eq!(resolve(&auto).unwrap().name(), "analytic");
+        assert_eq!(resolve(&auto).unwrap().name(), "batched");
+        let forced = QuorumConfig::default().with_engine(EngineKind::Analytic);
+        assert_eq!(resolve(&forced).unwrap().name(), "analytic");
         let forced = QuorumConfig::default().with_engine(EngineKind::Circuit);
         assert_eq!(resolve(&forced).unwrap().name(), "circuit");
         let noisy = QuorumConfig::default().with_execution(ExecutionMode::Noisy {
@@ -371,13 +606,85 @@ mod tests {
             shots: None,
         });
         assert_eq!(resolve(&noisy).unwrap().name(), "circuit");
-        let bad = QuorumConfig::default()
-            .with_engine(EngineKind::Analytic)
-            .with_execution(ExecutionMode::Noisy {
-                noise: qsim::NoiseModel::brisbane(),
-                shots: None,
-            });
-        assert!(resolve(&bad).is_err());
+        for kind in [EngineKind::Analytic, EngineKind::Batched] {
+            let bad =
+                QuorumConfig::default()
+                    .with_engine(kind)
+                    .with_execution(ExecutionMode::Noisy {
+                        noise: qsim::NoiseModel::brisbane(),
+                        shots: None,
+                    });
+            assert!(resolve(&bad).is_err());
+        }
+    }
+
+    #[test]
+    fn batched_matches_per_sample_engine_exactly() {
+        // Same summation order per sample ⇒ the batched GEMM path is
+        // bit-identical to the per-sample matvec path in Exact mode.
+        let ds = tiny_dataset();
+        let config = QuorumConfig::default().with_seed(17);
+        for index in 0..3 {
+            let group = group_for(&config, &ds, index);
+            for reset_count in 1..config.data_qubits {
+                let per_sample = AnalyticEngine
+                    .deviations(&group, &ds, &config, reset_count)
+                    .unwrap();
+                let batched = BatchedAnalyticEngine
+                    .deviations(&group, &ds, &config, reset_count)
+                    .unwrap();
+                for (a, b) in per_sample.iter().zip(&batched) {
+                    assert!(
+                        (a - b).abs() < 1e-12,
+                        "group {index} reset {reset_count}: per-sample {a} vs batched {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_handles_degenerate_single_sample_batch() {
+        let ds = tiny_dataset();
+        let one = Dataset::from_rows("one", ds.rows()[..1].to_vec(), None).unwrap();
+        let config = QuorumConfig::default().with_seed(13);
+        let group = group_for(&config, &ds, 0);
+        let batched = BatchedAnalyticEngine
+            .deviations(&group, &one, &config, 1)
+            .unwrap();
+        let per_sample = AnalyticEngine.deviations(&group, &one, &config, 1).unwrap();
+        assert_eq!(batched.len(), 1);
+        assert!((batched[0] - per_sample[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scoring_all_levels_fuses_the_encoder_exactly_once() {
+        // The unitary-cache regression pin: a full group pass over every
+        // compression level must pay for exactly one `to_unitary` fusion.
+        let ds = tiny_dataset();
+        let config = QuorumConfig::default().with_seed(29);
+        let group = group_for(&config, &ds, 1);
+        assert_eq!(group.encoder_fusions(), 0);
+        group
+            .run_with(&BatchedAnalyticEngine, &ds, &config)
+            .unwrap();
+        assert_eq!(
+            group.encoder_fusions(),
+            1,
+            "all compression levels must share one fused encoder"
+        );
+        // Further passes over the same group stay cached too.
+        group
+            .run_with(&BatchedAnalyticEngine, &ds, &config)
+            .unwrap();
+        assert_eq!(group.encoder_fusions(), 1);
+        // A clone starts cold and fuses for itself exactly once.
+        let fresh = group.clone();
+        assert_eq!(fresh.encoder_fusions(), 0);
+        fresh
+            .run_with(&BatchedAnalyticEngine, &ds, &config)
+            .unwrap();
+        assert_eq!(fresh.encoder_fusions(), 1);
     }
 
     #[test]

@@ -14,8 +14,11 @@ use crate::error::QuorumError;
 use crate::features::FeatureSelection;
 use qdata::Dataset;
 use qmetrics::stats;
+use qsim::matrix::CMatrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// SplitMix64: deterministic per-index seed derivation from a master seed.
 pub(crate) fn derive_seed(master: u64, index: u64) -> u64 {
@@ -25,6 +28,23 @@ pub(crate) fn derive_seed(master: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Lazily fused encoder unitary, computed at most once per group and
+/// shared by every compression level (and engine) that scores the group.
+/// The fusion counter backs the cache regression tests.
+#[derive(Debug, Default)]
+struct EncoderCache {
+    fused: OnceLock<CMatrix>,
+    fusions: AtomicUsize,
+}
+
+impl Clone for EncoderCache {
+    /// Clones start cold: the cache is derived state, and sharing it would
+    /// entangle otherwise independent group copies.
+    fn clone(&self) -> Self {
+        EncoderCache::default()
+    }
+}
+
 /// One randomized ensemble group: buckets, feature subset and ansatz.
 #[derive(Debug, Clone)]
 pub struct EnsembleGroup {
@@ -32,6 +52,7 @@ pub struct EnsembleGroup {
     ansatz: AnsatzParams,
     features: FeatureSelection,
     buckets: Vec<Vec<usize>>,
+    encoder_cache: EncoderCache,
 }
 
 impl EnsembleGroup {
@@ -53,6 +74,7 @@ impl EnsembleGroup {
             ansatz,
             features,
             buckets,
+            encoder_cache: EncoderCache::default(),
         }
     }
 
@@ -74,6 +96,38 @@ impl EnsembleGroup {
     /// The group's random ansatz.
     pub fn ansatz(&self) -> &AnsatzParams {
         &self.ansatz
+    }
+
+    /// The group's encoder circuit fused into a dense `2^n × 2^n` unitary,
+    /// computed on first use and cached for the group's lifetime — every
+    /// compression level of a scoring pass reuses the same matrix instead
+    /// of re-fusing per reset count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`qsim::circuit::Circuit::to_unitary`] failures (the
+    /// encoder is purely unitary, so this is effectively infallible).
+    pub fn fused_encoder(&self) -> Result<&CMatrix, QuorumError> {
+        if let Some(u) = self.encoder_cache.fused.get() {
+            return Ok(u);
+        }
+        let u = self.ansatz.encoder().to_unitary()?;
+        self.encoder_cache.fusions.fetch_add(1, Ordering::Relaxed);
+        // Under a (harmless) race the first writer wins; both fused the
+        // same deterministic matrix.
+        let _ = self.encoder_cache.fused.set(u);
+        Ok(self
+            .encoder_cache
+            .fused
+            .get()
+            .expect("cache was just populated"))
+    }
+
+    /// How many times this group actually fused its encoder circuit — the
+    /// observable behind the unitary-cache regression tests. Stays at most
+    /// 1 for any sequential scoring pass.
+    pub fn encoder_fusions(&self) -> usize {
+        self.encoder_cache.fusions.load(Ordering::Relaxed)
     }
 
     /// Evaluates the SWAP-test deviation of every sample at one
@@ -136,10 +190,15 @@ impl EnsembleGroup {
     ) -> Result<Vec<f64>, QuorumError> {
         let n = normalized.num_samples();
         let mut scores = vec![0.0; n];
-        for reset_count in config.effective_compression_levels() {
-            let deviations = self.deviations_with(engine, normalized, config, reset_count)?;
+        // One engine call for the whole level sweep lets batched engines
+        // amortise packing and the encoder product across levels.
+        let levels = config.effective_compression_levels();
+        let per_level = engine.deviations_all_levels(self, normalized, config, &levels)?;
+        let mut values = Vec::new();
+        for deviations in &per_level {
             for bucket in &self.buckets {
-                let values: Vec<f64> = bucket.iter().map(|&i| deviations[i]).collect();
+                values.clear();
+                values.extend(bucket.iter().map(|&i| deviations[i]));
                 let mu = stats::mean(&values);
                 let sigma = stats::population_std(&values);
                 for &i in bucket {
@@ -248,6 +307,22 @@ mod tests {
         let a = group.deviations(&ds, &cfg, 1).unwrap();
         let b = group.deviations(&ds, &cfg, 1).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fused_encoder_is_cached_and_correct() {
+        let ds = tiny_dataset();
+        let cfg = config();
+        let plan = BucketPlan::from_target(ds.num_samples(), 0.1, cfg.bucket_probability);
+        let group = EnsembleGroup::generate(0, &cfg, ds.num_features(), &plan);
+        assert_eq!(group.encoder_fusions(), 0);
+        let direct = group.ansatz().encoder().to_unitary().unwrap();
+        let cached = group.fused_encoder().unwrap().clone();
+        assert!(cached.approx_eq(&direct, 1e-12));
+        // Repeated access hits the cache instead of re-fusing.
+        let again = group.fused_encoder().unwrap();
+        assert!(again.approx_eq(&direct, 1e-12));
+        assert_eq!(group.encoder_fusions(), 1);
     }
 
     #[test]

@@ -61,7 +61,17 @@ impl FeatureSelection {
 
     /// Projects one sample row onto the selected columns.
     pub fn project(&self, row: &[f64]) -> Vec<f64> {
-        self.columns.iter().map(|&c| row[c]).collect()
+        let mut out = Vec::new();
+        self.project_into(row, &mut out);
+        out
+    }
+
+    /// Allocation-free [`FeatureSelection::project`]: clears `out` and
+    /// fills it with the selected values. The batched scoring engine
+    /// reuses one scratch buffer across a whole batch.
+    pub fn project_into(&self, row: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.columns.iter().map(|&c| row[c]));
     }
 }
 

@@ -19,10 +19,10 @@
 //!    encoder with angles from `U(0, 2π)`, a partial-reset bottleneck, the
 //!    exact inverse decoder, then a SWAP test against the reference.
 //! 6. **Scoring engine** ([`engine`]): the SWAP-test deviation is
-//!    evaluated either analytically on register A alone (the default for
-//!    noiseless runs — fused per-group unitaries, no circuit simulation)
-//!    or by simulating the full Fig. 2 circuit (the noisy path and
-//!    cross-check oracle).
+//!    evaluated either analytically on register A alone — by default in
+//!    batched form, one cached fused unitary per group applied to all
+//!    samples in a single matrix–matrix product — or by simulating the
+//!    full Fig. 2 circuit (the noisy path and cross-check oracle).
 //! 7. **Ensemble statistics** ([`ensemble`], [`score`]): per-bucket
 //!    absolute z-scores of the SWAP deviations, summed over groups and
 //!    compression levels.
@@ -65,6 +65,6 @@ pub mod score;
 
 pub use config::{EngineKind, ExecutionMode, Normalization, QuorumConfig};
 pub use detector::QuorumDetector;
-pub use engine::{AnalyticEngine, CircuitEngine, ScoringEngine};
+pub use engine::{AnalyticEngine, BatchedAnalyticEngine, CircuitEngine, ScoringEngine};
 pub use error::QuorumError;
 pub use score::ScoreReport;

@@ -1,15 +1,23 @@
-//! Small dense complex matrices for gate algebra.
+//! Dense complex matrices for gate algebra and batched state evolution.
 //!
 //! Gates are at most 8×8 (three-qubit CSWAP), so a simple row-major
 //! `Vec<C64>` representation is both adequate and cache-friendly. The type is
-//! used for gate definitions, unitarity checks, transpiler verification, and
-//! Kraus-channel algebra — not for state evolution, which uses specialised
-//! kernels in [`crate::statevector`] and [`crate::density`].
+//! used for gate definitions, unitarity checks, transpiler verification,
+//! Kraus-channel algebra — and, through the blocked [`CMatrix::matmul`]
+//! kernel, for applying a fused unitary to many statevectors packed
+//! column-wise in one matrix–matrix product (the batched analytic scoring
+//! path). Single-state evolution uses specialised kernels in
+//! [`crate::statevector`] and [`crate::density`].
 
 use crate::complex::C64;
 use crate::error::QsimError;
 use std::fmt;
 use std::ops::{Add, Mul, Sub};
+
+/// Output columns per GEMM panel: 32 columns × 16 bytes keep a panel row
+/// inside one 512-byte stretch, and panels are the unit of parallelism in
+/// [`CMatrix::matmul_threaded`].
+pub const GEMM_COL_BLOCK: usize = 32;
 
 /// A dense, row-major complex matrix.
 ///
@@ -93,6 +101,28 @@ impl CMatrix {
         })
     }
 
+    /// Builds a `dim × columns.len()` matrix whose `j`-th column is
+    /// `columns[j]` — convenient when each column is a statevector to be
+    /// pushed through [`CMatrix::matmul`] (hot paths that already own
+    /// scratch buffers write columns in place instead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is empty or the columns have inconsistent
+    /// lengths.
+    pub fn from_columns(columns: &[Vec<C64>]) -> Self {
+        assert!(!columns.is_empty(), "matrix must have at least one column");
+        let rows = columns[0].len();
+        let mut m = CMatrix::zeros(rows, columns.len());
+        for (j, col) in columns.iter().enumerate() {
+            assert_eq!(col.len(), rows, "inconsistent column length");
+            for (i, &v) in col.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
@@ -106,6 +136,26 @@ impl CMatrix {
     /// Immutable view of the row-major backing storage.
     pub fn as_slice(&self) -> &[C64] {
         &self.data
+    }
+
+    /// Immutable view of row `i` (contiguous in the row-major layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row(&self, i: usize) -> &[C64] {
+        assert!(i < self.rows, "row index out of range");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` out of the row-major storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols()`.
+    pub fn column(&self, j: usize) -> Vec<C64> {
+        assert!(j < self.cols, "column index out of range");
+        (0..self.rows).map(|i| self[(i, j)]).collect()
     }
 
     /// Conjugate transpose `A†`.
@@ -171,6 +221,93 @@ impl CMatrix {
             *slot = acc;
         }
         out
+    }
+
+    /// Matrix–matrix product `A·B` through the blocked GEMM kernel.
+    ///
+    /// Sequential convenience wrapper around
+    /// [`CMatrix::matmul_threaded`]; see there for the kernel layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::DimensionMismatch`] when
+    /// `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &CMatrix) -> Result<CMatrix, QsimError> {
+        self.matmul_threaded(rhs, 1)
+    }
+
+    /// Matrix–matrix product `A·B`, blocked over column panels of `rhs`
+    /// and fanned out over up to `threads` OS threads via
+    /// [`crate::parallel::map_indexed`].
+    ///
+    /// Each panel of [`GEMM_COL_BLOCK`] output columns is computed
+    /// independently with an `i–k–j` loop (the `a == 0` fast path skips
+    /// structurally sparse rows), so the per-column accumulation order is
+    /// identical for every thread count — results are bit-for-bit
+    /// deterministic regardless of `threads`. This is the seam a future
+    /// BLAS/SIMD backend slots into.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::DimensionMismatch`] when
+    /// `self.cols() != rhs.rows()`.
+    pub fn matmul_threaded(&self, rhs: &CMatrix, threads: usize) -> Result<CMatrix, QsimError> {
+        if self.cols != rhs.rows {
+            return Err(QsimError::DimensionMismatch {
+                expected: self.cols,
+                actual: rhs.rows,
+            });
+        }
+        if rhs.cols == 0 || self.rows == 0 {
+            return Ok(CMatrix::zeros(self.rows, rhs.cols));
+        }
+        if threads <= 1 {
+            // Sequential fast path: one full-width panel *is* the
+            // row-major result — no zero-fill, no stitching.
+            return Ok(CMatrix {
+                rows: self.rows,
+                cols: rhs.cols,
+                data: self.mul_panel(rhs, 0, rhs.cols),
+            });
+        }
+        let mut out = CMatrix::zeros(self.rows, rhs.cols);
+        let num_panels = rhs.cols.div_ceil(GEMM_COL_BLOCK);
+        let panels = crate::parallel::map_indexed(num_panels, threads, |p| {
+            let c0 = p * GEMM_COL_BLOCK;
+            let c1 = (c0 + GEMM_COL_BLOCK).min(rhs.cols);
+            self.mul_panel(rhs, c0, c1)
+        });
+        // Stitch the row-major panels back into the row-major output.
+        for (p, panel) in panels.iter().enumerate() {
+            let c0 = p * GEMM_COL_BLOCK;
+            let width = (c0 + GEMM_COL_BLOCK).min(rhs.cols) - c0;
+            for i in 0..self.rows {
+                out.data[i * rhs.cols + c0..i * rhs.cols + c0 + width]
+                    .copy_from_slice(&panel[i * width..(i + 1) * width]);
+            }
+        }
+        Ok(out)
+    }
+
+    /// One GEMM column panel: the row-major `self.rows × (c1 − c0)` block
+    /// of `self · rhs` covering output columns `c0..c1`.
+    fn mul_panel(&self, rhs: &CMatrix, c0: usize, c1: usize) -> Vec<C64> {
+        let width = c1 - c0;
+        let mut panel = vec![C64::ZERO; self.rows * width];
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut panel[i * width..(i + 1) * width];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == C64::ZERO {
+                    continue;
+                }
+                let b_row = &rhs.data[k * rhs.cols + c0..k * rhs.cols + c1];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        panel
     }
 
     /// Returns `true` when every entry is within `tol` of `other`'s.
@@ -242,19 +379,7 @@ impl Mul for &CMatrix {
     type Output = CMatrix;
     fn mul(self, rhs: &CMatrix) -> CMatrix {
         assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
-        let mut out = CMatrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == C64::ZERO {
-                    continue;
-                }
-                for j in 0..rhs.cols {
-                    out[(i, j)] += a * rhs[(k, j)];
-                }
-            }
-        }
-        out
+        self.matmul(rhs).expect("dimensions checked above")
     }
 }
 
@@ -412,5 +537,132 @@ mod tests {
         let a = CMatrix::zeros(2, 3);
         let b = CMatrix::zeros(2, 2);
         let _ = &a * &b;
+    }
+
+    /// Pseudo-random but deterministic dense test matrix.
+    fn dense(rows: usize, cols: usize, salt: u64) -> CMatrix {
+        let mut m = CMatrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                let t = (i * cols + j) as f64 + salt as f64 * 0.37;
+                m[(i, j)] = c((t * 0.7311).sin(), (t * 1.1931).cos());
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn gemm_identity_law() {
+        let m = dense(8, 40, 1);
+        let i = CMatrix::identity(8);
+        assert!(i.matmul(&m).unwrap().approx_eq(&m, 1e-12));
+    }
+
+    #[test]
+    fn gemm_composition_law() {
+        // U·(V·M) = (U·V)·M across a panel boundary (40 > GEMM_COL_BLOCK).
+        let u = dense(8, 8, 2);
+        let v = dense(8, 8, 3);
+        let m = dense(8, 40, 4);
+        let nested = u.matmul(&v.matmul(&m).unwrap()).unwrap();
+        let fused = u.matmul(&v).unwrap().matmul(&m).unwrap();
+        assert!(nested.approx_eq(&fused, 1e-9));
+    }
+
+    #[test]
+    fn gemm_agrees_with_repeated_apply_unitary_matvecs() {
+        use crate::circuit::Circuit;
+        use crate::statevector::Statevector;
+
+        let mut qc = Circuit::new(3);
+        qc.h(0).ry(0.8, 1).cx(0, 1).rz(1.3, 2).cx(1, 2);
+        let u = qc.to_unitary().unwrap();
+
+        // 37 unit-norm columns (crosses the panel boundary with a ragged
+        // final panel).
+        let cols: Vec<Vec<C64>> = (0..37)
+            .map(|j| {
+                let raw: Vec<C64> = (0..8)
+                    .map(|i| c(((i * 37 + j) as f64 * 0.51).sin(), 0.0))
+                    .collect();
+                let norm: f64 = raw.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+                raw.iter().map(|&a| a * c(1.0 / norm, 0.0)).collect()
+            })
+            .collect();
+        let packed = CMatrix::from_columns(&cols);
+        let product = u.matmul(&packed).unwrap();
+
+        for (j, col) in cols.iter().enumerate() {
+            let mut sv = Statevector::from_amplitudes(col.clone()).unwrap();
+            sv.apply_unitary(&u).unwrap();
+            for (i, &expected) in sv.amplitudes().iter().enumerate() {
+                assert!(
+                    product[(i, j)].approx_eq(expected, 1e-12),
+                    "column {j} row {i}: {} vs {}",
+                    product[(i, j)],
+                    expected
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_non_square_shapes() {
+        let a = dense(3, 5, 7);
+        let b = dense(5, 2, 8);
+        let p = a.matmul(&b).unwrap();
+        assert_eq!((p.rows(), p.cols()), (3, 2));
+        // Spot-check one entry against the definition.
+        let mut expected = C64::ZERO;
+        for k in 0..5 {
+            expected += a[(2, k)] * b[(k, 1)];
+        }
+        assert!(p[(2, 1)].approx_eq(expected, 1e-12));
+    }
+
+    #[test]
+    fn gemm_shape_mismatch_is_an_error() {
+        let a = CMatrix::zeros(2, 3);
+        let b = CMatrix::zeros(2, 2);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(QsimError::DimensionMismatch {
+                expected: 3,
+                actual: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn gemm_threaded_matches_sequential_bit_for_bit() {
+        let a = dense(16, 16, 11);
+        let b = dense(16, 100, 12); // four panels, ragged tail
+        let seq = a.matmul_threaded(&b, 1).unwrap();
+        for threads in [2, 4, 8] {
+            let par = a.matmul_threaded(&b, threads).unwrap();
+            assert_eq!(seq.as_slice(), par.as_slice(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn gemm_matches_operator_mul() {
+        let a = dense(6, 6, 21);
+        let b = dense(6, 6, 22);
+        assert!((&a * &b).approx_eq(&a.matmul(&b).unwrap(), 1e-15));
+    }
+
+    #[test]
+    fn from_columns_round_trips_through_column() {
+        let cols = vec![
+            vec![c(1.0, 0.0), c(2.0, -1.0)],
+            vec![c(0.0, 3.0), c(4.0, 0.5)],
+            vec![c(5.0, 5.0), c(6.0, -6.0)],
+        ];
+        let m = CMatrix::from_columns(&cols);
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        for (j, col) in cols.iter().enumerate() {
+            assert_eq!(&m.column(j), col);
+        }
+        assert_eq!(m.row(0), &[cols[0][0], cols[1][0], cols[2][0]]);
     }
 }

@@ -151,16 +151,30 @@ pub struct ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// 256 cases, overridable through the `PROPTEST_CASES` environment
+    /// variable — the same knob real proptest reads, used by CI to bump
+    /// the slow equivalence suites without touching the source default.
     fn default() -> Self {
-        ProptestConfig { cases: 256 }
+        ProptestConfig {
+            cases: env_cases().unwrap_or(256),
+        }
     }
 }
 
 impl ProptestConfig {
-    /// Config running `cases` cases per property.
+    /// Config running `cases` cases per property. Explicit counts are
+    /// pinned: `PROPTEST_CASES` does not override them.
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+}
+
+/// Parses `PROPTEST_CASES` when set to a positive integer.
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
 }
 
 /// Runs `body` for every case with a deterministic per-case generator.
@@ -267,6 +281,19 @@ mod tests {
         fn filter_applies(v in (0usize..100).prop_filter("even", |v| v % 2 == 0)) {
             prop_assert_eq!(v % 2, 0);
         }
+    }
+
+    #[test]
+    fn env_var_overrides_default_cases_only() {
+        // Serial within this test: no other test in the crate touches the
+        // variable.
+        std::env::set_var("PROPTEST_CASES", "17");
+        assert_eq!(ProptestConfig::default().cases, 17);
+        assert_eq!(ProptestConfig::with_cases(4).cases, 4);
+        std::env::set_var("PROPTEST_CASES", "not-a-number");
+        assert_eq!(ProptestConfig::default().cases, 256);
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(ProptestConfig::default().cases, 256);
     }
 
     #[test]

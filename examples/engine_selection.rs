@@ -1,5 +1,5 @@
-//! Choosing a scoring engine: `Auto` (default), forced `Analytic`, or
-//! forced `Circuit` — and what each buys you.
+//! Choosing a scoring engine: `Auto` (default), forced `Batched`,
+//! `Analytic`, or `Circuit` — and what each buys you.
 //!
 //! ```text
 //! cargo run --release --example engine_selection
@@ -37,7 +37,11 @@ fn main() {
 
     // The same pipeline through each engine: identical scores, very
     // different wall time.
-    for kind in [EngineKind::Analytic, EngineKind::Circuit] {
+    for kind in [
+        EngineKind::Batched,
+        EngineKind::Analytic,
+        EngineKind::Circuit,
+    ] {
         let detector = QuorumDetector::new(base.clone().with_engine(kind)).unwrap();
         let start = Instant::now();
         let report = detector.score(&data).unwrap();
@@ -48,7 +52,7 @@ fn main() {
         );
     }
 
-    // `Auto` resolves per execution mode: analytic when noiseless …
+    // `Auto` resolves per execution mode: batched analytic when noiseless …
     println!(
         "\nAuto + Exact  resolves to: {:?}",
         base.clone().effective_engine()

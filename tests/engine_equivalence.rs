@@ -1,11 +1,13 @@
-//! Equivalence of the analytic reduced-register scoring engine with the
-//! gate-level circuit engine, across random ansätze, register widths,
-//! compression levels and execution modes — plus determinism and
-//! thread-count invariance through the analytic path.
+//! Equivalence of the analytic scoring engines (per-sample and batched)
+//! with the gate-level circuit engine, across random ansätze, register
+//! widths, compression levels and execution modes — plus determinism and
+//! thread-count invariance through the analytic paths.
 
 use proptest::prelude::*;
 use quorum::core::bucket::BucketPlan;
-use quorum::core::engine::{resolve, AnalyticEngine, CircuitEngine, ScoringEngine};
+use quorum::core::engine::{
+    resolve, AnalyticEngine, BatchedAnalyticEngine, CircuitEngine, ScoringEngine,
+};
 use quorum::core::ensemble::EnsembleGroup;
 use quorum::core::{EngineKind, ExecutionMode, QuorumConfig, QuorumDetector};
 use quorum::data::Dataset;
@@ -77,21 +79,23 @@ proptest! {
         }
     }
 
-    /// The analytic engine is deterministic: identical inputs give
+    /// The analytic engines are deterministic: identical inputs give
     /// identical outputs, in Exact and Sampled modes alike.
     #[test]
-    fn analytic_engine_is_deterministic(seed in 0u64..10_000) {
+    fn analytic_engines_are_deterministic(seed in 0u64..10_000) {
         let config = QuorumConfig::default().with_seed(seed);
         let ds = normalized(&dataset(7, 10));
         let group = group_for(&config, &ds, 0);
-        let a = AnalyticEngine.deviations(&group, &ds, &config, 1).unwrap();
-        let b = AnalyticEngine.deviations(&group, &ds, &config, 1).unwrap();
-        prop_assert_eq!(a, b);
+        let sampled_config = config.clone().with_execution(ExecutionMode::Sampled { shots: 512 });
+        for engine in [&AnalyticEngine as &dyn ScoringEngine, &BatchedAnalyticEngine] {
+            let a = engine.deviations(&group, &ds, &config, 1).unwrap();
+            let b = engine.deviations(&group, &ds, &config, 1).unwrap();
+            prop_assert_eq!(a, b);
 
-        let sampled_config = config.with_execution(ExecutionMode::Sampled { shots: 512 });
-        let a = AnalyticEngine.deviations(&group, &ds, &sampled_config, 1).unwrap();
-        let b = AnalyticEngine.deviations(&group, &ds, &sampled_config, 1).unwrap();
-        prop_assert_eq!(a, b);
+            let a = engine.deviations(&group, &ds, &sampled_config, 1).unwrap();
+            let b = engine.deviations(&group, &ds, &sampled_config, 1).unwrap();
+            prop_assert_eq!(a, b);
+        }
     }
 }
 
@@ -148,7 +152,7 @@ fn analytic_path_is_thread_count_invariant() {
 }
 
 #[test]
-fn auto_engine_selection_matches_forced_analytic() {
+fn auto_engine_selection_matches_forced_batched() {
     let mut rows: Vec<Vec<f64>> = (0..12)
         .map(|i| vec![1.0 + 0.02 * i as f64, 2.0, 1.5, 2.5, 1.8, 2.2, 1.3])
         .collect();
@@ -159,16 +163,65 @@ fn auto_engine_selection_matches_forced_analytic() {
         .with_ensemble_groups(4)
         .with_anomaly_rate_estimate(0.1)
         .with_seed(3);
-    assert_eq!(resolve(&base).unwrap().name(), "analytic");
+    assert_eq!(resolve(&base).unwrap().name(), "batched");
     let auto = QuorumDetector::new(base.clone())
         .unwrap()
         .score(&ds)
         .unwrap();
-    let forced = QuorumDetector::new(base.with_engine(EngineKind::Analytic))
+    let forced = QuorumDetector::new(base.clone().with_engine(EngineKind::Batched))
         .unwrap()
         .score(&ds)
         .unwrap();
     assert_eq!(auto.scores(), forced.scores());
+    // The per-sample analytic oracle lands on the same scores too (the
+    // batched path preserves its per-sample summation order).
+    let per_sample = QuorumDetector::new(base.with_engine(EngineKind::Analytic))
+        .unwrap()
+        .score(&ds)
+        .unwrap();
+    for (a, b) in per_sample.scores().iter().zip(auto.scores()) {
+        assert!((a - b).abs() < 1e-9, "per-sample {a} vs batched {b}");
+    }
+}
+
+#[test]
+fn batched_sampled_scores_bit_identical_across_runs_and_threads() {
+    // Satellite pin: Sampled-mode scores through the batched path are
+    // bit-identical across repeated runs and across worker-thread counts
+    // (per-measurement seeds do not depend on scheduling).
+    let mut rows: Vec<Vec<f64>> = (0..20)
+        .map(|i| vec![3.0 + 0.04 * i as f64, 1.0, 2.0, 4.0, 2.5, 3.5, 1.5])
+        .collect();
+    rows.push(vec![9.0, 0.2, 8.0, 0.1, 9.5, 0.3, 8.5]);
+    let ds = Dataset::from_rows("batched-det", rows, None).unwrap();
+
+    let base = QuorumConfig::default()
+        .with_engine(EngineKind::Batched)
+        .with_execution(ExecutionMode::Sampled { shots: 1024 })
+        .with_ensemble_groups(8)
+        .with_anomaly_rate_estimate(0.1)
+        .with_seed(19);
+    let reference = QuorumDetector::new(base.clone().with_threads(1))
+        .unwrap()
+        .score(&ds)
+        .unwrap();
+    for threads in [1usize, 4] {
+        let detector = QuorumDetector::new(base.clone().with_threads(threads)).unwrap();
+        for run in 0..2 {
+            let scores = detector.score(&ds).unwrap();
+            assert_eq!(
+                reference.scores(),
+                scores.scores(),
+                "threads {threads} run {run}"
+            );
+        }
+    }
+    // And the per-sample analytic engine draws the very same samples.
+    let per_sample = QuorumDetector::new(base.with_engine(EngineKind::Analytic).with_threads(2))
+        .unwrap()
+        .score(&ds)
+        .unwrap();
+    assert_eq!(reference.scores(), per_sample.scores());
 }
 
 #[test]
@@ -187,8 +240,12 @@ fn sampled_mode_engines_agree_through_shared_sampler() {
         let analytic = AnalyticEngine
             .deviations(&group, &ds, &config, reset_count)
             .unwrap();
-        for (c, a) in circuit.iter().zip(&analytic) {
+        let batched = BatchedAnalyticEngine
+            .deviations(&group, &ds, &config, reset_count)
+            .unwrap();
+        for ((c, a), b) in circuit.iter().zip(&analytic).zip(&batched) {
             assert!((c - a).abs() < 1e-12, "circuit {c} vs analytic {a}");
+            assert!((c - b).abs() < 1e-12, "circuit {c} vs batched {b}");
         }
     }
 }
