@@ -1,18 +1,24 @@
 //! Head-to-head of the scoring engines on the flagship pipeline
 //! configuration (n = 3 data qubits, 30 ensemble groups): the batched
 //! GEMM engine vs the per-sample analytic engine vs the paper-literal
-//! circuit engine, plus direct speedup reports. Acceptance bars on this
-//! configuration: batched ≥ 2× the per-sample analytic engine, analytic
-//! ≥ 5× the circuit engine.
+//! circuit engine — plus a noisy column pitting the analytic density
+//! engine against the noisy circuit simulation — with direct speedup
+//! reports. Acceptance bars on this configuration: batched ≥ 2× the
+//! per-sample analytic engine, analytic ≥ 5× the circuit engine, and
+//! density ≥ 5× the noisy circuit engine.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use qdata::Dataset;
+use qsim::NoiseModel;
 use quorum_bench::table1_specs;
-use quorum_core::{EngineKind, QuorumConfig, QuorumDetector};
+use quorum_core::{EngineKind, ExecutionMode, QuorumConfig, QuorumDetector};
 use std::time::{Duration, Instant};
 
 const FLAGSHIP_GROUPS: usize = 30;
 const FLAGSHIP_SAMPLES: usize = 96;
+/// The noisy circuit oracle pays for a 7-qubit density simulation per
+/// sample, so its column runs on a shorter slice of the same dataset.
+const NOISY_SAMPLES: usize = 24;
 
 fn truncate(ds: &Dataset, n: usize) -> Dataset {
     let rows = ds.rows()[..n].to_vec();
@@ -97,9 +103,51 @@ fn report_speedup(_c: &mut Criterion) {
     );
 }
 
+fn noisy_flagship_config(engine: EngineKind) -> QuorumConfig {
+    flagship_config(engine).with_execution(ExecutionMode::Noisy {
+        noise: NoiseModel::brisbane(),
+        shots: None,
+    })
+}
+
+/// Best-of-`runs` noisy full-pipeline wall time through one engine (one
+/// warmup — the noisy circuit oracle is far too slow for the nine-run
+/// protocol the sub-millisecond engines use).
+fn time_noisy_engine(ds: &Dataset, kind: EngineKind, runs: usize) -> Duration {
+    let detector = QuorumDetector::new(noisy_flagship_config(kind)).unwrap();
+    black_box(detector.score(ds).unwrap());
+    (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(detector.score(ds).unwrap());
+            start.elapsed()
+        })
+        .min()
+        .unwrap()
+}
+
+/// The noisy column: the analytic density engine vs the paper-literal
+/// noisy circuit simulation on the flagship n=3/30-group configuration.
+fn report_noisy_speedup(_c: &mut Criterion) {
+    let ds = truncate(&table1_specs()[0].load(42), NOISY_SAMPLES);
+    let density = time_noisy_engine(&ds, EngineKind::Density, 5);
+    let circuit = time_noisy_engine(&ds, EngineKind::Circuit, 2);
+    let density_vs_circuit = circuit.as_secs_f64() / density.as_secs_f64();
+    println!(
+        "engine_flagship_noisy_speedup                            density {density:.2?} vs circuit {circuit:.2?}"
+    );
+    println!(
+        "engine_flagship_noisy_speedup_ratio                      density/circuit x{density_vs_circuit:.1}"
+    );
+    assert!(
+        density_vs_circuit >= 5.0,
+        "density engine must be ≥5× the noisy circuit engine on the flagship config, got ×{density_vs_circuit:.1}"
+    );
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_engines, report_speedup
+    targets = bench_engines, report_speedup, report_noisy_speedup
 }
 criterion_main!(benches);

@@ -30,14 +30,14 @@ pub enum ExecutionMode {
 ///
 /// See [`crate::engine`] for the implementations. `Auto` picks the
 /// batched analytic engine whenever the execution mode allows it (Exact
-/// and Sampled) and falls back to the gate-level circuit engine for Noisy
-/// runs, which need density-matrix evolution. The per-sample `Analytic`
-/// and paper-literal `Circuit` engines stay selectable as cross-check
+/// and Sampled) and the analytic density engine for Noisy runs, which
+/// need mixed-state evolution. The per-sample `Analytic` and
+/// paper-literal `Circuit` engines stay selectable as cross-check
 /// oracles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[non_exhaustive]
 pub enum EngineKind {
-    /// Batched analytic for Exact/Sampled execution, circuit for Noisy.
+    /// Batched analytic for Exact/Sampled execution, density for Noisy.
     /// Default.
     #[default]
     Auto,
@@ -50,9 +50,15 @@ pub enum EngineKind {
     /// ([`crate::engine::AnalyticEngine`]) — the batched engine's
     /// one-matvec-per-sample reference. Invalid with Noisy execution.
     Analytic,
+    /// Force the analytic density engine
+    /// ([`crate::engine::DensityEngine`]): `n`-qubit `vec(ρ)` scoring
+    /// through per-group fused noisy superoperators and the cached
+    /// SWAP-test readout functional. Requires Noisy execution.
+    Density,
     /// Force the gate-level circuit engine
     /// ([`crate::engine::CircuitEngine`]) — the paper-literal Fig. 2
-    /// simulation, kept as a cross-check oracle.
+    /// simulation, kept as a cross-check oracle (the only other engine
+    /// able to run noise models).
     Circuit,
 }
 
@@ -190,7 +196,7 @@ impl QuorumConfig {
     pub fn effective_engine(&self) -> EngineKind {
         match self.engine {
             EngineKind::Auto => match self.execution {
-                ExecutionMode::Noisy { .. } => EngineKind::Circuit,
+                ExecutionMode::Noisy { .. } => EngineKind::Density,
                 _ => EngineKind::Batched,
             },
             kind => kind,
@@ -394,11 +400,17 @@ mod tests {
             .clone()
             .with_execution(ExecutionMode::Sampled { shots: 128 });
         assert_eq!(sampled.effective_engine(), EngineKind::Batched);
-        let noisy = c.clone().with_execution(ExecutionMode::Noisy {
-            noise: NoiseModel::brisbane(),
-            shots: None,
-        });
-        assert_eq!(noisy.effective_engine(), EngineKind::Circuit);
+        // Noisy runs resolve to the analytic density engine, for every
+        // shots setting and noise model.
+        for shots in [None, Some(4096)] {
+            for noise in [NoiseModel::brisbane(), NoiseModel::ideal()] {
+                let noisy = c
+                    .clone()
+                    .with_execution(ExecutionMode::Noisy { noise, shots });
+                assert_eq!(noisy.effective_engine(), EngineKind::Density);
+                noisy.validate().unwrap();
+            }
+        }
         let forced = c.clone().with_engine(EngineKind::Circuit);
         assert_eq!(forced.effective_engine(), EngineKind::Circuit);
         let forced = c.with_engine(EngineKind::Analytic);
@@ -418,11 +430,60 @@ mod tests {
                     });
             assert!(bad.validate().is_err(), "{kind:?} must reject Noisy");
         }
-        // Auto silently falls back to the circuit engine instead.
+        // Auto silently resolves to the density engine instead.
         let ok = QuorumConfig::default().with_execution(ExecutionMode::Noisy {
             noise: NoiseModel::brisbane(),
             shots: None,
         });
+        ok.validate().unwrap();
+    }
+
+    #[test]
+    fn density_engine_requires_noisy_execution() {
+        use qsim::NoiseModel;
+        let forced = QuorumConfig::default().with_engine(EngineKind::Density);
+        assert!(forced.validate().is_err(), "Density must reject Exact");
+        let sampled = QuorumConfig::default()
+            .with_engine(EngineKind::Density)
+            .with_execution(ExecutionMode::Sampled { shots: 512 });
+        assert!(sampled.validate().is_err(), "Density must reject Sampled");
+        let ok = QuorumConfig::default()
+            .with_engine(EngineKind::Density)
+            .with_execution(ExecutionMode::Noisy {
+                noise: NoiseModel::brisbane(),
+                shots: Some(1024),
+            });
+        ok.validate().unwrap();
+        // The circuit oracle still accepts Noisy execution when forced.
+        let oracle = QuorumConfig::default()
+            .with_engine(EngineKind::Circuit)
+            .with_execution(ExecutionMode::Noisy {
+                noise: NoiseModel::brisbane(),
+                shots: None,
+            });
+        oracle.validate().unwrap();
+    }
+
+    #[test]
+    fn noisy_execution_rejects_oversized_registers_cleanly() {
+        use qsim::NoiseModel;
+        // 7 data qubits validate for Exact scoring but would need a
+        // 15-qubit mixed-state observable under noise: the density path
+        // must fail at validation rather than on a huge allocation.
+        let wide = QuorumConfig::default().with_data_qubits(7);
+        wide.validate().unwrap();
+        let noisy = wide.with_execution(ExecutionMode::Noisy {
+            noise: NoiseModel::brisbane(),
+            shots: None,
+        });
+        assert!(noisy.validate().is_err());
+        // The widest supported noisy register still validates.
+        let ok = QuorumConfig::default()
+            .with_data_qubits(6)
+            .with_execution(ExecutionMode::Noisy {
+                noise: NoiseModel::brisbane(),
+                shots: None,
+            });
         ok.validate().unwrap();
     }
 

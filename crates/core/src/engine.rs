@@ -37,22 +37,57 @@
 //! ([`crate::ensemble::EnsembleGroup::fused_encoder`]) so all compression
 //! levels of a group reuse one `to_unitary` result.
 //!
+//! [`DensityEngine`] — the default for noisy runs — carries the same
+//! reduction over to mixed states. The paper's Brisbane-style noise
+//! factorises over the Fig. 2 layout: every channel before the SWAP test
+//! acts on register A *or* register B alone, so the pre-SWAP state is
+//! exactly `|0⟩⟨0|_anc ⊗ ρ_A ⊗ ρ_B` — never a genuine `2n+1`-qubit mixed
+//! state. The engine therefore:
+//!
+//! 1. simulates the sample's noisy amplitude preparation once on `n`
+//!    qubits (`ρ_B`, which doubles as register A's input);
+//! 2. pushes `vec(ρ)` through a **fused noisy superoperator** — encoder
+//!    gates with their per-gate channels, the reset Kraus channels, and
+//!    the decoder — built once per (group, compression level) by evolving
+//!    the matrix-unit basis through the lowered gate list and cached on
+//!    [`crate::ensemble::EnsembleGroup::fused_noisy_superop`];
+//! 3. contracts `vec(ρ_A)` and `vec(ρ_B)` against a **SWAP-test readout
+//!    functional** `W`: the POVM element `|1⟩⟨1|_anc` pulled backwards
+//!    (Heisenberg picture, adjoint channels) through the *noisy lowered*
+//!    CSWAP network, then restricted to `ancilla = |0⟩`. `W` depends only
+//!    on `(n, noise model)` and is cached globally;
+//! 4. applies the readout confusion to the resulting `P(1)`.
+//!
+//! Every noisy physical gate of the Fig. 2 circuit is accounted for with
+//! the same fused channels the density-matrix backend applies
+//! ([`qsim::simulator::GateNoise`]), so the engine tracks the
+//! paper-literal noisy [`CircuitEngine`] to ≲1e-12 — with no
+//! `2n+1`-qubit density simulation per sample.
+//!
 //! Exact mode reproduces the branching backend's semantics to ≲1e-12;
 //! Sampled mode draws the same binomial statistics from the exact
 //! deviation through [`qsim::sampling`], with per-measurement seeds shared
-//! across all three engines. Noisy execution needs density-matrix
-//! evolution and stays on the circuit engine — `Auto` engine selection
-//! handles that split.
+//! across all engines. `Auto` engine selection resolves the
+//! execution-mode split: batched analytic for Exact/Sampled, density for
+//! Noisy.
 
+use crate::ansatz::AnsatzParams;
 use crate::circuit::build_sample_circuit;
 use crate::config::{EngineKind, ExecutionMode, QuorumConfig};
 use crate::ensemble::{derive_seed, EnsembleGroup};
 use crate::error::QuorumError;
 use qdata::Dataset;
+use qsim::circuit::{Circuit, Operation};
 use qsim::complex::C64;
+use qsim::density::DensityMatrix;
 use qsim::matrix::CMatrix;
-use qsim::simulator::{Backend, DensityMatrixBackend, OutcomeDistribution, StatevectorBackend};
+use qsim::simulator::{
+    Backend, DensityMatrixBackend, GateNoise, OutcomeDistribution, StatevectorBackend,
+};
+use qsim::stateprep::prepare_real_amplitudes;
+use qsim::{transpile, NoiseModel};
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Branches lighter than this are dropped, mirroring the branching
 /// statevector backend's prune threshold.
@@ -117,6 +152,7 @@ pub fn resolve(config: &QuorumConfig) -> Result<&'static dyn ScoringEngine, Quor
     static CIRCUIT: CircuitEngine = CircuitEngine;
     static ANALYTIC: AnalyticEngine = AnalyticEngine;
     static BATCHED: BatchedAnalyticEngine = BatchedAnalyticEngine;
+    static DENSITY: DensityEngine = DensityEngine;
     match config.effective_engine() {
         EngineKind::Circuit => Ok(&CIRCUIT),
         EngineKind::Analytic => {
@@ -126,6 +162,10 @@ pub fn resolve(config: &QuorumConfig) -> Result<&'static dyn ScoringEngine, Quor
         EngineKind::Batched => {
             ensure_pure_state(config)?;
             Ok(&BATCHED)
+        }
+        EngineKind::Density => {
+            ensure_noisy(config)?;
+            Ok(&DENSITY)
         }
         // `effective_engine` never returns Auto, but EngineKind is
         // non-exhaustive.
@@ -138,9 +178,35 @@ pub fn resolve(config: &QuorumConfig) -> Result<&'static dyn ScoringEngine, Quor
 fn ensure_pure_state(config: &QuorumConfig) -> Result<(), QuorumError> {
     if matches!(config.execution, ExecutionMode::Noisy { .. }) {
         return Err(QuorumError::InvalidConfig(
-            "the analytic engine is pure-state only; noisy execution needs the circuit engine"
+            "the analytic engine is pure-state only; noisy execution needs the density or circuit engine"
                 .into(),
         ));
+    }
+    Ok(())
+}
+
+/// The widest data register the density engine supports: the SWAP-test
+/// functional is derived on the full `2n + 1`-qubit observable, which must
+/// stay within the mixed-state simulator's 13-qubit limit.
+const MAX_DENSITY_DATA_QUBITS: usize = 6;
+
+/// The guard (and error messages) for the density engine's noise-only
+/// design and register-width limit: without a noise model the analytic
+/// pure-state engines are strictly better, and oversized registers are
+/// rejected up front rather than on a huge allocation.
+fn ensure_noisy(config: &QuorumConfig) -> Result<(), QuorumError> {
+    if !matches!(config.execution, ExecutionMode::Noisy { .. }) {
+        return Err(QuorumError::InvalidConfig(
+            "the density engine scores under a noise model; Exact/Sampled execution uses the analytic engines"
+                .into(),
+        ));
+    }
+    if config.data_qubits > MAX_DENSITY_DATA_QUBITS {
+        return Err(QuorumError::InvalidConfig(format!(
+            "noisy scoring supports at most {MAX_DENSITY_DATA_QUBITS} data qubits (the \
+             {}-qubit SWAP-test observable would exceed the mixed-state simulator's limits)",
+            2 * config.data_qubits + 1
+        )));
     }
     Ok(())
 }
@@ -492,6 +558,282 @@ impl ScoringEngine for BatchedAnalyticEngine {
     }
 }
 
+/// Builds the fused noisy superoperator of one group's bottlenecked
+/// autoencoder segment — encoder gates with their per-gate noise channels,
+/// the `reset_count` reset Kraus channels, and the decoder — as a
+/// `4^n × 4^n` matrix over row-major `vec(ρ)`.
+///
+/// Columns are extracted by evolving the matrix-unit basis `E_ij` through
+/// the *lowered* gate list with exactly the kernels the density-matrix
+/// backend uses ([`GateNoise::apply_after_gate`]), so applying the result
+/// to `vec(ρ)` reproduces the backend's per-gate evolution to machine
+/// precision. Called through the per-group cache
+/// ([`EnsembleGroup::fused_noisy_superop`]); one build covers every sample.
+///
+/// # Errors
+///
+/// Propagates simulation failures (the segment is reset-plus-unitary, so
+/// this is effectively infallible for valid ansätze).
+pub(crate) fn build_noisy_superop(
+    ansatz: &AnsatzParams,
+    noise: &NoiseModel,
+    reset_count: usize,
+) -> Result<CMatrix, QuorumError> {
+    let n = ansatz.num_qubits();
+    let mut circ = Circuit::new(n);
+    circ.compose(&ansatz.encoder(), 0)
+        .map_err(QuorumError::Simulation)?;
+    for q in (n - reset_count)..n {
+        circ.reset(q);
+    }
+    circ.compose(&ansatz.decoder(), 0)
+        .map_err(QuorumError::Simulation)?;
+    let lowered = transpile::decompose_multiqubit(&circ);
+    let gate_noise = GateNoise::from_model(noise);
+
+    let dim = 1usize << n;
+    let mut superop = CMatrix::zeros(dim * dim, dim * dim);
+    for col in 0..dim * dim {
+        let mut unit = CMatrix::zeros(dim, dim);
+        unit[(col / dim, col % dim)] = C64::ONE;
+        let mut rho = DensityMatrix::from_cmatrix(&unit).map_err(QuorumError::Simulation)?;
+        evolve_noisy(&mut rho, &lowered, &gate_noise)?;
+        for (row, &value) in rho.as_slice().iter().enumerate() {
+            superop[(row, col)] = value;
+        }
+    }
+    Ok(superop)
+}
+
+/// Evolves a density operator forward through a lowered instruction list,
+/// charging the fused per-gate noise after every gate — the shared
+/// Schrödinger-picture walk behind the superoperator builder and the
+/// per-sample noisy state preparation.
+fn evolve_noisy(
+    rho: &mut DensityMatrix,
+    lowered: &Circuit,
+    gate_noise: &GateNoise,
+) -> Result<(), QuorumError> {
+    for instr in lowered.instructions() {
+        match &instr.op {
+            Operation::Gate(g) => {
+                rho.apply_gate(*g, &instr.qubits)
+                    .map_err(QuorumError::Simulation)?;
+                gate_noise
+                    .apply_after_gate(rho, g.num_qubits(), &instr.qubits)
+                    .map_err(QuorumError::Simulation)?;
+            }
+            Operation::Reset => {
+                rho.reset(instr.qubits[0])
+                    .map_err(QuorumError::Simulation)?;
+            }
+            Operation::Barrier => {}
+            _ => {
+                return Err(QuorumError::InvalidConfig(
+                    "unsupported operation inside an autoencoder segment".into(),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The sample's noisy amplitude preparation on `n` qubits: the same
+/// Möttönen circuit the Fig. 2 layout applies to registers A and B,
+/// lowered and evolved with per-gate noise. The result serves as both
+/// `ρ_B` and register A's input.
+fn noisy_prepared_state(
+    amps: &[f64],
+    num_qubits: usize,
+    gate_noise: &GateNoise,
+) -> Result<DensityMatrix, QuorumError> {
+    let prep = prepare_real_amplitudes(num_qubits, amps).map_err(QuorumError::Simulation)?;
+    let lowered = transpile::decompose_multiqubit(&prep);
+    let mut rho = DensityMatrix::new(num_qubits);
+    evolve_noisy(&mut rho, &lowered, gate_noise)?;
+    Ok(rho)
+}
+
+/// Builds the SWAP-test readout functional `W` for `n`-qubit registers
+/// under `noise`: `P(ancilla = 1) = vec(ρ_A)ᵀ · W · vec(ρ_B)` (before
+/// readout confusion), where the probability includes every noisy lowered
+/// gate of the CSWAP network.
+///
+/// Derivation: the POVM element `Π₁ = |1⟩⟨1|_anc ⊗ I` is pulled backwards
+/// through the lowered SWAP-test gates in the Heisenberg picture — gate
+/// adjoints via inverse gates, channel adjoints via
+/// [`GateNoise::apply_adjoint_after_gate`] — and the resulting observable
+/// is restricted to the ancilla's initial `|0⟩` block and reindexed into
+/// the bilinear form over `(vec(ρ_A), vec(ρ_B))`. The ancilla's terminal
+/// dephasing is a no-op on the diagonal `Π₁` and drops out.
+fn build_swap_test_functional(n: usize, noise: &NoiseModel) -> Result<CMatrix, QuorumError> {
+    let gate_noise = GateNoise::from_model(noise);
+    let ancilla = 2 * n;
+    let mut circ = Circuit::new(2 * n + 1);
+    circ.h(ancilla);
+    for q in 0..n {
+        circ.cswap(ancilla, q, n + q);
+    }
+    circ.h(ancilla);
+    let lowered = transpile::decompose_multiqubit(&circ);
+
+    let dim = 1usize << (2 * n + 1);
+    let mut pi1 = CMatrix::zeros(dim, dim);
+    for i in (0..dim).filter(|i| i >> ancilla & 1 == 1) {
+        pi1[(i, i)] = C64::ONE;
+    }
+    let mut obs = DensityMatrix::from_cmatrix(&pi1).map_err(QuorumError::Simulation)?;
+    for instr in lowered.instructions().iter().rev() {
+        match &instr.op {
+            Operation::Gate(g) => {
+                gate_noise
+                    .apply_adjoint_after_gate(&mut obs, g.num_qubits(), &instr.qubits)
+                    .map_err(QuorumError::Simulation)?;
+                obs.apply_gate(g.inverse(), &instr.qubits)
+                    .map_err(QuorumError::Simulation)?;
+            }
+            Operation::Barrier => {}
+            _ => {
+                return Err(QuorumError::InvalidConfig(
+                    "the SWAP-test network must be unitary".into(),
+                ));
+            }
+        }
+    }
+
+    // Restrict to ancilla |0⟩ (joint index u = b·2ⁿ + a, ancilla bit 0 for
+    // u < 4ⁿ) and reshuffle Tr[obs · (ρ_A ⊗ ρ_B)] = Σ obs[u,v]·ρ_A[vₐ,uₐ]·
+    // ρ_B[v_b,u_b] into W over row-major vec indices.
+    let sub = 1usize << n;
+    let obs_mat = obs.to_cmatrix();
+    let mut w = CMatrix::zeros(sub * sub, sub * sub);
+    for va in 0..sub {
+        for ua in 0..sub {
+            for vb in 0..sub {
+                for ub in 0..sub {
+                    w[(va * sub + ua, vb * sub + ub)] = obs_mat[(ub * sub + ua, vb * sub + va)];
+                }
+            }
+        }
+    }
+    Ok(w)
+}
+
+/// Bytes the global SWAP-test functional cache may retain — a backstop
+/// for pathological many-model or wide-register workloads, far above
+/// anything the pipeline or test suites create (a flagship n = 3
+/// functional is ~65 KiB).
+const SWAP_FUNCTIONAL_CACHE_BYTES: usize = 64 << 20;
+
+/// The globally cached SWAP-test readout functional: `W` depends only on
+/// the register width and the noise model, so every group and sample of a
+/// run shares one instance. Retention is bounded by
+/// [`SWAP_FUNCTIONAL_CACHE_BYTES`]; oversized functionals are returned
+/// uncached and an overflowing cache is flushed before inserting.
+fn swap_test_functional(n: usize, noise: &NoiseModel) -> Result<Arc<CMatrix>, QuorumError> {
+    static CACHE: Mutex<Vec<(usize, NoiseModel, Arc<CMatrix>)>> = Mutex::new(Vec::new());
+    let functional_bytes = |w: &CMatrix| w.rows() * w.cols() * std::mem::size_of::<C64>();
+    let mut cache = CACHE.lock().expect("functional cache poisoned");
+    if let Some((_, _, w)) = cache
+        .iter()
+        .find(|(width, model, _)| *width == n && model == noise)
+    {
+        return Ok(Arc::clone(w));
+    }
+    let w = Arc::new(build_swap_test_functional(n, noise)?);
+    let new_bytes = functional_bytes(&w);
+    if new_bytes <= SWAP_FUNCTIONAL_CACHE_BYTES {
+        let held: usize = cache.iter().map(|(_, _, w)| functional_bytes(w)).sum();
+        if held + new_bytes > SWAP_FUNCTIONAL_CACHE_BYTES {
+            cache.clear();
+        }
+        cache.push((n, noise.clone(), Arc::clone(&w)));
+    }
+    Ok(w)
+}
+
+/// The analytic density-matrix noise engine: `n`-qubit mixed-state algebra
+/// with all sample-independent structure fused and cached. The default for
+/// Noisy execution (see the module docs for the math); the paper-literal
+/// [`CircuitEngine`] remains the cross-check oracle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DensityEngine;
+
+impl ScoringEngine for DensityEngine {
+    fn name(&self) -> &'static str {
+        "density"
+    }
+
+    fn deviations(
+        &self,
+        group: &EnsembleGroup,
+        normalized: &Dataset,
+        config: &QuorumConfig,
+        reset_count: usize,
+    ) -> Result<Vec<f64>, QuorumError> {
+        let mut all = self.deviations_all_levels(group, normalized, config, &[reset_count])?;
+        Ok(all.pop().expect("one level requested"))
+    }
+
+    fn deviations_all_levels(
+        &self,
+        group: &EnsembleGroup,
+        normalized: &Dataset,
+        config: &QuorumConfig,
+        levels: &[usize],
+    ) -> Result<Vec<Vec<f64>>, QuorumError> {
+        ensure_noisy(config)?;
+        let (noise, shots) = match &config.execution {
+            ExecutionMode::Noisy { noise, shots } => (noise, *shots),
+            _ => unreachable!("ensure_noisy admits only Noisy execution"),
+        };
+        let n = group.ansatz().num_qubits();
+        for &reset_count in levels {
+            ensure_reset_range(reset_count, n)?;
+        }
+
+        // Sample-independent structure, computed (or fetched) once per
+        // pass: the fused per-gate channels, the SWAP-test readout
+        // functional, and one fused noisy superoperator per level.
+        let gate_noise = GateNoise::from_model(noise);
+        let w = swap_test_functional(n, noise)?;
+        let superops = levels
+            .iter()
+            .map(|&reset_count| group.fused_noisy_superop(noise, reset_count))
+            .collect::<Result<Vec<_>, _>>()?;
+        let readout = gate_noise.readout_error();
+
+        let mut out: Vec<Vec<f64>> = levels
+            .iter()
+            .map(|_| Vec::with_capacity(normalized.num_samples()))
+            .collect();
+        let mut values = Vec::with_capacity(group.features().len());
+        let mut amps = vec![0.0_f64; 1usize << n];
+        for (i, row) in normalized.rows().iter().enumerate() {
+            group.features().project_into(row, &mut values);
+            crate::embed::amplitudes_with_overflow_into(&values, n, &mut amps)?;
+            // One noisy preparation per sample serves as ρ_B and as
+            // register A's input alike (Fig. 2 preps both identically).
+            let rho_in = noisy_prepared_state(&amps, n, &gate_noise)?;
+            let wb = w.mul_vec(rho_in.as_slice());
+            for (level, superop) in superops.iter().enumerate() {
+                let rho_a = superop.mul_vec(rho_in.as_slice());
+                let raw: C64 = rho_a.iter().zip(&wb).map(|(a, b)| *a * *b).sum();
+                let exact = readout + (1.0 - 2.0 * readout) * raw.re;
+                let p = match shots {
+                    Some(k) => {
+                        let seed = shot_seed(config, group.index(), levels[level], i);
+                        sampled_deviation(exact, k, seed)
+                    }
+                    None => exact,
+                };
+                out[level].push(p);
+            }
+        }
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -605,7 +947,9 @@ mod tests {
             noise: qsim::NoiseModel::brisbane(),
             shots: None,
         });
-        assert_eq!(resolve(&noisy).unwrap().name(), "circuit");
+        assert_eq!(resolve(&noisy).unwrap().name(), "density");
+        let forced = noisy.clone().with_engine(EngineKind::Circuit);
+        assert_eq!(resolve(&forced).unwrap().name(), "circuit");
         for kind in [EngineKind::Analytic, EngineKind::Batched] {
             let bad =
                 QuorumConfig::default()
@@ -615,6 +959,154 @@ mod tests {
                         shots: None,
                     });
             assert!(resolve(&bad).is_err());
+        }
+        // The density engine is noise-only: Exact and Sampled reject it.
+        let bad = QuorumConfig::default().with_engine(EngineKind::Density);
+        assert!(resolve(&bad).is_err());
+        let bad = QuorumConfig::default()
+            .with_engine(EngineKind::Density)
+            .with_execution(ExecutionMode::Sampled { shots: 64 });
+        assert!(resolve(&bad).is_err());
+    }
+
+    fn noisy_config(noise: qsim::NoiseModel, shots: Option<u64>) -> QuorumConfig {
+        QuorumConfig::default()
+            .with_seed(5)
+            .with_execution(ExecutionMode::Noisy { noise, shots })
+    }
+
+    #[test]
+    fn density_matches_circuit_oracle_under_noise() {
+        let ds = tiny_dataset();
+        for noise in [
+            qsim::NoiseModel::ideal(),
+            qsim::NoiseModel::brisbane(),
+            qsim::NoiseModel::brisbane().scaled(2.0),
+        ] {
+            let config = noisy_config(noise, None);
+            let group = group_for(&config, &ds, 1);
+            for reset_count in 1..config.data_qubits {
+                let circuit = CircuitEngine
+                    .deviations(&group, &ds, &config, reset_count)
+                    .unwrap();
+                let density = DensityEngine
+                    .deviations(&group, &ds, &config, reset_count)
+                    .unwrap();
+                for (c, d) in circuit.iter().zip(&density) {
+                    assert!(
+                        (c - d).abs() < 1e-9,
+                        "reset {reset_count}: circuit {c} vs density {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn density_with_ideal_noise_matches_analytic_engine() {
+        // A noise model with no error sources must collapse the density
+        // path onto the pure-state analytic numbers.
+        let ds = tiny_dataset();
+        let exact = QuorumConfig::default().with_seed(5);
+        let ideal = noisy_config(qsim::NoiseModel::ideal(), None);
+        let group = group_for(&exact, &ds, 2);
+        for reset_count in 1..exact.data_qubits {
+            let analytic = AnalyticEngine
+                .deviations(&group, &ds, &exact, reset_count)
+                .unwrap();
+            let density = DensityEngine
+                .deviations(&group, &ds, &ideal, reset_count)
+                .unwrap();
+            for (a, d) in analytic.iter().zip(&density) {
+                assert!(
+                    (a - d).abs() < 1e-12,
+                    "reset {reset_count}: analytic {a} vs density {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn density_engine_rejects_pure_state_execution() {
+        let ds = tiny_dataset();
+        let config = QuorumConfig::default();
+        let group = group_for(&config, &ds, 0);
+        assert!(matches!(
+            DensityEngine.deviations(&group, &ds, &config, 1),
+            Err(QuorumError::InvalidConfig(_))
+        ));
+        let sampled = config.with_execution(ExecutionMode::Sampled { shots: 128 });
+        assert!(matches!(
+            DensityEngine.deviations(&group, &ds, &sampled, 1),
+            Err(QuorumError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn density_engine_rejects_bad_reset_counts() {
+        let ds = tiny_dataset();
+        let config = noisy_config(qsim::NoiseModel::brisbane(), None);
+        let group = group_for(&config, &ds, 0);
+        assert!(DensityEngine.deviations(&group, &ds, &config, 0).is_err());
+        assert!(DensityEngine
+            .deviations(&group, &ds, &config, config.data_qubits)
+            .is_err());
+    }
+
+    #[test]
+    fn noisy_scoring_fuses_one_superop_per_level() {
+        // The noisy-cache regression pin: a full group pass pays for
+        // exactly one superoperator fusion per compression level, across
+        // any number of samples and repeated passes.
+        let ds = tiny_dataset();
+        let config = noisy_config(qsim::NoiseModel::brisbane(), None).with_seed(29);
+        let levels = config.effective_compression_levels();
+        let group = group_for(&config, &ds, 1);
+        assert_eq!(group.noisy_superop_fusions(), 0);
+        group.run_with(&DensityEngine, &ds, &config).unwrap();
+        assert_eq!(
+            group.noisy_superop_fusions(),
+            levels.len(),
+            "each compression level fuses exactly once"
+        );
+        group.run_with(&DensityEngine, &ds, &config).unwrap();
+        assert_eq!(group.noisy_superop_fusions(), levels.len());
+        // A different noise model is a different channel: it fuses anew.
+        let scaled = noisy_config(qsim::NoiseModel::brisbane().scaled(0.5), None).with_seed(29);
+        group.run_with(&DensityEngine, &ds, &scaled).unwrap();
+        assert_eq!(group.noisy_superop_fusions(), 2 * levels.len());
+        // Clones start cold, like the encoder cache.
+        let fresh = group.clone();
+        assert_eq!(fresh.noisy_superop_fusions(), 0);
+        fresh.run_with(&DensityEngine, &ds, &config).unwrap();
+        assert_eq!(fresh.noisy_superop_fusions(), levels.len());
+    }
+
+    #[test]
+    fn fused_noisy_superop_is_trace_preserving() {
+        // Column j = vec(C(E_ij)): the channel preserves trace iff every
+        // basis column's output trace equals the input's (δ_ij).
+        let ds = tiny_dataset();
+        let config = noisy_config(qsim::NoiseModel::brisbane(), None);
+        let group = group_for(&config, &ds, 0);
+        let n = config.data_qubits;
+        let dim = 1usize << n;
+        let superop = group
+            .fused_noisy_superop(&qsim::NoiseModel::brisbane(), 1)
+            .unwrap();
+        for i in 0..dim {
+            for j in 0..dim {
+                let col = i * dim + j;
+                let mut trace = C64::ZERO;
+                for d in 0..dim {
+                    trace += superop[(d * dim + d, col)];
+                }
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (trace.re - expected).abs() < 1e-12 && trace.im.abs() < 1e-12,
+                    "column ({i},{j}) trace {trace:?}"
+                );
+            }
         }
     }
 

@@ -15,10 +15,11 @@ use crate::features::FeatureSelection;
 use qdata::Dataset;
 use qmetrics::stats;
 use qsim::matrix::CMatrix;
+use qsim::NoiseModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// SplitMix64: deterministic per-index seed derivation from a master seed.
 pub(crate) fn derive_seed(master: u64, index: u64) -> u64 {
@@ -45,6 +46,32 @@ impl Clone for EncoderCache {
     }
 }
 
+/// One cached fused noisy superoperator: the `(noise model, reset count)`
+/// key plus the `4^n × 4^n` matrix the density engine applies per sample.
+#[derive(Debug)]
+struct NoisySuperopEntry {
+    noise: NoiseModel,
+    reset_count: usize,
+    superop: Arc<CMatrix>,
+}
+
+/// Lazily fused noisy superoperators, one per `(noise model, compression
+/// level)`, shared by every sample (and scoring pass) of the group. The
+/// fusion counter backs the cache regression tests, mirroring
+/// [`EncoderCache`].
+#[derive(Debug, Default)]
+struct NoisySuperopCache {
+    entries: Mutex<Vec<NoisySuperopEntry>>,
+    fusions: AtomicUsize,
+}
+
+impl Clone for NoisySuperopCache {
+    /// Clones start cold, for the same reason [`EncoderCache`]'s do.
+    fn clone(&self) -> Self {
+        NoisySuperopCache::default()
+    }
+}
+
 /// One randomized ensemble group: buckets, feature subset and ansatz.
 #[derive(Debug, Clone)]
 pub struct EnsembleGroup {
@@ -53,6 +80,7 @@ pub struct EnsembleGroup {
     features: FeatureSelection,
     buckets: Vec<Vec<usize>>,
     encoder_cache: EncoderCache,
+    noisy_superop_cache: NoisySuperopCache,
 }
 
 impl EnsembleGroup {
@@ -75,6 +103,7 @@ impl EnsembleGroup {
             features,
             buckets,
             encoder_cache: EncoderCache::default(),
+            noisy_superop_cache: NoisySuperopCache::default(),
         }
     }
 
@@ -128,6 +157,76 @@ impl EnsembleGroup {
     /// 1 for any sequential scoring pass.
     pub fn encoder_fusions(&self) -> usize {
         self.encoder_cache.fusions.load(Ordering::Relaxed)
+    }
+
+    /// The group's bottlenecked autoencoder segment (encoder, `reset_count`
+    /// resets, decoder) fused into a `4^n × 4^n` noisy superoperator over
+    /// `vec(ρ)`, built at most once per `(noise model, compression level)`
+    /// and cached for the group's lifetime — every sample of a noisy
+    /// scoring pass reuses the same matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::engine`] superoperator-construction failures
+    /// (effectively infallible for valid ansätze).
+    pub fn fused_noisy_superop(
+        &self,
+        noise: &NoiseModel,
+        reset_count: usize,
+    ) -> Result<Arc<CMatrix>, QuorumError> {
+        /// Bytes one group's superoperator cache may retain. Every level of
+        /// the supported widths up to `n = 5` fits (a `4^n × 4^n` entry is
+        /// ~1 MiB at n = 4, ~16 MiB at n = 5); the n = 6 extreme (~268 MiB
+        /// per entry) is rebuilt per scoring pass instead of pinned, which
+        /// keeps a wide multi-group ensemble from retaining hundreds of
+        /// gigabytes.
+        const NOISY_SUPEROP_CACHE_BYTES: usize = 64 << 20;
+        let superop_bytes = |m: &CMatrix| m.rows() * m.cols() * std::mem::size_of::<qsim::C64>();
+
+        let mut entries = self
+            .noisy_superop_cache
+            .entries
+            .lock()
+            .expect("noisy superoperator cache poisoned");
+        if let Some(entry) = entries
+            .iter()
+            .find(|e| e.reset_count == reset_count && &e.noise == noise)
+        {
+            return Ok(Arc::clone(&entry.superop));
+        }
+        // Build under the lock: concurrent scorers of the same group wait
+        // rather than duplicating the fusion, keeping the counter exact.
+        let superop = Arc::new(engine::build_noisy_superop(
+            &self.ansatz,
+            noise,
+            reset_count,
+        )?);
+        self.noisy_superop_cache
+            .fusions
+            .fetch_add(1, Ordering::Relaxed);
+        let new_bytes = superop_bytes(&superop);
+        if new_bytes <= NOISY_SUPEROP_CACHE_BYTES {
+            let held: usize = entries.iter().map(|e| superop_bytes(&e.superop)).sum();
+            if held + new_bytes > NOISY_SUPEROP_CACHE_BYTES {
+                entries.clear();
+            }
+            entries.push(NoisySuperopEntry {
+                noise: noise.clone(),
+                reset_count,
+                superop: Arc::clone(&superop),
+            });
+        }
+        Ok(superop)
+    }
+
+    /// How many noisy superoperators this group actually fused — the
+    /// observable behind the density engine's cache regression tests.
+    /// Stays at the number of distinct `(noise model, compression level)`
+    /// pairs scored — however many samples and passes ran — as long as the
+    /// entries fit the cache's byte bound (always true at the paper's
+    /// widths; only the n = 6 extreme re-fuses per pass).
+    pub fn noisy_superop_fusions(&self) -> usize {
+        self.noisy_superop_cache.fusions.load(Ordering::Relaxed)
     }
 
     /// Evaluates the SWAP-test deviation of every sample at one

@@ -65,6 +65,8 @@ pub mod score;
 
 pub use config::{EngineKind, ExecutionMode, Normalization, QuorumConfig};
 pub use detector::QuorumDetector;
-pub use engine::{AnalyticEngine, BatchedAnalyticEngine, CircuitEngine, ScoringEngine};
+pub use engine::{
+    AnalyticEngine, BatchedAnalyticEngine, CircuitEngine, DensityEngine, ScoringEngine,
+};
 pub use error::QuorumError;
 pub use score::ScoreReport;

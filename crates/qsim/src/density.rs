@@ -55,6 +55,53 @@ impl DensityMatrix {
         }
     }
 
+    /// Wraps an arbitrary square matrix over a power-of-two dimension as a
+    /// `DensityMatrix`, so the gate/Kraus/superoperator kernels can evolve
+    /// it. Every kernel is a *linear* map on the matrix entries, so this is
+    /// also the door to operator algebra beyond states: evolving the
+    /// matrix-unit basis `E_ij` column-by-column yields a channel's
+    /// superoperator, and evolving a POVM element backwards (adjoint
+    /// kernels) yields Heisenberg-picture observables. Neither use is a
+    /// valid quantum state, and no positivity or trace check is applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::DimensionMismatch`] for a non-square matrix and
+    /// [`QsimError::Unsupported`] for a dimension that is not a power of
+    /// two or exceeds the simulator's 13-qubit limit.
+    pub fn from_cmatrix(m: &CMatrix) -> Result<Self, QsimError> {
+        let dim = m.rows();
+        if m.cols() != dim {
+            return Err(QsimError::DimensionMismatch {
+                expected: dim,
+                actual: m.cols(),
+            });
+        }
+        if !dim.is_power_of_two() || dim > (1 << 13) {
+            return Err(QsimError::Unsupported(format!(
+                "operator dimension {dim} must be a power of two within the 13-qubit limit"
+            )));
+        }
+        let num_qubits = dim.trailing_zeros() as usize;
+        let mut data = vec![C64::ZERO; dim * dim];
+        for i in 0..dim {
+            for j in 0..dim {
+                data[i * dim + j] = m[(i, j)];
+            }
+        }
+        Ok(DensityMatrix {
+            num_qubits,
+            dim,
+            data,
+        })
+    }
+
+    /// The raw row-major entries — equivalently `vec(ρ)` in the row-major
+    /// vectorisation convention used by [`superop_from_kraus`].
+    pub fn as_slice(&self) -> &[C64] {
+        &self.data
+    }
+
     /// Builds the pure-state density matrix `|ψ⟩⟨ψ|`.
     pub fn from_statevector(sv: &Statevector) -> Self {
         let dim = sv.dim();
@@ -621,6 +668,21 @@ pub fn superop_to_array_1q(s: &CMatrix) -> [[C64; 4]; 4] {
     out
 }
 
+/// The adjoint (Heisenberg-picture) superoperator of a fused single-qubit
+/// channel: for `S = Σ_m K_m ⊗ conj(K_m)` the adjoint channel
+/// `X → Σ_m K_m† X K_m` has superoperator `S†`. Feeding the result to
+/// [`DensityMatrix::apply_superop_1q`] pulls an observable backwards
+/// through the channel.
+pub fn superop_adjoint_1q(s: &[[C64; 4]; 4]) -> [[C64; 4]; 4] {
+    let mut out = [[C64::ZERO; 4]; 4];
+    for (i, row) in out.iter_mut().enumerate() {
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = s[j][i].conj();
+        }
+    }
+    out
+}
+
 /// Inserts the bits of `sub` (width `k`) into `base` at the positions given
 /// by `masks` (masks[0] = most significant sub bit).
 #[inline]
@@ -899,5 +961,197 @@ mod tests {
         assert!(rho.apply_superop_2q(0, 1, &s4).is_err()); // wrong dim
         let s16 = CMatrix::identity(16);
         assert!(rho.apply_superop_2q(0, 5, &s16).is_err()); // bad qubit
+    }
+
+    #[test]
+    fn from_statevector_is_pure_with_unit_trace() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        for _ in 0..4 {
+            let mut sv = Statevector::new(3);
+            for q in 0..3 {
+                sv.apply_gate(Gate::RY(rng.gen_range(0.0..std::f64::consts::TAU)), &[q])
+                    .unwrap();
+            }
+            sv.apply_gate(Gate::CX, &[0, 2]).unwrap();
+            let rho = DensityMatrix::from_statevector(&sv);
+            assert!((rho.trace() - 1.0).abs() < TOL);
+            assert!((rho.purity() - 1.0).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn kraus_channels_preserve_trace_on_mixed_states() {
+        let channels: Vec<(Vec<CMatrix>, Vec<usize>)> = vec![
+            (crate::noise::depolarizing_1q(0.13), vec![0]),
+            (crate::noise::amplitude_damping(0.4), vec![1]),
+            (crate::noise::phase_damping(0.27), vec![2]),
+            (crate::noise::depolarizing_2q(0.08), vec![0, 2]),
+        ];
+        for seed in 0..3 {
+            for (kraus, qubits) in &channels {
+                let mut rho = random_mixed_state(300 + seed);
+                let before = rho.trace();
+                rho.apply_kraus(kraus, qubits).unwrap();
+                assert!((rho.trace() - before).abs() < TOL);
+            }
+        }
+    }
+
+    #[test]
+    fn unital_kraus_channels_never_raise_purity() {
+        // Unital channels (those fixing the identity) are purity
+        // non-increasing. Amplitude damping is deliberately absent: it is
+        // non-unital and *can* purify (it pumps any state toward |0⟩).
+        let channels: Vec<(Vec<CMatrix>, Vec<usize>)> = vec![
+            (crate::noise::depolarizing_1q(0.2), vec![1]),
+            (crate::noise::phase_damping(0.5), vec![0]),
+            (crate::noise::depolarizing_2q(0.15), vec![2, 1]),
+        ];
+        for seed in 0..4 {
+            for (kraus, qubits) in &channels {
+                let mut rho = random_mixed_state(400 + seed);
+                let before = rho.purity();
+                rho.apply_kraus(kraus, qubits).unwrap();
+                assert!(
+                    rho.purity() <= before + TOL,
+                    "unital channel raised purity: {} -> {}",
+                    before,
+                    rho.purity()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn amplitude_damping_purifies_the_maximally_mixed_state() {
+        // The non-unital counterexample that keeps the test above honest.
+        let mut rho = DensityMatrix::new(1);
+        rho.apply_kraus(&crate::noise::depolarizing_1q(0.75), &[0])
+            .unwrap();
+        assert!((rho.purity() - 0.5).abs() < TOL);
+        rho.apply_kraus(&crate::noise::amplitude_damping(1.0), &[0])
+            .unwrap();
+        assert!((rho.purity() - 1.0).abs() < TOL);
+        assert!((rho.trace() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn partial_trace_and_overlap_match_statevector_inner_product() {
+        // On pure product states Tr(ρ_A σ_A) after tracing out B equals the
+        // statevector overlap |⟨a|a'⟩|² of the kept factors.
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        for _ in 0..4 {
+            let (ta, tb) = (
+                rng.gen_range(0.0..std::f64::consts::TAU),
+                rng.gen_range(0.0..std::f64::consts::TAU),
+            );
+            // |ψ⟩ = RY(ta)|0⟩ ⊗ junk on qubit 1, |φ⟩ likewise with tb.
+            let mut psi = DensityMatrix::new(2);
+            psi.apply_gate(Gate::RY(ta), &[0]).unwrap();
+            psi.apply_gate(Gate::RY(1.3), &[1]).unwrap();
+            let mut phi = DensityMatrix::new(2);
+            phi.apply_gate(Gate::RY(tb), &[0]).unwrap();
+            phi.apply_gate(Gate::RX(0.4), &[1]).unwrap();
+            let ra = psi.partial_trace(&[0]).unwrap();
+            let rb = phi.partial_trace(&[0]).unwrap();
+            // Statevector reference for the kept factor.
+            let mut a = Statevector::new(1);
+            a.apply_gate(Gate::RY(ta), &[0]).unwrap();
+            let mut b = Statevector::new(1);
+            b.apply_gate(Gate::RY(tb), &[0]).unwrap();
+            let inner: C64 = a
+                .amplitudes()
+                .iter()
+                .zip(b.amplitudes())
+                .map(|(x, y)| x.conj() * *y)
+                .sum();
+            assert!((ra.overlap(&rb).unwrap() - inner.norm_sqr()).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn superop_composition_law_over_three_channels() {
+        // S(C3 ∘ C2 ∘ C1) = S3 · S2 · S1, checked against sequential Kraus
+        // application on a random mixed state.
+        let c1 = crate::noise::depolarizing_1q(0.1);
+        let c2 = crate::noise::phase_damping(0.35);
+        let c3 = crate::noise::amplitude_damping(0.2);
+        let fused = compose_superops(
+            &compose_superops(&superop_from_kraus(&c1), &superop_from_kraus(&c2)),
+            &superop_from_kraus(&c3),
+        );
+        let s = superop_to_array_1q(&fused);
+        let mut a = random_mixed_state(11);
+        let mut b = a.clone();
+        a.apply_kraus(&c1, &[2]).unwrap();
+        a.apply_kraus(&c2, &[2]).unwrap();
+        a.apply_kraus(&c3, &[2]).unwrap();
+        b.apply_superop_1q(2, &s).unwrap();
+        assert!(a.to_cmatrix().approx_eq(&b.to_cmatrix(), 1e-10));
+    }
+
+    #[test]
+    fn superop_adjoint_satisfies_heisenberg_duality() {
+        // Tr[C(ρ) · X] == Tr[ρ · C†(X)] for a fused non-unital channel.
+        let channel = {
+            let depol = superop_from_kraus(&crate::noise::depolarizing_1q(0.07));
+            let damp = superop_from_kraus(&crate::noise::amplitude_damping(0.3));
+            superop_to_array_1q(&compose_superops(&depol, &damp))
+        };
+        let adjoint = superop_adjoint_1q(&channel);
+        let rho = random_mixed_state(5);
+        // A non-trivial Hermitian observable: another mixed state works.
+        let obs = random_mixed_state(6);
+        let mut forward = rho.clone();
+        forward.apply_superop_1q(1, &channel).unwrap();
+        let mut backward = obs.clone();
+        backward.apply_superop_1q(1, &adjoint).unwrap();
+        let lhs = forward.overlap(&obs).unwrap();
+        let rhs = rho.overlap(&backward).unwrap();
+        assert!((lhs - rhs).abs() < 1e-10, "duality broken: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn from_cmatrix_round_trips_and_validates() {
+        let rho = random_mixed_state(9);
+        let round = DensityMatrix::from_cmatrix(&rho.to_cmatrix()).unwrap();
+        assert_eq!(round, rho);
+        assert_eq!(round.num_qubits(), 3);
+        // Non-square and non-power-of-two dimensions are rejected.
+        assert!(DensityMatrix::from_cmatrix(&CMatrix::zeros(4, 2)).is_err());
+        assert!(DensityMatrix::from_cmatrix(&CMatrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn from_cmatrix_entries_evolve_linearly() {
+        // Evolving matrix units through a channel and summing reproduces
+        // the evolved sum — the linearity that superoperator extraction
+        // relies on.
+        let kraus = crate::noise::amplitude_damping(0.45);
+        let rho = random_mixed_state(14);
+        let mut direct = rho.clone();
+        direct.apply_kraus(&kraus, &[0]).unwrap();
+        let dim = rho.dim();
+        let mut acc = CMatrix::zeros(dim, dim);
+        let full = rho.to_cmatrix();
+        for i in 0..dim {
+            for j in 0..dim {
+                let mut unit = CMatrix::zeros(dim, dim);
+                unit[(i, j)] = C64::ONE;
+                let mut e = DensityMatrix::from_cmatrix(&unit).unwrap();
+                e.apply_kraus(&kraus, &[0]).unwrap();
+                let evolved = e.to_cmatrix();
+                for r in 0..dim {
+                    for c in 0..dim {
+                        acc[(r, c)] += full[(i, j)] * evolved[(r, c)];
+                    }
+                }
+            }
+        }
+        assert!(acc.approx_eq(&direct.to_cmatrix(), 1e-10));
     }
 }

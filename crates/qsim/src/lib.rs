@@ -66,6 +66,6 @@ pub use error::QsimError;
 pub use gate::Gate;
 pub use noise::NoiseModel;
 pub use simulator::{
-    Backend, Counts, DensityMatrixBackend, OutcomeDistribution, StatevectorBackend,
+    Backend, Counts, DensityMatrixBackend, GateNoise, OutcomeDistribution, StatevectorBackend,
 };
 pub use statevector::Statevector;

@@ -289,6 +289,57 @@ mod tests {
     }
 
     #[test]
+    fn primitive_channels_are_cptp_across_parameter_sweeps() {
+        // The completeness relation Σ K†K = I must hold for every channel
+        // constructor over its whole parameter range.
+        for p in [0.0, 1e-6, 0.01, 0.25, 0.5, 0.75, 1.0] {
+            assert!(is_trace_preserving(&depolarizing_1q(p), TOL), "d1q({p})");
+            assert!(is_trace_preserving(&depolarizing_2q(p), TOL), "d2q({p})");
+            assert!(is_trace_preserving(&amplitude_damping(p), TOL), "amp({p})");
+            assert!(is_trace_preserving(&phase_damping(p), TOL), "phase({p})");
+        }
+    }
+
+    #[test]
+    fn model_channel_stacks_are_cptp_for_all_presets_and_scales() {
+        // Every channel any NoiseModel hands the simulator — 1q gate stack,
+        // 2q gate stack, raw relaxation — is CPTP, for the ideal and
+        // Brisbane presets and for Brisbane scaled by {0, 0.5, 1, 2}.
+        let mut models = vec![NoiseModel::ideal(), NoiseModel::brisbane()];
+        for factor in [0.0, 0.5, 1.0, 2.0] {
+            models.push(NoiseModel::brisbane().scaled(factor));
+        }
+        for (i, nm) in models.iter().enumerate() {
+            for ch in nm.channels_for_1q_gate() {
+                assert!(is_trace_preserving(&ch, TOL), "model {i}: 1q stack");
+            }
+            let (two, per_q) = nm.channels_for_2q_gate();
+            for ch in two {
+                assert!(is_trace_preserving(&ch, TOL), "model {i}: 2q depol");
+            }
+            for ch in per_q {
+                assert!(is_trace_preserving(&ch, TOL), "model {i}: 2q relax");
+            }
+            for duration in [nm.gate_time_1q, nm.gate_time_2q, 1e-6] {
+                for ch in nm.relaxation_channels(duration) {
+                    assert!(
+                        is_trace_preserving(&ch, TOL),
+                        "model {i}: relaxation over {duration}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_scaled_model_is_ideal() {
+        let nm = NoiseModel::brisbane().scaled(0.0);
+        assert!(nm.is_ideal());
+        assert!(nm.channels_for_1q_gate().is_empty());
+        assert_eq!(nm.apply_readout(0.42), 0.42);
+    }
+
+    #[test]
     fn depolarizing_full_strength_mixes_completely() {
         let mut rho = DensityMatrix::new(1);
         // p = 3/4 gives the maximally mixed state in this convention:

@@ -340,21 +340,154 @@ impl StatevectorBackend {
     }
 }
 
+/// The per-physical-gate noise channels of a [`NoiseModel`], fused into
+/// single superoperators at construction time.
+///
+/// Shared by [`DensityMatrixBackend`] and `quorum_core`'s analytic density
+/// engine so both charge *exactly* the same error after every lowered gate:
+/// one fused 4×4 block operation after each 1-qubit gate, and the
+/// closed-form two-qubit depolarizing plus per-qubit relaxation after each
+/// CX — instead of up to eight Kraus terms per gate.
+///
+/// The adjoint channels are precomputed too, so observables can be pulled
+/// *backwards* through a noisy gate sequence (Heisenberg picture) with the
+/// same kernels.
+#[derive(Debug, Clone, Default)]
+pub struct GateNoise {
+    /// Fused channel after every 1-qubit gate.
+    superop_1q: Option<[[crate::complex::C64; 4]; 4]>,
+    /// Adjoint of `superop_1q`.
+    superop_1q_adj: Option<[[crate::complex::C64; 4]; 4]>,
+    /// Depolarizing parameter applied after every CX (closed form; the
+    /// channel is self-adjoint).
+    depol_2q: f64,
+    /// Fused per-qubit relaxation accrued over a 2-qubit gate's duration.
+    superop_2q_relax: Option<[[crate::complex::C64; 4]; 4]>,
+    /// Adjoint of `superop_2q_relax`.
+    superop_2q_relax_adj: Option<[[crate::complex::C64; 4]; 4]>,
+    /// Symmetric readout bit-flip probability.
+    readout_error: f64,
+}
+
+impl GateNoise {
+    /// Fuses the model's per-gate channel stacks into superoperators.
+    pub fn from_model(noise: &NoiseModel) -> Self {
+        use crate::density::{
+            compose_superops, superop_adjoint_1q, superop_from_kraus, superop_to_array_1q,
+        };
+        let fuse = |channels: &[Vec<crate::matrix::CMatrix>]| {
+            channels
+                .iter()
+                .map(|ch| superop_from_kraus(ch))
+                .reduce(|acc, next| compose_superops(&acc, &next))
+        };
+        let superop_1q = fuse(&noise.channels_for_1q_gate()).map(|s| superop_to_array_1q(&s));
+        let (_, per_q) = noise.channels_for_2q_gate();
+        let superop_2q_relax = fuse(&per_q).map(|s| superop_to_array_1q(&s));
+        GateNoise {
+            superop_1q,
+            superop_1q_adj: superop_1q.as_ref().map(superop_adjoint_1q),
+            depol_2q: noise.error_2q,
+            superop_2q_relax,
+            superop_2q_relax_adj: superop_2q_relax.as_ref().map(superop_adjoint_1q),
+            readout_error: noise.readout_error,
+        }
+    }
+
+    /// The model's symmetric readout bit-flip probability.
+    pub fn readout_error(&self) -> f64 {
+        self.readout_error
+    }
+
+    /// Applies the post-gate channel stack for a gate of the given arity on
+    /// `qubits` — the Schrödinger-picture direction used when evolving
+    /// states forward.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::Unsupported`] for arity > 2 (the circuit must
+    /// be lowered with [`crate::transpile::decompose_multiqubit`] first)
+    /// and propagates operand-validation errors.
+    pub fn apply_after_gate(
+        &self,
+        rho: &mut DensityMatrix,
+        gate_arity: usize,
+        qubits: &[usize],
+    ) -> Result<(), QsimError> {
+        match gate_arity {
+            1 => {
+                if let Some(s) = &self.superop_1q {
+                    rho.apply_superop_1q(qubits[0], s)?;
+                }
+            }
+            2 => {
+                if self.depol_2q > 0.0 {
+                    rho.apply_depolarizing_2q(qubits[0], qubits[1], self.depol_2q)?;
+                }
+                if let Some(s) = &self.superop_2q_relax {
+                    rho.apply_superop_1q(qubits[0], s)?;
+                    rho.apply_superop_1q(qubits[1], s)?;
+                }
+            }
+            _ => {
+                return Err(QsimError::Unsupported(
+                    "3-qubit gate survived lowering".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the *adjoint* of the post-gate channel stack — the
+    /// Heisenberg-picture direction used when pulling an observable
+    /// backwards through a noisy gate. Channels are applied in reverse
+    /// order with each one daggered (the two-qubit depolarizing channel is
+    /// self-adjoint).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GateNoise::apply_after_gate`].
+    pub fn apply_adjoint_after_gate(
+        &self,
+        obs: &mut DensityMatrix,
+        gate_arity: usize,
+        qubits: &[usize],
+    ) -> Result<(), QsimError> {
+        match gate_arity {
+            1 => {
+                if let Some(s) = &self.superop_1q_adj {
+                    obs.apply_superop_1q(qubits[0], s)?;
+                }
+            }
+            2 => {
+                if let Some(s) = &self.superop_2q_relax_adj {
+                    obs.apply_superop_1q(qubits[1], s)?;
+                    obs.apply_superop_1q(qubits[0], s)?;
+                }
+                if self.depol_2q > 0.0 {
+                    obs.apply_depolarizing_2q(qubits[0], qubits[1], self.depol_2q)?;
+                }
+            }
+            _ => {
+                return Err(QsimError::Unsupported(
+                    "3-qubit gate survived lowering".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Exact mixed-state backend with optional per-gate Kraus noise.
 ///
-/// The per-gate channel stacks (depolarizing + relaxation) are composed
-/// into single superoperators at construction time, so the noisy hot loop
-/// applies one fused 4×4 (or 16×16) block operation per gate instead of up
+/// The per-gate channel stacks (depolarizing + relaxation) are fused into
+/// single superoperators at construction time via [`GateNoise`], so the
+/// noisy hot loop applies one fused block operation per gate instead of up
 /// to eight Kraus terms.
 #[derive(Debug, Clone, Default)]
 pub struct DensityMatrixBackend {
     noise: Option<NoiseModel>,
-    /// Fused channel after every 1-qubit gate.
-    superop_1q: Option<[[crate::complex::C64; 4]; 4]>,
-    /// Depolarizing parameter applied after every CX (closed form).
-    depol_2q: f64,
-    /// Fused per-qubit relaxation accrued over a 2-qubit gate's duration.
-    superop_2q_relax: Option<[[crate::complex::C64; 4]; 4]>,
+    gate_noise: GateNoise,
 }
 
 impl DensityMatrixBackend {
@@ -366,22 +499,10 @@ impl DensityMatrixBackend {
     /// Creates a backend that applies the given noise model after every
     /// physical gate (circuits are lowered to 1q+CX form first).
     pub fn with_noise(noise: NoiseModel) -> Self {
-        use crate::density::{compose_superops, superop_from_kraus, superop_to_array_1q};
-        let fuse = |channels: &[Vec<crate::matrix::CMatrix>]| {
-            channels
-                .iter()
-                .map(|ch| superop_from_kraus(ch))
-                .reduce(|acc, next| compose_superops(&acc, &next))
-        };
-        let superop_1q = fuse(&noise.channels_for_1q_gate()).map(|s| superop_to_array_1q(&s));
-        let (_, per_q) = noise.channels_for_2q_gate();
-        let superop_2q_relax = fuse(&per_q).map(|s| superop_to_array_1q(&s));
-        let depol_2q = noise.error_2q;
+        let gate_noise = GateNoise::from_model(&noise);
         DensityMatrixBackend {
             noise: Some(noise),
-            superop_1q,
-            depol_2q,
-            superop_2q_relax,
+            gate_noise,
         }
     }
 
@@ -429,31 +550,11 @@ impl Backend for DensityMatrixBackend {
                 Operation::Gate(g) => {
                     rho.apply_gate(*g, &instr.qubits)?;
                     if self.noise.is_some() {
-                        match g.num_qubits() {
-                            1 => {
-                                if let Some(s) = &self.superop_1q {
-                                    rho.apply_superop_1q(instr.qubits[0], s)?;
-                                }
-                            }
-                            2 => {
-                                if self.depol_2q > 0.0 {
-                                    rho.apply_depolarizing_2q(
-                                        instr.qubits[0],
-                                        instr.qubits[1],
-                                        self.depol_2q,
-                                    )?;
-                                }
-                                if let Some(s) = &self.superop_2q_relax {
-                                    rho.apply_superop_1q(instr.qubits[0], s)?;
-                                    rho.apply_superop_1q(instr.qubits[1], s)?;
-                                }
-                            }
-                            _ => {
-                                return Err(QsimError::Unsupported(
-                                    "3-qubit gate survived lowering".into(),
-                                ))
-                            }
-                        }
+                        self.gate_noise.apply_after_gate(
+                            &mut rho,
+                            g.num_qubits(),
+                            &instr.qubits,
+                        )?;
                     }
                 }
                 Operation::Barrier => {}
@@ -608,6 +709,50 @@ mod tests {
         let p = noisy.marginal_one(0);
         assert!(p < 1.0 - 1e-3, "noise should reduce P(1), got {p}");
         assert!(p > 0.95, "Brisbane noise is mild, got {p}");
+    }
+
+    #[test]
+    fn gate_noise_adjoint_satisfies_heisenberg_duality() {
+        // Tr[N(ρ) X] == Tr[ρ N†(X)] for the full per-gate channel stacks,
+        // both the 1-qubit stack and the CX stack (depolarizing + per-qubit
+        // relaxation). This is the law the analytic density engine's
+        // backward-evolved SWAP-test functional rests on.
+        use crate::gate::Gate;
+        let gate_noise = GateNoise::from_model(&NoiseModel::brisbane());
+        let mut rho = DensityMatrix::new(3);
+        rho.apply_gate(Gate::RY(0.9), &[0]).unwrap();
+        rho.apply_gate(Gate::CX, &[0, 1]).unwrap();
+        rho.apply_gate(Gate::RX(0.4), &[2]).unwrap();
+        let mut obs = DensityMatrix::new(3);
+        obs.apply_gate(Gate::RY(2.2), &[1]).unwrap();
+        obs.apply_gate(Gate::CX, &[1, 2]).unwrap();
+        for (arity, qubits) in [(1usize, vec![1usize]), (2, vec![0, 2])] {
+            let mut forward = rho.clone();
+            gate_noise
+                .apply_after_gate(&mut forward, arity, &qubits)
+                .unwrap();
+            let mut backward = obs.clone();
+            gate_noise
+                .apply_adjoint_after_gate(&mut backward, arity, &qubits)
+                .unwrap();
+            let lhs = forward.overlap(&obs).unwrap();
+            let rhs = rho.overlap(&backward).unwrap();
+            assert!((lhs - rhs).abs() < 1e-12, "arity {arity}: {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn gate_noise_rejects_unlowered_gates() {
+        let gate_noise = GateNoise::from_model(&NoiseModel::brisbane());
+        let mut rho = DensityMatrix::new(3);
+        assert!(matches!(
+            gate_noise.apply_after_gate(&mut rho, 3, &[0, 1, 2]),
+            Err(QsimError::Unsupported(_))
+        ));
+        assert!(matches!(
+            gate_noise.apply_adjoint_after_gate(&mut rho, 3, &[0, 1, 2]),
+            Err(QsimError::Unsupported(_))
+        ));
     }
 
     #[test]

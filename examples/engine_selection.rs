@@ -1,5 +1,5 @@
 //! Choosing a scoring engine: `Auto` (default), forced `Batched`,
-//! `Analytic`, or `Circuit` — and what each buys you.
+//! `Analytic`, `Density`, or `Circuit` — and what each buys you.
 //!
 //! ```text
 //! cargo run --release --example engine_selection
@@ -57,12 +57,23 @@ fn main() {
         "\nAuto + Exact  resolves to: {:?}",
         base.clone().effective_engine()
     );
-    // … and the circuit engine when a noise model is attached.
+    // … and the analytic density engine when a noise model is attached
+    // (the paper-literal circuit engine stays available as the oracle).
     let noisy = base.clone().with_execution(ExecutionMode::Noisy {
         noise: NoiseModel::brisbane(),
         shots: None,
     });
     println!("Auto + Noisy  resolves to: {:?}", noisy.effective_engine());
+
+    // The noisy pipeline end to end, through the density engine.
+    let detector = QuorumDetector::new(noisy).unwrap();
+    let start = Instant::now();
+    let report = detector.score(&data).unwrap();
+    println!(
+        "Noisy scoring (density engine): top-2 = {:?}  in {:.2?}",
+        &report.ranking()[..2],
+        start.elapsed()
+    );
 
     // Forcing the analytic engine under noise is rejected up front.
     let invalid = base

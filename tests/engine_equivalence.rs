@@ -225,6 +225,52 @@ fn batched_sampled_scores_bit_identical_across_runs_and_threads() {
 }
 
 #[test]
+fn noisy_sampled_scores_bit_identical_across_runs_and_threads() {
+    // Satellite pin: Noisy + shots scoring through the density path (the
+    // Auto resolution for noisy runs) is bit-identical across repeated
+    // runs and across worker-thread counts — per-measurement seeds do not
+    // depend on scheduling, and the fused-superoperator caches only ever
+    // hold one deterministic matrix per level.
+    use quorum::sim::NoiseModel;
+    let mut rows: Vec<Vec<f64>> = (0..18)
+        .map(|i| vec![2.5 + 0.05 * i as f64, 1.0, 3.0, 2.0, 4.0, 1.5, 2.8])
+        .collect();
+    rows.push(vec![9.0, 0.1, 8.5, 0.2, 9.5, 0.3, 8.0]);
+    let ds = Dataset::from_rows("noisy-det", rows, None).unwrap();
+
+    let base = QuorumConfig::default()
+        .with_execution(ExecutionMode::Noisy {
+            noise: NoiseModel::brisbane(),
+            shots: Some(2048),
+        })
+        .with_ensemble_groups(6)
+        .with_anomaly_rate_estimate(0.1)
+        .with_seed(31);
+    assert_eq!(resolve(&base).unwrap().name(), "density");
+    let reference = QuorumDetector::new(base.clone().with_threads(1))
+        .unwrap()
+        .score(&ds)
+        .unwrap();
+    for threads in [1usize, 4] {
+        let detector = QuorumDetector::new(base.clone().with_threads(threads)).unwrap();
+        for run in 0..2 {
+            let scores = detector.score(&ds).unwrap();
+            assert_eq!(
+                reference.scores(),
+                scores.scores(),
+                "threads {threads} run {run}"
+            );
+        }
+    }
+    // Forcing the density engine explicitly lands on the same draws.
+    let forced = QuorumDetector::new(base.with_engine(EngineKind::Density).with_threads(2))
+        .unwrap()
+        .score(&ds)
+        .unwrap();
+    assert_eq!(reference.scores(), forced.scores());
+}
+
+#[test]
 fn sampled_mode_engines_agree_through_shared_sampler() {
     // Same exact deviation, same per-measurement seed, same cumulative
     // sampler ⇒ the binomial draws coincide.
