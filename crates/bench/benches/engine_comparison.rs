@@ -1,17 +1,31 @@
 //! Head-to-head of the scoring engines on the flagship pipeline
 //! configuration (n = 3 data qubits, 30 ensemble groups): the batched
 //! GEMM engine vs the per-sample analytic engine vs the paper-literal
-//! circuit engine — plus a noisy column pitting the analytic density
-//! engine against the noisy circuit simulation — with direct speedup
-//! reports. Acceptance bars on this configuration: batched ≥ 2× the
-//! per-sample analytic engine, analytic ≥ 5× the circuit engine, and
-//! density ≥ 5× the noisy circuit engine.
+//! circuit engine — plus a noisy column pitting the batched density
+//! engine against the noisy circuit simulation and against its own
+//! per-sample oracle, and a raw GEMM-kernel column pitting the
+//! runtime-dispatched SIMD kernel against the scalar oracle — with direct
+//! speedup reports. Acceptance bars on this configuration: batched ≥ 2×
+//! the per-sample analytic engine, analytic ≥ 5× the circuit engine,
+//! density ≥ 5× the noisy circuit engine, batched density ≥ 1.5× the
+//! per-sample density oracle, and (when the SIMD kernel is active) the
+//! dispatched GEMM ≥ 2× the scalar kernel.
+//!
+//! Every reported number also lands in `BENCH_engines.json` (per-engine
+//! ns/sample, kernel GFLOP/s, speedup ratios) so the perf trajectory is
+//! machine-readable across PRs; override the path with the
+//! `QUORUM_BENCH_JSON` env var.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use qdata::Dataset;
-use qsim::NoiseModel;
+use qsim::matrix::CMatrix;
+use qsim::{NoiseModel, C64};
 use quorum_bench::table1_specs;
+use quorum_core::bucket::BucketPlan;
+use quorum_core::engine::{DensityEngine, SampleDensityEngine, ScoringEngine};
+use quorum_core::ensemble::EnsembleGroup;
 use quorum_core::{EngineKind, ExecutionMode, QuorumConfig, QuorumDetector};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 const FLAGSHIP_GROUPS: usize = 30;
@@ -19,6 +33,13 @@ const FLAGSHIP_SAMPLES: usize = 96;
 /// The noisy circuit oracle pays for a 7-qubit density simulation per
 /// sample, so its column runs on a shorter slice of the same dataset.
 const NOISY_SAMPLES: usize = 24;
+
+/// Collected metrics for `BENCH_engines.json`, in insertion order.
+static METRICS: Mutex<Vec<(&'static str, f64)>> = Mutex::new(Vec::new());
+
+fn record(key: &'static str, value: f64) {
+    METRICS.lock().expect("metrics registry").push((key, value));
+}
 
 fn truncate(ds: &Dataset, n: usize) -> Dataset {
     let rows = ds.rows()[..n].to_vec();
@@ -76,6 +97,10 @@ fn time_engine(ds: &Dataset, kind: EngineKind) -> Duration {
         .unwrap()
 }
 
+fn ns_per_sample(d: Duration, samples: usize) -> f64 {
+    d.as_nanos() as f64 / samples as f64
+}
+
 /// Times the three engines directly and prints the speedup ratios the
 /// acceptance criteria ask for.
 fn report_speedup(_c: &mut Criterion) {
@@ -83,10 +108,25 @@ fn report_speedup(_c: &mut Criterion) {
     let batched = time_engine(&ds, EngineKind::Batched);
     let analytic = time_engine(&ds, EngineKind::Analytic);
     let circuit = time_engine(&ds, EngineKind::Circuit);
+    record(
+        "batched_ns_per_sample",
+        ns_per_sample(batched, FLAGSHIP_SAMPLES),
+    );
+    record(
+        "analytic_ns_per_sample",
+        ns_per_sample(analytic, FLAGSHIP_SAMPLES),
+    );
+    record(
+        "circuit_ns_per_sample",
+        ns_per_sample(circuit, FLAGSHIP_SAMPLES),
+    );
 
     let batched_vs_analytic = analytic.as_secs_f64() / batched.as_secs_f64();
     let analytic_vs_circuit = circuit.as_secs_f64() / analytic.as_secs_f64();
     let batched_vs_circuit = circuit.as_secs_f64() / batched.as_secs_f64();
+    record("batched_vs_analytic_speedup", batched_vs_analytic);
+    record("analytic_vs_circuit_speedup", analytic_vs_circuit);
+    record("batched_vs_circuit_speedup", batched_vs_circuit);
     println!(
         "engine_flagship_speedup                                  batched {batched:.2?} vs analytic {analytic:.2?} vs circuit {circuit:.2?}"
     );
@@ -126,13 +166,23 @@ fn time_noisy_engine(ds: &Dataset, kind: EngineKind, runs: usize) -> Duration {
         .unwrap()
 }
 
-/// The noisy column: the analytic density engine vs the paper-literal
-/// noisy circuit simulation on the flagship n=3/30-group configuration.
+/// The noisy column: the batched analytic density engine vs the
+/// paper-literal noisy circuit simulation on the flagship n=3/30-group
+/// configuration.
 fn report_noisy_speedup(_c: &mut Criterion) {
     let ds = truncate(&table1_specs()[0].load(42), NOISY_SAMPLES);
     let density = time_noisy_engine(&ds, EngineKind::Density, 5);
     let circuit = time_noisy_engine(&ds, EngineKind::Circuit, 2);
+    record(
+        "density_ns_per_sample",
+        ns_per_sample(density, NOISY_SAMPLES),
+    );
+    record(
+        "noisy_circuit_ns_per_sample",
+        ns_per_sample(circuit, NOISY_SAMPLES),
+    );
     let density_vs_circuit = circuit.as_secs_f64() / density.as_secs_f64();
+    record("density_vs_circuit_speedup", density_vs_circuit);
     println!(
         "engine_flagship_noisy_speedup                            density {density:.2?} vs circuit {circuit:.2?}"
     );
@@ -145,9 +195,177 @@ fn report_noisy_speedup(_c: &mut Criterion) {
     );
 }
 
+/// Best-of-`runs` over one closure.
+fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> Duration {
+    (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed()
+        })
+        .min()
+        .unwrap()
+}
+
+/// The batched vec(ρ) GEMM path against PR 3's per-sample matvec path, on
+/// isolated scoring: one flagship group, caches (fused superoperators and
+/// the readout functional) pre-warmed, a full 96-sample two-level
+/// deviation sweep per run — so the ratio measures exactly what the
+/// batching changed, not the shared fusion cost.
+fn report_density_batch_speedup(_c: &mut Criterion) {
+    let config = noisy_flagship_config(EngineKind::Density).with_ensemble_groups(1);
+    // Feed the engines exactly what the production pipeline feeds them.
+    let ds = quorum_core::detector::normalize_for_scoring(&config, &flagship_dataset());
+    let levels = config.effective_compression_levels();
+    let plan = BucketPlan::from_target(ds.num_samples(), 0.1, config.bucket_probability);
+    let group = EnsembleGroup::generate(0, &config, ds.num_features(), &plan);
+
+    // Warm every shared cache; both paths then score from identical state.
+    DensityEngine
+        .deviations_all_levels(&group, &ds, &config, &levels)
+        .unwrap();
+    SampleDensityEngine
+        .deviations_all_levels(&group, &ds, &config, &levels)
+        .unwrap();
+
+    let batched = best_of(9, || {
+        DensityEngine
+            .deviations_all_levels(&group, &ds, &config, &levels)
+            .unwrap()
+    });
+    let per_sample = best_of(9, || {
+        SampleDensityEngine
+            .deviations_all_levels(&group, &ds, &config, &levels)
+            .unwrap()
+    });
+    record(
+        "density_batched_ns_per_sample",
+        ns_per_sample(batched, FLAGSHIP_SAMPLES),
+    );
+    record(
+        "density_per_sample_ns_per_sample",
+        ns_per_sample(per_sample, FLAGSHIP_SAMPLES),
+    );
+    let speedup = per_sample.as_secs_f64() / batched.as_secs_f64();
+    record("density_batched_vs_per_sample_speedup", speedup);
+    println!(
+        "density_batch_speedup                                    batched {batched:.2?} vs per-sample {per_sample:.2?}"
+    );
+    println!(
+        "density_batch_speedup_ratio                              batched/per-sample x{speedup:.2}"
+    );
+    assert!(
+        speedup >= 1.5,
+        "the batched vec(ρ) GEMM path must be ≥1.5× the per-sample density path on the flagship config, got ×{speedup:.2}"
+    );
+}
+
+/// Deterministic dense test matrix for the raw kernel column.
+fn dense(rows: usize, cols: usize, salt: u64) -> CMatrix {
+    let mut m = CMatrix::zeros(rows, cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            let t = (i * cols + j) as f64 + salt as f64 * 0.37;
+            m[(i, j)] = C64::new((t * 0.7311).sin(), (t * 1.1931).cos());
+        }
+    }
+    m
+}
+
+/// Times one GEMM closure: repeats it enough to clear timer noise and
+/// returns the best per-product time.
+fn time_gemm(reps: usize, mut f: impl FnMut() -> CMatrix) -> Duration {
+    black_box(f());
+    (0..9)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..reps {
+                black_box(f());
+            }
+            start.elapsed() / reps as u32
+        })
+        .min()
+        .unwrap()
+}
+
+/// The raw GEMM-kernel column on the flagship shapes: the `4³ × 4³`
+/// fused-superoperator product over a 96-sample batch (the batched
+/// density hot path) and the `2³ × 2³` encoder product (the batched
+/// pure-state hot path), dispatched kernel vs scalar oracle, with
+/// GFLOP/s throughputs (8 real flops per complex multiply–add).
+fn report_gemm_kernel(_c: &mut Criterion) {
+    let simd = qsim::kernel::simd_active();
+    record("simd_active", if simd { 1.0 } else { 0.0 });
+
+    // Flagship density GEMM: 64×64 · 64×96.
+    let a = dense(64, 64, 1);
+    let b = dense(64, 96, 2);
+    let scalar = time_gemm(200, || a.matmul_scalar(&b).unwrap());
+    let dispatch = time_gemm(200, || a.matmul(&b).unwrap());
+    let flops = 8.0 * 64.0 * 64.0 * 96.0;
+    let scalar_gflops = flops / scalar.as_secs_f64() / 1e9;
+    let dispatch_gflops = flops / dispatch.as_secs_f64() / 1e9;
+    let speedup = scalar.as_secs_f64() / dispatch.as_secs_f64();
+    record("gemm_scalar_gflops", scalar_gflops);
+    record("gemm_simd_gflops", dispatch_gflops);
+    record("gemm_simd_vs_scalar_speedup", speedup);
+    println!(
+        "gemm_kernel_flagship_64x64x96                            scalar {scalar_gflops:.2} GFLOP/s vs dispatch {dispatch_gflops:.2} GFLOP/s (x{speedup:.2})"
+    );
+
+    // Flagship encoder GEMM: 8×8 · 8×96 (reported, not asserted — the
+    // shape is too small for lane parallelism to dominate fixed costs).
+    let ae = dense(8, 8, 3);
+    let be = dense(8, 96, 4);
+    let scalar_e = time_gemm(2000, || ae.matmul_scalar(&be).unwrap());
+    let dispatch_e = time_gemm(2000, || ae.matmul(&be).unwrap());
+    let encoder_speedup = scalar_e.as_secs_f64() / dispatch_e.as_secs_f64();
+    record("gemm_encoder_simd_vs_scalar_speedup", encoder_speedup);
+    println!(
+        "gemm_kernel_flagship_8x8x96                              scalar {scalar_e:.2?} vs dispatch {dispatch_e:.2?} (x{encoder_speedup:.2})"
+    );
+
+    if simd {
+        assert!(
+            speedup >= 2.0,
+            "the SIMD GEMM kernel must be ≥2× the scalar oracle on the flagship 64×64·64×96 product, got ×{speedup:.2}"
+        );
+    } else {
+        println!(
+            "gemm_kernel_simd_assert                                  skipped (SIMD kernel inactive: build with --features simd on AVX2/FMA hardware)"
+        );
+    }
+}
+
+/// Writes every recorded metric to `BENCH_engines.json` (override the
+/// path with `QUORUM_BENCH_JSON`) so CI and future PRs can track the
+/// perf trajectory without scraping bench stdout.
+fn emit_bench_json(_c: &mut Criterion) {
+    let path =
+        std::env::var("QUORUM_BENCH_JSON").unwrap_or_else(|_| "BENCH_engines.json".to_string());
+    let metrics = METRICS.lock().expect("metrics registry");
+    let mut json = String::from("{\n");
+    json.push_str("  \"config\": {\n");
+    json.push_str(&format!(
+        "    \"data_qubits\": 3,\n    \"ensemble_groups\": {FLAGSHIP_GROUPS},\n"
+    ));
+    json.push_str(&format!(
+        "    \"samples\": {FLAGSHIP_SAMPLES},\n    \"noisy_samples\": {NOISY_SAMPLES}\n  }},\n"
+    ));
+    json.push_str("  \"metrics\": {\n");
+    for (idx, (key, value)) in metrics.iter().enumerate() {
+        let sep = if idx + 1 == metrics.len() { "" } else { "," };
+        json.push_str(&format!("    \"{key}\": {value:.3}{sep}\n"));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&path, &json).expect("write bench JSON");
+    println!("bench_json                                               wrote {path}");
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_engines, report_speedup, report_noisy_speedup
+    targets = bench_engines, report_speedup, report_noisy_speedup,
+        report_density_batch_speedup, report_gemm_kernel, emit_bench_json
 }
 criterion_main!(benches);

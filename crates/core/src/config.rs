@@ -50,11 +50,17 @@ pub enum EngineKind {
     /// ([`crate::engine::AnalyticEngine`]) — the batched engine's
     /// one-matvec-per-sample reference. Invalid with Noisy execution.
     Analytic,
-    /// Force the analytic density engine
-    /// ([`crate::engine::DensityEngine`]): `n`-qubit `vec(ρ)` scoring
-    /// through per-group fused noisy superoperators and the cached
-    /// SWAP-test readout functional. Requires Noisy execution.
+    /// Force the batched analytic density engine
+    /// ([`crate::engine::DensityEngine`]): whole-group `vec(ρ)` scoring —
+    /// all samples packed into one `4^n × S` matrix and pushed through the
+    /// per-group fused noisy superoperators and the cached SWAP-test
+    /// readout functional as blocked GEMMs. Requires Noisy execution.
     Density,
+    /// Force the per-sample density engine
+    /// ([`crate::engine::SampleDensityEngine`]) — the batched density
+    /// engine's one-matvec-per-sample reference, the mixed-state analogue
+    /// of [`EngineKind::Analytic`]. Requires Noisy execution.
+    DensitySample,
     /// Force the gate-level circuit engine
     /// ([`crate::engine::CircuitEngine`]) — the paper-literal Fig. 2
     /// simulation, kept as a cross-check oracle (the only other engine

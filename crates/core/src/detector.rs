@@ -77,21 +77,7 @@ impl QuorumDetector {
         if data.num_features() == 0 {
             return Err(QuorumError::InvalidData("dataset has no features".into()));
         }
-        // Unsupervised guarantee: drop labels before anything touches the
-        // feature matrix.
-        let unlabeled = data.strip_labels();
-        let normalized = match self.config.normalization {
-            crate::config::Normalization::RangeMax => {
-                // Negative feature values would break amplitude embedding;
-                // the range normaliser maps into [-1/M, 1/M], so fold any
-                // negatives by taking absolute values (distance from zero
-                // is what embeds).
-                absolute_features(&RangeNormalizer::fit_transform(&unlabeled))
-            }
-            crate::config::Normalization::MinMax => {
-                qdata::MinMaxNormalizer::fit_transform(&unlabeled)
-            }
-        };
+        let normalized = normalize_for_scoring(&self.config, data);
 
         let rate = self.config.anomaly_rate_estimate.unwrap_or(0.05);
         let plan = BucketPlan::from_target(
@@ -129,6 +115,23 @@ impl QuorumDetector {
             self.config.ensemble_groups,
             self.config.effective_compression_levels(),
         ))
+    }
+}
+
+/// The exact feature preprocessing [`QuorumDetector::score`] applies
+/// before any engine sees the data: labels stripped (the unsupervised
+/// guarantee), then the configured normalisation — for the paper-faithful
+/// `RangeMax` arm with negatives folded to absolute values, since the
+/// range normaliser maps into `[-1/M, 1/M]` and amplitude embedding needs
+/// non-negative reals. Public so engine-level benches and tests can feed
+/// engines the same distribution the production pipeline does.
+pub fn normalize_for_scoring(config: &QuorumConfig, data: &Dataset) -> Dataset {
+    let unlabeled = data.strip_labels();
+    match config.normalization {
+        crate::config::Normalization::RangeMax => {
+            absolute_features(&RangeNormalizer::fit_transform(&unlabeled))
+        }
+        crate::config::Normalization::MinMax => qdata::MinMaxNormalizer::fit_transform(&unlabeled),
     }
 }
 

@@ -46,17 +46,29 @@
 //!
 //! 1. simulates the sample's noisy amplitude preparation once on `n`
 //!    qubits (`ρ_B`, which doubles as register A's input);
-//! 2. pushes `vec(ρ)` through a **fused noisy superoperator** — encoder
-//!    gates with their per-gate channels, the reset Kraus channels, and
-//!    the decoder — built once per (group, compression level) by evolving
-//!    the matrix-unit basis through the lowered gate list and cached on
-//!    [`crate::ensemble::EnsembleGroup::fused_noisy_superop`];
-//! 3. contracts `vec(ρ_A)` and `vec(ρ_B)` against a **SWAP-test readout
-//!    functional** `W`: the POVM element `|1⟩⟨1|_anc` pulled backwards
-//!    (Heisenberg picture, adjoint channels) through the *noisy lowered*
-//!    CSWAP network, then restricted to `ancilla = |0⟩`. `W` depends only
-//!    on `(n, noise model)` and is cached globally;
+//! 2. packs **every** sample's `vec(ρ_in)` column-wise into one
+//!    `4^n × S` matrix `P` and pushes the whole batch through each
+//!    level's **fused noisy superoperator** — encoder gates with their
+//!    per-gate channels, the reset Kraus channels, and the decoder —
+//!    built once per (group, compression level) by evolving the
+//!    matrix-unit basis through the lowered gate list and cached on
+//!    [`crate::ensemble::EnsembleGroup::fused_noisy_superop`] — as one
+//!    blocked GEMM `R = S_level·P` through the SIMD kernel seam
+//!    ([`qsim::matrix::CMatrix::matmul_threaded`]);
+//! 3. contracts the batch against a **SWAP-test readout functional**
+//!    `W` — the POVM element `|1⟩⟨1|_anc` pulled backwards (Heisenberg
+//!    picture, adjoint channels) through the *noisy lowered* CSWAP
+//!    network, then restricted to `ancilla = |0⟩`; `W` depends only on
+//!    `(n, noise model)` and is cached globally — as a second GEMM
+//!    `W·P` shared by every level, leaving one column dot product
+//!    `raw_j = Σ_i R[i,j]·(WP)[i,j]` per sample;
 //! 4. applies the readout confusion to the resulting `P(1)`.
+//!
+//! [`SampleDensityEngine`] keeps the PR 3 one-matvec-per-(sample, level)
+//! path as the batched engine's cross-check oracle, exactly as
+//! [`AnalyticEngine`] does for the pure-state batch. Both orderings
+//! accumulate per sample in the same index order, so they agree to
+//! machine precision (bit-for-bit without the `simd` feature).
 //!
 //! Every noisy physical gate of the Fig. 2 circuit is accounted for with
 //! the same fused channels the density-matrix backend applies
@@ -153,6 +165,7 @@ pub fn resolve(config: &QuorumConfig) -> Result<&'static dyn ScoringEngine, Quor
     static ANALYTIC: AnalyticEngine = AnalyticEngine;
     static BATCHED: BatchedAnalyticEngine = BatchedAnalyticEngine;
     static DENSITY: DensityEngine = DensityEngine;
+    static DENSITY_SAMPLE: SampleDensityEngine = SampleDensityEngine;
     match config.effective_engine() {
         EngineKind::Circuit => Ok(&CIRCUIT),
         EngineKind::Analytic => {
@@ -166,6 +179,10 @@ pub fn resolve(config: &QuorumConfig) -> Result<&'static dyn ScoringEngine, Quor
         EngineKind::Density => {
             ensure_noisy(config)?;
             Ok(&DENSITY)
+        }
+        EngineKind::DensitySample => {
+            ensure_noisy(config)?;
+            Ok(&DENSITY_SAMPLE)
         }
         // `effective_engine` never returns Auto, but EngineKind is
         // non-exhaustive.
@@ -389,12 +406,15 @@ impl ScoringEngine for AnalyticEngine {
 }
 
 /// One GEMM per (group, level) is far too small at flagship scale
-/// (`8×8 · 8×96`) to amortise thread spawn, so the batched engine only
-/// threads the product when a single one is genuinely large (roughly
-/// `n ≥ 7` at realistic batch sizes).
+/// (`8×8 · 8×96` encoder, `64×64 · 64×96` superoperator products) to
+/// amortise thread spawn, so the batched engines only thread the product
+/// when a single one is genuinely large (roughly `n ≥ 7` for the
+/// pure-state path, `n ≥ 4` for the density path, at realistic batch
+/// sizes).
 const GEMM_PARALLEL_WORK: usize = 1 << 21;
 
-/// Worker threads for one encoder GEMM, from the configured thread count
+/// Worker threads for one batched GEMM (encoder or superoperator), from
+/// the configured thread count
 /// and the product's `dim² × samples` work estimate. Multi-group
 /// ensembles keep the GEMM sequential regardless of size: the detector
 /// already fans groups out across cores, and threading inside each
@@ -752,12 +772,110 @@ fn swap_test_functional(n: usize, noise: &NoiseModel) -> Result<Arc<CMatrix>, Qu
     Ok(w)
 }
 
-/// The analytic density-matrix noise engine: `n`-qubit mixed-state algebra
-/// with all sample-independent structure fused and cached. The default for
-/// Noisy execution (see the module docs for the math); the paper-literal
-/// [`CircuitEngine`] remains the cross-check oracle.
+/// The batched analytic density-matrix noise engine: `n`-qubit mixed-state
+/// algebra with all sample-independent structure fused and cached, and the
+/// whole group's samples pushed through each level's superoperator (and
+/// the readout functional) as blocked `4^n × S` GEMMs on the SIMD kernel
+/// seam. The default for Noisy execution (see the module docs for the
+/// math); [`SampleDensityEngine`] keeps the one-matvec-per-sample ordering
+/// as the in-family oracle and the paper-literal [`CircuitEngine`] remains
+/// the gate-level one.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DensityEngine;
+
+/// The sample-independent structure of one noisy group pass, fetched or
+/// fused once and shared by both density engines: per-gate channels, the
+/// readout functional, one superoperator per level, and the readout
+/// confusion probability.
+struct NoisyPassContext {
+    gate_noise: GateNoise,
+    w: Arc<CMatrix>,
+    superops: Vec<Arc<CMatrix>>,
+    readout: f64,
+}
+
+impl NoisyPassContext {
+    fn prepare(
+        group: &EnsembleGroup,
+        config: &QuorumConfig,
+        levels: &[usize],
+    ) -> Result<(Self, Option<u64>), QuorumError> {
+        ensure_noisy(config)?;
+        let (noise, shots) = match &config.execution {
+            ExecutionMode::Noisy { noise, shots } => (noise, *shots),
+            _ => unreachable!("ensure_noisy admits only Noisy execution"),
+        };
+        let n = group.ansatz().num_qubits();
+        for &reset_count in levels {
+            ensure_reset_range(reset_count, n)?;
+        }
+        let gate_noise = GateNoise::from_model(noise);
+        let w = swap_test_functional(n, noise)?;
+        let superops = levels
+            .iter()
+            .map(|&reset_count| group.fused_noisy_superop(noise, reset_count))
+            .collect::<Result<Vec<_>, _>>()?;
+        let readout = gate_noise.readout_error();
+        Ok((
+            NoisyPassContext {
+                gate_noise,
+                w,
+                superops,
+                readout,
+            },
+            shots,
+        ))
+    }
+
+    /// Readout confusion plus optional shot sampling on one exact raw
+    /// overlap — the final step both density engines share per sample.
+    fn finish(
+        &self,
+        raw: C64,
+        shots: Option<u64>,
+        config: &QuorumConfig,
+        group_index: usize,
+        reset_count: usize,
+        sample: usize,
+    ) -> f64 {
+        let exact = self.readout + (1.0 - 2.0 * self.readout) * raw.re;
+        match shots {
+            Some(k) => {
+                let seed = shot_seed(config, group_index, reset_count, sample);
+                sampled_deviation(exact, k, seed)
+            }
+            None => exact,
+        }
+    }
+}
+
+impl DensityEngine {
+    /// Packs every sample's noisy prepared state into the columns of a
+    /// `4^n × S` matrix: column `j` is `vec(ρ_in)` of sample `j` after
+    /// the lowered, per-gate-noisy Möttönen preparation (the remaining
+    /// per-sample gate walk; one preparation serves as `ρ_B` and as
+    /// register A's input alike, since Fig. 2 preps both identically).
+    fn pack_noisy_samples(
+        group: &EnsembleGroup,
+        normalized: &Dataset,
+        num_qubits: usize,
+        gate_noise: &GateNoise,
+    ) -> Result<CMatrix, QuorumError> {
+        let dim = 1usize << num_qubits;
+        let mut packed = CMatrix::zeros(dim * dim, normalized.num_samples());
+        let mut values = Vec::with_capacity(group.features().len());
+        let mut amps = vec![0.0_f64; dim];
+        for (col, row) in normalized.rows().iter().enumerate() {
+            group.features().project_into(row, &mut values);
+            crate::embed::amplitudes_with_overflow_into(&values, num_qubits, &mut amps)?;
+            let rho_in = noisy_prepared_state(&amps, num_qubits, gate_noise)?;
+            for (i, &v) in rho_in.as_slice().iter().enumerate() {
+                packed[(i, col)] = v;
+            }
+        }
+        Ok(packed)
+    }
+}
 
 impl ScoringEngine for DensityEngine {
     fn name(&self) -> &'static str {
@@ -782,26 +900,74 @@ impl ScoringEngine for DensityEngine {
         config: &QuorumConfig,
         levels: &[usize],
     ) -> Result<Vec<Vec<f64>>, QuorumError> {
-        ensure_noisy(config)?;
-        let (noise, shots) = match &config.execution {
-            ExecutionMode::Noisy { noise, shots } => (noise, *shots),
-            _ => unreachable!("ensure_noisy admits only Noisy execution"),
-        };
+        let (ctx, shots) = NoisyPassContext::prepare(group, config, levels)?;
         let n = group.ansatz().num_qubits();
-        for &reset_count in levels {
-            ensure_reset_range(reset_count, n)?;
-        }
 
-        // Sample-independent structure, computed (or fetched) once per
-        // pass: the fused per-gate channels, the SWAP-test readout
-        // functional, and one fused noisy superoperator per level.
-        let gate_noise = GateNoise::from_model(noise);
-        let w = swap_test_functional(n, noise)?;
-        let superops = levels
-            .iter()
-            .map(|&reset_count| group.fused_noisy_superop(noise, reset_count))
-            .collect::<Result<Vec<_>, _>>()?;
-        let readout = gate_noise.readout_error();
+        // The batch: every sample's vec(ρ_in) as one matrix column. The
+        // readout functional applies to the whole batch once (`W·P` is
+        // level-independent); each level then costs one superoperator
+        // GEMM plus column dot products.
+        let packed = Self::pack_noisy_samples(group, normalized, n, &ctx.gate_noise)?;
+        let dim2 = packed.rows();
+        let samples = packed.cols();
+        let threads = gemm_threads(config, dim2, samples);
+        let wp = ctx.w.matmul_threaded(&packed, threads)?;
+
+        let mut out = Vec::with_capacity(levels.len());
+        for (level, superop) in ctx.superops.iter().enumerate() {
+            let evolved = superop.matmul_threaded(&packed, threads)?;
+            // raw_j = Σ_i evolved[i,j]·wp[i,j], accumulated row-by-row so
+            // each sample sums in the same index order as the per-sample
+            // matvec path — the two engines agree to machine precision.
+            let mut raw = vec![C64::ZERO; samples];
+            for i in 0..dim2 {
+                for ((acc, &a), &b) in raw.iter_mut().zip(evolved.row(i)).zip(wp.row(i)) {
+                    *acc += a * b;
+                }
+            }
+            out.push(
+                raw.iter()
+                    .enumerate()
+                    .map(|(j, &z)| ctx.finish(z, shots, config, group.index(), levels[level], j))
+                    .collect(),
+            );
+        }
+        Ok(out)
+    }
+}
+
+/// The per-sample density oracle: PR 3's one-`4^n`-matvec-per-(sample,
+/// level) ordering, kept selectable (and benchmarked) as the reference the
+/// batched [`DensityEngine`] is pinned against — the mixed-state analogue
+/// of [`AnalyticEngine`] vs [`BatchedAnalyticEngine`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SampleDensityEngine;
+
+impl ScoringEngine for SampleDensityEngine {
+    fn name(&self) -> &'static str {
+        "density-sample"
+    }
+
+    fn deviations(
+        &self,
+        group: &EnsembleGroup,
+        normalized: &Dataset,
+        config: &QuorumConfig,
+        reset_count: usize,
+    ) -> Result<Vec<f64>, QuorumError> {
+        let mut all = self.deviations_all_levels(group, normalized, config, &[reset_count])?;
+        Ok(all.pop().expect("one level requested"))
+    }
+
+    fn deviations_all_levels(
+        &self,
+        group: &EnsembleGroup,
+        normalized: &Dataset,
+        config: &QuorumConfig,
+        levels: &[usize],
+    ) -> Result<Vec<Vec<f64>>, QuorumError> {
+        let (ctx, shots) = NoisyPassContext::prepare(group, config, levels)?;
+        let n = group.ansatz().num_qubits();
 
         let mut out: Vec<Vec<f64>> = levels
             .iter()
@@ -812,22 +978,12 @@ impl ScoringEngine for DensityEngine {
         for (i, row) in normalized.rows().iter().enumerate() {
             group.features().project_into(row, &mut values);
             crate::embed::amplitudes_with_overflow_into(&values, n, &mut amps)?;
-            // One noisy preparation per sample serves as ρ_B and as
-            // register A's input alike (Fig. 2 preps both identically).
-            let rho_in = noisy_prepared_state(&amps, n, &gate_noise)?;
-            let wb = w.mul_vec(rho_in.as_slice());
-            for (level, superop) in superops.iter().enumerate() {
+            let rho_in = noisy_prepared_state(&amps, n, &ctx.gate_noise)?;
+            let wb = ctx.w.mul_vec(rho_in.as_slice());
+            for (level, superop) in ctx.superops.iter().enumerate() {
                 let rho_a = superop.mul_vec(rho_in.as_slice());
                 let raw: C64 = rho_a.iter().zip(&wb).map(|(a, b)| *a * *b).sum();
-                let exact = readout + (1.0 - 2.0 * readout) * raw.re;
-                let p = match shots {
-                    Some(k) => {
-                        let seed = shot_seed(config, group.index(), levels[level], i);
-                        sampled_deviation(exact, k, seed)
-                    }
-                    None => exact,
-                };
-                out[level].push(p);
+                out[level].push(ctx.finish(raw, shots, config, group.index(), levels[level], i));
             }
         }
         Ok(out)
@@ -960,13 +1116,18 @@ mod tests {
                     });
             assert!(resolve(&bad).is_err());
         }
-        // The density engine is noise-only: Exact and Sampled reject it.
-        let bad = QuorumConfig::default().with_engine(EngineKind::Density);
-        assert!(resolve(&bad).is_err());
-        let bad = QuorumConfig::default()
-            .with_engine(EngineKind::Density)
-            .with_execution(ExecutionMode::Sampled { shots: 64 });
-        assert!(resolve(&bad).is_err());
+        // The density engines are noise-only: Exact and Sampled reject
+        // them, and the per-sample oracle resolves by name under Noisy.
+        for kind in [EngineKind::Density, EngineKind::DensitySample] {
+            let bad = QuorumConfig::default().with_engine(kind);
+            assert!(resolve(&bad).is_err());
+            let bad = QuorumConfig::default()
+                .with_engine(kind)
+                .with_execution(ExecutionMode::Sampled { shots: 64 });
+            assert!(resolve(&bad).is_err());
+        }
+        let forced = noisy.with_engine(EngineKind::DensitySample);
+        assert_eq!(resolve(&forced).unwrap().name(), "density-sample");
     }
 
     fn noisy_config(noise: qsim::NoiseModel, shots: Option<u64>) -> QuorumConfig {
@@ -1027,30 +1188,85 @@ mod tests {
     }
 
     #[test]
-    fn density_engine_rejects_pure_state_execution() {
+    fn density_engines_reject_pure_state_execution() {
         let ds = tiny_dataset();
         let config = QuorumConfig::default();
         let group = group_for(&config, &ds, 0);
-        assert!(matches!(
-            DensityEngine.deviations(&group, &ds, &config, 1),
-            Err(QuorumError::InvalidConfig(_))
-        ));
-        let sampled = config.with_execution(ExecutionMode::Sampled { shots: 128 });
-        assert!(matches!(
-            DensityEngine.deviations(&group, &ds, &sampled, 1),
-            Err(QuorumError::InvalidConfig(_))
-        ));
+        let sampled = config
+            .clone()
+            .with_execution(ExecutionMode::Sampled { shots: 128 });
+        for engine in [&DensityEngine as &dyn ScoringEngine, &SampleDensityEngine] {
+            assert!(matches!(
+                engine.deviations(&group, &ds, &config, 1),
+                Err(QuorumError::InvalidConfig(_))
+            ));
+            assert!(matches!(
+                engine.deviations(&group, &ds, &sampled, 1),
+                Err(QuorumError::InvalidConfig(_))
+            ));
+        }
     }
 
     #[test]
-    fn density_engine_rejects_bad_reset_counts() {
+    fn density_engines_reject_bad_reset_counts() {
         let ds = tiny_dataset();
         let config = noisy_config(qsim::NoiseModel::brisbane(), None);
         let group = group_for(&config, &ds, 0);
-        assert!(DensityEngine.deviations(&group, &ds, &config, 0).is_err());
-        assert!(DensityEngine
-            .deviations(&group, &ds, &config, config.data_qubits)
-            .is_err());
+        for engine in [&DensityEngine as &dyn ScoringEngine, &SampleDensityEngine] {
+            assert!(engine.deviations(&group, &ds, &config, 0).is_err());
+            assert!(engine
+                .deviations(&group, &ds, &config, config.data_qubits)
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn batched_density_matches_per_sample_density() {
+        // The batched vec(ρ) GEMM path accumulates each sample in the
+        // same index order as the per-sample matvec path, so the two
+        // density engines agree to machine precision across noise models
+        // and the whole level sweep (bit-for-bit without `simd`; the FMA
+        // kernel stays within 1e-12).
+        let ds = tiny_dataset();
+        for noise in [
+            qsim::NoiseModel::ideal(),
+            qsim::NoiseModel::brisbane(),
+            qsim::NoiseModel::brisbane().scaled(2.0),
+        ] {
+            let config = noisy_config(noise, None);
+            let levels = config.effective_compression_levels();
+            let group = group_for(&config, &ds, 1);
+            let batched = DensityEngine
+                .deviations_all_levels(&group, &ds, &config, &levels)
+                .unwrap();
+            let per_sample = SampleDensityEngine
+                .deviations_all_levels(&group, &ds, &config, &levels)
+                .unwrap();
+            for (level, (b, s)) in batched.iter().zip(&per_sample).enumerate() {
+                for (i, (bv, sv)) in b.iter().zip(s).enumerate() {
+                    assert!(
+                        (bv - sv).abs() < 1e-12,
+                        "level {level} sample {i}: batched {bv} vs per-sample {sv}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_density_sampled_draws_match_per_sample() {
+        // Shot sampling runs on (near-)identical exact deviations with the
+        // same per-measurement seeds, so the binomial draws coincide.
+        let ds = tiny_dataset();
+        let config = noisy_config(qsim::NoiseModel::brisbane(), Some(1024));
+        let group = group_for(&config, &ds, 2);
+        let batched = DensityEngine.deviations(&group, &ds, &config, 1).unwrap();
+        let per_sample = SampleDensityEngine
+            .deviations(&group, &ds, &config, 1)
+            .unwrap();
+        for (b, s) in batched.iter().zip(&per_sample) {
+            assert!((b - s).abs() < 1e-12, "batched {b} vs per-sample {s}");
+        }
     }
 
     #[test]

@@ -162,8 +162,9 @@ impl EnsembleGroup {
     /// The group's bottlenecked autoencoder segment (encoder, `reset_count`
     /// resets, decoder) fused into a `4^n × 4^n` noisy superoperator over
     /// `vec(ρ)`, built at most once per `(noise model, compression level)`
-    /// and cached for the group's lifetime — every sample of a noisy
-    /// scoring pass reuses the same matrix.
+    /// and cached for the group's lifetime — a noisy scoring pass applies
+    /// the same matrix to the whole packed sample batch in one GEMM (or
+    /// per sample, through the per-sample oracle engine).
     ///
     /// # Errors
     ///

@@ -66,7 +66,8 @@ pub mod score;
 pub use config::{EngineKind, ExecutionMode, Normalization, QuorumConfig};
 pub use detector::QuorumDetector;
 pub use engine::{
-    AnalyticEngine, BatchedAnalyticEngine, CircuitEngine, DensityEngine, ScoringEngine,
+    AnalyticEngine, BatchedAnalyticEngine, CircuitEngine, DensityEngine, SampleDensityEngine,
+    ScoringEngine,
 };
 pub use error::QuorumError;
 pub use score::ScoreReport;

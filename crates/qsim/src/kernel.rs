@@ -1,0 +1,592 @@
+//! Split-complex SIMD micro-kernels behind the GEMM seam.
+//!
+//! [`CMatrix::matmul_threaded`](crate::matrix::CMatrix::matmul_threaded)
+//! computes its output in independent column panels; this module owns the
+//! panel kernel. Three implementations share one contract (the row-major
+//! `a_rows × width` block of `A·B` covering output columns `c0..c1`):
+//!
+//! 1. **Scalar oracle** ([`mul_panel_scalar`]): the original interleaved
+//!    `C64` i–k–j loop. Slowest, but the bit-exact reference every other
+//!    kernel is pinned against.
+//! 2. **Split-complex SoA** ([`mul_panel`], default): the `rhs` panel is
+//!    repacked once into separate re/im `f64` slices, and the output is
+//!    produced in register tiles — 4 rows × 4 column lanes with the `k`
+//!    reduction innermost, so the 32 partial sums live in registers for
+//!    the whole reduction instead of streaming through memory per `k`.
+//!    The lane loops are pure branchless unrolled `f64` arithmetic that
+//!    stable rustc autovectorises; because the default x86-64 target
+//!    baseline stops at 128-bit SSE2, the same safe body is *also*
+//!    compiled under `#[target_feature(enable = "avx")]` and dispatched
+//!    at runtime, giving full 256-bit lanes on any AVX machine with no
+//!    cargo feature and no behaviour change. Each output element
+//!    accumulates the exact expression the scalar oracle evaluates
+//!    (`re += ar·br − ai·bi; im += ar·bi + ai·br`) in the same `k` order;
+//!    the only divergence is that the oracle's sparse-term skip is traded
+//!    for multiplying exact `±0`s through (branches would defeat
+//!    vectorisation), which can flip the sign of a zero but never a
+//!    value — so without the `simd` feature the results equal the
+//!    oracle's, bitwise except for zero signs.
+//! 3. **AVX2/FMA** (`--features simd`, x86-64 only): the same tiling
+//!    driven by explicit 256-bit `core::arch` FMA intrinsics. Selected
+//!    *at runtime* via `is_x86_feature_detected!` — a `simd` build still
+//!    runs correctly (through kernel 2) on hardware without AVX2. FMA
+//!    contracts the multiply–add rounding step, so this path is not
+//!    bit-identical to the oracle; property suites pin it to ≤ 1e-12.
+//!
+//! The repack buffers live in a [`PanelScratch`] owned by the caller:
+//! `matmul_threaded` hands each worker thread one scratch for its whole
+//! panel stream (via [`crate::parallel::map_indexed_with`]), and the
+//! sequential path reuses a thread-local scratch across calls, so repeated
+//! GEMMs on a fixed configuration stop reallocating per panel.
+
+use crate::complex::C64;
+
+/// Output rows per register tile: four rows' accumulators (4 × 4 lanes ×
+/// re/im = 8 vectors) plus the broadcast multiplicands fit the 16-register
+/// AVX2 file, and every extra row in the tile divides the `rhs`-panel
+/// read traffic by one more.
+const TILE_ROWS: usize = 4;
+
+/// Output column lanes per register tile: one 256-bit vector of `f64`.
+/// [`crate::matrix::GEMM_COL_BLOCK`] must stay a multiple of this so
+/// threaded panels and the sequential full-width panel put the same
+/// columns in lane tiles vs the scalar remainder (statically asserted
+/// there) — otherwise FMA builds would lose bit-for-bit thread-count
+/// determinism.
+pub(crate) const LANES: usize = 4;
+
+/// Elements (per re/im buffer) the long-lived sequential scratch may
+/// retain between GEMMs: 512 Ki doubles — 4 MiB each — covers every
+/// supported shape except the `n = 6` density extreme (`4096 × S`
+/// batches), which pays a realloc per pass instead of pinning
+/// batch-sized buffers on the thread forever (the same trade the noisy
+/// superoperator cache makes). Per-call worker scratches die with their
+/// threads and are never trimmed.
+pub(crate) const SCRATCH_RETAIN_ELEMS: usize = 1 << 19;
+
+/// Reusable split-complex workspace for the panel kernels: the repacked
+/// re/im copies of one `rhs` panel. Buffers only ever grow, so a scratch
+/// reused across same-shape GEMMs allocates once.
+#[derive(Debug, Default)]
+pub struct PanelScratch {
+    /// Real parts of the current `rhs` panel, `k`-major (`a_cols × width`).
+    b_re: Vec<f64>,
+    /// Imaginary parts of the current `rhs` panel, same layout.
+    b_im: Vec<f64>,
+}
+
+impl PanelScratch {
+    /// Creates an empty scratch; buffers are sized lazily by the kernels.
+    pub fn new() -> Self {
+        PanelScratch::default()
+    }
+
+    /// Releases oversized repack buffers (beyond
+    /// [`SCRATCH_RETAIN_ELEMS`]) so a long-lived scratch — the
+    /// sequential path's thread-local — never pins an extreme-shape
+    /// allocation past the GEMM that needed it.
+    pub(crate) fn trim(&mut self) {
+        if self.b_re.capacity() > SCRATCH_RETAIN_ELEMS {
+            self.b_re = Vec::new();
+            self.b_im = Vec::new();
+        }
+    }
+}
+
+/// Returns `true` when the explicit AVX2/FMA kernel is both compiled in
+/// (`--features simd` on x86-64) and supported by the running CPU. The
+/// single runtime-dispatch predicate for every SIMD path in the crate.
+#[inline]
+pub fn simd_active() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+/// The scalar oracle: interleaved-`C64` i–k–j panel kernel (the PR 2
+/// kernel, verbatim). Kept as the bit-exact reference for the SoA and
+/// AVX2 kernels and as the baseline the SIMD speedup is measured against.
+#[allow(clippy::too_many_arguments)] // flat BLAS-style kernel signature
+pub fn mul_panel_scalar(
+    a: &[C64],
+    a_rows: usize,
+    a_cols: usize,
+    b: &[C64],
+    b_cols: usize,
+    c0: usize,
+    c1: usize,
+) -> Vec<C64> {
+    let width = c1 - c0;
+    let mut panel = vec![C64::ZERO; a_rows * width];
+    for i in 0..a_rows {
+        let a_row = &a[i * a_cols..(i + 1) * a_cols];
+        let out_row = &mut panel[i * width..(i + 1) * width];
+        for (k, &av) in a_row.iter().enumerate() {
+            if av == C64::ZERO {
+                continue;
+            }
+            let b_row = &b[k * b_cols + c0..k * b_cols + c1];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+    panel
+}
+
+/// Returns `true` when the AVX-recompiled autovec kernels are usable: the
+/// same safe Rust bodies compiled with 256-bit vectors enabled,
+/// dispatched at runtime, available on any x86-64 build (no cargo feature
+/// needed). Shared by this module's SoA tiles and the density-matrix
+/// lane kernels.
+#[inline]
+#[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))] // callers are x86-64-gated
+pub(crate) fn avx_autovec_active() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The dispatching split-complex panel kernel: repacks the `rhs` panel
+/// into SoA slices once, then produces the output in register tiles —
+/// through the AVX2/FMA intrinsics when [`simd_active`], else the
+/// autovectorised SoA body recompiled for 256-bit AVX when the CPU has it
+/// (still value-identical to [`mul_panel_scalar`]; see the module docs
+/// for the exact equality contract), else the baseline-target SoA body.
+#[allow(clippy::too_many_arguments)] // flat BLAS-style kernel signature
+pub fn mul_panel(
+    a: &[C64],
+    a_rows: usize,
+    a_cols: usize,
+    b: &[C64],
+    b_cols: usize,
+    c0: usize,
+    c1: usize,
+    scratch: &mut PanelScratch,
+) -> Vec<C64> {
+    let width = c1 - c0;
+    repack_panel(b, b_cols, c0, c1, a_cols, scratch);
+    let mut panel = vec![C64::ZERO; a_rows * width];
+    // Only referenced from the x86-64 dispatch arms below.
+    #[cfg(target_arch = "x86_64")]
+    let avx_autovec = avx_autovec_active();
+    let mut i = 0;
+    while i + TILE_ROWS <= a_rows {
+        let a_rows_slice = &a[i * a_cols..(i + TILE_ROWS) * a_cols];
+        let out = &mut panel[i * width..(i + TILE_ROWS) * width];
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if simd_active() {
+            // SAFETY: `simd_active` verified AVX2 + FMA at runtime.
+            unsafe {
+                tile_rows_avx2(a_rows_slice, a_cols, width, scratch, out);
+            }
+            i += TILE_ROWS;
+            continue;
+        }
+        #[cfg(target_arch = "x86_64")]
+        if avx_autovec {
+            // SAFETY: `avx_autovec` verified AVX at runtime; the function
+            // body is the same safe Rust as `tile_rows_soa`.
+            unsafe {
+                tile_rows_soa_avx(a_rows_slice, a_cols, width, scratch, out);
+            }
+            i += TILE_ROWS;
+            continue;
+        }
+        tile_rows_soa(a_rows_slice, a_cols, width, scratch, out);
+        i += TILE_ROWS;
+    }
+    while i < a_rows {
+        let a_row = &a[i * a_cols..(i + 1) * a_cols];
+        let out = &mut panel[i * width..(i + 1) * width];
+        #[cfg(target_arch = "x86_64")]
+        if avx_autovec {
+            // SAFETY: as above.
+            unsafe {
+                single_row_avx(a_row, a_cols, width, scratch, out);
+            }
+            i += 1;
+            continue;
+        }
+        single_row(a_row, a_cols, width, scratch, out);
+        i += 1;
+    }
+    panel
+}
+
+/// Copies the `rhs` panel (`a_cols` rows × columns `c0..c1`) into the
+/// scratch's split re/im slices, `k`-major so each inner sweep is one
+/// contiguous stream per array.
+fn repack_panel(
+    b: &[C64],
+    b_cols: usize,
+    c0: usize,
+    c1: usize,
+    a_cols: usize,
+    scratch: &mut PanelScratch,
+) {
+    let width = c1 - c0;
+    scratch.b_re.resize(a_cols * width, 0.0);
+    scratch.b_im.resize(a_cols * width, 0.0);
+    for k in 0..a_cols {
+        let row = &b[k * b_cols + c0..k * b_cols + c1];
+        let re = &mut scratch.b_re[k * width..(k + 1) * width];
+        let im = &mut scratch.b_im[k * width..(k + 1) * width];
+        for ((r, i), &z) in re.iter_mut().zip(im.iter_mut()).zip(row) {
+            *r = z.re;
+            *i = z.im;
+        }
+    }
+}
+
+/// One 4-wide lane accumulator: `acc += a · b` over split complex lanes,
+/// exactly the scalar oracle's expression per element. Fixed-size array
+/// references keep every lane loop bounds-check-free and SLP-friendly; a
+/// free function so every tile kernel instantiates the identical
+/// operation sequence.
+#[inline(always)]
+fn lane_madd(
+    acc_re: &mut [f64; LANES],
+    acc_im: &mut [f64; LANES],
+    av: C64,
+    br: &[f64; LANES],
+    bi: &[f64; LANES],
+) {
+    let (ar, ai) = (av.re, av.im);
+    for l in 0..LANES {
+        acc_re[l] += ar * br[l] - ai * bi[l];
+        acc_im[l] += ar * bi[l] + ai * br[l];
+    }
+}
+
+/// Borrows the 4-lane window at `offset` as a fixed-size array.
+#[inline(always)]
+fn lanes_at(slice: &[f64], offset: usize) -> &[f64; LANES] {
+    slice[offset..offset + LANES]
+        .try_into()
+        .expect("window is exactly LANES wide")
+}
+
+/// One full 4-row tile stripe in autovectorised form: for each 4-lane
+/// column tile the 32 partial sums stay in named local arrays (registers)
+/// while `k` runs innermost, with the four rows unrolled by hand. The
+/// tile body is branchless — structurally-zero `A` terms are multiplied
+/// through rather than skipped, contributing exact `±0`s, so results
+/// equal the oracle's in value with per-element accumulation in the same
+/// `k` order (only the sign of a zero can differ; the skip survives in
+/// the oracle, where sparse rows are actually worth a branch).
+fn tile_rows_soa(
+    a_rows: &[C64],
+    a_cols: usize,
+    width: usize,
+    scratch: &PanelScratch,
+    out: &mut [C64],
+) {
+    tile_rows_body(a_rows, a_cols, width, scratch, out);
+}
+
+/// [`tile_rows_soa`]'s body recompiled with 256-bit AVX vectors enabled —
+/// identical safe Rust, so identical results; only the instruction
+/// selection differs. Dispatched at runtime behind [`avx_autovec_active`].
+///
+/// # Safety
+///
+/// The caller must have verified AVX support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn tile_rows_soa_avx(
+    a_rows: &[C64],
+    a_cols: usize,
+    width: usize,
+    scratch: &PanelScratch,
+    out: &mut [C64],
+) {
+    tile_rows_body(a_rows, a_cols, width, scratch, out);
+}
+
+#[inline(always)]
+fn tile_rows_body(
+    a_rows: &[C64],
+    a_cols: usize,
+    width: usize,
+    scratch: &PanelScratch,
+    out: &mut [C64],
+) {
+    let (r0, rest) = out.split_at_mut(width);
+    let (r1, rest) = rest.split_at_mut(width);
+    let (r2, r3) = rest.split_at_mut(width);
+    let a0 = &a_rows[..a_cols];
+    let a1 = &a_rows[a_cols..2 * a_cols];
+    let a2 = &a_rows[2 * a_cols..3 * a_cols];
+    let a3 = &a_rows[3 * a_cols..4 * a_cols];
+    let mut j = 0;
+    while j + LANES <= width {
+        let (mut re0, mut im0) = ([0.0_f64; LANES], [0.0_f64; LANES]);
+        let (mut re1, mut im1) = ([0.0_f64; LANES], [0.0_f64; LANES]);
+        let (mut re2, mut im2) = ([0.0_f64; LANES], [0.0_f64; LANES]);
+        let (mut re3, mut im3) = ([0.0_f64; LANES], [0.0_f64; LANES]);
+        for k in 0..a_cols {
+            let br = lanes_at(&scratch.b_re, k * width + j);
+            let bi = lanes_at(&scratch.b_im, k * width + j);
+            lane_madd(&mut re0, &mut im0, a0[k], br, bi);
+            lane_madd(&mut re1, &mut im1, a1[k], br, bi);
+            lane_madd(&mut re2, &mut im2, a2[k], br, bi);
+            lane_madd(&mut re3, &mut im3, a3[k], br, bi);
+        }
+        for l in 0..LANES {
+            r0[j + l] = C64::new(re0[l], im0[l]);
+            r1[j + l] = C64::new(re1[l], im1[l]);
+            r2[j + l] = C64::new(re2[l], im2[l]);
+            r3[j + l] = C64::new(re3[l], im3[l]);
+        }
+        j += LANES;
+    }
+    while j < width {
+        let mut acc = [C64::ZERO; TILE_ROWS];
+        for k in 0..a_cols {
+            let bv = C64::new(scratch.b_re[k * width + j], scratch.b_im[k * width + j]);
+            acc[0] += a0[k] * bv;
+            acc[1] += a1[k] * bv;
+            acc[2] += a2[k] * bv;
+            acc[3] += a3[k] * bv;
+        }
+        r0[j] = acc[0];
+        r1[j] = acc[1];
+        r2[j] = acc[2];
+        r3[j] = acc[3];
+        j += 1;
+    }
+}
+
+/// The remainder-row kernel (fewer than [`TILE_ROWS`] rows left): one
+/// output row, 4-lane column tiles, `k` innermost — the single-row
+/// specialisation of [`tile_rows_soa`] with identical per-element order.
+fn single_row(a_row: &[C64], a_cols: usize, width: usize, scratch: &PanelScratch, out: &mut [C64]) {
+    single_row_body(a_row, a_cols, width, scratch, out);
+}
+
+/// [`single_row`]'s body recompiled with 256-bit AVX vectors enabled;
+/// see [`tile_rows_soa_avx`].
+///
+/// # Safety
+///
+/// The caller must have verified AVX support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn single_row_avx(
+    a_row: &[C64],
+    a_cols: usize,
+    width: usize,
+    scratch: &PanelScratch,
+    out: &mut [C64],
+) {
+    single_row_body(a_row, a_cols, width, scratch, out);
+}
+
+#[inline(always)]
+fn single_row_body(
+    a_row: &[C64],
+    a_cols: usize,
+    width: usize,
+    scratch: &PanelScratch,
+    out: &mut [C64],
+) {
+    let mut j = 0;
+    while j + LANES <= width {
+        let mut acc_re = [0.0_f64; LANES];
+        let mut acc_im = [0.0_f64; LANES];
+        for (k, &av) in a_row.iter().enumerate().take(a_cols) {
+            let br = lanes_at(&scratch.b_re, k * width + j);
+            let bi = lanes_at(&scratch.b_im, k * width + j);
+            lane_madd(&mut acc_re, &mut acc_im, av, br, bi);
+        }
+        for l in 0..LANES {
+            out[j + l] = C64::new(acc_re[l], acc_im[l]);
+        }
+        j += LANES;
+    }
+    while j < width {
+        let mut acc = C64::ZERO;
+        for (k, &av) in a_row.iter().enumerate().take(a_cols) {
+            acc += av * C64::new(scratch.b_re[k * width + j], scratch.b_im[k * width + j]);
+        }
+        out[j] = acc;
+        j += 1;
+    }
+}
+
+/// The explicit AVX2/FMA 4-row tile stripe: the same register tiling as
+/// [`tile_rows_soa`] with 256-bit fused multiply–adds. Rounding differs
+/// from the oracle only by FMA's skipped intermediate round; property
+/// tests pin the gap to ≤ 1e-12.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn tile_rows_avx2(
+    a_rows: &[C64],
+    a_cols: usize,
+    width: usize,
+    scratch: &PanelScratch,
+    out: &mut [C64],
+) {
+    use core::arch::x86_64::{
+        __m256d, _mm256_fmadd_pd, _mm256_fnmadd_pd, _mm256_loadu_pd, _mm256_set1_pd,
+        _mm256_setzero_pd, _mm256_storeu_pd,
+    };
+    let b_re = scratch.b_re.as_ptr();
+    let b_im = scratch.b_im.as_ptr();
+    let mut j = 0;
+    while j + LANES <= width {
+        let mut acc_re: [__m256d; TILE_ROWS] = [_mm256_setzero_pd(); TILE_ROWS];
+        let mut acc_im: [__m256d; TILE_ROWS] = [_mm256_setzero_pd(); TILE_ROWS];
+        for k in 0..a_cols {
+            let vbr = _mm256_loadu_pd(b_re.add(k * width + j));
+            let vbi = _mm256_loadu_pd(b_im.add(k * width + j));
+            for r in 0..TILE_ROWS {
+                let av = *a_rows.get_unchecked(r * a_cols + k);
+                let var = _mm256_set1_pd(av.re);
+                let vai = _mm256_set1_pd(av.im);
+                acc_re[r] = _mm256_fmadd_pd(var, vbr, acc_re[r]);
+                acc_re[r] = _mm256_fnmadd_pd(vai, vbi, acc_re[r]);
+                acc_im[r] = _mm256_fmadd_pd(var, vbi, acc_im[r]);
+                acc_im[r] = _mm256_fmadd_pd(vai, vbr, acc_im[r]);
+            }
+        }
+        // Interleave each row's re/im lanes back into C64 storage.
+        for r in 0..TILE_ROWS {
+            let mut re = [0.0_f64; LANES];
+            let mut im = [0.0_f64; LANES];
+            _mm256_storeu_pd(re.as_mut_ptr(), acc_re[r]);
+            _mm256_storeu_pd(im.as_mut_ptr(), acc_im[r]);
+            for l in 0..LANES {
+                *out.get_unchecked_mut(r * width + j + l) = C64::new(re[l], im[l]);
+            }
+        }
+        j += LANES;
+    }
+    while j < width {
+        for r in 0..TILE_ROWS {
+            let mut acc = C64::ZERO;
+            for k in 0..a_cols {
+                let av = *a_rows.get_unchecked(r * a_cols + k);
+                acc += av * C64::new(*b_re.add(k * width + j), *b_im.add(k * width + j));
+            }
+            *out.get_unchecked_mut(r * width + j) = acc;
+        }
+        j += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pseudo-random but deterministic dense test data.
+    fn dense(rows: usize, cols: usize, salt: u64) -> Vec<C64> {
+        (0..rows * cols)
+            .map(|idx| {
+                let t = idx as f64 + salt as f64 * 0.37;
+                C64::new((t * 0.7311).sin(), (t * 1.1931).cos())
+            })
+            .collect()
+    }
+
+    /// Shapes that exercise every remainder case: widths below, at, and
+    /// beyond the 4-lane tile, row counts straddling the 4-row tile, plus
+    /// single rows/columns.
+    const SHAPES: [(usize, usize, usize); 9] = [
+        (1, 1, 1),
+        (3, 5, 2),
+        (4, 4, 4),
+        (5, 7, 9),
+        (8, 8, 13),
+        (7, 3, 33),
+        (6, 11, 5),
+        (16, 16, 37),
+        (9, 25, 64),
+    ];
+
+    #[test]
+    fn soa_kernel_is_bit_identical_to_scalar_oracle() {
+        for &(m, k, n) in &SHAPES {
+            let a = dense(m, k, 1);
+            let b = dense(k, n, 2);
+            let mut scratch = PanelScratch::new();
+            // Full-width panel and a ragged sub-panel alike.
+            for (c0, c1) in [(0, n), (n / 3, n), (0, n.div_ceil(2))] {
+                if c0 >= c1 {
+                    continue;
+                }
+                let oracle = mul_panel_scalar(&a, m, k, &b, n, c0, c1);
+                let soa = mul_panel(&a, m, k, &b, n, c0, c1, &mut scratch);
+                if simd_active() {
+                    // FMA rounding: not bit-exact, but pinned tight.
+                    for (s, o) in soa.iter().zip(&oracle) {
+                        assert!(s.approx_eq(*o, 1e-12), "{m}x{k}x{n}: {s} vs {o}");
+                    }
+                } else {
+                    assert_eq!(soa, oracle, "shape {m}x{k}x{n} panel {c0}..{c1}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_handles_structural_zeros_like_the_oracle() {
+        // Rows of zeros in A exercise the sparse-term skip in every tile
+        // position of both kernels.
+        let mut a = dense(6, 6, 3);
+        for j in 0..6 {
+            a[2 * 6 + j] = C64::ZERO;
+            a[j * 6 + 4] = C64::ZERO;
+        }
+        let b = dense(6, 10, 4);
+        let mut scratch = PanelScratch::new();
+        let oracle = mul_panel_scalar(&a, 6, 6, &b, 10, 0, 10);
+        let soa = mul_panel(&a, 6, 6, &b, 10, 0, 10, &mut scratch);
+        for (s, o) in soa.iter().zip(&oracle) {
+            assert!(s.approx_eq(*o, 1e-12));
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_different_shapes_is_safe() {
+        let mut scratch = PanelScratch::new();
+        for &(m, k, n) in &SHAPES {
+            let a = dense(m, k, 5);
+            let b = dense(k, n, 6);
+            let oracle = mul_panel_scalar(&a, m, k, &b, n, 0, n);
+            let soa = mul_panel(&a, m, k, &b, n, 0, n, &mut scratch);
+            for (s, o) in soa.iter().zip(&oracle) {
+                assert!(s.approx_eq(*o, 1e-12), "shape {m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[test]
+    fn avx2_kernel_matches_oracle_when_available() {
+        if !simd_active() {
+            return; // no AVX2/FMA on this host: dispatch already covered.
+        }
+        for &(m, k, n) in &SHAPES {
+            let a = dense(m, k, 7);
+            let b = dense(k, n, 8);
+            let mut scratch = PanelScratch::new();
+            let oracle = mul_panel_scalar(&a, m, k, &b, n, 0, n);
+            let simd = mul_panel(&a, m, k, &b, n, 0, n, &mut scratch);
+            for (s, o) in simd.iter().zip(&oracle) {
+                assert!(s.approx_eq(*o, 1e-12), "shape {m}x{k}x{n}: {s} vs {o}");
+            }
+        }
+    }
+}

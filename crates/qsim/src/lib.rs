@@ -7,6 +7,9 @@
 //! ## Layers
 //!
 //! * [`complex`] / [`matrix`] — scalar and small-matrix complex algebra.
+//! * [`kernel`] — split-complex SIMD GEMM micro-kernels behind the
+//!   [`matrix::CMatrix::matmul`] seam (scalar oracle → autovectorised
+//!   SoA → runtime-dispatched AVX2/FMA under `--features simd`).
 //! * [`gate`] — the gate library (rotations, Cliffords, CSWAP, …).
 //! * [`circuit`] — a circuit IR with mid-circuit reset and measurement.
 //! * [`statevector`] — pure-state evolution kernels.
@@ -49,6 +52,7 @@ pub mod density;
 pub mod draw;
 pub mod error;
 pub mod gate;
+pub mod kernel;
 pub mod matrix;
 pub mod noise;
 pub mod parallel;

@@ -6,18 +6,50 @@
 //! Kraus-channel algebra — and, through the blocked [`CMatrix::matmul`]
 //! kernel, for applying a fused unitary to many statevectors packed
 //! column-wise in one matrix–matrix product (the batched analytic scoring
-//! path). Single-state evolution uses specialised kernels in
+//! path) or a fused superoperator to many `vec(ρ)` columns (the batched
+//! density scoring path). The panel kernel itself lives in
+//! [`crate::kernel`]: a split-complex structure-of-arrays loop with an
+//! optional runtime-dispatched AVX2/FMA path (`--features simd`), pinned
+//! against the scalar oracle kept on [`CMatrix::matmul_scalar`].
+//! Single-state evolution uses specialised kernels in
 //! [`crate::statevector`] and [`crate::density`].
 
 use crate::complex::C64;
 use crate::error::QsimError;
+use crate::kernel::{self, PanelScratch};
+use std::cell::RefCell;
 use std::fmt;
 use std::ops::{Add, Mul, Sub};
 
-/// Output columns per GEMM panel: 32 columns × 16 bytes keep a panel row
-/// inside one 512-byte stretch, and panels are the unit of parallelism in
-/// [`CMatrix::matmul_threaded`].
-pub const GEMM_COL_BLOCK: usize = 32;
+/// Output columns per GEMM panel — the unit of parallelism in
+/// [`CMatrix::matmul_threaded`] and the width of the split-complex repack
+/// in [`crate::kernel`]. Measured on the flagship GEMM shapes
+/// (`8×8·8×96` encoder and `64×64·64×96` superoperator products),
+/// widths 32–128 are equivalent within noise for the scalar, SoA and
+/// AVX2 kernels alike while 16 trails slightly (repack overhead and
+/// partial register tiles); 64 is chosen from that plateau because it
+/// halves the panel count — and thus stitch/fan-out overhead — relative
+/// to the previous 32-column blocks while keeping the SoA panel copy
+/// (`2 × a_cols × 64` doubles — 64 KiB at the flagship density width
+/// `4³ = 64`) comfortably L2-resident at every supported register
+/// width.
+pub const GEMM_COL_BLOCK: usize = 64;
+
+// Panel starts must preserve lane alignment: threaded panels and the
+// sequential full-width panel have to agree on which columns sit in
+// vector tiles vs the scalar remainder, or FMA builds would diverge
+// bit-wise across thread counts.
+const _: () = assert!(GEMM_COL_BLOCK.is_multiple_of(kernel::LANES));
+
+thread_local! {
+    /// Panel scratch for sequential GEMMs: repeated products on a fixed
+    /// configuration (one per group per scoring pass) reuse one repack
+    /// buffer per thread instead of reallocating every call. Worker
+    /// threads spawned by [`CMatrix::matmul_threaded`] get their own
+    /// per-call scratch through
+    /// [`crate::parallel::map_indexed_with`] instead.
+    static SEQ_SCRATCH: RefCell<PanelScratch> = RefCell::new(PanelScratch::new());
+}
 
 /// A dense, row-major complex matrix.
 ///
@@ -238,14 +270,18 @@ impl CMatrix {
 
     /// Matrix–matrix product `A·B`, blocked over column panels of `rhs`
     /// and fanned out over up to `threads` OS threads via
-    /// [`crate::parallel::map_indexed`].
+    /// [`crate::parallel::map_indexed_with`] (each worker owns one panel
+    /// scratch for its whole panel stream).
     ///
     /// Each panel of [`GEMM_COL_BLOCK`] output columns is computed
-    /// independently with an `i–k–j` loop (the `a == 0` fast path skips
-    /// structurally sparse rows), so the per-column accumulation order is
+    /// independently by the split-complex register-tile kernel in
+    /// [`crate::kernel`], so the per-column accumulation order is
     /// identical for every thread count — results are bit-for-bit
-    /// deterministic regardless of `threads`. This is the seam a future
-    /// BLAS/SIMD backend slots into.
+    /// deterministic regardless of `threads`. Without the `simd` feature
+    /// the kernel is value-identical to the scalar oracle on
+    /// [`CMatrix::matmul_scalar`] (see [`crate::kernel`] for the exact
+    /// equality contract); with it, an AVX2/FMA path is selected at
+    /// runtime where the CPU supports it.
     ///
     /// # Errors
     ///
@@ -263,20 +299,29 @@ impl CMatrix {
         }
         if threads <= 1 {
             // Sequential fast path: one full-width panel *is* the
-            // row-major result — no zero-fill, no stitching.
+            // row-major result — no zero-fill, no stitching — through the
+            // thread-local scratch so repeated GEMMs reuse their buffers.
+            let data = SEQ_SCRATCH.with(|scratch| {
+                let mut scratch = scratch.borrow_mut();
+                let data = self.mul_panel(rhs, 0, rhs.cols, &mut scratch);
+                // Don't pin extreme-shape buffers on this thread forever.
+                scratch.trim();
+                data
+            });
             return Ok(CMatrix {
                 rows: self.rows,
                 cols: rhs.cols,
-                data: self.mul_panel(rhs, 0, rhs.cols),
+                data,
             });
         }
         let mut out = CMatrix::zeros(self.rows, rhs.cols);
         let num_panels = rhs.cols.div_ceil(GEMM_COL_BLOCK);
-        let panels = crate::parallel::map_indexed(num_panels, threads, |p| {
-            let c0 = p * GEMM_COL_BLOCK;
-            let c1 = (c0 + GEMM_COL_BLOCK).min(rhs.cols);
-            self.mul_panel(rhs, c0, c1)
-        });
+        let panels =
+            crate::parallel::map_indexed_with(num_panels, threads, PanelScratch::new, |s, p| {
+                let c0 = p * GEMM_COL_BLOCK;
+                let c1 = (c0 + GEMM_COL_BLOCK).min(rhs.cols);
+                self.mul_panel(rhs, c0, c1, s)
+            });
         // Stitch the row-major panels back into the row-major output.
         for (p, panel) in panels.iter().enumerate() {
             let c0 = p * GEMM_COL_BLOCK;
@@ -289,25 +334,47 @@ impl CMatrix {
         Ok(out)
     }
 
-    /// One GEMM column panel: the row-major `self.rows × (c1 − c0)` block
-    /// of `self · rhs` covering output columns `c0..c1`.
-    fn mul_panel(&self, rhs: &CMatrix, c0: usize, c1: usize) -> Vec<C64> {
-        let width = c1 - c0;
-        let mut panel = vec![C64::ZERO; self.rows * width];
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut panel[i * width..(i + 1) * width];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == C64::ZERO {
-                    continue;
-                }
-                let b_row = &rhs.data[k * rhs.cols + c0..k * rhs.cols + c1];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
+    /// Matrix–matrix product through the scalar oracle kernel only — the
+    /// bit-exact reference the SoA/AVX2 kernels are pinned against, and
+    /// the baseline the SIMD speedup is benchmarked from. Always
+    /// sequential; production code wants [`CMatrix::matmul`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::DimensionMismatch`] when
+    /// `self.cols() != rhs.rows()`.
+    pub fn matmul_scalar(&self, rhs: &CMatrix) -> Result<CMatrix, QsimError> {
+        if self.cols != rhs.rows {
+            return Err(QsimError::DimensionMismatch {
+                expected: self.cols,
+                actual: rhs.rows,
+            });
         }
-        panel
+        if rhs.cols == 0 || self.rows == 0 {
+            return Ok(CMatrix::zeros(self.rows, rhs.cols));
+        }
+        Ok(CMatrix {
+            rows: self.rows,
+            cols: rhs.cols,
+            data: kernel::mul_panel_scalar(
+                &self.data, self.rows, self.cols, &rhs.data, rhs.cols, 0, rhs.cols,
+            ),
+        })
+    }
+
+    /// One GEMM column panel: the row-major `self.rows × (c1 − c0)` block
+    /// of `self · rhs` covering output columns `c0..c1`, through the
+    /// dispatching split-complex kernel.
+    fn mul_panel(
+        &self,
+        rhs: &CMatrix,
+        c0: usize,
+        c1: usize,
+        scratch: &mut PanelScratch,
+    ) -> Vec<C64> {
+        kernel::mul_panel(
+            &self.data, self.rows, self.cols, &rhs.data, rhs.cols, c0, c1, scratch,
+        )
     }
 
     /// Returns `true` when every entry is within `tol` of `other`'s.
@@ -642,6 +709,44 @@ mod tests {
             let par = a.matmul_threaded(&b, threads).unwrap();
             assert_eq!(seq.as_slice(), par.as_slice(), "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn gemm_matches_scalar_oracle_across_shapes() {
+        // The dispatching kernel (SoA, or AVX2 under `--features simd`)
+        // against the bit-exact scalar oracle, over shapes that exercise
+        // ragged panels and remainder lanes.
+        for (rows, inner, cols) in [(1, 1, 1), (3, 5, 2), (8, 8, 96), (16, 16, 100), (5, 9, 67)] {
+            let a = dense(rows, inner, 31);
+            let b = dense(inner, cols, 32);
+            let oracle = a.matmul_scalar(&b).unwrap();
+            let fast = a.matmul(&b).unwrap();
+            if qsim_kernel_simd_active() {
+                assert!(fast.approx_eq(&oracle, 1e-12), "{rows}x{inner}x{cols}");
+            } else {
+                assert_eq!(fast.as_slice(), oracle.as_slice(), "{rows}x{inner}x{cols}");
+            }
+            let threaded = a.matmul_threaded(&b, 4).unwrap();
+            assert_eq!(fast.as_slice(), threaded.as_slice());
+        }
+    }
+
+    fn qsim_kernel_simd_active() -> bool {
+        crate::kernel::simd_active()
+    }
+
+    #[test]
+    fn matmul_scalar_validates_shapes_like_matmul() {
+        let a = CMatrix::zeros(2, 3);
+        let b = CMatrix::zeros(2, 2);
+        assert!(matches!(
+            a.matmul_scalar(&b),
+            Err(QsimError::DimensionMismatch { .. })
+        ));
+        let empty = CMatrix::zeros(0, 4);
+        let tall = CMatrix::zeros(4, 7);
+        let p = empty.matmul_scalar(&tall).unwrap();
+        assert_eq!((p.rows(), p.cols()), (0, 7));
     }
 
     #[test]

@@ -92,9 +92,25 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    map_indexed_with(num_items, threads, || (), |(), idx| f(idx))
+}
+
+/// [`map_indexed`] with per-worker scratch state: `init` runs once on each
+/// worker thread (and once for the sequential path) and the resulting
+/// value is threaded through every item that worker claims. This is how
+/// the GEMM seam reuses its split-complex panel buffers across the panel
+/// stream instead of reallocating per panel — each worker pays for one
+/// scratch allocation per call, however many panels it processes.
+pub fn map_indexed_with<S, T, I, F>(num_items: usize, threads: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     let threads = threads.max(1).min(num_items.max(1));
     if threads == 1 {
-        return (0..num_items).map(f).collect();
+        let mut scratch = init();
+        return (0..num_items).map(|idx| f(&mut scratch, idx)).collect();
     }
     let mut results: Vec<Option<T>> = (0..num_items).map(|_| None).collect();
     let next = AtomicUsize::new(0);
@@ -103,14 +119,18 @@ where
     std::thread::scope(|scope| {
         let cell_ref = &cell;
         let next_ref = &next;
+        let init_ref = &init;
         let f_ref = &f;
         for _ in 0..threads {
-            scope.spawn(move || loop {
-                let idx = next_ref.fetch_add(1, Ordering::Relaxed);
-                if idx >= num_items {
-                    break;
+            scope.spawn(move || {
+                let mut scratch = init_ref();
+                loop {
+                    let idx = next_ref.fetch_add(1, Ordering::Relaxed);
+                    if idx >= num_items {
+                        break;
+                    }
+                    cell_ref.set(idx, f_ref(&mut scratch, idx));
                 }
-                cell_ref.set(idx, f_ref(idx));
             });
         }
     });
@@ -202,5 +222,37 @@ mod tests {
     fn map_indexed_empty() {
         let out: Vec<usize> = map_indexed(0, 4, |i| i);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn map_indexed_with_reuses_scratch_per_worker() {
+        use std::sync::atomic::AtomicUsize;
+        // Each worker's scratch counts the items it processed; `init` runs
+        // once per worker, so the number of inits never exceeds the thread
+        // count and every item is claimed exactly once.
+        let inits = AtomicUsize::new(0);
+        for threads in [1usize, 4] {
+            inits.store(0, Ordering::Relaxed);
+            let out = map_indexed_with(
+                37,
+                threads,
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    0usize
+                },
+                |seen, idx| {
+                    *seen += 1;
+                    (idx, *seen)
+                },
+            );
+            assert_eq!(out.len(), 37);
+            let total: usize = out.iter().map(|&(idx, _)| idx).sum();
+            assert_eq!(total, 37 * 36 / 2, "threads {threads}");
+            assert!(inits.load(Ordering::Relaxed) <= threads.max(1));
+            // Scratch persistence: the per-item counters across all
+            // workers account for every item exactly once.
+            let max_seen: usize = out.iter().map(|&(_, s)| s).sum();
+            assert!(max_seen >= 37);
+        }
     }
 }

@@ -262,12 +262,25 @@ fn noisy_sampled_scores_bit_identical_across_runs_and_threads() {
             );
         }
     }
-    // Forcing the density engine explicitly lands on the same draws.
-    let forced = QuorumDetector::new(base.with_engine(EngineKind::Density).with_threads(2))
-        .unwrap()
-        .score(&ds)
-        .unwrap();
+    // Forcing the (batched) density engine explicitly lands on the same
+    // draws, and so does the per-sample density oracle: the batched
+    // vec(ρ) GEMM preserves the per-sample accumulation order, so the
+    // exact deviations — and hence the seeded binomial draws — coincide.
+    let forced = QuorumDetector::new(
+        base.clone()
+            .with_engine(EngineKind::Density)
+            .with_threads(2),
+    )
+    .unwrap()
+    .score(&ds)
+    .unwrap();
     assert_eq!(reference.scores(), forced.scores());
+    let per_sample =
+        QuorumDetector::new(base.with_engine(EngineKind::DensitySample).with_threads(2))
+            .unwrap()
+            .score(&ds)
+            .unwrap();
+    assert_eq!(reference.scores(), per_sample.scores());
 }
 
 #[test]

@@ -12,7 +12,9 @@
 
 use proptest::prelude::*;
 use quorum::core::bucket::BucketPlan;
-use quorum::core::engine::{AnalyticEngine, CircuitEngine, DensityEngine, ScoringEngine};
+use quorum::core::engine::{
+    AnalyticEngine, CircuitEngine, DensityEngine, SampleDensityEngine, ScoringEngine,
+};
 use quorum::core::ensemble::EnsembleGroup;
 use quorum::core::{ExecutionMode, QuorumConfig};
 use quorum::data::Dataset;
@@ -114,6 +116,41 @@ fn check_ideal_density_vs_analytic(data_qubits: usize, seed: u64, group_index: u
     }
 }
 
+/// The batched vec(ρ) GEMM path against the per-sample density oracle:
+/// both engines over the full level sweep, at one register width, across
+/// every noise model. The two paths accumulate each sample in the same
+/// index order, so 1e-9 is generous (they are value-identical without the
+/// `simd` feature and within FMA rounding with it).
+fn check_batched_density_vs_per_sample(
+    data_qubits: usize,
+    seed: u64,
+    group_index: usize,
+    samples: usize,
+) {
+    let levels: Vec<usize> = (1..data_qubits).collect();
+    for noise in noise_models() {
+        let config = noisy_config(data_qubits, seed, noise, None);
+        let ds = normalized_dataset(config.features_per_circuit(), samples, seed);
+        let group = group_for(&config, ds.num_features(), group_index);
+        let batched = DensityEngine
+            .deviations_all_levels(&group, &ds, &config, &levels)
+            .unwrap();
+        let per_sample = SampleDensityEngine
+            .deviations_all_levels(&group, &ds, &config, &levels)
+            .unwrap();
+        for (level, (b, s)) in batched.iter().zip(&per_sample).enumerate() {
+            for (i, (bv, sv)) in b.iter().zip(s).enumerate() {
+                assert!(
+                    (bv - sv).abs() <= 1e-9,
+                    "n={data_qubits} level={} seed={seed} sample {i}: \
+                     batched {bv} vs per-sample {sv}",
+                    levels[level]
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
@@ -158,6 +195,40 @@ proptest! {
             // Identical binomial draws up to knife-edge rounding of the
             // underlying probability (absent at these tolerances).
             prop_assert!((c - d).abs() <= 1.0 / shots as f64, "circuit {} vs density {}", c, d);
+        }
+    }
+
+    /// The batched vec(ρ) GEMM path against the per-sample density oracle
+    /// across widths, resets and noise models — the satellite pin for the
+    /// PR 4 batching. Cheap per case (no circuit oracle), n ∈ {2, 3}.
+    #[test]
+    fn batched_density_matches_per_sample(
+        seed in 0u64..10_000,
+        group_index in 0usize..4,
+    ) {
+        for data_qubits in 2usize..=3 {
+            check_batched_density_vs_per_sample(data_qubits, seed, group_index, 8);
+        }
+    }
+
+    /// Shot-sampled draws through the batched path coincide with the
+    /// per-sample path's: same (to machine precision) exact deviation,
+    /// same per-measurement seeds, same sampler.
+    #[test]
+    fn batched_density_sampled_matches_per_sample_sampled(
+        seed in 0u64..10_000,
+        shots in 64u64..4096,
+    ) {
+        let config = noisy_config(3, seed, NoiseModel::brisbane(), Some(shots));
+        let ds = normalized_dataset(config.features_per_circuit(), 6, seed);
+        let group = group_for(&config, ds.num_features(), 1);
+        let batched = DensityEngine.deviations(&group, &ds, &config, 1).unwrap();
+        let per_sample = SampleDensityEngine.deviations(&group, &ds, &config, 1).unwrap();
+        for (b, s) in batched.iter().zip(&per_sample) {
+            prop_assert!(
+                (b - s).abs() <= 1.0 / shots as f64,
+                "batched {} vs per-sample {}", b, s
+            );
         }
     }
 }
@@ -263,6 +334,24 @@ proptest! {
     ) {
         for data_qubits in 2usize..=3 {
             check_density_vs_circuit(data_qubits, seed, group_index, 4);
+        }
+    }
+}
+
+proptest! {
+    // Source default of 256 cases, overridable via PROPTEST_CASES.
+    #![proptest_config(ProptestConfig::default())]
+
+    /// Exhaustive batched-vs-per-sample density pin — no circuit oracle,
+    /// so it can afford the full default case count in the CI ignored job.
+    #[test]
+    #[ignore = "slow exhaustive suite; run with `cargo test -- --ignored`"]
+    fn exhaustive_batched_density_matches_per_sample(
+        seed in 0u64..1_000_000,
+        group_index in 0usize..8,
+    ) {
+        for data_qubits in 2usize..=3 {
+            check_batched_density_vs_per_sample(data_qubits, seed, group_index, 6);
         }
     }
 }
