@@ -7,9 +7,13 @@
 //! runtime-dispatched SIMD kernel against the scalar oracle — with direct
 //! speedup reports. Acceptance bars on this configuration: batched ≥ 2×
 //! the per-sample analytic engine, analytic ≥ 5× the circuit engine,
-//! density ≥ 5× the noisy circuit engine, batched density ≥ 1.5× the
-//! per-sample density oracle, and (when the SIMD kernel is active) the
-//! dispatched GEMM ≥ 2× the scalar kernel.
+//! density ≥ 5× the noisy circuit engine, the fully-batched noisy path
+//! (lockstep prep + batched score) ≥ 1.7× the per-sample oracle with the
+//! lockstep prep stage alone ≥ 1.3× the per-sample gate walk, and (when
+//! the SIMD kernel is active) the dispatched GEMM ≥ 2× the scalar kernel.
+//! The noisy column is split into explicit `noisy_prep_ns_per_sample` and
+//! `noisy_score_ns_per_sample` metrics via the engine's public prep/score
+//! seam.
 //!
 //! Every reported number also lands in `BENCH_engines.json` (per-engine
 //! ns/sample, kernel GFLOP/s, speedup ratios) so the perf trajectory is
@@ -207,11 +211,24 @@ fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> Duration {
         .unwrap()
 }
 
-/// The batched vec(ρ) GEMM path against PR 3's per-sample matvec path, on
-/// isolated scoring: one flagship group, caches (fused superoperators and
-/// the readout functional) pre-warmed, a full 96-sample two-level
-/// deviation sweep per run — so the ratio measures exactly what the
-/// batching changed, not the shared fusion cost.
+/// The fully-batched noisy path (lockstep prep + vec(ρ) GEMM scoring)
+/// against the per-sample path, on isolated scoring: one flagship group,
+/// caches (fused superoperators and the readout functional) pre-warmed, a
+/// full 96-sample two-level deviation sweep per run — so the ratios
+/// measure exactly what the batching changed, not the shared fusion cost.
+/// The prep and score stages are also timed through the public
+/// [`DensityEngine::prepare_batch`] / [`DensityEngine::score_prepared`]
+/// seam, so `BENCH_engines.json` carries explicit
+/// `noisy_prep_ns_per_sample` and `noisy_score_ns_per_sample` columns
+/// instead of a single prep-inclusive number.
+///
+/// Calibration note: both paths execute the same channel arithmetic
+/// (identical per-gate flop counts), so the lockstep win comes from
+/// removing per-sample circuit construction/lowering and from
+/// lane-contiguous kernels — measured ×~1.7 on prep and ×~2 end-to-end on
+/// this shape (`4³` superoperators, 96-sample batches), not an
+/// order-of-magnitude algorithmic gap. The asserts below pin those levels
+/// with headroom for runner noise.
 fn report_density_batch_speedup(_c: &mut Criterion) {
     let config = noisy_flagship_config(EngineKind::Density).with_ensemble_groups(1);
     // Feed the engines exactly what the production pipeline feeds them.
@@ -221,6 +238,7 @@ fn report_density_batch_speedup(_c: &mut Criterion) {
     let group = EnsembleGroup::generate(0, &config, ds.num_features(), &plan);
 
     // Warm every shared cache; both paths then score from identical state.
+    let packed = DensityEngine::prepare_batch(&group, &ds, &config).unwrap();
     DensityEngine
         .deviations_all_levels(&group, &ds, &config, &levels)
         .unwrap();
@@ -228,12 +246,41 @@ fn report_density_batch_speedup(_c: &mut Criterion) {
         .deviations_all_levels(&group, &ds, &config, &levels)
         .unwrap();
 
+    // Stage split: lockstep prep alone, scoring alone (on a pre-built
+    // panel), and the per-sample gate-walk prep it replaced.
+    let prep = best_of(9, || {
+        DensityEngine::prepare_batch(&group, &ds, &config).unwrap()
+    });
+    let score = best_of(9, || {
+        DensityEngine::score_prepared(&group, &packed, &config, &levels).unwrap()
+    });
+    let prep_per_sample = best_of(5, || {
+        SampleDensityEngine::prepare_batch(&group, &ds, &config).unwrap()
+    });
+    record(
+        "noisy_prep_ns_per_sample",
+        ns_per_sample(prep, FLAGSHIP_SAMPLES),
+    );
+    record(
+        "noisy_score_ns_per_sample",
+        ns_per_sample(score, FLAGSHIP_SAMPLES),
+    );
+    record(
+        "noisy_prep_per_sample_walk_ns_per_sample",
+        ns_per_sample(prep_per_sample, FLAGSHIP_SAMPLES),
+    );
+    let prep_speedup = prep_per_sample.as_secs_f64() / prep.as_secs_f64();
+    record("noisy_prep_lockstep_vs_per_sample_speedup", prep_speedup);
+    println!(
+        "noisy_stage_split                                        prep {prep:.2?} + score {score:.2?} (per-sample prep {prep_per_sample:.2?}, lockstep x{prep_speedup:.1})"
+    );
+
     let batched = best_of(9, || {
         DensityEngine
             .deviations_all_levels(&group, &ds, &config, &levels)
             .unwrap()
     });
-    let per_sample = best_of(9, || {
+    let per_sample = best_of(5, || {
         SampleDensityEngine
             .deviations_all_levels(&group, &ds, &config, &levels)
             .unwrap()
@@ -255,8 +302,14 @@ fn report_density_batch_speedup(_c: &mut Criterion) {
         "density_batch_speedup_ratio                              batched/per-sample x{speedup:.2}"
     );
     assert!(
-        speedup >= 1.5,
-        "the batched vec(ρ) GEMM path must be ≥1.5× the per-sample density path on the flagship config, got ×{speedup:.2}"
+        speedup >= 1.7,
+        "end-to-end noisy scoring (lockstep prep + batched score) must be ≥1.7× the \
+         per-sample path on the flagship config, got ×{speedup:.2}"
+    );
+    assert!(
+        prep_speedup >= 1.3,
+        "lockstep prep must be ≥1.3× the per-sample gate-walk prep on the flagship \
+         config, got ×{prep_speedup:.2}"
     );
 }
 

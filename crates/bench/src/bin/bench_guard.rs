@@ -1,0 +1,120 @@
+//! Bench-regression guard: compares a freshly emitted `BENCH_engines.json`
+//! against the committed `BENCH_baseline.json` and fails (exit code 1)
+//! when any tracked `*_ns_per_sample` metric regresses by more than 25%.
+//!
+//! Usage: `bench_guard <baseline.json> <current.json>`
+//!
+//! Only per-sample wall-time metrics are guarded — ratios and GFLOP/s
+//! columns move with the host and are informational. Metrics present in
+//! only one of the two files are reported but never fail the guard, so
+//! adding a new column does not require a lockstep baseline update (the
+//! baseline should still be refreshed in the same PR). The parser reads
+//! exactly the flat `"key": value` lines `engine_comparison.rs` emits —
+//! no JSON dependency needed offline.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Regressions beyond this factor fail the job: generous enough to absorb
+/// normal runner jitter on the best-of-N protocol, tight enough to catch a
+/// real algorithmic slip.
+const MAX_REGRESSION: f64 = 1.25;
+
+/// Extracts the flat `"key": value` metric pairs from the bench JSON's
+/// `metrics` object (the exact format `emit_bench_json` writes).
+fn parse_metrics(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let mut in_metrics = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with("\"metrics\"") {
+            in_metrics = true;
+            continue;
+        }
+        if !in_metrics {
+            continue;
+        }
+        if line.starts_with('}') {
+            break;
+        }
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"').to_string();
+        let value = value.trim().trim_end_matches(',');
+        if let Ok(v) = value.parse::<f64>() {
+            out.insert(key, v);
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 3 {
+        eprintln!("usage: bench_guard <baseline.json> <current.json>");
+        return ExitCode::from(2);
+    }
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+    };
+    let baseline = parse_metrics(&read(&args[1]));
+    let current = parse_metrics(&read(&args[2]));
+    if baseline.is_empty() || current.is_empty() {
+        eprintln!(
+            "no metrics parsed (baseline: {}, current: {})",
+            baseline.len(),
+            current.len()
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut regressions = Vec::new();
+    println!(
+        "{:<44} {:>14} {:>14} {:>8}",
+        "metric (ns/sample)", "baseline", "current", "ratio"
+    );
+    for (key, &base) in baseline
+        .iter()
+        .filter(|(k, _)| k.ends_with("_ns_per_sample"))
+    {
+        let Some(&now) = current.get(key) else {
+            println!("{key:<44} {base:>14.0} {:>14} {:>8}", "absent", "-");
+            continue;
+        };
+        let ratio = now / base;
+        let flag = if ratio > MAX_REGRESSION {
+            "  REGRESSED"
+        } else {
+            ""
+        };
+        println!("{key:<44} {base:>14.0} {now:>14.0} {ratio:>8.2}{flag}");
+        if ratio > MAX_REGRESSION {
+            regressions.push((key.clone(), ratio));
+        }
+    }
+    for key in current
+        .keys()
+        .filter(|k| k.ends_with("_ns_per_sample") && !baseline.contains_key(*k))
+    {
+        println!("{key:<44} {:>14} {:>14} {:>8}", "-", "new", "-");
+    }
+
+    if regressions.is_empty() {
+        println!(
+            "\nbench guard: all tracked ns/sample metrics within {MAX_REGRESSION}x of baseline"
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "\nbench guard: {} metric(s) regressed more than {:.0}% against BENCH_baseline.json:",
+            regressions.len(),
+            (MAX_REGRESSION - 1.0) * 100.0
+        );
+        for (key, ratio) in &regressions {
+            eprintln!("  {key}: x{ratio:.2}");
+        }
+        eprintln!("(refresh the baseline intentionally if this slowdown is accepted)");
+        ExitCode::FAILURE
+    }
+}

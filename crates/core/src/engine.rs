@@ -44,10 +44,21 @@
 //! exactly `|0⟩⟨0|_anc ⊗ ρ_A ⊗ ρ_B` — never a genuine `2n+1`-qubit mixed
 //! state. The engine therefore:
 //!
-//! 1. simulates the sample's noisy amplitude preparation once on `n`
-//!    qubits (`ρ_B`, which doubles as register A's input);
-//! 2. packs **every** sample's `vec(ρ_in)` column-wise into one
-//!    `4^n × S` matrix `P` and pushes the whole batch through each
+//! 1. prepares **all** samples' noisy input states in **lockstep**: the
+//!    Möttönen preparation's gate skeleton is sample-independent
+//!    ([`qsim::stateprep::PrepSkeleton`] — only the RY angles carry the
+//!    data), so the whole batch evolves as one `4^n × S` vec(ρ) panel —
+//!    per skeleton step, one per-column RY conjugation
+//!    ([`qsim::density::ry_conjugate_columns`], the only sample-dependent
+//!    operation) plus the **shared** channel/gate superoperators applied
+//!    to the whole panel through sample-contiguous lane kernels
+//!    ([`GateNoise::apply_after_gate_columns`],
+//!    [`qsim::density::permute_cx_columns`]), with fixed-width column
+//!    blocks distributed across workers
+//!    ([`qsim::parallel::map_indexed_with`]);
+//! 2. keeps the resulting `vec(ρ_in)` columns packed as the `4^n × S`
+//!    matrix `P` (`ρ_B` doubles as register A's input, since Fig. 2 preps
+//!    both registers identically) and pushes the whole batch through each
 //!    level's **fused noisy superoperator** — encoder gates with their
 //!    per-gate channels, the reset Kraus channels, and the decoder —
 //!    built once per (group, compression level) by evolving the
@@ -91,12 +102,13 @@ use crate::error::QuorumError;
 use qdata::Dataset;
 use qsim::circuit::{Circuit, Operation};
 use qsim::complex::C64;
-use qsim::density::DensityMatrix;
-use qsim::matrix::CMatrix;
+use qsim::density::{permute_cx_columns, ry_conjugate_columns, DensityMatrix};
+use qsim::matrix::{CMatrix, GEMM_COL_BLOCK};
+use qsim::parallel::map_indexed_with;
 use qsim::simulator::{
     Backend, DensityMatrixBackend, GateNoise, OutcomeDistribution, StatevectorBackend,
 };
-use qsim::stateprep::prepare_real_amplitudes;
+use qsim::stateprep::{prepare_real_amplitudes, PrepSkeleton, PrepStep};
 use qsim::{transpile, NoiseModel};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -483,38 +495,72 @@ impl BatchedAnalyticEngine {
         Ok(encoder.matmul_threaded(&psi, threads)?)
     }
 
-    /// `P(ancilla = 1)` for every column of the encoded matrix `Φ = E·Ψ`.
+    /// Splits the encoded matrix `Φ` into separate re/im `f64` planes
+    /// (row-major, one repack per group pass) so the branch sweeps run on
+    /// pure `f64` lane streams instead of interleaved `C64` rows.
+    fn split_phi(phi: &CMatrix) -> (Vec<f64>, Vec<f64>) {
+        let mut re = Vec::with_capacity(phi.rows() * phi.cols());
+        let mut im = Vec::with_capacity(phi.rows() * phi.cols());
+        for &z in phi.as_slice() {
+            re.push(z.re);
+            im.push(z.im);
+        }
+        (re, im)
+    }
+
+    /// `P(ancilla = 1)` for every column of the encoded matrix `Φ = E·Ψ`,
+    /// given as split re/im planes.
     ///
     /// The per-sample branch expansion (see [`AnalyticEngine`]) becomes
     /// row-wise sweeps over `Φ`: for branch `k` and kept index `i`, row
     /// `k·2^kept + i` holds every sample's `k`-th block entry contiguously,
     /// so branch weights and overlaps accumulate for all `S` samples in
-    /// one pass per row — same per-sample summation order as the matvec
-    /// path, hence bit-identical deviations.
-    fn deviations_of(phi: &CMatrix, num_qubits: usize, reset_count: usize) -> Vec<f64> {
+    /// one lane pass per row through the split-complex
+    /// [`qsim::kernel::branch_sweep_lanes`] kernel (runtime-AVX-recompiled
+    /// like the GEMM tiles) — same per-sample summation order and
+    /// per-element expressions as the matvec path, hence bit-identical
+    /// deviations.
+    fn deviations_of(
+        phi_re: &[f64],
+        phi_im: &[f64],
+        samples: usize,
+        num_qubits: usize,
+        reset_count: usize,
+    ) -> Vec<f64> {
         let kept = num_qubits - reset_count;
         let low_dim = 1usize << kept;
         let branches = 1usize << reset_count;
-        let samples = phi.cols();
 
         let mut trace_overlap = vec![0.0; samples];
-        let mut overlap = vec![C64::ZERO; samples];
+        let mut over_re = vec![0.0; samples];
+        let mut over_im = vec![0.0; samples];
         let mut weight = vec![0.0; samples];
         for k in 0..branches {
-            overlap.fill(C64::ZERO);
+            over_re.fill(0.0);
+            over_im.fill(0.0);
             weight.fill(0.0);
             for i in 0..low_dim {
-                let low = phi.row(i);
-                let top = phi.row(k * low_dim + i);
-                for (((o, w), &l), &t) in overlap.iter_mut().zip(&mut weight).zip(low).zip(top) {
-                    *w += t.norm_sqr();
-                    *o += l.conj() * t;
-                }
+                let low = i * samples;
+                let top = (k * low_dim + i) * samples;
+                qsim::kernel::branch_sweep_lanes(
+                    &phi_re[low..low + samples],
+                    &phi_im[low..low + samples],
+                    &phi_re[top..top + samples],
+                    &phi_im[top..top + samples],
+                    &mut weight,
+                    &mut over_re,
+                    &mut over_im,
+                );
             }
-            for ((t, &o), &w) in trace_overlap.iter_mut().zip(&overlap).zip(&weight) {
+            for (((t, &or), &oi), &w) in trace_overlap
+                .iter_mut()
+                .zip(&over_re)
+                .zip(&over_im)
+                .zip(&weight)
+            {
                 // Mirror the per-sample path's branch pruning exactly.
                 if w > BRANCH_PRUNE {
-                    *t += o.norm_sqr();
+                    *t += or * or + oi * oi;
                 }
             }
         }
@@ -555,13 +601,16 @@ impl ScoringEngine for BatchedAnalyticEngine {
         }
 
         // Everything level-independent happens once per group: packing,
-        // fusion (cached across calls too) and the encoder GEMM.
+        // fusion (cached across calls too), the encoder GEMM, and the
+        // split-complex repack the branch sweeps run on.
         let phi = Self::encode_batch(group, normalized, config)?;
+        let samples = phi.cols();
+        let (phi_re, phi_im) = Self::split_phi(&phi);
 
         levels
             .iter()
             .map(|&reset_count| {
-                let exact = Self::deviations_of(&phi, n, reset_count);
+                let exact = Self::deviations_of(&phi_re, &phi_im, samples, n, reset_count);
                 Ok(match &config.execution {
                     ExecutionMode::Sampled { shots } => exact
                         .iter()
@@ -776,10 +825,14 @@ fn swap_test_functional(n: usize, noise: &NoiseModel) -> Result<Arc<CMatrix>, Qu
 /// algebra with all sample-independent structure fused and cached, and the
 /// whole group's samples pushed through each level's superoperator (and
 /// the readout functional) as blocked `4^n × S` GEMMs on the SIMD kernel
-/// seam. The default for Noisy execution (see the module docs for the
-/// math); [`SampleDensityEngine`] keeps the one-matvec-per-sample ordering
-/// as the in-family oracle and the paper-literal [`CircuitEngine`] remains
-/// the gate-level one.
+/// seam. State preparation itself runs in **lockstep** — all samples
+/// evolve through the shared Möttönen skeleton together, the shared
+/// gates and channels hitting the whole panel per step (see
+/// [`DensityEngine::prepare_batch`]). The default
+/// for Noisy execution (see the module docs for the math);
+/// [`SampleDensityEngine`] keeps the one-matvec-per-sample ordering (and
+/// the per-sample gate-walk preparation) as the in-family oracle and the
+/// paper-literal [`CircuitEngine`] remains the gate-level one.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DensityEngine;
 
@@ -849,31 +902,258 @@ impl NoisyPassContext {
     }
 }
 
+/// Reusable per-worker scratch for one lockstep column block: the RY
+/// coefficient lanes (`cos²`, `cos·sin`, `sin²` of the half-angles).
+#[derive(Default)]
+struct RyCoeffs {
+    cc: Vec<f64>,
+    cs: Vec<f64>,
+    ss: Vec<f64>,
+}
+
 impl DensityEngine {
     /// Packs every sample's noisy prepared state into the columns of a
-    /// `4^n × S` matrix: column `j` is `vec(ρ_in)` of sample `j` after
-    /// the lowered, per-gate-noisy Möttönen preparation (the remaining
-    /// per-sample gate walk; one preparation serves as `ρ_B` and as
-    /// register A's input alike, since Fig. 2 preps both identically).
-    fn pack_noisy_samples(
+    /// `4^n × S` matrix — column `j` is `vec(ρ_in)` of sample `j` after
+    /// the per-gate-noisy Möttönen preparation (one preparation serves as
+    /// `ρ_B` and as register A's input alike, since Fig. 2 preps both
+    /// identically) — by evolving the whole batch **in lockstep** through
+    /// the shared [`PrepSkeleton`]:
+    ///
+    /// 1. each sample contributes only its angle vector
+    ///    ([`PrepSkeleton::angles_for_into`]); every gate *position* is
+    ///    shared, so one skeleton walk serves all `S` columns;
+    /// 2. the batch starts as `4^n × S` columns of `vec(|0…0⟩⟨0…0|)`;
+    ///    each skeleton rotation applies the per-column RY conjugation
+    ///    ([`qsim::density::ry_conjugate_columns`] — the only
+    ///    sample-dependent operation) and every shared operation — the
+    ///    fused 1q noise channel after each rotation, the CX basis
+    ///    permutation, the CX depolarizing + relaxation channels — hits
+    ///    the **whole panel at once** through the batched channel kernels
+    ///    ([`GateNoise::apply_after_gate_columns`],
+    ///    [`qsim::density::permute_cx_columns`]), whose sub-block lane
+    ///    runs are contiguous across samples (block-diagonal GEMMs on the
+    ///    lane seam, AVX-recompiled like the PR 4 ladder);
+    /// 3. fixed-width column blocks ([`GEMM_COL_BLOCK`]) evolve
+    ///    independently and are distributed across workers via
+    ///    [`qsim::parallel::map_indexed_with`] — block boundaries never
+    ///    move with the worker count, so results are bit-identical for
+    ///    every thread count.
+    ///
+    /// The per-element arithmetic of every lockstep kernel replicates the
+    /// per-sample walk's term for term, so the packed result equals
+    /// [`SampleDensityEngine::prepare_batch`]'s to machine precision —
+    /// with none of the per-sample circuit construction, lowering, or
+    /// strided small-kernel dispatch.
+    ///
+    /// Public as the batch half of the prep/score seam — streaming callers
+    /// can prepare once and score against many frozen ensembles via
+    /// [`DensityEngine::score_prepared`], and the bench times the two
+    /// stages separately.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-noisy execution modes and propagates embedding and
+    /// simulation failures.
+    pub fn prepare_batch(
         group: &EnsembleGroup,
         normalized: &Dataset,
-        num_qubits: usize,
-        gate_noise: &GateNoise,
+        config: &QuorumConfig,
     ) -> Result<CMatrix, QuorumError> {
+        ensure_noisy(config)?;
+        let noise = match &config.execution {
+            ExecutionMode::Noisy { noise, .. } => noise,
+            _ => unreachable!("ensure_noisy admits only Noisy execution"),
+        };
+        let num_qubits = group.ansatz().num_qubits();
+        let gate_noise = GateNoise::from_model(noise);
         let dim = 1usize << num_qubits;
-        let mut packed = CMatrix::zeros(dim * dim, normalized.num_samples());
+        let samples = normalized.num_samples();
+        if samples == 0 {
+            return Ok(CMatrix::zeros(dim * dim, 0));
+        }
+
+        // Per-sample angle vectors, angle-major: slot `a` of every sample
+        // sits contiguously at `thetas[a·S..(a+1)·S]`, so each skeleton
+        // rotation reads one lane run per column block.
+        let skeleton = PrepSkeleton::new(num_qubits);
+        let mut thetas = vec![0.0f64; skeleton.num_angles() * samples];
         let mut values = Vec::with_capacity(group.features().len());
-        let mut amps = vec![0.0_f64; dim];
+        let mut amps = vec![0.0f64; dim];
+        let mut angles = Vec::with_capacity(skeleton.num_angles());
         for (col, row) in normalized.rows().iter().enumerate() {
             group.features().project_into(row, &mut values);
             crate::embed::amplitudes_with_overflow_into(&values, num_qubits, &mut amps)?;
-            let rho_in = noisy_prepared_state(&amps, num_qubits, gate_noise)?;
-            for (i, &v) in rho_in.as_slice().iter().enumerate() {
-                packed[(i, col)] = v;
+            skeleton
+                .angles_for_into(&amps, &mut angles)
+                .map_err(QuorumError::Simulation)?;
+            for (a, &theta) in angles.iter().enumerate() {
+                thetas[a * samples + col] = theta;
+            }
+        }
+
+        // Evolve column blocks independently across workers. Every panel
+        // kernel is a pure per-column (lane) operation, so any block
+        // partition produces value-identical columns; the sequential path
+        // therefore evolves one full-width block (no stitch, fewer
+        // per-pass fixed costs), while the threaded path fans fixed
+        // [`GEMM_COL_BLOCK`]-wide blocks out over workers.
+        let threads = gemm_threads(config, dim * dim, samples);
+        if threads <= 1 {
+            let mut coeffs = RyCoeffs::default();
+            return Self::evolve_block(
+                &skeleton,
+                &gate_noise,
+                &thetas,
+                num_qubits,
+                samples,
+                0,
+                samples,
+                &mut coeffs,
+            );
+        }
+        let blocks = samples.div_ceil(GEMM_COL_BLOCK);
+        let panels = map_indexed_with(blocks, threads, RyCoeffs::default, |coeffs, b| {
+            let c0 = b * GEMM_COL_BLOCK;
+            let c1 = (c0 + GEMM_COL_BLOCK).min(samples);
+            Self::evolve_block(
+                &skeleton,
+                &gate_noise,
+                &thetas,
+                num_qubits,
+                samples,
+                c0,
+                c1,
+                coeffs,
+            )
+        });
+
+        let mut packed = CMatrix::zeros(dim * dim, samples);
+        for (b, panel) in panels.into_iter().enumerate() {
+            let panel = panel?;
+            let c0 = b * GEMM_COL_BLOCK;
+            let width = panel.cols();
+            for i in 0..dim * dim {
+                packed.as_mut_slice()[i * samples + c0..i * samples + c0 + width]
+                    .copy_from_slice(panel.row(i));
             }
         }
         Ok(packed)
+    }
+
+    /// Evolves one column block (samples `c0..c1`) through the whole
+    /// skeleton: per-column RY conjugations interleaved with the shared
+    /// panel channel kernels. Blocks never exceed [`GEMM_COL_BLOCK`]
+    /// columns — worker parallelism lives one level up, over the blocks.
+    #[allow(clippy::too_many_arguments)] // private worker body of prepare_batch
+    fn evolve_block(
+        skeleton: &PrepSkeleton,
+        gate_noise: &GateNoise,
+        thetas: &[f64],
+        num_qubits: usize,
+        samples: usize,
+        c0: usize,
+        c1: usize,
+        coeffs: &mut RyCoeffs,
+    ) -> Result<CMatrix, QuorumError> {
+        let dim = 1usize << num_qubits;
+        let width = c1 - c0;
+        let mut block = CMatrix::zeros(dim * dim, width);
+        for j in 0..width {
+            // vec(|0…0⟩⟨0…0|): row-major index (0, 0) = row 0.
+            block[(0, j)] = C64::ONE;
+        }
+        coeffs.cc.resize(width, 0.0);
+        coeffs.cs.resize(width, 0.0);
+        coeffs.ss.resize(width, 0.0);
+        for step in skeleton.steps() {
+            match *step {
+                PrepStep::Ry {
+                    target,
+                    angle_index,
+                } => {
+                    let lane = &thetas[angle_index * samples + c0..angle_index * samples + c1];
+                    for (j, &theta) in lane.iter().enumerate() {
+                        // Same half-angle evaluation as Gate::RY's matrix,
+                        // so the conjugation matches the per-sample gate
+                        // kernel bit for bit.
+                        let half = theta / 2.0;
+                        let (c, s) = (half.cos(), half.sin());
+                        coeffs.cc[j] = c * c;
+                        coeffs.cs[j] = c * s;
+                        coeffs.ss[j] = s * s;
+                    }
+                    ry_conjugate_columns(
+                        block.as_mut_slice(),
+                        dim,
+                        width,
+                        target,
+                        &coeffs.cc,
+                        &coeffs.cs,
+                        &coeffs.ss,
+                    );
+                    gate_noise
+                        .apply_after_gate_columns(block.as_mut_slice(), dim, width, 1, &[target])
+                        .map_err(QuorumError::Simulation)?;
+                }
+                PrepStep::Cx { control, target } => {
+                    permute_cx_columns(block.as_mut_slice(), dim, width, control, target);
+                    gate_noise
+                        .apply_after_gate_columns(
+                            block.as_mut_slice(),
+                            dim,
+                            width,
+                            2,
+                            &[control, target],
+                        )
+                        .map_err(QuorumError::Simulation)?;
+                }
+            }
+        }
+        Ok(block)
+    }
+
+    /// Scores an already-prepared `4^n × S` batch (the output of
+    /// [`DensityEngine::prepare_batch`]) at every requested compression
+    /// level: the readout functional `W·P` once, one cached superoperator
+    /// GEMM plus column dots per level — the score half of the prep/score
+    /// seam, reusable across calls for streaming workloads.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-noisy execution and bad reset counts; propagates
+    /// simulation failures.
+    pub fn score_prepared(
+        group: &EnsembleGroup,
+        packed: &CMatrix,
+        config: &QuorumConfig,
+        levels: &[usize],
+    ) -> Result<Vec<Vec<f64>>, QuorumError> {
+        let (ctx, shots) = NoisyPassContext::prepare(group, config, levels)?;
+        let dim2 = packed.rows();
+        let samples = packed.cols();
+        let threads = gemm_threads(config, dim2, samples);
+        let wp = ctx.w.matmul_threaded(packed, threads)?;
+
+        let mut out = Vec::with_capacity(levels.len());
+        for (level, superop) in ctx.superops.iter().enumerate() {
+            let evolved = superop.matmul_threaded(packed, threads)?;
+            // raw_j = Σ_i evolved[i,j]·wp[i,j], accumulated row-by-row so
+            // each sample sums in the same index order as the per-sample
+            // matvec path — the two engines agree to machine precision.
+            let mut raw = vec![C64::ZERO; samples];
+            for i in 0..dim2 {
+                for ((acc, &a), &b) in raw.iter_mut().zip(evolved.row(i)).zip(wp.row(i)) {
+                    *acc += a * b;
+                }
+            }
+            out.push(
+                raw.iter()
+                    .enumerate()
+                    .map(|(j, &z)| ctx.finish(z, shots, config, group.index(), levels[level], j))
+                    .collect(),
+            );
+        }
+        Ok(out)
     }
 }
 
@@ -900,48 +1180,64 @@ impl ScoringEngine for DensityEngine {
         config: &QuorumConfig,
         levels: &[usize],
     ) -> Result<Vec<Vec<f64>>, QuorumError> {
-        let (ctx, shots) = NoisyPassContext::prepare(group, config, levels)?;
-        let n = group.ansatz().num_qubits();
-
-        // The batch: every sample's vec(ρ_in) as one matrix column. The
-        // readout functional applies to the whole batch once (`W·P` is
-        // level-independent); each level then costs one superoperator
-        // GEMM plus column dot products.
-        let packed = Self::pack_noisy_samples(group, normalized, n, &ctx.gate_noise)?;
-        let dim2 = packed.rows();
-        let samples = packed.cols();
-        let threads = gemm_threads(config, dim2, samples);
-        let wp = ctx.w.matmul_threaded(&packed, threads)?;
-
-        let mut out = Vec::with_capacity(levels.len());
-        for (level, superop) in ctx.superops.iter().enumerate() {
-            let evolved = superop.matmul_threaded(&packed, threads)?;
-            // raw_j = Σ_i evolved[i,j]·wp[i,j], accumulated row-by-row so
-            // each sample sums in the same index order as the per-sample
-            // matvec path — the two engines agree to machine precision.
-            let mut raw = vec![C64::ZERO; samples];
-            for i in 0..dim2 {
-                for ((acc, &a), &b) in raw.iter_mut().zip(evolved.row(i)).zip(wp.row(i)) {
-                    *acc += a * b;
-                }
-            }
-            out.push(
-                raw.iter()
-                    .enumerate()
-                    .map(|(j, &z)| ctx.finish(z, shots, config, group.index(), levels[level], j))
-                    .collect(),
-            );
-        }
-        Ok(out)
+        // The batch: every sample's vec(ρ_in) as one matrix column,
+        // prepared in lockstep. The readout functional applies to the
+        // whole batch once (`W·P` is level-independent); each level then
+        // costs one superoperator GEMM plus column dot products.
+        let packed = Self::prepare_batch(group, normalized, config)?;
+        Self::score_prepared(group, &packed, config, levels)
     }
 }
 
 /// The per-sample density oracle: PR 3's one-`4^n`-matvec-per-(sample,
-/// level) ordering, kept selectable (and benchmarked) as the reference the
-/// batched [`DensityEngine`] is pinned against — the mixed-state analogue
-/// of [`AnalyticEngine`] vs [`BatchedAnalyticEngine`].
+/// level) ordering — and the per-sample gate-walk state preparation —
+/// kept selectable (and benchmarked) as the reference the batched
+/// [`DensityEngine`] is pinned against, the mixed-state analogue of
+/// [`AnalyticEngine`] vs [`BatchedAnalyticEngine`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SampleDensityEngine;
+
+impl SampleDensityEngine {
+    /// Packs every sample's noisy prepared state into the columns of a
+    /// `4^n × S` matrix through the **per-sample** gate walk: each column
+    /// simulates its own lowered Möttönen circuit density-matrix style,
+    /// gate by gate with the fused per-gate channels. The reference the
+    /// lockstep pass ([`DensityEngine::prepare_batch`]) is pinned against
+    /// — the two walk the *same* skeleton (every sample's circuit has
+    /// identical gate positions) with the same per-element arithmetic, so
+    /// they agree to machine precision.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-noisy execution modes and propagates embedding and
+    /// simulation failures.
+    pub fn prepare_batch(
+        group: &EnsembleGroup,
+        normalized: &Dataset,
+        config: &QuorumConfig,
+    ) -> Result<CMatrix, QuorumError> {
+        ensure_noisy(config)?;
+        let noise = match &config.execution {
+            ExecutionMode::Noisy { noise, .. } => noise,
+            _ => unreachable!("ensure_noisy admits only Noisy execution"),
+        };
+        let gate_noise = GateNoise::from_model(noise);
+        let num_qubits = group.ansatz().num_qubits();
+        let dim = 1usize << num_qubits;
+        let mut packed = CMatrix::zeros(dim * dim, normalized.num_samples());
+        let mut values = Vec::with_capacity(group.features().len());
+        let mut amps = vec![0.0_f64; dim];
+        for (col, row) in normalized.rows().iter().enumerate() {
+            group.features().project_into(row, &mut values);
+            crate::embed::amplitudes_with_overflow_into(&values, num_qubits, &mut amps)?;
+            let rho_in = noisy_prepared_state(&amps, num_qubits, &gate_noise)?;
+            for (i, &v) in rho_in.as_slice().iter().enumerate() {
+                packed[(i, col)] = v;
+            }
+        }
+        Ok(packed)
+    }
+}
 
 impl ScoringEngine for SampleDensityEngine {
     fn name(&self) -> &'static str {

@@ -653,6 +653,289 @@ impl DensityMatrix {
     }
 }
 
+/// Applies a per-column RY conjugation `ρ_j → RY(θ_j) ρ_j RY(θ_j)†` on
+/// one qubit of a **batched vec(ρ) panel**: `data` is the row-major
+/// `dim² × samples` matrix whose column `j` is the row-major vectorisation
+/// of sample `j`'s `dim × dim` density matrix, and `cc`/`cs`/`ss` hold the
+/// per-sample coefficients `cos²(θ_j/2)`, `cos(θ_j/2)·sin(θ_j/2)`,
+/// `sin²(θ_j/2)`.
+///
+/// This is the only sample-dependent operation in the lockstep noisy
+/// state preparation: everything else in the Möttönen skeleton is shared
+/// across the batch and applied as whole-panel superoperator GEMMs. For
+/// each (row-pair, column-pair) sub-block of ρ the four affected vec rows
+/// are *contiguous sample-lane runs* of the panel, so the real 4×4
+/// rotation superoperator applies across all samples at once through
+/// [`crate::kernel::ry_conj_lanes`] (runtime-AVX-recompiled); per lane the
+/// arithmetic matches [`DensityMatrix::apply_gate`]'s fused superoperator
+/// term for term.
+///
+/// # Panics
+///
+/// Panics when `data.len() != dim² · samples`, `dim` is not a power of
+/// two, `qubit` is out of range, or a coefficient slice is not
+/// `samples` long.
+pub fn ry_conjugate_columns(
+    data: &mut [crate::complex::C64],
+    dim: usize,
+    samples: usize,
+    qubit: usize,
+    cc: &[f64],
+    cs: &[f64],
+    ss: &[f64],
+) {
+    assert!(dim.is_power_of_two(), "ρ dimension must be a power of two");
+    assert!(1usize << qubit < dim, "qubit out of range");
+    assert_eq!(data.len(), dim * dim * samples, "panel shape mismatch");
+    assert_eq!(cc.len(), samples, "coefficient lanes mismatch");
+    assert_eq!(cs.len(), samples, "coefficient lanes mismatch");
+    assert_eq!(ss.len(), samples, "coefficient lanes mismatch");
+    if samples == 0 {
+        return;
+    }
+    let mask = 1usize << qubit;
+    for r0 in (0..dim).filter(|r| r & mask == 0) {
+        for c0 in (0..dim).filter(|c| c & mask == 0) {
+            let (v0, v1, v2, v3) = sub_block_rows_mut(data, dim, samples, mask, r0, c0);
+            crate::kernel::ry_conj_lanes(v0, v1, v2, v3, cc, cs, ss);
+        }
+    }
+}
+
+/// Borrows the four vec rows of one single-qubit sub-block of a
+/// `dim² × samples` vec(ρ) panel — `(ρ00, ρ01, ρ10, ρ11)` for the
+/// `(r0, c0)` base indices and the qubit's bit `mask` — as disjoint
+/// mutable lane runs (the vec rows are strictly ascending, so the panel
+/// splits cleanly).
+#[allow(clippy::type_complexity)] // four borrows of one panel, nothing more
+fn sub_block_rows_mut(
+    data: &mut [crate::complex::C64],
+    dim: usize,
+    samples: usize,
+    mask: usize,
+    r0: usize,
+    c0: usize,
+) -> (
+    &mut [crate::complex::C64],
+    &mut [crate::complex::C64],
+    &mut [crate::complex::C64],
+    &mut [crate::complex::C64],
+) {
+    let i00 = (r0 * dim + c0) * samples;
+    let i01 = (r0 * dim + c0 + mask) * samples;
+    let i10 = ((r0 + mask) * dim + c0) * samples;
+    let i11 = ((r0 + mask) * dim + c0 + mask) * samples;
+    let (head0, rest) = data.split_at_mut(i01);
+    let (head1, rest1) = rest.split_at_mut(i10 - i01);
+    let (head2, rest2) = rest1.split_at_mut(i11 - i10);
+    (
+        &mut head0[i00..i00 + samples],
+        &mut head1[..samples],
+        &mut head2[..samples],
+        &mut rest2[..samples],
+    )
+}
+
+/// Applies a shared single-qubit superoperator (e.g. a fused noise
+/// channel) to `qubit` of **every column** of a `dim² × samples` vec(ρ)
+/// panel: the lockstep analogue of
+/// [`DensityMatrix::apply_superop_1q`], with identical per-element term
+/// order — the whole batch pays one pass of contiguous lane sweeps
+/// ([`crate::kernel::superop4_lanes`]) instead of `S` strided per-sample
+/// applications.
+///
+/// # Panics
+///
+/// Same contract as [`ry_conjugate_columns`].
+pub fn apply_superop_1q_columns(
+    data: &mut [crate::complex::C64],
+    dim: usize,
+    samples: usize,
+    qubit: usize,
+    s: &[[crate::complex::C64; 4]; 4],
+) {
+    assert!(dim.is_power_of_two(), "ρ dimension must be a power of two");
+    assert!(1usize << qubit < dim, "qubit out of range");
+    assert_eq!(data.len(), dim * dim * samples, "panel shape mismatch");
+    if samples == 0 {
+        return;
+    }
+    let mask = 1usize << qubit;
+    for r0 in (0..dim).filter(|r| r & mask == 0) {
+        for c0 in (0..dim).filter(|c| c & mask == 0) {
+            let (v0, v1, v2, v3) = sub_block_rows_mut(data, dim, samples, mask, r0, c0);
+            crate::kernel::superop4_lanes(v0, v1, v2, v3, s);
+        }
+    }
+}
+
+/// Applies the CX conjugation `ρ_j → CX ρ_j CX` to **every column** of a
+/// `dim² × samples` vec(ρ) panel. CX is a basis permutation, so on vec
+/// indices this is a pure involution of panel rows — `(r, c) ↦
+/// (cx(r), cx(c))` with `cx` flipping the target bit where the control
+/// bit is set — executed as whole-lane row swaps with no arithmetic at
+/// all (exactly [`DensityMatrix::apply_gate`]'s CX fast path, batched).
+///
+/// # Panics
+///
+/// Panics on a malformed panel shape or out-of-range/duplicate qubits.
+pub fn permute_cx_columns(
+    data: &mut [crate::complex::C64],
+    dim: usize,
+    samples: usize,
+    control: usize,
+    target: usize,
+) {
+    assert!(dim.is_power_of_two(), "ρ dimension must be a power of two");
+    assert!(1usize << control < dim, "control out of range");
+    assert!(1usize << target < dim, "target out of range");
+    assert_ne!(control, target, "operands must differ");
+    assert_eq!(data.len(), dim * dim * samples, "panel shape mismatch");
+    if samples == 0 {
+        return;
+    }
+    let cmask = 1usize << control;
+    let tmask = 1usize << target;
+    let cx = |i: usize| if i & cmask != 0 { i ^ tmask } else { i };
+    for r in 0..dim {
+        for c in 0..dim {
+            let from = r * dim + c;
+            let to = cx(r) * dim + cx(c);
+            if to > from {
+                let (head, tail) = data.split_at_mut(to * samples);
+                head[from * samples..from * samples + samples]
+                    .swap_with_slice(&mut tail[..samples]);
+            }
+        }
+    }
+}
+
+/// Applies the closed-form two-qubit depolarizing channel to `(qa, qb)`
+/// of **every column** of a `dim² × samples` vec(ρ) panel — the lockstep
+/// analogue of [`DensityMatrix::apply_depolarizing_2q`], per-element
+/// expressions replicated exactly. Dispatched through the runtime AVX
+/// recompilation ladder like the per-sample kernel.
+///
+/// # Panics
+///
+/// Panics on a malformed panel shape, bad operands, or `p` outside
+/// `[0, 15/16]`.
+pub fn apply_depolarizing_2q_columns(
+    data: &mut [crate::complex::C64],
+    dim: usize,
+    samples: usize,
+    qa: usize,
+    qb: usize,
+    p: f64,
+) {
+    assert!(dim.is_power_of_two(), "ρ dimension must be a power of two");
+    assert!(1usize << qa < dim, "qubit out of range");
+    assert!(1usize << qb < dim, "qubit out of range");
+    assert_ne!(qa, qb, "operands must differ");
+    assert_eq!(data.len(), dim * dim * samples, "panel shape mismatch");
+    let lambda = 16.0 * p / 15.0;
+    assert!((0.0..=1.0).contains(&lambda), "invalid probability {p}");
+    if samples == 0 {
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if crate::kernel::avx_autovec_active() {
+        // SAFETY: AVX support verified at runtime; the function body is
+        // the same safe Rust as `depol2q_columns_body`.
+        unsafe {
+            depol2q_columns_avx(data, dim, samples, qa, qb, lambda);
+        }
+        return;
+    }
+    depol2q_columns_body(data, dim, samples, qa, qb, lambda);
+}
+
+/// [`apply_depolarizing_2q_columns`]'s body recompiled with 256-bit AVX
+/// vectors enabled — identical safe Rust, identical results.
+///
+/// # Safety
+///
+/// The caller must have verified AVX support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn depol2q_columns_avx(
+    data: &mut [crate::complex::C64],
+    dim: usize,
+    samples: usize,
+    qa: usize,
+    qb: usize,
+    lambda: f64,
+) {
+    depol2q_columns_body(data, dim, samples, qa, qb, lambda);
+}
+
+#[inline(always)]
+fn depol2q_columns_body(
+    data: &mut [crate::complex::C64],
+    dim: usize,
+    samples: usize,
+    qa: usize,
+    qb: usize,
+    lambda: f64,
+) {
+    use crate::complex::C64;
+    let ma = 1usize << qa;
+    let mb = 1usize << qb;
+    let both = ma | mb;
+    let keep = 1.0 - lambda;
+    let quarter = lambda / 4.0;
+    // Row/column sub-index expansion: sub 0..4, bit1 = qa, bit0 = qb.
+    let expand = |base: usize, sub: usize| -> usize {
+        let mut idx = base;
+        if sub & 2 != 0 {
+            idx |= ma;
+        }
+        if sub & 1 != 0 {
+            idx |= mb;
+        }
+        idx
+    };
+    let mut mixed = vec![C64::ZERO; samples];
+    for r_base in 0..dim {
+        if r_base & both != 0 {
+            continue;
+        }
+        for c_base in 0..dim {
+            if c_base & both != 0 {
+                continue;
+            }
+            // Block trace over the two-qubit subsystem, lane-wise, in the
+            // per-sample kernel's s = 0..4 accumulation order.
+            mixed.fill(C64::ZERO);
+            for s in 0..4 {
+                let row = (expand(r_base, s) * dim + expand(c_base, s)) * samples;
+                for (m, &v) in mixed.iter_mut().zip(&data[row..row + samples]) {
+                    *m += v;
+                }
+            }
+            for m in mixed.iter_mut() {
+                *m = m.scale(quarter);
+            }
+            for rs in 0..4 {
+                let row = expand(r_base, rs) * dim;
+                for cs in 0..4 {
+                    let idx = (row + expand(c_base, cs)) * samples;
+                    let lanes = &mut data[idx..idx + samples];
+                    if rs == cs {
+                        for (v, &m) in lanes.iter_mut().zip(&mixed) {
+                            *v = v.scale(keep) + m;
+                        }
+                    } else {
+                        for v in lanes.iter_mut() {
+                            *v = v.scale(keep);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Builds the superoperator matrix `S = Σ_m K_m ⊗ conj(K_m)` of a Kraus
 /// channel, acting on row-major vectorised blocks: for `d`-dimensional
 /// Kraus operators the result is `d² × d²` with
@@ -919,6 +1202,52 @@ mod tests {
         rho.apply_kraus(&crate::noise::depolarizing_1q(0.2), &[1])
             .unwrap();
         rho
+    }
+
+    #[test]
+    fn ry_conjugate_columns_matches_per_sample_gate_application() {
+        // A panel of random mixed states, one per column, conjugated in
+        // lockstep — against DensityMatrix::apply_gate per sample. The
+        // lane kernel reproduces the fused superoperator's arithmetic, so
+        // the agreement is exact up to zero signs.
+        let samples = 5;
+        let n = 3;
+        let dim = 1usize << n;
+        let states: Vec<DensityMatrix> = (0..samples)
+            .map(|j| random_mixed_state(600 + j as u64))
+            .collect();
+        for qubit in 0..n {
+            let thetas: Vec<f64> = (0..samples).map(|j| 0.7 * j as f64 - 1.3).collect();
+            let mut panel = vec![C64::ZERO; dim * dim * samples];
+            for (j, rho) in states.iter().enumerate() {
+                for (i, &v) in rho.as_slice().iter().enumerate() {
+                    panel[i * samples + j] = v;
+                }
+            }
+            let (mut cc, mut cs, mut ss) =
+                (vec![0.0; samples], vec![0.0; samples], vec![0.0; samples]);
+            for j in 0..samples {
+                let half = thetas[j] / 2.0;
+                let (c, s) = (half.cos(), half.sin());
+                cc[j] = c * c;
+                cs[j] = c * s;
+                ss[j] = s * s;
+            }
+            ry_conjugate_columns(&mut panel, dim, samples, qubit, &cc, &cs, &ss);
+            for (j, rho) in states.iter().enumerate() {
+                let mut expected = rho.clone();
+                expected
+                    .apply_gate(crate::gate::Gate::RY(thetas[j]), &[qubit])
+                    .unwrap();
+                for (i, &want) in expected.as_slice().iter().enumerate() {
+                    let got = panel[i * samples + j];
+                    assert!(
+                        got.approx_eq(want, 1e-14),
+                        "qubit {qubit} sample {j} row {i}: {got} vs {want}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -486,6 +486,251 @@ unsafe fn tile_rows_avx2(
     }
 }
 
+/// The batched RY-conjugation lane kernel: applies the real 4×4
+/// superoperator of `ρ → RY(θ_j) ρ RY(θ_j)†` across the sample lanes of
+/// one row quadruple of a `4^n × S` vec(ρ) panel. `v0..v3` are the four
+/// vec rows `(ρ00, ρ01, ρ10, ρ11)` of the conjugated qubit's sub-block —
+/// each a contiguous `S`-lane slice — and `cc`/`cs`/`ss` hold the
+/// per-sample coefficients `cos²(θ/2)`, `cos(θ/2)·sin(θ/2)`, `sin²(θ/2)`.
+///
+/// Per lane, each output element evaluates the exact expression the
+/// per-sample gate kernel ([`crate::density::DensityMatrix::apply_gate`]'s
+/// fused 4×4 superoperator) produces, term for term in the same order, so
+/// the lockstep batch matches the per-sample walk bit-for-bit (up to the
+/// sign of exact zeros). Dispatched through the same runtime AVX
+/// recompilation ladder as the GEMM tiles.
+#[allow(clippy::too_many_arguments)] // flat lane-kernel signature
+pub fn ry_conj_lanes(
+    v0: &mut [C64],
+    v1: &mut [C64],
+    v2: &mut [C64],
+    v3: &mut [C64],
+    cc: &[f64],
+    cs: &[f64],
+    ss: &[f64],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if avx_autovec_active() {
+        // SAFETY: AVX support verified at runtime; the function body is
+        // the same safe Rust as `ry_conj_body`.
+        unsafe {
+            ry_conj_avx(v0, v1, v2, v3, cc, cs, ss);
+        }
+        return;
+    }
+    ry_conj_body(v0, v1, v2, v3, cc, cs, ss);
+}
+
+/// [`ry_conj_lanes`]'s body recompiled with 256-bit AVX vectors enabled —
+/// identical safe Rust, identical results.
+///
+/// # Safety
+///
+/// The caller must have verified AVX support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn ry_conj_avx(
+    v0: &mut [C64],
+    v1: &mut [C64],
+    v2: &mut [C64],
+    v3: &mut [C64],
+    cc: &[f64],
+    cs: &[f64],
+    ss: &[f64],
+) {
+    ry_conj_body(v0, v1, v2, v3, cc, cs, ss);
+}
+
+#[inline(always)]
+fn ry_conj_body(
+    v0: &mut [C64],
+    v1: &mut [C64],
+    v2: &mut [C64],
+    v3: &mut [C64],
+    cc: &[f64],
+    cs: &[f64],
+    ss: &[f64],
+) {
+    // U ⊗ U for the real rotation U = [[c, −s], [s, c]] (c = cos θ/2,
+    // s = sin θ/2), row-major over (ρ00, ρ01, ρ10, ρ11); the real and
+    // imaginary planes transform independently.
+    for ((((((a, b), c_), d), &kcc), &kcs), &kss) in v0
+        .iter_mut()
+        .zip(v1.iter_mut())
+        .zip(v2.iter_mut())
+        .zip(v3.iter_mut())
+        .zip(cc)
+        .zip(cs)
+        .zip(ss)
+    {
+        let (w, x, y, z) = (*a, *b, *c_, *d);
+        *a = C64::new(
+            kcc * w.re - kcs * x.re - kcs * y.re + kss * z.re,
+            kcc * w.im - kcs * x.im - kcs * y.im + kss * z.im,
+        );
+        *b = C64::new(
+            kcs * w.re + kcc * x.re - kss * y.re - kcs * z.re,
+            kcs * w.im + kcc * x.im - kss * y.im - kcs * z.im,
+        );
+        *c_ = C64::new(
+            kcs * w.re - kss * x.re + kcc * y.re - kcs * z.re,
+            kcs * w.im - kss * x.im + kcc * y.im - kcs * z.im,
+        );
+        *d = C64::new(
+            kss * w.re + kcs * x.re + kcs * y.re + kcc * z.re,
+            kss * w.im + kcs * x.im + kcs * y.im + kcc * z.im,
+        );
+    }
+}
+
+/// The batched 1q-superoperator lane kernel: applies one shared 4×4
+/// superoperator (a fused noise channel) across the sample lanes of one
+/// row quadruple of a `4^n × S` vec(ρ) panel — the whole-batch analogue
+/// of the per-sample density kernel
+/// ([`crate::density::DensityMatrix::apply_superop_1q`]), with the same
+/// per-element term order, so lockstep and per-sample walks agree to the
+/// bit. Each lane is a tiny `4×4 · 4×1` GEMM; the panel layout makes the
+/// four operand rows contiguous lane runs, which is what lets the
+/// compiler vectorise across samples. Dispatched through the runtime AVX
+/// recompilation ladder.
+pub fn superop4_lanes(
+    v0: &mut [C64],
+    v1: &mut [C64],
+    v2: &mut [C64],
+    v3: &mut [C64],
+    s: &[[C64; 4]; 4],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if avx_autovec_active() {
+        // SAFETY: AVX support verified at runtime; the function body is
+        // the same safe Rust as `superop4_body`.
+        unsafe {
+            superop4_avx(v0, v1, v2, v3, s);
+        }
+        return;
+    }
+    superop4_body(v0, v1, v2, v3, s);
+}
+
+/// [`superop4_lanes`]'s body recompiled with 256-bit AVX vectors enabled —
+/// identical safe Rust, identical results.
+///
+/// # Safety
+///
+/// The caller must have verified AVX support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn superop4_avx(
+    v0: &mut [C64],
+    v1: &mut [C64],
+    v2: &mut [C64],
+    v3: &mut [C64],
+    s: &[[C64; 4]; 4],
+) {
+    superop4_body(v0, v1, v2, v3, s);
+}
+
+#[inline(always)]
+fn superop4_body(
+    v0: &mut [C64],
+    v1: &mut [C64],
+    v2: &mut [C64],
+    v3: &mut [C64],
+    s: &[[C64; 4]; 4],
+) {
+    for (((a, b), c_), d) in v0
+        .iter_mut()
+        .zip(v1.iter_mut())
+        .zip(v2.iter_mut())
+        .zip(v3.iter_mut())
+    {
+        let v = [*a, *b, *c_, *d];
+        let mut out = [C64::ZERO; 4];
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = &s[i];
+            *o = row[0] * v[0] + row[1] * v[1] + row[2] * v[2] + row[3] * v[3];
+        }
+        *a = out[0];
+        *b = out[1];
+        *c_ = out[2];
+        *d = out[3];
+    }
+}
+
+/// The split-complex branch-sweep lane kernel for the batched pure-state
+/// engine: one row pass of the reset-branch expansion, accumulating every
+/// sample's branch weight and overlap term across the lanes of a split
+/// `Φ` row pair. Per lane:
+/// `w += |top|²`, `o += conj(low) · top` — expanded into the exact real
+/// expressions the interleaved per-sample loop evaluates (same value, same
+/// per-element accumulation order). Dispatched through the runtime AVX
+/// recompilation ladder.
+#[allow(clippy::too_many_arguments)] // flat lane-kernel signature
+pub fn branch_sweep_lanes(
+    low_re: &[f64],
+    low_im: &[f64],
+    top_re: &[f64],
+    top_im: &[f64],
+    weight: &mut [f64],
+    over_re: &mut [f64],
+    over_im: &mut [f64],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if avx_autovec_active() {
+        // SAFETY: AVX support verified at runtime; the function body is
+        // the same safe Rust as `branch_sweep_body`.
+        unsafe {
+            branch_sweep_avx(low_re, low_im, top_re, top_im, weight, over_re, over_im);
+        }
+        return;
+    }
+    branch_sweep_body(low_re, low_im, top_re, top_im, weight, over_re, over_im);
+}
+
+/// [`branch_sweep_lanes`]'s body recompiled with 256-bit AVX vectors
+/// enabled — identical safe Rust, identical results.
+///
+/// # Safety
+///
+/// The caller must have verified AVX support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn branch_sweep_avx(
+    low_re: &[f64],
+    low_im: &[f64],
+    top_re: &[f64],
+    top_im: &[f64],
+    weight: &mut [f64],
+    over_re: &mut [f64],
+    over_im: &mut [f64],
+) {
+    branch_sweep_body(low_re, low_im, top_re, top_im, weight, over_re, over_im);
+}
+
+#[inline(always)]
+fn branch_sweep_body(
+    low_re: &[f64],
+    low_im: &[f64],
+    top_re: &[f64],
+    top_im: &[f64],
+    weight: &mut [f64],
+    over_re: &mut [f64],
+    over_im: &mut [f64],
+) {
+    for (((((w, or), oi), (&lr, &li)), &tr), &ti) in weight
+        .iter_mut()
+        .zip(over_re.iter_mut())
+        .zip(over_im.iter_mut())
+        .zip(low_re.iter().zip(low_im))
+        .zip(top_re)
+        .zip(top_im)
+    {
+        *w += tr * tr + ti * ti;
+        *or += lr * tr + li * ti;
+        *oi += lr * ti - li * tr;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -570,6 +815,93 @@ mod tests {
                 assert!(s.approx_eq(*o, 1e-12), "shape {m}x{k}x{n}");
             }
         }
+    }
+
+    #[test]
+    fn ry_conj_lanes_matches_direct_superop_arithmetic() {
+        // Reference: the same 4×4 real map evaluated lane by lane with
+        // plain C64 arithmetic in the per-sample kernel's term order.
+        let lanes = 11;
+        let mut v: Vec<Vec<C64>> = (0..4).map(|r| dense(1, lanes, r as u64)).collect();
+        let thetas: Vec<f64> = (0..lanes).map(|j| 0.3 * j as f64 - 1.1).collect();
+        let (mut cc, mut cs, mut ss) = (vec![0.0; lanes], vec![0.0; lanes], vec![0.0; lanes]);
+        for j in 0..lanes {
+            let half = thetas[j] / 2.0;
+            let (c, s) = (half.cos(), half.sin());
+            cc[j] = c * c;
+            cs[j] = c * s;
+            ss[j] = s * s;
+        }
+        let mut expected = v.clone();
+        for j in 0..lanes {
+            let half = thetas[j] / 2.0;
+            let (c, s) = (half.cos(), half.sin());
+            let m = [
+                [c * c, -(c * s), -(c * s), s * s],
+                [c * s, c * c, -(s * s), -(c * s)],
+                [c * s, -(s * s), c * c, -(c * s)],
+                [s * s, c * s, c * s, c * c],
+            ];
+            let vin = [v[0][j], v[1][j], v[2][j], v[3][j]];
+            for (i, row) in m.iter().enumerate() {
+                let mut acc = C64::ZERO;
+                for (k, &coef) in row.iter().enumerate() {
+                    acc += vin[k].scale(coef);
+                }
+                expected[i][j] = acc;
+            }
+        }
+        let (v0, rest) = v.split_at_mut(1);
+        let (v1, rest) = rest.split_at_mut(1);
+        let (v2, v3) = rest.split_at_mut(1);
+        ry_conj_lanes(
+            &mut v0[0], &mut v1[0], &mut v2[0], &mut v3[0], &cc, &cs, &ss,
+        );
+        for r in 0..4 {
+            let row = [&v0[0], &v1[0], &v2[0], &v3[0]][r];
+            for j in 0..lanes {
+                assert!(
+                    row[j].approx_eq(expected[r][j], 1e-14),
+                    "row {r} lane {j}: {} vs {}",
+                    row[j],
+                    expected[r][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn branch_sweep_lanes_matches_interleaved_loop() {
+        let lanes = 13;
+        let low = dense(1, lanes, 9);
+        let top = dense(1, lanes, 10);
+        let (low_re, low_im): (Vec<f64>, Vec<f64>) = low.iter().map(|z| (z.re, z.im)).unzip();
+        let (top_re, top_im): (Vec<f64>, Vec<f64>) = top.iter().map(|z| (z.re, z.im)).unzip();
+        // Start from non-zero accumulators to catch += vs = mistakes.
+        let mut weight: Vec<f64> = (0..lanes).map(|j| j as f64 * 0.1).collect();
+        let mut over_re = weight.clone();
+        let mut over_im = weight.clone();
+        let (mut w_ref, mut or_ref, mut oi_ref) =
+            (weight.clone(), over_re.clone(), over_im.clone());
+        for j in 0..lanes {
+            w_ref[j] += top[j].norm_sqr();
+            let o = low[j].conj() * top[j];
+            or_ref[j] += o.re;
+            oi_ref[j] += o.im;
+        }
+        branch_sweep_lanes(
+            &low_re,
+            &low_im,
+            &top_re,
+            &top_im,
+            &mut weight,
+            &mut over_re,
+            &mut over_im,
+        );
+        // The split expressions are exactly the interleaved ones.
+        assert_eq!(weight, w_ref);
+        assert_eq!(over_re, or_ref);
+        assert_eq!(over_im, oi_ref);
     }
 
     #[cfg(all(feature = "simd", target_arch = "x86_64"))]

@@ -170,6 +170,14 @@ impl CMatrix {
         &self.data
     }
 
+    /// Mutable view of the row-major backing storage — the door for
+    /// in-place panel kernels (e.g. the lockstep prep's batched RY
+    /// conjugation, [`crate::density::ry_conjugate_columns`]) that update
+    /// a packed batch without reallocating it.
+    pub fn as_mut_slice(&mut self) -> &mut [C64] {
+        &mut self.data
+    }
+
     /// Immutable view of row `i` (contiguous in the row-major layout).
     ///
     /// # Panics

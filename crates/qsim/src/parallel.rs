@@ -100,7 +100,13 @@ where
 /// value is threaded through every item that worker claims. This is how
 /// the GEMM seam reuses its split-complex panel buffers across the panel
 /// stream instead of reallocating per panel — each worker pays for one
-/// scratch allocation per call, however many panels it processes.
+/// scratch allocation per call, however many panels it processes — and
+/// how the lockstep noisy state preparation fans its fixed-width vec(ρ)
+/// column blocks out across workers (each worker keeping one set of RY
+/// coefficient lanes for its whole block stream). Items are claimed off
+/// one atomic counter, so distribution is work-stealing-ish; callers that
+/// need thread-count-independent *results* make each item's output a pure
+/// function of its index (fixed block boundaries), as both users above do.
 pub fn map_indexed_with<S, T, I, F>(num_items: usize, threads: usize, init: I, f: F) -> Vec<T>
 where
     T: Send,

@@ -438,6 +438,63 @@ impl GateNoise {
         Ok(())
     }
 
+    /// Applies the post-gate channel stack to **every column** of a
+    /// `dim² × samples` vec(ρ) panel — the lockstep analogue of
+    /// [`GateNoise::apply_after_gate`], charging the *same* fused
+    /// channels with the same per-element arithmetic through the batched
+    /// panel kernels ([`crate::density::apply_superop_1q_columns`] /
+    /// [`crate::density::apply_depolarizing_2q_columns`]), so a batch
+    /// walked in lockstep matches per-sample evolution bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::Unsupported`] for arity > 2, like the
+    /// per-sample direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed panel shape or out-of-range operands (the
+    /// panel kernels' contract).
+    pub fn apply_after_gate_columns(
+        &self,
+        data: &mut [crate::complex::C64],
+        dim: usize,
+        samples: usize,
+        gate_arity: usize,
+        qubits: &[usize],
+    ) -> Result<(), QsimError> {
+        use crate::density::{apply_depolarizing_2q_columns, apply_superop_1q_columns};
+        match gate_arity {
+            1 => {
+                if let Some(s) = &self.superop_1q {
+                    apply_superop_1q_columns(data, dim, samples, qubits[0], s);
+                }
+            }
+            2 => {
+                if self.depol_2q > 0.0 {
+                    apply_depolarizing_2q_columns(
+                        data,
+                        dim,
+                        samples,
+                        qubits[0],
+                        qubits[1],
+                        self.depol_2q,
+                    );
+                }
+                if let Some(s) = &self.superop_2q_relax {
+                    apply_superop_1q_columns(data, dim, samples, qubits[0], s);
+                    apply_superop_1q_columns(data, dim, samples, qubits[1], s);
+                }
+            }
+            _ => {
+                return Err(QsimError::Unsupported(
+                    "3-qubit gate survived lowering".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
     /// Applies the *adjoint* of the post-gate channel stack — the
     /// Heisenberg-picture direction used when pulling an observable
     /// backwards through a noisy gate. Channels are applied in reverse

@@ -5,7 +5,20 @@
 //! the Möttönen-style construction emits one uniformly-controlled RY
 //! multiplexor per tree level, each decomposed recursively into plain RY
 //! and CX gates. An `n`-qubit preparation uses `2^n − 1` RY rotations and
-//! `2^n − n − 1` CX gates.
+//! `2^{n+1} − 2n − 2` CX gates.
+//!
+//! The construction factors into a **sample-independent skeleton** and a
+//! **per-sample angle vector**: the RY/CX tree of [`PrepSkeleton`] depends
+//! only on the qubit count, while the data enter solely through the RY
+//! rotation angles. No gate is ever pruned on an angle condition —
+//! zero-angle rotations are emitted as `RY(0)` — so every sample of a
+//! batch walks the *identical* gate sequence. That invariant is what lets
+//! the noisy scoring engine evolve a whole batch of density matrices in
+//! lockstep (one shared superoperator GEMM per skeleton position, with
+//! only the cheap single-qubit RY conjugation varying per sample), and it
+//! keeps per-gate noise accounting independent of the data.
+//! [`prepare_real_amplitudes`] is the skeleton instantiated with one
+//! sample's angles.
 
 use crate::circuit::Circuit;
 use crate::error::QsimError;
@@ -41,86 +54,243 @@ pub fn prepare_real_amplitudes(
     num_qubits: usize,
     amplitudes: &[f64],
 ) -> Result<Circuit, QsimError> {
-    let dim = 1usize << num_qubits;
-    if amplitudes.len() != dim {
-        return Err(QsimError::DimensionMismatch {
-            expected: dim,
-            actual: amplitudes.len(),
-        });
-    }
-    for (i, &a) in amplitudes.iter().enumerate() {
-        if !a.is_finite() || a < 0.0 {
-            return Err(QsimError::InvalidAmplitude { index: i });
-        }
-    }
-    let norm_sqr: f64 = amplitudes.iter().map(|a| a * a).sum();
-    if norm_sqr <= 0.0 {
-        return Err(QsimError::NotNormalized { norm_sqr });
-    }
-
-    // probs[i] = normalised probability of basis state i.
-    let probs: Vec<f64> = amplitudes.iter().map(|a| a * a / norm_sqr).collect();
-
-    let mut circ = Circuit::new(num_qubits);
-    // Level k splits on qubit (num_qubits-1-k), controlled by the k more
-    // significant qubits.
-    for k in 0..num_qubits {
-        let target = num_qubits - 1 - k;
-        let num_patterns = 1usize << k;
-        let mut angles = vec![0.0f64; num_patterns];
-        for (s, angle) in angles.iter_mut().enumerate() {
-            // P(prefix s, next bit b) summed over the remaining low bits.
-            let mut p0 = 0.0;
-            let mut p1 = 0.0;
-            let low_bits = num_qubits - 1 - k;
-            for rest in 0..(1usize << low_bits) {
-                let base = (s << (low_bits + 1)) | rest;
-                p0 += probs[base];
-                p1 += probs[base | (1 << low_bits)];
-            }
-            *angle = 2.0 * p1.sqrt().atan2(p0.sqrt());
-        }
-        // Controls in LSB-first pattern order: pattern bit j corresponds to
-        // qubit (target+1+j).
-        let controls: Vec<usize> = (0..k).map(|j| target + 1 + j).collect();
-        emit_ucry(&mut circ, &angles, &controls, target);
-    }
-    Ok(circ)
+    let skeleton = PrepSkeleton::new(num_qubits);
+    let angles = skeleton.angles_for(amplitudes)?;
+    Ok(skeleton.to_circuit(&angles))
 }
 
-/// Emits a uniformly-controlled RY multiplexor: applies `RY(angles[s])` to
-/// `target` when the control register (LSB-first over `controls`) reads
-/// `s`. Decomposed recursively: a k-control multiplexor becomes two
-/// (k−1)-control multiplexors sandwiched between CX gates.
-fn emit_ucry(circ: &mut Circuit, angles: &[f64], controls: &[usize], target: usize) {
-    debug_assert_eq!(angles.len(), 1 << controls.len());
-    if controls.is_empty() {
-        if angles[0].abs() > 1e-14 {
-            circ.ry(angles[0], target);
+/// One gate position of the sample-independent Möttönen skeleton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrepStep {
+    /// `RY(angles[angle_index])` on `target` — the only sample-dependent
+    /// operation in the whole preparation.
+    Ry {
+        /// The rotated qubit.
+        target: usize,
+        /// Index into the skeleton's per-sample angle vector.
+        angle_index: usize,
+    },
+    /// `CX(control, target)` — identical for every sample.
+    Cx {
+        /// The control qubit.
+        control: usize,
+        /// The target qubit.
+        target: usize,
+    },
+}
+
+/// The sample-independent gate skeleton of an `n`-qubit real-amplitude
+/// preparation: the RY/CX tree of the recursive multiplexor decomposition
+/// with **no angle-dependent pruning**. Gate positions are a function of
+/// the qubit count alone; the per-sample data enter only through the
+/// [`PrepSkeleton::angles_for`] vector consumed by the `angle_index` of
+/// each [`PrepStep::Ry`].
+///
+/// # Examples
+///
+/// ```
+/// use qsim::stateprep::PrepSkeleton;
+///
+/// let skeleton = PrepSkeleton::new(3);
+/// assert_eq!(skeleton.num_angles(), 7); // 2^3 − 1 rotations
+/// let a = skeleton.angles_for(&[1.0; 8]).unwrap();
+/// let b = skeleton.angles_for(&[0.9, 0.1, 0.0, 0.4, 0.2, 0.2, 0.1, 0.3]).unwrap();
+/// assert_eq!(a.len(), b.len()); // same positions, different angles
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrepSkeleton {
+    num_qubits: usize,
+    steps: Vec<PrepStep>,
+    num_angles: usize,
+}
+
+impl PrepSkeleton {
+    /// Builds the skeleton for `num_qubits` qubits: level `k` splits on
+    /// qubit `n − 1 − k`, controlled by the `k` more significant qubits,
+    /// and each multiplexor unrolls recursively into `2^k` RY rotations
+    /// interleaved with CX gates — every position emitted unconditionally.
+    pub fn new(num_qubits: usize) -> Self {
+        let mut steps = Vec::new();
+        let mut num_angles = 0usize;
+        for k in 0..num_qubits {
+            let target = num_qubits - 1 - k;
+            // Controls in LSB-first pattern order: pattern bit j
+            // corresponds to qubit (target+1+j).
+            let controls: Vec<usize> = (0..k).map(|j| target + 1 + j).collect();
+            Self::emit_ucry_skeleton(&mut steps, &mut num_angles, 1usize << k, &controls, target);
         }
-        return;
+        PrepSkeleton {
+            num_qubits,
+            steps,
+            num_angles,
+        }
     }
-    let k = controls.len();
-    let half = 1usize << (k - 1);
-    let msb_control = controls[k - 1];
-    let inner = &controls[..k - 1];
-    // beta plays when the MSB control is 0/1-mixed; see module docs.
-    let mut beta = Vec::with_capacity(half);
-    let mut gamma = Vec::with_capacity(half);
-    for j in 0..half {
-        beta.push((angles[j] + angles[j + half]) / 2.0);
-        gamma.push((angles[j] - angles[j + half]) / 2.0);
+
+    /// The recursive multiplexor skeleton: a k-control multiplexor is two
+    /// (k−1)-control multiplexors sandwiched between CX gates — emitted
+    /// for every pattern count, with no degenerate-angle collapse.
+    fn emit_ucry_skeleton(
+        steps: &mut Vec<PrepStep>,
+        next_angle: &mut usize,
+        patterns: usize,
+        controls: &[usize],
+        target: usize,
+    ) {
+        debug_assert_eq!(patterns, 1 << controls.len());
+        if controls.is_empty() {
+            steps.push(PrepStep::Ry {
+                target,
+                angle_index: *next_angle,
+            });
+            *next_angle += 1;
+            return;
+        }
+        let k = controls.len();
+        let msb_control = controls[k - 1];
+        let inner = &controls[..k - 1];
+        Self::emit_ucry_skeleton(steps, next_angle, patterns / 2, inner, target);
+        steps.push(PrepStep::Cx {
+            control: msb_control,
+            target,
+        });
+        Self::emit_ucry_skeleton(steps, next_angle, patterns / 2, inner, target);
+        steps.push(PrepStep::Cx {
+            control: msb_control,
+            target,
+        });
     }
-    // Skip the CX pair entirely when the two halves agree (gamma == 0):
-    // the multiplexor degenerates to the unconditional half.
-    if gamma.iter().all(|g| g.abs() < 1e-14) {
-        emit_ucry(circ, &beta, inner, target);
-        return;
+
+    /// The register width the skeleton prepares.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
     }
-    emit_ucry(circ, &beta, inner, target);
-    circ.cx(msb_control, target);
-    emit_ucry(circ, &gamma, inner, target);
-    circ.cx(msb_control, target);
+
+    /// The gate positions, in emission order.
+    pub fn steps(&self) -> &[PrepStep] {
+        &self.steps
+    }
+
+    /// The length of every per-sample angle vector: `2^n − 1`.
+    pub fn num_angles(&self) -> usize {
+        self.num_angles
+    }
+
+    /// Computes one sample's angle vector, in the skeleton's
+    /// `angle_index` order, into a caller-owned buffer (cleared first) —
+    /// the allocation-light form batch packers use.
+    ///
+    /// # Errors
+    ///
+    /// * [`QsimError::DimensionMismatch`] if
+    ///   `amplitudes.len() != 2^num_qubits`.
+    /// * [`QsimError::InvalidAmplitude`] on negative or non-finite entries.
+    /// * [`QsimError::NotNormalized`] if all amplitudes are zero.
+    pub fn angles_for_into(&self, amplitudes: &[f64], out: &mut Vec<f64>) -> Result<(), QsimError> {
+        let dim = 1usize << self.num_qubits;
+        if amplitudes.len() != dim {
+            return Err(QsimError::DimensionMismatch {
+                expected: dim,
+                actual: amplitudes.len(),
+            });
+        }
+        for (i, &a) in amplitudes.iter().enumerate() {
+            if !a.is_finite() || a < 0.0 {
+                return Err(QsimError::InvalidAmplitude { index: i });
+            }
+        }
+        let norm_sqr: f64 = amplitudes.iter().map(|a| a * a).sum();
+        if norm_sqr <= 0.0 {
+            return Err(QsimError::NotNormalized { norm_sqr });
+        }
+
+        // probs[i] = normalised probability of basis state i.
+        let probs: Vec<f64> = amplitudes.iter().map(|a| a * a / norm_sqr).collect();
+
+        out.clear();
+        out.reserve(self.num_angles);
+        for k in 0..self.num_qubits {
+            let num_patterns = 1usize << k;
+            let mut raw = vec![0.0f64; num_patterns];
+            for (s, angle) in raw.iter_mut().enumerate() {
+                // P(prefix s, next bit b) summed over the remaining low
+                // bits.
+                let mut p0 = 0.0;
+                let mut p1 = 0.0;
+                let low_bits = self.num_qubits - 1 - k;
+                for rest in 0..(1usize << low_bits) {
+                    let base = (s << (low_bits + 1)) | rest;
+                    p0 += probs[base];
+                    p1 += probs[base | (1 << low_bits)];
+                }
+                *angle = 2.0 * p1.sqrt().atan2(p0.sqrt());
+            }
+            Self::resolve_ucry_angles(&raw, out);
+        }
+        debug_assert_eq!(out.len(), self.num_angles);
+        Ok(())
+    }
+
+    /// [`PrepSkeleton::angles_for_into`] returning a fresh vector.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PrepSkeleton::angles_for_into`].
+    pub fn angles_for(&self, amplitudes: &[f64]) -> Result<Vec<f64>, QsimError> {
+        let mut out = Vec::new();
+        self.angles_for_into(amplitudes, &mut out)?;
+        Ok(out)
+    }
+
+    /// Resolves one multiplexor's raw pattern angles into the rotation
+    /// angles actually emitted, in [`PrepSkeleton::emit_ucry_skeleton`]'s
+    /// beta-first depth-first order: a k-control multiplexor splits into
+    /// the half-sum (`beta`) and half-difference (`gamma`) multiplexors
+    /// that play between its CX gates.
+    fn resolve_ucry_angles(raw: &[f64], out: &mut Vec<f64>) {
+        if raw.len() == 1 {
+            out.push(raw[0]);
+            return;
+        }
+        let half = raw.len() / 2;
+        let mut beta = Vec::with_capacity(half);
+        let mut gamma = Vec::with_capacity(half);
+        for j in 0..half {
+            beta.push((raw[j] + raw[j + half]) / 2.0);
+            gamma.push((raw[j] - raw[j + half]) / 2.0);
+        }
+        Self::resolve_ucry_angles(&beta, out);
+        Self::resolve_ucry_angles(&gamma, out);
+    }
+
+    /// Instantiates the skeleton with one sample's angle vector. Every
+    /// position is emitted — including exact `RY(0)` rotations — so the
+    /// returned circuit's gate sequence is identical across samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `angles.len() != self.num_angles()`.
+    pub fn to_circuit(&self, angles: &[f64]) -> Circuit {
+        assert_eq!(
+            angles.len(),
+            self.num_angles,
+            "angle vector must match the skeleton"
+        );
+        let mut circ = Circuit::new(self.num_qubits);
+        for step in &self.steps {
+            match *step {
+                PrepStep::Ry {
+                    target,
+                    angle_index,
+                } => {
+                    circ.ry(angles[angle_index], target);
+                }
+                PrepStep::Cx { control, target } => {
+                    circ.cx(control, target);
+                }
+            }
+        }
+        circ
+    }
 }
 
 #[cfg(test)]
@@ -209,25 +379,114 @@ mod tests {
     }
 
     #[test]
-    fn gate_count_is_bounded() {
-        // 2^n − 1 RY rotations and at most 2^n − n − 1 CX (fewer when
-        // angles degenerate).
-        let amps: Vec<f64> = (1..=8).map(|x| x as f64).collect();
-        let circ = prepare_real_amplitudes(3, &amps).unwrap();
-        let ry = circ
-            .count_ops()
-            .iter()
-            .find(|(n, _)| n == "ry")
-            .map(|(_, c)| *c)
-            .unwrap_or(0);
-        let cx = circ
-            .count_ops()
-            .iter()
-            .find(|(n, _)| n == "cx")
-            .map(|(_, c)| *c)
-            .unwrap_or(0);
-        assert!(ry <= 7, "ry count {ry}");
-        assert!(cx <= 8, "cx count {cx}");
+    fn gate_count_is_fixed_by_the_skeleton() {
+        // Exactly 2^n − 1 RY rotations and 2^{n+1} − 2n − 2 CX gates —
+        // never fewer: degenerate angles emit RY(0) instead of pruning, so
+        // the gate sequence is sample-independent.
+        let count = |circ: &Circuit, name: &str| {
+            circ.count_ops()
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, c)| *c)
+                .unwrap_or(0)
+        };
+        for n in 1..=4usize {
+            let amps: Vec<f64> = (1..=(1 << n)).map(|x| x as f64).collect();
+            let circ = prepare_real_amplitudes(n, &amps).unwrap();
+            assert_eq!(count(&circ, "ry"), (1 << n) - 1, "n={n}");
+            assert_eq!(count(&circ, "cx"), (2 << n) - 2 * n - 2, "n={n}");
+            // A fully degenerate input (basis state) keeps the same shape.
+            let mut basis = vec![0.0; 1 << n];
+            basis[0] = 1.0;
+            let degenerate = prepare_real_amplitudes(n, &basis).unwrap();
+            assert_eq!(count(&degenerate, "ry"), (1 << n) - 1, "n={n}");
+            assert_eq!(count(&degenerate, "cx"), (2 << n) - 2 * n - 2, "n={n}");
+        }
+    }
+
+    /// The skeleton-stability pin: gate positions (op kind and operand
+    /// qubits, in order) are identical across random angle vectors — only
+    /// the RY angles differ.
+    #[test]
+    fn skeleton_positions_are_identical_across_random_angle_vectors() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for n in 1..=4usize {
+            let skeleton = PrepSkeleton::new(n);
+            assert_eq!(skeleton.num_angles(), (1 << n) - 1);
+            let reference: Vec<(String, Vec<usize>)> =
+                prepare_real_amplitudes(n, &vec![1.0; 1 << n])
+                    .unwrap()
+                    .instructions()
+                    .iter()
+                    .map(|instr| (format!("{:?}", instr.op), instr.qubits.clone()))
+                    .collect();
+            for _ in 0..16 {
+                let amps: Vec<f64> = (0..(1 << n))
+                    .map(|_| {
+                        // Mix in hard zeros so degenerate multiplexors are
+                        // exercised — the pruning trap this test pins shut.
+                        if rng.gen::<f64>() < 0.4 {
+                            0.0
+                        } else {
+                            rng.gen::<f64>()
+                        }
+                    })
+                    .collect();
+                if amps.iter().all(|&a| a == 0.0) {
+                    continue;
+                }
+                let circ = prepare_real_amplitudes(n, &amps).unwrap();
+                let shape: Vec<(String, Vec<usize>)> = circ
+                    .instructions()
+                    .iter()
+                    .map(|instr| (format!("{:?}", instr.op), instr.qubits.clone()))
+                    .collect();
+                assert_eq!(shape.len(), reference.len(), "n={n}");
+                for (got, want) in shape.iter().zip(&reference) {
+                    // RY angles differ by design; positions must not.
+                    let gate_kind = |s: &str| s.split('(').next().unwrap().to_string();
+                    assert_eq!(gate_kind(&got.0), gate_kind(&want.0), "n={n}");
+                    assert_eq!(got.1, want.1, "n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skeleton_circuit_round_trips_through_angles() {
+        let mut rng = StdRng::seed_from_u64(57);
+        for n in 1..=4usize {
+            let skeleton = PrepSkeleton::new(n);
+            let amps: Vec<f64> = (0..(1 << n)).map(|_| rng.gen::<f64>() + 0.01).collect();
+            let angles = skeleton.angles_for(&amps).unwrap();
+            assert_eq!(angles.len(), skeleton.num_angles());
+            let direct = prepare_real_amplitudes(n, &amps).unwrap();
+            let via_skeleton = skeleton.to_circuit(&angles);
+            assert_eq!(direct.len(), via_skeleton.len());
+            // And the instantiated skeleton still prepares the state.
+            let sv = run(&via_skeleton);
+            let norm: f64 = amps.iter().map(|a| a * a).sum::<f64>().sqrt();
+            for (i, &a) in amps.iter().enumerate() {
+                assert!((sv.amplitude(i).re - a / norm).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn skeleton_validates_like_prepare() {
+        let skeleton = PrepSkeleton::new(2);
+        assert!(matches!(
+            skeleton.angles_for(&[1.0, 0.0]),
+            Err(QsimError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            skeleton.angles_for(&[1.0, -0.5, 0.0, 0.0]),
+            Err(QsimError::InvalidAmplitude { index: 1 })
+        ));
+        assert!(matches!(
+            skeleton.angles_for(&[0.0; 4]),
+            Err(QsimError::NotNormalized { .. })
+        ));
     }
 
     #[test]

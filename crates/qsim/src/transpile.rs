@@ -340,6 +340,43 @@ mod tests {
     }
 
     #[test]
+    fn multiqubit_lowering_preserves_the_prep_skeleton() {
+        // The noisy engines charge per-gate error on the lowered circuit,
+        // and the lockstep batched prep walks the skeleton directly — the
+        // two agree only because `decompose_multiqubit` is the identity on
+        // the skeleton's {RY, CX} gate set: same ops, same operands, same
+        // order, for any angle vector (including exact zeros).
+        use crate::stateprep::prepare_real_amplitudes;
+        let mut rng = StdRng::seed_from_u64(71);
+        for n in 1..=4usize {
+            for _ in 0..4 {
+                let amps: Vec<f64> = (0..(1 << n))
+                    .map(|_| {
+                        if rng.gen::<f64>() < 0.3 {
+                            0.0
+                        } else {
+                            rng.gen()
+                        }
+                    })
+                    .collect();
+                if amps.iter().all(|&a| a == 0.0) {
+                    continue;
+                }
+                let prep = prepare_real_amplitudes(n, &amps).unwrap();
+                let lowered = decompose_multiqubit(&prep);
+                assert_eq!(lowered.len(), prep.len(), "n={n}");
+                for (a, b) in prep.instructions().iter().zip(lowered.instructions()) {
+                    assert_eq!(a.qubits, b.qubits, "n={n}");
+                    match (&a.op, &b.op) {
+                        (Operation::Gate(ga), Operation::Gate(gb)) => assert_eq!(ga, gb),
+                        _ => panic!("non-gate op in a prep circuit"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn toffoli_decomposition_is_exact() {
         let mut ideal = Circuit::new(3);
         ideal.ccx(0, 1, 2);

@@ -14,7 +14,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt::Debug;
-use std::ops::Range;
+use std::ops::{Range, RangeInclusive};
 
 /// Test-case generator handed to strategies.
 pub type TestRng = StdRng;
@@ -79,6 +79,22 @@ macro_rules! impl_range_strategy {
 }
 
 impl_range_strategy!(f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_inclusive_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                // The rand shim samples inclusive ranges directly
+                // (overflow-safe even at the type's maximum).
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_inclusive_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 /// Collection strategies.
 pub mod collection {
