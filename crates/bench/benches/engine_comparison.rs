@@ -13,7 +13,11 @@
 //! the SIMD kernel is active) the dispatched GEMM ≥ 2× the scalar kernel.
 //! The noisy column is split into explicit `noisy_prep_ns_per_sample` and
 //! `noisy_score_ns_per_sample` metrics via the engine's public prep/score
-//! seam.
+//! seam. A wide-register noisy column pits the structured per-gate
+//! channel engine against the dense fused-superoperator engine at n = 5
+//! (structured must win outright) and tracks the structured engine alone
+//! at n = 6 (`structured_noisy_ns_per_sample`), a width the dense `16^n`
+//! path cannot practically reach.
 //!
 //! Every reported number also lands in `BENCH_engines.json` (per-engine
 //! ns/sample, kernel GFLOP/s, speedup ratios) so the perf trajectory is
@@ -26,7 +30,9 @@ use qsim::matrix::CMatrix;
 use qsim::{NoiseModel, C64};
 use quorum_bench::table1_specs;
 use quorum_core::bucket::BucketPlan;
-use quorum_core::engine::{DensityEngine, SampleDensityEngine, ScoringEngine};
+use quorum_core::engine::{
+    DensityEngine, SampleDensityEngine, ScoringEngine, StructuredDensityEngine,
+};
 use quorum_core::ensemble::EnsembleGroup;
 use quorum_core::{EngineKind, ExecutionMode, QuorumConfig, QuorumDetector};
 use std::sync::Mutex;
@@ -313,6 +319,137 @@ fn report_density_batch_speedup(_c: &mut Criterion) {
     );
 }
 
+/// Data qubits for the wide-register head-to-head: the crossover width
+/// where the structured per-gate channel walk must already beat the
+/// dense fused-superoperator path.
+const WIDE_DENSE_QUBITS: usize = 5;
+/// Data qubits for the structured-only column — past the dense engine's
+/// width cap on practicality (its n = 6 superoperator is ~268 MiB per
+/// level and the 13-qubit observable walk takes minutes), so the
+/// structured engine runs alone and its absolute time is the tracked
+/// metric.
+const WIDE_STRUCTURED_QUBITS: usize = 6;
+/// Wide-register columns run on a short batch, like the noisy oracle.
+const WIDE_SAMPLES: usize = 24;
+
+/// Synthetic normalized dataset for the wide-register columns — the
+/// Table 1 sets carry too few features for n ≥ 5 registers.
+fn wide_dataset(features: usize, samples: usize) -> Dataset {
+    let m = features as f64;
+    let rows: Vec<Vec<f64>> = (0..samples)
+        .map(|i| {
+            (0..features)
+                .map(|j| {
+                    let t = (i * features + j) as f64;
+                    (t * 0.6173).sin().abs() / m
+                })
+                .collect()
+        })
+        .collect();
+    Dataset::from_rows("wide-noisy", rows, None).unwrap()
+}
+
+fn wide_noisy_config(data_qubits: usize, engine: EngineKind) -> QuorumConfig {
+    QuorumConfig::default()
+        .with_data_qubits(data_qubits)
+        .with_ensemble_groups(1)
+        .with_engine(engine)
+        .with_threads(1)
+        .with_seed(42)
+        .with_execution(ExecutionMode::Noisy {
+            noise: NoiseModel::brisbane(),
+            shots: None,
+        })
+}
+
+/// The wide-register noisy column: structured per-gate channel scoring
+/// vs the dense fused-superoperator engine at n = 5 (where the `16^n`
+/// wall starts to bite — the structured path must already win), plus
+/// the structured engine alone at n = 6, a width the dense path cannot
+/// practically reach. Caches (fused superoperators, channel programs,
+/// the dense readout functional) are pre-warmed so the ratios measure
+/// steady-state scoring, and both engines share the identical lockstep
+/// batch preparation.
+fn report_structured_noisy(_c: &mut Criterion) {
+    let levels = vec![1usize, 2];
+
+    // n = 5 head-to-head.
+    let config = wide_noisy_config(WIDE_DENSE_QUBITS, EngineKind::Density);
+    let structured_config = wide_noisy_config(WIDE_DENSE_QUBITS, EngineKind::DensityStructured);
+    let raw = wide_dataset(config.features_per_circuit(), WIDE_SAMPLES);
+    let ds = quorum_core::detector::normalize_for_scoring(&config, &raw);
+    let plan = BucketPlan::from_target(ds.num_samples(), 0.1, config.bucket_probability);
+    let group = EnsembleGroup::generate(0, &config, ds.num_features(), &plan);
+    let dense_devs = DensityEngine
+        .deviations_all_levels(&group, &ds, &config, &levels)
+        .unwrap();
+    let structured_devs = StructuredDensityEngine
+        .deviations_all_levels(&group, &ds, &structured_config, &levels)
+        .unwrap();
+    for (d, s) in dense_devs
+        .iter()
+        .flatten()
+        .zip(structured_devs.iter().flatten())
+    {
+        assert!(
+            (d - s).abs() <= 1e-9,
+            "structured and dense engines diverged at n={WIDE_DENSE_QUBITS}: {d} vs {s}"
+        );
+    }
+    let dense = best_of(3, || {
+        DensityEngine
+            .deviations_all_levels(&group, &ds, &config, &levels)
+            .unwrap()
+    });
+    let structured = best_of(3, || {
+        StructuredDensityEngine
+            .deviations_all_levels(&group, &ds, &structured_config, &levels)
+            .unwrap()
+    });
+    record("dense_n5_ns_per_sample", ns_per_sample(dense, WIDE_SAMPLES));
+    record(
+        "structured_n5_ns_per_sample",
+        ns_per_sample(structured, WIDE_SAMPLES),
+    );
+    let speedup = dense.as_secs_f64() / structured.as_secs_f64();
+    record("structured_vs_dense_n5_speedup", speedup);
+    println!(
+        "structured_noisy_n5                                      structured {structured:.2?} vs dense {dense:.2?} (x{speedup:.2})"
+    );
+    assert!(
+        speedup >= 1.0,
+        "the structured engine must beat the dense engine at n={WIDE_DENSE_QUBITS} on the \
+         flagship noisy config, got ×{speedup:.2}"
+    );
+
+    // n = 6, structured only — the width the 16^n wall used to fence off.
+    let config6 = wide_noisy_config(WIDE_STRUCTURED_QUBITS, EngineKind::DensityStructured);
+    let raw6 = wide_dataset(config6.features_per_circuit(), WIDE_SAMPLES);
+    let ds6 = quorum_core::detector::normalize_for_scoring(&config6, &raw6);
+    let plan6 = BucketPlan::from_target(ds6.num_samples(), 0.1, config6.bucket_probability);
+    let group6 = EnsembleGroup::generate(0, &config6, ds6.num_features(), &plan6);
+    let devs6 = StructuredDensityEngine
+        .deviations_all_levels(&group6, &ds6, &config6, &levels)
+        .unwrap();
+    assert!(
+        devs6.iter().flatten().all(|d| (0.0..=1.0).contains(d)),
+        "n={WIDE_STRUCTURED_QUBITS} structured deviations must be probabilities"
+    );
+    let structured6 = best_of(3, || {
+        StructuredDensityEngine
+            .deviations_all_levels(&group6, &ds6, &config6, &levels)
+            .unwrap()
+    });
+    record(
+        "structured_noisy_ns_per_sample",
+        ns_per_sample(structured6, WIDE_SAMPLES),
+    );
+    println!(
+        "structured_noisy_n6                                      structured {structured6:.2?} ({WIDE_SAMPLES} samples, {} levels)",
+        levels.len()
+    );
+}
+
 /// Deterministic dense test matrix for the raw kernel column.
 fn dense(rows: usize, cols: usize, salt: u64) -> CMatrix {
     let mut m = CMatrix::zeros(rows, cols);
@@ -419,6 +556,7 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_engines, report_speedup, report_noisy_speedup,
-        report_density_batch_speedup, report_gemm_kernel, emit_bench_json
+        report_density_batch_speedup, report_structured_noisy,
+        report_gemm_kernel, emit_bench_json
 }
 criterion_main!(benches);

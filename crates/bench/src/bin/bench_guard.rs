@@ -5,12 +5,15 @@
 //! Usage: `bench_guard <baseline.json> <current.json>`
 //!
 //! Only per-sample wall-time metrics are guarded — ratios and GFLOP/s
-//! columns move with the host and are informational. Metrics present in
-//! only one of the two files are reported but never fail the guard, so
-//! adding a new column does not require a lockstep baseline update (the
-//! baseline should still be refreshed in the same PR). The parser reads
-//! exactly the flat `"key": value` lines `engine_comparison.rs` emits —
-//! no JSON dependency needed offline.
+//! columns move with the host and are informational. Metric-set
+//! mismatches are reported as actionable diffs: a guarded metric that is
+//! in the baseline but MISSING from the fresh run is a hard failure
+//! (a bench column silently disappeared — either restore it or delete
+//! the stale key from `BENCH_baseline.json` in the same PR), while a
+//! metric that is new in the fresh run is only a note reminding you to
+//! fold it into the baseline. The parser reads exactly the flat
+//! `"key": value` lines `engine_comparison.rs` emits — no JSON
+//! dependency needed offline.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -70,6 +73,7 @@ fn main() -> ExitCode {
     }
 
     let mut regressions = Vec::new();
+    let mut missing = Vec::new();
     println!(
         "{:<44} {:>14} {:>14} {:>8}",
         "metric (ns/sample)", "baseline", "current", "ratio"
@@ -79,7 +83,11 @@ fn main() -> ExitCode {
         .filter(|(k, _)| k.ends_with("_ns_per_sample"))
     {
         let Some(&now) = current.get(key) else {
-            println!("{key:<44} {base:>14.0} {:>14} {:>8}", "absent", "-");
+            println!(
+                "{key:<44} {base:>14.0} {:>14} {:>8}  MISSING",
+                "absent", "-"
+            );
+            missing.push(key.clone());
             continue;
         };
         let ratio = now / base;
@@ -93,28 +101,55 @@ fn main() -> ExitCode {
             regressions.push((key.clone(), ratio));
         }
     }
-    for key in current
+    let new_keys: Vec<&String> = current
         .keys()
         .filter(|k| k.ends_with("_ns_per_sample") && !baseline.contains_key(*k))
-    {
+        .collect();
+    for key in &new_keys {
         println!("{key:<44} {:>14} {:>14} {:>8}", "-", "new", "-");
     }
+    if !new_keys.is_empty() {
+        println!(
+            "\nnote: {} new metric(s) not yet in the baseline — fold them into \
+             BENCH_baseline.json so future regressions are caught:",
+            new_keys.len()
+        );
+        for key in &new_keys {
+            println!("  + {key}: {:.3}", current[*key]);
+        }
+    }
 
-    if regressions.is_empty() {
+    if regressions.is_empty() && missing.is_empty() {
         println!(
             "\nbench guard: all tracked ns/sample metrics within {MAX_REGRESSION}x of baseline"
         );
         ExitCode::SUCCESS
     } else {
-        eprintln!(
-            "\nbench guard: {} metric(s) regressed more than {:.0}% against BENCH_baseline.json:",
-            regressions.len(),
-            (MAX_REGRESSION - 1.0) * 100.0
-        );
-        for (key, ratio) in &regressions {
-            eprintln!("  {key}: x{ratio:.2}");
+        if !regressions.is_empty() {
+            eprintln!(
+                "\nbench guard: {} metric(s) regressed more than {:.0}% against \
+                 BENCH_baseline.json:",
+                regressions.len(),
+                (MAX_REGRESSION - 1.0) * 100.0
+            );
+            for (key, ratio) in &regressions {
+                eprintln!("  {key}: x{ratio:.2}");
+            }
+            eprintln!("(refresh the baseline intentionally if this slowdown is accepted)");
         }
-        eprintln!("(refresh the baseline intentionally if this slowdown is accepted)");
+        if !missing.is_empty() {
+            eprintln!(
+                "\nbench guard: {} baseline metric(s) missing from the fresh bench output:",
+                missing.len()
+            );
+            for key in &missing {
+                eprintln!("  - {key}");
+            }
+            eprintln!(
+                "(a bench column disappeared — restore it in engine_comparison.rs, or if the \
+                 removal is intentional, delete the stale key from BENCH_baseline.json)"
+            );
+        }
         ExitCode::FAILURE
     }
 }

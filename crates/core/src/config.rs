@@ -26,18 +26,34 @@ pub enum ExecutionMode {
     },
 }
 
+/// Below this register width, `Auto` under Noisy execution picks the
+/// dense [`EngineKind::Density`] engine; at or above it, the structured
+/// [`EngineKind::DensityStructured`] engine.
+///
+/// The crossover follows the cost model: the dense path spends
+/// `O(16^n)` per (group, level) building and applying one fused
+/// superoperator, while the structured path walks ~hundreds of local
+/// channel ops at `O(4^n)` each — the structured constant is paid off
+/// once `4^n` outgrows the program length, which happens at `n = 5`
+/// (measured ≈3× there, growing ~4× per extra qubit; see
+/// `benches/engine_comparison.rs`).
+pub const STRUCTURED_AUTO_MIN_QUBITS: usize = 5;
+
 /// Which scoring engine evaluates the per-sample deviations.
 ///
 /// See [`crate::engine`] for the implementations. `Auto` picks the
 /// batched analytic engine whenever the execution mode allows it (Exact
-/// and Sampled) and the analytic density engine for Noisy runs, which
-/// need mixed-state evolution. The per-sample `Analytic` and
-/// paper-literal `Circuit` engines stay selectable as cross-check
-/// oracles.
+/// and Sampled) and an analytic density engine for Noisy runs, which
+/// need mixed-state evolution — the dense one at the paper's widths,
+/// the structured one from [`STRUCTURED_AUTO_MIN_QUBITS`] data qubits
+/// up. The per-sample `Analytic` and paper-literal `Circuit` engines
+/// stay selectable as cross-check oracles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[non_exhaustive]
 pub enum EngineKind {
-    /// Batched analytic for Exact/Sampled execution, density for Noisy.
+    /// Batched analytic for Exact/Sampled execution; for Noisy, the
+    /// dense density engine below [`STRUCTURED_AUTO_MIN_QUBITS`] data
+    /// qubits and the structured density engine at or above it.
     /// Default.
     #[default]
     Auto,
@@ -55,7 +71,18 @@ pub enum EngineKind {
     /// all samples packed into one `4^n × S` matrix and pushed through the
     /// per-group fused noisy superoperators and the cached SWAP-test
     /// readout functional as blocked GEMMs. Requires Noisy execution.
+    /// Rejects registers wider than 6 data qubits — the fused `16^n`
+    /// objects hit the mixed-state simulator's memory budget there.
     Density,
+    /// Force the structured density engine
+    /// ([`crate::engine::StructuredDensityEngine`]): the same lockstep
+    /// `4^n × S` panel preparation, but each level applied as a cached
+    /// per-gate *channel program* and the readout folded into a bond-4
+    /// matrix-product sweep — no `16^n` object is ever materialised, so
+    /// wide registers (`n ≥ 5`, up to the configuration cap) stay
+    /// tractable. Requires Noisy execution. Matches the dense engine to
+    /// ≤ 1e-9 where both run.
+    DensityStructured,
     /// Force the per-sample density engine
     /// ([`crate::engine::SampleDensityEngine`]) — the batched density
     /// engine's one-matvec-per-sample reference, the mixed-state analogue
@@ -202,7 +229,13 @@ impl QuorumConfig {
     pub fn effective_engine(&self) -> EngineKind {
         match self.engine {
             EngineKind::Auto => match self.execution {
-                ExecutionMode::Noisy { .. } => EngineKind::Density,
+                ExecutionMode::Noisy { .. } => {
+                    if self.data_qubits >= STRUCTURED_AUTO_MIN_QUBITS {
+                        EngineKind::DensityStructured
+                    } else {
+                        EngineKind::Density
+                    }
+                }
                 _ => EngineKind::Batched,
             },
             kind => kind,
@@ -471,26 +504,51 @@ mod tests {
     }
 
     #[test]
-    fn noisy_execution_rejects_oversized_registers_cleanly() {
+    fn noisy_engine_selection_respects_register_width() {
         use qsim::NoiseModel;
-        // 7 data qubits validate for Exact scoring but would need a
-        // 15-qubit mixed-state observable under noise: the density path
-        // must fail at validation rather than on a huge allocation.
-        let wide = QuorumConfig::default().with_data_qubits(7);
-        wide.validate().unwrap();
-        let noisy = wide.with_execution(ExecutionMode::Noisy {
+        // 7 data qubits would need a 15-qubit mixed-state observable on
+        // the dense path: a forced dense engine must fail at validation
+        // rather than on a huge allocation…
+        let forced = QuorumConfig::default()
+            .with_data_qubits(7)
+            .with_engine(EngineKind::Density)
+            .with_execution(ExecutionMode::Noisy {
+                noise: NoiseModel::brisbane(),
+                shots: None,
+            });
+        assert!(forced.validate().is_err());
+        // …but Auto resolves wide noisy registers to the structured
+        // engine, which never materialises a 16^n object, so the same
+        // width validates (up to the global configuration cap).
+        for n in [5, 7, 10] {
+            let auto =
+                QuorumConfig::default()
+                    .with_data_qubits(n)
+                    .with_execution(ExecutionMode::Noisy {
+                        noise: NoiseModel::brisbane(),
+                        shots: None,
+                    });
+            auto.validate().unwrap();
+            assert_eq!(auto.effective_engine(), EngineKind::DensityStructured);
+        }
+        // Below the crossover Auto keeps the dense engine, and the
+        // widest dense-supported register still validates when forced.
+        let narrow = QuorumConfig::default().with_execution(ExecutionMode::Noisy {
             noise: NoiseModel::brisbane(),
             shots: None,
         });
-        assert!(noisy.validate().is_err());
-        // The widest supported noisy register still validates.
+        assert_eq!(narrow.effective_engine(), EngineKind::Density);
         let ok = QuorumConfig::default()
             .with_data_qubits(6)
+            .with_engine(EngineKind::Density)
             .with_execution(ExecutionMode::Noisy {
                 noise: NoiseModel::brisbane(),
                 shots: None,
             });
         ok.validate().unwrap();
+        // The structured engine still requires Noisy execution.
+        let pure = QuorumConfig::default().with_engine(EngineKind::DensityStructured);
+        assert!(pure.validate().is_err());
     }
 
     #[test]

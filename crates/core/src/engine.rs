@@ -100,6 +100,7 @@ use crate::config::{EngineKind, ExecutionMode, QuorumConfig};
 use crate::ensemble::{derive_seed, EnsembleGroup};
 use crate::error::QuorumError;
 use qdata::Dataset;
+use qsim::channel::{ChannelProgram, SwapTestMpo};
 use qsim::circuit::{Circuit, Operation};
 use qsim::complex::C64;
 use qsim::density::{permute_cx_columns, ry_conjugate_columns, DensityMatrix};
@@ -177,6 +178,7 @@ pub fn resolve(config: &QuorumConfig) -> Result<&'static dyn ScoringEngine, Quor
     static ANALYTIC: AnalyticEngine = AnalyticEngine;
     static BATCHED: BatchedAnalyticEngine = BatchedAnalyticEngine;
     static DENSITY: DensityEngine = DensityEngine;
+    static DENSITY_STRUCTURED: StructuredDensityEngine = StructuredDensityEngine;
     static DENSITY_SAMPLE: SampleDensityEngine = SampleDensityEngine;
     match config.effective_engine() {
         EngineKind::Circuit => Ok(&CIRCUIT),
@@ -191,6 +193,10 @@ pub fn resolve(config: &QuorumConfig) -> Result<&'static dyn ScoringEngine, Quor
         EngineKind::Density => {
             ensure_noisy(config)?;
             Ok(&DENSITY)
+        }
+        EngineKind::DensityStructured => {
+            ensure_noisy_mode(config)?;
+            Ok(&DENSITY_STRUCTURED)
         }
         EngineKind::DensitySample => {
             ensure_noisy(config)?;
@@ -219,21 +225,32 @@ fn ensure_pure_state(config: &QuorumConfig) -> Result<(), QuorumError> {
 /// stay within the mixed-state simulator's 13-qubit limit.
 const MAX_DENSITY_DATA_QUBITS: usize = 6;
 
-/// The guard (and error messages) for the density engine's noise-only
-/// design and register-width limit: without a noise model the analytic
-/// pure-state engines are strictly better, and oversized registers are
-/// rejected up front rather than on a huge allocation.
-fn ensure_noisy(config: &QuorumConfig) -> Result<(), QuorumError> {
+/// The mode half of the density engines' guard: without a noise model
+/// the analytic pure-state engines are strictly better. Shared by the
+/// dense and structured engines (and the batch preparation both reuse).
+fn ensure_noisy_mode(config: &QuorumConfig) -> Result<(), QuorumError> {
     if !matches!(config.execution, ExecutionMode::Noisy { .. }) {
         return Err(QuorumError::InvalidConfig(
             "the density engine scores under a noise model; Exact/Sampled execution uses the analytic engines"
                 .into(),
         ));
     }
+    Ok(())
+}
+
+/// The full guard for the **dense** density engines: Noisy mode plus the
+/// register-width limit — the dense path materialises `16^n` fused
+/// objects (the superoperators and the `2n + 1`-qubit SWAP-test
+/// observable), so oversized registers are rejected up front rather than
+/// on a huge allocation. The structured engine has no such objects and
+/// checks only the mode ([`ensure_noisy_mode`]).
+fn ensure_noisy(config: &QuorumConfig) -> Result<(), QuorumError> {
+    ensure_noisy_mode(config)?;
     if config.data_qubits > MAX_DENSITY_DATA_QUBITS {
         return Err(QuorumError::InvalidConfig(format!(
-            "noisy scoring supports at most {MAX_DENSITY_DATA_QUBITS} data qubits (the \
-             {}-qubit SWAP-test observable would exceed the mixed-state simulator's limits)",
+            "dense noisy scoring supports at most {MAX_DENSITY_DATA_QUBITS} data qubits (the \
+             {}-qubit SWAP-test observable would exceed the mixed-state simulator's memory \
+             budget); wider registers run on the structured density engine",
             2 * config.data_qubits + 1
         )));
     }
@@ -674,6 +691,37 @@ pub(crate) fn build_noisy_superop(
     Ok(superop)
 }
 
+/// Lowers the same bottlenecked autoencoder segment as
+/// [`build_noisy_superop`] — encoder, `reset_count` resets, decoder —
+/// into a structured per-gate [`ChannelProgram`]
+/// ([`EnsembleGroup::channel_program`]), instead of fusing it dense: the
+/// program is `O(gates)` to build and `O(ops · 4^n)` per sample to
+/// apply, never materialising the `16^n` superoperator, which is what
+/// unlocks registers past the dense engine's width cap.
+///
+/// # Errors
+///
+/// Propagates lowering failures (the segment is reset-plus-unitary over
+/// 1q/CX gates, so this is effectively infallible for valid ansätze).
+pub(crate) fn build_channel_program(
+    ansatz: &AnsatzParams,
+    noise: &NoiseModel,
+    reset_count: usize,
+) -> Result<ChannelProgram, QuorumError> {
+    let n = ansatz.num_qubits();
+    let mut circ = Circuit::new(n);
+    circ.compose(&ansatz.encoder(), 0)
+        .map_err(QuorumError::Simulation)?;
+    for q in (n - reset_count)..n {
+        circ.reset(q);
+    }
+    circ.compose(&ansatz.decoder(), 0)
+        .map_err(QuorumError::Simulation)?;
+    let lowered = transpile::decompose_multiqubit(&circ);
+    ChannelProgram::from_lowered(&lowered, &GateNoise::from_model(noise))
+        .map_err(QuorumError::Simulation)
+}
+
 /// Evolves a density operator forward through a lowered instruction list,
 /// charging the fused per-gate noise after every gate — the shared
 /// Schrödinger-picture walk behind the superoperator builder and the
@@ -718,7 +766,7 @@ fn noisy_prepared_state(
 ) -> Result<DensityMatrix, QuorumError> {
     let prep = prepare_real_amplitudes(num_qubits, amps).map_err(QuorumError::Simulation)?;
     let lowered = transpile::decompose_multiqubit(&prep);
-    let mut rho = DensityMatrix::new(num_qubits);
+    let mut rho = DensityMatrix::new(num_qubits).map_err(QuorumError::Simulation)?;
     evolve_noisy(&mut rho, &lowered, gate_noise)?;
     Ok(rho)
 }
@@ -891,14 +939,39 @@ impl NoisyPassContext {
         reset_count: usize,
         sample: usize,
     ) -> f64 {
-        let exact = self.readout + (1.0 - 2.0 * self.readout) * raw.re;
-        match shots {
-            Some(k) => {
-                let seed = shot_seed(config, group_index, reset_count, sample);
-                sampled_deviation(exact, k, seed)
-            }
-            None => exact,
+        finish_deviation(
+            self.readout,
+            raw,
+            shots,
+            config,
+            group_index,
+            reset_count,
+            sample,
+        )
+    }
+}
+
+/// Readout confusion plus optional shot sampling on one exact raw
+/// overlap — shared verbatim by every density-family engine (dense,
+/// per-sample, structured), so engine switches never change the
+/// deviation model.
+#[allow(clippy::too_many_arguments)] // a formula, not an interface
+fn finish_deviation(
+    readout: f64,
+    raw: C64,
+    shots: Option<u64>,
+    config: &QuorumConfig,
+    group_index: usize,
+    reset_count: usize,
+    sample: usize,
+) -> f64 {
+    let exact = readout + (1.0 - 2.0 * readout) * raw.re;
+    match shots {
+        Some(k) => {
+            let seed = shot_seed(config, group_index, reset_count, sample);
+            sampled_deviation(exact, k, seed)
         }
+        None => exact,
     }
 }
 
@@ -959,10 +1032,10 @@ impl DensityEngine {
         normalized: &Dataset,
         config: &QuorumConfig,
     ) -> Result<CMatrix, QuorumError> {
-        ensure_noisy(config)?;
+        ensure_noisy_mode(config)?;
         let noise = match &config.execution {
             ExecutionMode::Noisy { noise, .. } => noise,
-            _ => unreachable!("ensure_noisy admits only Noisy execution"),
+            _ => unreachable!("ensure_noisy_mode admits only Noisy execution"),
         };
         let num_qubits = group.ansatz().num_qubits();
         let gate_noise = GateNoise::from_model(noise);
@@ -1185,6 +1258,157 @@ impl ScoringEngine for DensityEngine {
         // whole batch once (`W·P` is level-independent); each level then
         // costs one superoperator GEMM plus column dot products.
         let packed = Self::prepare_batch(group, normalized, config)?;
+        Self::score_prepared(group, &packed, config, levels)
+    }
+}
+
+/// Reusable per-worker scratch for one structured column block: the
+/// gathered panel, the readout image `Y = W·P`, and the per-level
+/// evolved panel.
+#[derive(Default)]
+struct StructuredScratch {
+    panel: Vec<C64>,
+    y: Vec<C64>,
+    evolved: Vec<C64>,
+}
+
+/// The structured analytic density noise engine: the same lockstep
+/// `4^n × S` batch preparation as [`DensityEngine`], but nothing dense
+/// after it — each level's bottlenecked segment runs as a cached
+/// per-gate [`ChannelProgram`] over the panel
+/// ([`EnsembleGroup::channel_program`]), and the SWAP-test readout is
+/// folded into a bond-4 matrix-product sweep ([`SwapTestMpo`]). No
+/// `16^n` object is ever built or applied, so the per-(group, level)
+/// cost drops from `O(16^n) + O(16^n · S)` to `O(ops · 4^n · S)` —
+/// dense wins below ~5 data qubits (tiny `4^n`, one GEMM), structured
+/// wins at and above it and is the only density path past the dense
+/// width cap. The dense engine stays the bit-exact small-n oracle the
+/// structured path is pinned against (≤ 1e-9, `tests/`
+/// `engine_structured_properties`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StructuredDensityEngine;
+
+impl StructuredDensityEngine {
+    /// Scores an already-prepared `4^n × S` batch (the output of
+    /// [`DensityEngine::prepare_batch`]) at every requested compression
+    /// level, column-block by column-block: per block, the MPO readout
+    /// image `Y = W·P` once (it is level-independent), then one channel
+    /// program walk plus column dots per level. Blocks are fixed at
+    /// [`GEMM_COL_BLOCK`] columns and fanned over workers with
+    /// per-worker scratch, like the preparation half.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-noisy execution and bad reset counts; propagates
+    /// simulation failures.
+    pub fn score_prepared(
+        group: &EnsembleGroup,
+        packed: &CMatrix,
+        config: &QuorumConfig,
+        levels: &[usize],
+    ) -> Result<Vec<Vec<f64>>, QuorumError> {
+        ensure_noisy_mode(config)?;
+        let (noise, shots) = match &config.execution {
+            ExecutionMode::Noisy { noise, shots } => (noise, *shots),
+            _ => unreachable!("ensure_noisy_mode admits only Noisy execution"),
+        };
+        let n = group.ansatz().num_qubits();
+        for &reset_count in levels {
+            ensure_reset_range(reset_count, n)?;
+        }
+        let gate_noise = GateNoise::from_model(noise);
+        let readout = gate_noise.readout_error();
+        // Three constant-size pull-backs — cheap enough to build per
+        // scoring pass, unlike the dense functional.
+        let mpo = SwapTestMpo::build(n, &gate_noise).map_err(QuorumError::Simulation)?;
+        let programs = levels
+            .iter()
+            .map(|&reset_count| group.channel_program(noise, reset_count))
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let dim2 = packed.rows();
+        let samples = packed.cols();
+        let mut out: Vec<Vec<f64>> = levels.iter().map(|_| Vec::with_capacity(samples)).collect();
+        if samples == 0 {
+            return Ok(out);
+        }
+        let threads = gemm_threads(config, dim2, samples);
+        let blocks = samples.div_ceil(GEMM_COL_BLOCK);
+        let block_raws = map_indexed_with(blocks, threads, StructuredScratch::default, |s, b| {
+            let c0 = b * GEMM_COL_BLOCK;
+            let c1 = (c0 + GEMM_COL_BLOCK).min(samples);
+            let width = c1 - c0;
+            s.panel.clear();
+            s.panel.reserve(dim2 * width);
+            for i in 0..dim2 {
+                s.panel.extend_from_slice(&packed.row(i)[c0..c1]);
+            }
+            s.y.resize(dim2 * width, C64::ZERO);
+            mpo.apply_panel(&s.panel, width, &mut s.y);
+            let mut raws = Vec::with_capacity(programs.len());
+            for program in &programs {
+                s.evolved.clear();
+                s.evolved.extend_from_slice(&s.panel);
+                program.apply_panel(&mut s.evolved, width);
+                // raw_j = Σ_i evolved[i,j]·y[i,j], row-by-row in the
+                // same index order as the dense engine's accumulation.
+                let mut raw = vec![C64::ZERO; width];
+                for i in 0..dim2 {
+                    let ev = &s.evolved[i * width..(i + 1) * width];
+                    let yr = &s.y[i * width..(i + 1) * width];
+                    for ((acc, &a), &b) in raw.iter_mut().zip(ev).zip(yr) {
+                        *acc += a * b;
+                    }
+                }
+                raws.push(raw);
+            }
+            raws
+        });
+
+        for (b, raws) in block_raws.into_iter().enumerate() {
+            let c0 = b * GEMM_COL_BLOCK;
+            for (level, raw) in raws.into_iter().enumerate() {
+                out[level].extend(raw.into_iter().enumerate().map(|(j, z)| {
+                    finish_deviation(
+                        readout,
+                        z,
+                        shots,
+                        config,
+                        group.index(),
+                        levels[level],
+                        c0 + j,
+                    )
+                }));
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl ScoringEngine for StructuredDensityEngine {
+    fn name(&self) -> &'static str {
+        "density-structured"
+    }
+
+    fn deviations(
+        &self,
+        group: &EnsembleGroup,
+        normalized: &Dataset,
+        config: &QuorumConfig,
+        reset_count: usize,
+    ) -> Result<Vec<f64>, QuorumError> {
+        let mut all = self.deviations_all_levels(group, normalized, config, &[reset_count])?;
+        Ok(all.pop().expect("one level requested"))
+    }
+
+    fn deviations_all_levels(
+        &self,
+        group: &EnsembleGroup,
+        normalized: &Dataset,
+        config: &QuorumConfig,
+        levels: &[usize],
+    ) -> Result<Vec<Vec<f64>>, QuorumError> {
+        let packed = DensityEngine::prepare_batch(group, normalized, config)?;
         Self::score_prepared(group, &packed, config, levels)
     }
 }
@@ -1422,8 +1646,18 @@ mod tests {
                 .with_execution(ExecutionMode::Sampled { shots: 64 });
             assert!(resolve(&bad).is_err());
         }
-        let forced = noisy.with_engine(EngineKind::DensitySample);
+        let forced = noisy.clone().with_engine(EngineKind::DensitySample);
         assert_eq!(resolve(&forced).unwrap().name(), "density-sample");
+        // The structured engine: noise-only like its dense sibling, the
+        // Auto pick for wide noisy registers, width-capped never.
+        let forced = noisy.clone().with_engine(EngineKind::DensityStructured);
+        assert_eq!(resolve(&forced).unwrap().name(), "density-structured");
+        let bad = QuorumConfig::default().with_engine(EngineKind::DensityStructured);
+        assert!(resolve(&bad).is_err());
+        let wide_auto = noisy.with_data_qubits(7);
+        assert_eq!(resolve(&wide_auto).unwrap().name(), "density-structured");
+        let wide_dense = wide_auto.with_engine(EngineKind::Density);
+        assert!(resolve(&wide_dense).is_err());
     }
 
     fn noisy_config(noise: qsim::NoiseModel, shots: Option<u64>) -> QuorumConfig {
@@ -1592,6 +1826,85 @@ mod tests {
         assert_eq!(fresh.noisy_superop_fusions(), 0);
         fresh.run_with(&DensityEngine, &ds, &config).unwrap();
         assert_eq!(fresh.noisy_superop_fusions(), levels.len());
+    }
+
+    #[test]
+    fn structured_matches_dense_density_engine() {
+        // The tentpole pin at unit-test granularity: the structured
+        // per-gate channel walk plus the MPO readout reproduces the
+        // dense fused-superoperator numbers on every sample, level and
+        // noise model where both paths run.
+        let ds = tiny_dataset();
+        for noise in [
+            qsim::NoiseModel::ideal(),
+            qsim::NoiseModel::brisbane(),
+            qsim::NoiseModel::brisbane().scaled(2.0),
+        ] {
+            let config = noisy_config(noise, None);
+            let levels = config.effective_compression_levels();
+            let group = group_for(&config, &ds, 1);
+            let dense = DensityEngine
+                .deviations_all_levels(&group, &ds, &config, &levels)
+                .unwrap();
+            let structured = StructuredDensityEngine
+                .deviations_all_levels(&group, &ds, &config, &levels)
+                .unwrap();
+            for (level, (d, s)) in dense.iter().zip(&structured).enumerate() {
+                for (a, b) in d.iter().zip(s) {
+                    assert!(
+                        (a - b).abs() < 1e-9,
+                        "level {level}: dense {a} vs structured {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn structured_scoring_lowers_one_program_per_level() {
+        // The program-cache regression pin, mirroring the dense
+        // superoperator cache's: one lowering per (noise, level) across
+        // any number of samples and repeated passes; clones start cold.
+        let ds = tiny_dataset();
+        let config = noisy_config(qsim::NoiseModel::brisbane(), None).with_seed(29);
+        let levels = config.effective_compression_levels();
+        let group = group_for(&config, &ds, 1);
+        assert_eq!(group.channel_program_fusions(), 0);
+        group
+            .run_with(&StructuredDensityEngine, &ds, &config)
+            .unwrap();
+        assert_eq!(group.channel_program_fusions(), levels.len());
+        group
+            .run_with(&StructuredDensityEngine, &ds, &config)
+            .unwrap();
+        assert_eq!(group.channel_program_fusions(), levels.len());
+        let scaled = noisy_config(qsim::NoiseModel::brisbane().scaled(0.5), None).with_seed(29);
+        group
+            .run_with(&StructuredDensityEngine, &ds, &scaled)
+            .unwrap();
+        assert_eq!(group.channel_program_fusions(), 2 * levels.len());
+        let fresh = group.clone();
+        assert_eq!(fresh.channel_program_fusions(), 0);
+        // The structured pass never touches the dense superoperator cache.
+        assert_eq!(group.noisy_superop_fusions(), 0);
+    }
+
+    #[test]
+    fn structured_rejects_pure_state_and_bad_reset_counts() {
+        let ds = tiny_dataset();
+        let exact = QuorumConfig::default();
+        let group = group_for(&exact, &ds, 0);
+        assert!(matches!(
+            StructuredDensityEngine.deviations(&group, &ds, &exact, 1),
+            Err(QuorumError::InvalidConfig(_))
+        ));
+        let noisy = noisy_config(qsim::NoiseModel::brisbane(), None);
+        assert!(StructuredDensityEngine
+            .deviations(&group, &ds, &noisy, 0)
+            .is_err());
+        assert!(StructuredDensityEngine
+            .deviations(&group, &ds, &noisy, noisy.data_qubits)
+            .is_err());
     }
 
     #[test]

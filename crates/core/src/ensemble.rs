@@ -14,6 +14,7 @@ use crate::error::QuorumError;
 use crate::features::FeatureSelection;
 use qdata::Dataset;
 use qmetrics::stats;
+use qsim::channel::ChannelProgram;
 use qsim::matrix::CMatrix;
 use qsim::NoiseModel;
 use rand::rngs::StdRng;
@@ -72,6 +73,33 @@ impl Clone for NoisySuperopCache {
     }
 }
 
+/// One cached structured channel program: the `(noise model, reset
+/// count)` key plus the per-gate op list the structured density engine
+/// walks over the whole panel.
+#[derive(Debug)]
+struct ChannelProgramEntry {
+    noise: NoiseModel,
+    reset_count: usize,
+    program: Arc<ChannelProgram>,
+}
+
+/// Lazily lowered channel programs, one per `(noise model, compression
+/// level)` — the structured engine's analogue of [`NoisySuperopCache`],
+/// with the same build-under-lock discipline and fusion counter. The
+/// entries are `O(gates)` (a few KiB) instead of `O(16^n)`.
+#[derive(Debug, Default)]
+struct ChannelProgramCache {
+    entries: Mutex<Vec<ChannelProgramEntry>>,
+    fusions: AtomicUsize,
+}
+
+impl Clone for ChannelProgramCache {
+    /// Clones start cold, for the same reason [`EncoderCache`]'s do.
+    fn clone(&self) -> Self {
+        ChannelProgramCache::default()
+    }
+}
+
 /// One randomized ensemble group: buckets, feature subset and ansatz.
 #[derive(Debug, Clone)]
 pub struct EnsembleGroup {
@@ -81,6 +109,7 @@ pub struct EnsembleGroup {
     buckets: Vec<Vec<usize>>,
     encoder_cache: EncoderCache,
     noisy_superop_cache: NoisySuperopCache,
+    channel_program_cache: ChannelProgramCache,
 }
 
 impl EnsembleGroup {
@@ -104,6 +133,7 @@ impl EnsembleGroup {
             buckets,
             encoder_cache: EncoderCache::default(),
             noisy_superop_cache: NoisySuperopCache::default(),
+            channel_program_cache: ChannelProgramCache::default(),
         }
     }
 
@@ -218,6 +248,69 @@ impl EnsembleGroup {
             });
         }
         Ok(superop)
+    }
+
+    /// The group's bottlenecked autoencoder segment lowered into a
+    /// structured per-gate [`ChannelProgram`], built at most once per
+    /// `(noise model, compression level)` and cached for the group's
+    /// lifetime — the structured density engine's `O(gates)` analogue of
+    /// [`EnsembleGroup::fused_noisy_superop`], applied op by op over the
+    /// whole packed panel instead of as one `16^n` GEMM.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::engine`] lowering failures (effectively
+    /// infallible for valid ansätze).
+    pub fn channel_program(
+        &self,
+        noise: &NoiseModel,
+        reset_count: usize,
+    ) -> Result<Arc<ChannelProgram>, QuorumError> {
+        /// Bytes one group's program cache may retain — programs are a
+        /// few KiB, so this holds hundreds of `(model, level)` pairs.
+        const CHANNEL_PROGRAM_CACHE_BYTES: usize = 1 << 20;
+
+        let mut entries = self
+            .channel_program_cache
+            .entries
+            .lock()
+            .expect("channel program cache poisoned");
+        if let Some(entry) = entries
+            .iter()
+            .find(|e| e.reset_count == reset_count && &e.noise == noise)
+        {
+            return Ok(Arc::clone(&entry.program));
+        }
+        // Build under the lock, like the superoperator cache: concurrent
+        // scorers wait rather than duplicating the lowering.
+        let program = Arc::new(engine::build_channel_program(
+            &self.ansatz,
+            noise,
+            reset_count,
+        )?);
+        self.channel_program_cache
+            .fusions
+            .fetch_add(1, Ordering::Relaxed);
+        let new_bytes = program.approx_bytes();
+        if new_bytes <= CHANNEL_PROGRAM_CACHE_BYTES {
+            let held: usize = entries.iter().map(|e| e.program.approx_bytes()).sum();
+            if held + new_bytes > CHANNEL_PROGRAM_CACHE_BYTES {
+                entries.clear();
+            }
+            entries.push(ChannelProgramEntry {
+                noise: noise.clone(),
+                reset_count,
+                program: Arc::clone(&program),
+            });
+        }
+        Ok(program)
+    }
+
+    /// How many channel programs this group actually lowered — the
+    /// observable behind the structured engine's cache regression tests,
+    /// mirroring [`EnsembleGroup::noisy_superop_fusions`].
+    pub fn channel_program_fusions(&self) -> usize {
+        self.channel_program_cache.fusions.load(Ordering::Relaxed)
     }
 
     /// How many noisy superoperators this group actually fused — the

@@ -27,7 +27,7 @@ use crate::statevector::Statevector;
 /// use qsim::density::DensityMatrix;
 /// use qsim::gate::Gate;
 ///
-/// let mut rho = DensityMatrix::new(1);
+/// let mut rho = DensityMatrix::new(1).unwrap();
 /// rho.apply_gate(Gate::H, &[0]).unwrap();
 /// assert!((rho.purity() - 1.0).abs() < 1e-12);
 /// rho.reset(0).unwrap(); // non-unitary but exact
@@ -41,18 +41,55 @@ pub struct DensityMatrix {
     data: Vec<C64>,
 }
 
+/// Memory budget for a single dense density matrix (or operator evolved
+/// through its kernels): 2 GiB. A `n`-qubit matrix stores `4^n` complex
+/// entries of 16 bytes each, so the widest admissible register is
+/// [`max_density_qubits`] — the cap is *derived* from this budget rather
+/// than hard-coded, and exceeding it is a recoverable
+/// [`QsimError::ExceedsMemoryBudget`], not a panic.
+pub const DENSITY_MEMORY_BUDGET_BYTES: usize = 2 << 30;
+
+/// The widest register whose dense density matrix fits
+/// [`DENSITY_MEMORY_BUDGET_BYTES`]: the largest `n` with
+/// `16 · 4^n ≤ budget` (16 bytes per `C64` entry).
+pub const fn max_density_qubits() -> usize {
+    let mut n = 0;
+    // 4^(n+1) entries × 16 bytes, guarded against shift overflow.
+    while 4 * (n + 1) < usize::BITS as usize
+        && (core::mem::size_of::<C64>() << (2 * (n + 1))) <= DENSITY_MEMORY_BUDGET_BYTES
+    {
+        n += 1;
+    }
+    n
+}
+
+// The budget must reproduce the simulator's historical 13-qubit ceiling —
+// the swap-test observable build relies on `2n+1 ≤ 13` staying legal for
+// the dense small-n oracle.
+const _: () = assert!(max_density_qubits() == 13);
+
 impl DensityMatrix {
     /// Creates `|0…0⟩⟨0…0|`.
-    pub fn new(num_qubits: usize) -> Self {
-        assert!(num_qubits <= 13, "density matrix would exceed memory");
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::ExceedsMemoryBudget`] when the `4^n` dense
+    /// storage would not fit [`DENSITY_MEMORY_BUDGET_BYTES`].
+    pub fn new(num_qubits: usize) -> Result<Self, QsimError> {
+        if num_qubits > max_density_qubits() {
+            return Err(QsimError::ExceedsMemoryBudget {
+                num_qubits,
+                max_qubits: max_density_qubits(),
+            });
+        }
         let dim = 1usize << num_qubits;
         let mut data = vec![C64::ZERO; dim * dim];
         data[0] = C64::ONE;
-        DensityMatrix {
+        Ok(DensityMatrix {
             num_qubits,
             dim,
             data,
-        }
+        })
     }
 
     /// Wraps an arbitrary square matrix over a power-of-two dimension as a
@@ -66,9 +103,10 @@ impl DensityMatrix {
     ///
     /// # Errors
     ///
-    /// Returns [`QsimError::DimensionMismatch`] for a non-square matrix and
+    /// Returns [`QsimError::DimensionMismatch`] for a non-square matrix,
     /// [`QsimError::Unsupported`] for a dimension that is not a power of
-    /// two or exceeds the simulator's 13-qubit limit.
+    /// two, and [`QsimError::ExceedsMemoryBudget`] past the
+    /// budget-derived [`max_density_qubits`] limit.
     pub fn from_cmatrix(m: &CMatrix) -> Result<Self, QsimError> {
         let dim = m.rows();
         if m.cols() != dim {
@@ -77,10 +115,16 @@ impl DensityMatrix {
                 actual: m.cols(),
             });
         }
-        if !dim.is_power_of_two() || dim > (1 << 13) {
+        if !dim.is_power_of_two() {
             return Err(QsimError::Unsupported(format!(
-                "operator dimension {dim} must be a power of two within the 13-qubit limit"
+                "operator dimension {dim} must be a power of two"
             )));
+        }
+        if dim > (1 << max_density_qubits()) {
+            return Err(QsimError::ExceedsMemoryBudget {
+                num_qubits: dim.trailing_zeros() as usize,
+                max_qubits: max_density_qubits(),
+            });
         }
         let num_qubits = dim.trailing_zeros() as usize;
         let mut data = vec![C64::ZERO; dim * dim];
@@ -936,6 +980,192 @@ fn depol2q_columns_body(
     }
 }
 
+/// Borrows `N` pairwise-distinct vec rows of a `dim² × samples` panel as
+/// disjoint mutable lane runs, in the caller's slot order. The rows are
+/// sorted internally and the panel split sequentially, so arbitrary
+/// (e.g. non-monotone two-qubit sub-block) row orders are supported.
+fn disjoint_rows_mut<'a, const N: usize>(
+    data: &'a mut [crate::complex::C64],
+    samples: usize,
+    rows: &[usize; N],
+) -> [&'a mut [crate::complex::C64]; N] {
+    let mut order: [usize; N] = core::array::from_fn(|i| i);
+    order.sort_unstable_by_key(|&slot| rows[slot]);
+    let mut out: [Option<&mut [crate::complex::C64]>; N] = core::array::from_fn(|_| None);
+    let mut rest = data;
+    let mut consumed = 0usize;
+    for &slot in &order {
+        let start = rows[slot] * samples;
+        let (head, tail) = core::mem::take(&mut rest).split_at_mut(start - consumed + samples);
+        let head_len = head.len();
+        out[slot] = Some(&mut head[head_len - samples..]);
+        consumed = start + samples;
+        rest = tail;
+    }
+    out.map(|o| o.expect("row indices must be pairwise distinct"))
+}
+
+/// Applies a shared two-qubit superoperator (16×16 row-major over the
+/// vectorised 4×4 sub-block, `qa` the most significant sub-index bit) to
+/// `(qa, qb)` of **every column** of a `dim² × samples` vec(ρ) panel —
+/// the lockstep analogue of [`DensityMatrix::apply_superop_2q`], with the
+/// same gather → mat-vec → scatter term order per lane
+/// ([`crate::kernel::superop16_lanes`], runtime-AVX-recompiled).
+///
+/// # Panics
+///
+/// Panics on a malformed panel shape or out-of-range/duplicate qubits.
+pub fn apply_superop_2q_columns(
+    data: &mut [crate::complex::C64],
+    dim: usize,
+    samples: usize,
+    qa: usize,
+    qb: usize,
+    s: &[[crate::complex::C64; 16]; 16],
+) {
+    assert!(dim.is_power_of_two(), "ρ dimension must be a power of two");
+    assert!(1usize << qa < dim, "qubit out of range");
+    assert!(1usize << qb < dim, "qubit out of range");
+    assert_ne!(qa, qb, "operands must differ");
+    assert_eq!(data.len(), dim * dim * samples, "panel shape mismatch");
+    if samples == 0 {
+        return;
+    }
+    let ma = 1usize << qa;
+    let mb = 1usize << qb;
+    let both = ma | mb;
+    // Row/column sub-index expansion: sub 0..4, bit1 = qa, bit0 = qb.
+    let expand = |base: usize, sub: usize| -> usize {
+        let mut idx = base;
+        if sub & 2 != 0 {
+            idx |= ma;
+        }
+        if sub & 1 != 0 {
+            idx |= mb;
+        }
+        idx
+    };
+    for r_base in 0..dim {
+        if r_base & both != 0 {
+            continue;
+        }
+        for c_base in 0..dim {
+            if c_base & both != 0 {
+                continue;
+            }
+            let mut vec_rows = [0usize; 16];
+            for rs in 0..4 {
+                let row = expand(r_base, rs) * dim;
+                for cs in 0..4 {
+                    vec_rows[rs * 4 + cs] = row + expand(c_base, cs);
+                }
+            }
+            let mut lanes = disjoint_rows_mut(data, samples, &vec_rows);
+            crate::kernel::superop16_lanes(&mut lanes, s);
+        }
+    }
+}
+
+/// Resets `qubit` to `|0⟩` in **every column** of a `dim² × samples`
+/// vec(ρ) panel — the lockstep analogue of [`DensityMatrix::reset`]'s
+/// Kraus pair `{|0⟩⟨0|, |0⟩⟨1|}`, charged in closed form
+/// (`ρ00 ← ρ00 + ρ11`, other sub-block entries zeroed) through
+/// [`crate::kernel::reset_lanes`].
+///
+/// # Panics
+///
+/// Same contract as [`ry_conjugate_columns`].
+pub fn apply_reset_columns(
+    data: &mut [crate::complex::C64],
+    dim: usize,
+    samples: usize,
+    qubit: usize,
+) {
+    assert!(dim.is_power_of_two(), "ρ dimension must be a power of two");
+    assert!(1usize << qubit < dim, "qubit out of range");
+    assert_eq!(data.len(), dim * dim * samples, "panel shape mismatch");
+    if samples == 0 {
+        return;
+    }
+    let mask = 1usize << qubit;
+    for r0 in (0..dim).filter(|r| r & mask == 0) {
+        for c0 in (0..dim).filter(|c| c & mask == 0) {
+            let (v0, v1, v2, v3) = sub_block_rows_mut(data, dim, samples, mask, r0, c0);
+            crate::kernel::reset_lanes(v0, v1, v2, v3);
+        }
+    }
+}
+
+/// Applies the amplitude-damping channel with parameter `gamma` to
+/// `qubit` of **every column** of a `dim² × samples` vec(ρ) panel — the
+/// lockstep closed form of [`crate::noise::amplitude_damping`]'s Kraus
+/// pair, charged through [`crate::kernel::amp_damp_lanes`].
+///
+/// # Panics
+///
+/// Panics on a malformed panel shape, a bad operand, or `gamma` outside
+/// `[0, 1]`.
+pub fn apply_amplitude_damping_columns(
+    data: &mut [crate::complex::C64],
+    dim: usize,
+    samples: usize,
+    qubit: usize,
+    gamma: f64,
+) {
+    assert!(dim.is_power_of_two(), "ρ dimension must be a power of two");
+    assert!(1usize << qubit < dim, "qubit out of range");
+    assert_eq!(data.len(), dim * dim * samples, "panel shape mismatch");
+    assert!((0.0..=1.0).contains(&gamma), "invalid probability {gamma}");
+    if samples == 0 {
+        return;
+    }
+    let damp = (1.0 - gamma).sqrt();
+    let mask = 1usize << qubit;
+    for r0 in (0..dim).filter(|r| r & mask == 0) {
+        for c0 in (0..dim).filter(|c| c & mask == 0) {
+            let (v0, v1, v2, v3) = sub_block_rows_mut(data, dim, samples, mask, r0, c0);
+            crate::kernel::amp_damp_lanes(v0, v1, v2, v3, gamma, damp);
+        }
+    }
+}
+
+/// Applies the phase-damping channel with parameter `lambda` to `qubit`
+/// of **every column** of a `dim² × samples` vec(ρ) panel — the lockstep
+/// closed form of [`crate::noise::phase_damping`]'s Kraus pair: only the
+/// two coherence rows of each sub-block shrink (by `√(1−λ)`), the
+/// populations are untouched ([`crate::kernel::phase_damp_lanes`]).
+///
+/// # Panics
+///
+/// Panics on a malformed panel shape, a bad operand, or `lambda` outside
+/// `[0, 1]`.
+pub fn apply_phase_damping_columns(
+    data: &mut [crate::complex::C64],
+    dim: usize,
+    samples: usize,
+    qubit: usize,
+    lambda: f64,
+) {
+    assert!(dim.is_power_of_two(), "ρ dimension must be a power of two");
+    assert!(1usize << qubit < dim, "qubit out of range");
+    assert_eq!(data.len(), dim * dim * samples, "panel shape mismatch");
+    assert!(
+        (0.0..=1.0).contains(&lambda),
+        "invalid probability {lambda}"
+    );
+    if samples == 0 {
+        return;
+    }
+    let damp = (1.0 - lambda).sqrt();
+    let mask = 1usize << qubit;
+    for r0 in (0..dim).filter(|r| r & mask == 0) {
+        for c0 in (0..dim).filter(|c| c & mask == 0) {
+            let (_, v1, v2, _) = sub_block_rows_mut(data, dim, samples, mask, r0, c0);
+            crate::kernel::phase_damp_lanes(v1, v2, damp);
+        }
+    }
+}
+
 /// Builds the superoperator matrix `S = Σ_m K_m ⊗ conj(K_m)` of a Kraus
 /// channel, acting on row-major vectorised blocks: for `d`-dimensional
 /// Kraus operators the result is `d² × d²` with
@@ -994,6 +1224,27 @@ pub fn superop_to_array_1q(s: &CMatrix) -> [[C64; 4]; 4] {
     out
 }
 
+/// Converts a 16×16 [`CMatrix`] superoperator into the boxed fixed-size
+/// array [`apply_superop_2q_columns`] consumes.
+///
+/// # Panics
+///
+/// Panics unless the matrix is 16×16.
+pub fn superop_to_array_2q(s: &CMatrix) -> Box<[[C64; 16]; 16]> {
+    assert_eq!(
+        (s.rows(), s.cols()),
+        (16, 16),
+        "superoperator must be 16×16"
+    );
+    let mut out = Box::new([[C64::ZERO; 16]; 16]);
+    for (i, row) in out.iter_mut().enumerate() {
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = s[(i, j)];
+        }
+    }
+    out
+}
+
 /// The adjoint (Heisenberg-picture) superoperator of a fused single-qubit
 /// channel: for `S = Σ_m K_m ⊗ conj(K_m)` the adjoint channel
 /// `X → Σ_m K_m† X K_m` has superoperator `S†`. Feeding the result to
@@ -1042,7 +1293,7 @@ mod tests {
 
     #[test]
     fn fresh_state_is_pure_zero() {
-        let rho = DensityMatrix::new(2);
+        let rho = DensityMatrix::new(2).unwrap();
         assert!((rho.trace() - 1.0).abs() < TOL);
         assert!((rho.purity() - 1.0).abs() < TOL);
         assert!((rho.diagonal_probabilities()[0] - 1.0).abs() < TOL);
@@ -1054,7 +1305,7 @@ mod tests {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let mut sv = Statevector::new(3);
-        let mut rho = DensityMatrix::new(3);
+        let mut rho = DensityMatrix::new(3).unwrap();
         for _ in 0..30 {
             let q = rng.gen_range(0..3);
             let theta: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
@@ -1084,7 +1335,7 @@ mod tests {
     #[test]
     fn reset_produces_exact_mixture_marginal() {
         // H then reset: ρ = |0><0| on that qubit, trace preserved.
-        let mut rho = DensityMatrix::new(1);
+        let mut rho = DensityMatrix::new(1).unwrap();
         rho.apply_gate(Gate::H, &[0]).unwrap();
         rho.reset(0).unwrap();
         assert!((rho.trace() - 1.0).abs() < TOL);
@@ -1094,7 +1345,7 @@ mod tests {
     #[test]
     fn reset_of_entangled_qubit_leaves_partner_mixed() {
         // Bell state; resetting qubit 0 leaves qubit 1 maximally mixed.
-        let mut rho = DensityMatrix::new(2);
+        let mut rho = DensityMatrix::new(2).unwrap();
         rho.apply_gate(Gate::H, &[0]).unwrap();
         rho.apply_gate(Gate::CX, &[0, 1]).unwrap();
         rho.reset(0).unwrap();
@@ -1106,7 +1357,7 @@ mod tests {
 
     #[test]
     fn dephase_kills_coherences() {
-        let mut rho = DensityMatrix::new(1);
+        let mut rho = DensityMatrix::new(1).unwrap();
         rho.apply_gate(Gate::H, &[0]).unwrap();
         assert!(rho.at(0, 1).abs() > 0.4);
         rho.dephase(0).unwrap();
@@ -1116,7 +1367,7 @@ mod tests {
 
     #[test]
     fn kraus_identity_channel_is_noop() {
-        let mut rho = DensityMatrix::new(2);
+        let mut rho = DensityMatrix::new(2).unwrap();
         rho.apply_gate(Gate::H, &[0]).unwrap();
         rho.apply_gate(Gate::CX, &[0, 1]).unwrap();
         let before = rho.clone();
@@ -1126,7 +1377,7 @@ mod tests {
 
     #[test]
     fn kraus_dimension_validation() {
-        let mut rho = DensityMatrix::new(2);
+        let mut rho = DensityMatrix::new(2).unwrap();
         let err = rho.apply_kraus(&[CMatrix::identity(4)], &[0]).unwrap_err();
         assert!(matches!(err, QsimError::DimensionMismatch { .. }));
     }
@@ -1141,7 +1392,7 @@ mod tests {
                 kraus.push(a.matrix().kron(&b.matrix()).scaled(C64::from_real(0.25)));
             }
         }
-        let mut rho = DensityMatrix::new(2);
+        let mut rho = DensityMatrix::new(2).unwrap();
         rho.apply_gate(Gate::H, &[0]).unwrap();
         rho.apply_gate(Gate::CX, &[0, 1]).unwrap();
         rho.apply_kraus(&kraus, &[0, 1]).unwrap();
@@ -1151,7 +1402,7 @@ mod tests {
 
     #[test]
     fn partial_trace_of_bell_state_is_maximally_mixed() {
-        let mut rho = DensityMatrix::new(2);
+        let mut rho = DensityMatrix::new(2).unwrap();
         rho.apply_gate(Gate::H, &[0]).unwrap();
         rho.apply_gate(Gate::CX, &[0, 1]).unwrap();
         let reduced = rho.partial_trace(&[1]).unwrap();
@@ -1163,7 +1414,7 @@ mod tests {
 
     #[test]
     fn partial_trace_of_product_state_is_factor() {
-        let mut rho = DensityMatrix::new(2);
+        let mut rho = DensityMatrix::new(2).unwrap();
         rho.apply_gate(Gate::X, &[1]).unwrap();
         rho.apply_gate(Gate::H, &[0]).unwrap();
         let reduced = rho.partial_trace(&[0]).unwrap();
@@ -1184,7 +1435,7 @@ mod tests {
 
     #[test]
     fn probability_one_checks_range() {
-        let rho = DensityMatrix::new(2);
+        let rho = DensityMatrix::new(2).unwrap();
         assert!(rho.probability_one(5).is_err());
     }
 
@@ -1192,7 +1443,7 @@ mod tests {
         use rand::Rng;
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let mut rho = DensityMatrix::new(3);
+        let mut rho = DensityMatrix::new(3).unwrap();
         for _ in 0..12 {
             let q = rng.gen_range(0..3);
             rho.apply_gate(Gate::RY(rng.gen_range(0.0..std::f64::consts::TAU)), &[q])
@@ -1320,7 +1571,7 @@ mod tests {
 
     #[test]
     fn closed_form_depolarizing_validates() {
-        let mut rho = DensityMatrix::new(2);
+        let mut rho = DensityMatrix::new(2).unwrap();
         assert!(rho.apply_depolarizing_2q(0, 1, 1.0).is_err());
         assert!(rho.apply_depolarizing_2q(0, 1, -0.1).is_err());
         assert!(rho.apply_depolarizing_2q(0, 1, 0.0).is_ok());
@@ -1328,7 +1579,7 @@ mod tests {
 
     #[test]
     fn superop_validation() {
-        let mut rho = DensityMatrix::new(2);
+        let mut rho = DensityMatrix::new(2).unwrap();
         let s4 = CMatrix::identity(4);
         assert!(rho.apply_superop_2q(0, 1, &s4).is_err()); // wrong dim
         let s16 = CMatrix::identity(16);
@@ -1399,7 +1650,7 @@ mod tests {
     #[test]
     fn amplitude_damping_purifies_the_maximally_mixed_state() {
         // The non-unital counterexample that keeps the test above honest.
-        let mut rho = DensityMatrix::new(1);
+        let mut rho = DensityMatrix::new(1).unwrap();
         rho.apply_kraus(&crate::noise::depolarizing_1q(0.75), &[0])
             .unwrap();
         assert!((rho.purity() - 0.5).abs() < TOL);
@@ -1422,10 +1673,10 @@ mod tests {
                 rng.gen_range(0.0..std::f64::consts::TAU),
             );
             // |ψ⟩ = RY(ta)|0⟩ ⊗ junk on qubit 1, |φ⟩ likewise with tb.
-            let mut psi = DensityMatrix::new(2);
+            let mut psi = DensityMatrix::new(2).unwrap();
             psi.apply_gate(Gate::RY(ta), &[0]).unwrap();
             psi.apply_gate(Gate::RY(1.3), &[1]).unwrap();
-            let mut phi = DensityMatrix::new(2);
+            let mut phi = DensityMatrix::new(2).unwrap();
             phi.apply_gate(Gate::RY(tb), &[0]).unwrap();
             phi.apply_gate(Gate::RX(0.4), &[1]).unwrap();
             let ra = psi.partial_trace(&[0]).unwrap();

@@ -49,6 +49,15 @@ pub enum QsimError {
         /// The number of classical bits available.
         num_clbits: usize,
     },
+    /// Allocating a density matrix of this width would exceed the
+    /// simulator's memory budget
+    /// ([`crate::density::DENSITY_MEMORY_BUDGET_BYTES`]).
+    ExceedsMemoryBudget {
+        /// The requested register width.
+        num_qubits: usize,
+        /// The widest register the budget admits.
+        max_qubits: usize,
+    },
     /// The operation is not supported by the chosen backend.
     Unsupported(String),
 }
@@ -83,6 +92,16 @@ impl fmt::Display for QsimError {
                     "classical bit {clbit} out of range for {num_clbits} bits"
                 )
             }
+            QsimError::ExceedsMemoryBudget {
+                num_qubits,
+                max_qubits,
+            } => {
+                write!(
+                    f,
+                    "a {num_qubits}-qubit density matrix would exceed the memory \
+                     budget (at most {max_qubits} qubits)"
+                )
+            }
             QsimError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
         }
     }
@@ -105,6 +124,12 @@ mod tests {
         assert!(e.to_string().contains("not normalized"));
         let e = QsimError::Unsupported("conditional gates".into());
         assert!(e.to_string().contains("conditional gates"));
+        let e = QsimError::ExceedsMemoryBudget {
+            num_qubits: 20,
+            max_qubits: 13,
+        };
+        assert!(e.to_string().contains("20-qubit"));
+        assert!(e.to_string().contains("13"));
     }
 
     #[test]

@@ -731,6 +731,216 @@ fn branch_sweep_body(
     }
 }
 
+/// The batched 16×16 superoperator lane kernel: applies one shared 16×16
+/// complex matrix across the sample lanes of sixteen row runs of a
+/// `4^n × S` vec(ρ) panel. Two callers share it: the two-qubit
+/// superoperator conjugation
+/// ([`crate::density::apply_superop_2q_columns`], rows = the sixteen vec
+/// rows of one two-qubit sub-block) and the structured swap-test readout
+/// sweep ([`crate::channel::SwapTestMpo`], rows = 4 bond panels × 4 field
+/// rows). Per lane the arithmetic matches
+/// [`crate::density::DensityMatrix::apply_superop_2q`]'s gather → 16×16
+/// mat-vec → scatter loop term for term. Dispatched through the runtime
+/// AVX recompilation ladder.
+pub fn superop16_lanes(rows: &mut [&mut [C64]; 16], s: &[[C64; 16]; 16]) {
+    #[cfg(target_arch = "x86_64")]
+    if avx_autovec_active() {
+        // SAFETY: AVX support verified at runtime; the function body is
+        // the same safe Rust as `superop16_body`.
+        unsafe {
+            superop16_avx(rows, s);
+        }
+        return;
+    }
+    superop16_body(rows, s);
+}
+
+/// [`superop16_lanes`]'s body recompiled with 256-bit AVX vectors enabled —
+/// identical safe Rust, identical results.
+///
+/// # Safety
+///
+/// The caller must have verified AVX support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn superop16_avx(rows: &mut [&mut [C64]; 16], s: &[[C64; 16]; 16]) {
+    superop16_body(rows, s);
+}
+
+#[inline(always)]
+fn superop16_body(rows: &mut [&mut [C64]; 16], s: &[[C64; 16]; 16]) {
+    let lanes = rows[0].len();
+    for row in rows.iter() {
+        assert_eq!(row.len(), lanes, "lane runs must have equal width");
+    }
+    for lane in 0..lanes {
+        let mut v = [C64::ZERO; 16];
+        for (slot, row) in v.iter_mut().zip(rows.iter()) {
+            *slot = row[lane];
+        }
+        for (row, srow) in rows.iter_mut().zip(s.iter()) {
+            let mut acc = C64::ZERO;
+            for (m, x) in srow.iter().zip(&v) {
+                acc += *m * *x;
+            }
+            row[lane] = acc;
+        }
+    }
+}
+
+/// The batched reset-channel lane kernel: collapses one single-qubit
+/// sub-block to `|0⟩` across the sample lanes — per lane
+/// `ρ00 ← ρ00 + ρ11`, `ρ01 = ρ10 = ρ11 = 0`, the closed form of the
+/// Kraus pair `{|0⟩⟨0|, |0⟩⟨1|}` that
+/// [`crate::density::DensityMatrix::reset`] charges (same accumulation
+/// order: the `K₀` term before the `K₁` term). Dispatched through the
+/// runtime AVX recompilation ladder.
+pub fn reset_lanes(v0: &mut [C64], v1: &mut [C64], v2: &mut [C64], v3: &mut [C64]) {
+    #[cfg(target_arch = "x86_64")]
+    if avx_autovec_active() {
+        // SAFETY: AVX support verified at runtime; the function body is
+        // the same safe Rust as `reset_body`.
+        unsafe {
+            reset_avx(v0, v1, v2, v3);
+        }
+        return;
+    }
+    reset_body(v0, v1, v2, v3);
+}
+
+/// [`reset_lanes`]'s body recompiled with 256-bit AVX vectors enabled —
+/// identical safe Rust, identical results.
+///
+/// # Safety
+///
+/// The caller must have verified AVX support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn reset_avx(v0: &mut [C64], v1: &mut [C64], v2: &mut [C64], v3: &mut [C64]) {
+    reset_body(v0, v1, v2, v3);
+}
+
+#[inline(always)]
+fn reset_body(v0: &mut [C64], v1: &mut [C64], v2: &mut [C64], v3: &mut [C64]) {
+    for (((a, b), c_), d) in v0
+        .iter_mut()
+        .zip(v1.iter_mut())
+        .zip(v2.iter_mut())
+        .zip(v3.iter_mut())
+    {
+        *a += *d;
+        *b = C64::ZERO;
+        *c_ = C64::ZERO;
+        *d = C64::ZERO;
+    }
+}
+
+/// The batched amplitude-damping lane kernel: per lane
+/// `ρ00 ← ρ00 + γ·ρ11`, `ρ01 ← √(1−γ)·ρ01`, `ρ10 ← √(1−γ)·ρ10`,
+/// `ρ11 ← (1−γ)·ρ11` — the closed form of
+/// [`crate::noise::amplitude_damping`]'s Kraus pair. `damp = √(1−γ)` and
+/// `keep = 1−γ` are hoisted by the caller so every lane pays multiplies
+/// only. Dispatched through the runtime AVX recompilation ladder.
+pub fn amp_damp_lanes(
+    v0: &mut [C64],
+    v1: &mut [C64],
+    v2: &mut [C64],
+    v3: &mut [C64],
+    gamma: f64,
+    damp: f64,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if avx_autovec_active() {
+        // SAFETY: AVX support verified at runtime; the function body is
+        // the same safe Rust as `amp_damp_body`.
+        unsafe {
+            amp_damp_avx(v0, v1, v2, v3, gamma, damp);
+        }
+        return;
+    }
+    amp_damp_body(v0, v1, v2, v3, gamma, damp);
+}
+
+/// [`amp_damp_lanes`]'s body recompiled with 256-bit AVX vectors enabled —
+/// identical safe Rust, identical results.
+///
+/// # Safety
+///
+/// The caller must have verified AVX support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn amp_damp_avx(
+    v0: &mut [C64],
+    v1: &mut [C64],
+    v2: &mut [C64],
+    v3: &mut [C64],
+    gamma: f64,
+    damp: f64,
+) {
+    amp_damp_body(v0, v1, v2, v3, gamma, damp);
+}
+
+#[inline(always)]
+fn amp_damp_body(
+    v0: &mut [C64],
+    v1: &mut [C64],
+    v2: &mut [C64],
+    v3: &mut [C64],
+    gamma: f64,
+    damp: f64,
+) {
+    let keep = 1.0 - gamma;
+    for (((a, b), c_), d) in v0
+        .iter_mut()
+        .zip(v1.iter_mut())
+        .zip(v2.iter_mut())
+        .zip(v3.iter_mut())
+    {
+        *a += d.scale(gamma);
+        *b = b.scale(damp);
+        *c_ = c_.scale(damp);
+        *d = d.scale(keep);
+    }
+}
+
+/// The batched phase-damping lane kernel: per lane the coherences shrink,
+/// `ρ01 ← √(1−λ)·ρ01`, `ρ10 ← √(1−λ)·ρ10`, and the populations are
+/// untouched — the closed form of [`crate::noise::phase_damping`]'s
+/// Kraus pair. `damp = √(1−λ)` is hoisted by the caller. Dispatched
+/// through the runtime AVX recompilation ladder.
+pub fn phase_damp_lanes(v1: &mut [C64], v2: &mut [C64], damp: f64) {
+    #[cfg(target_arch = "x86_64")]
+    if avx_autovec_active() {
+        // SAFETY: AVX support verified at runtime; the function body is
+        // the same safe Rust as `phase_damp_body`.
+        unsafe {
+            phase_damp_avx(v1, v2, damp);
+        }
+        return;
+    }
+    phase_damp_body(v1, v2, damp);
+}
+
+/// [`phase_damp_lanes`]'s body recompiled with 256-bit AVX vectors
+/// enabled — identical safe Rust, identical results.
+///
+/// # Safety
+///
+/// The caller must have verified AVX support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn phase_damp_avx(v1: &mut [C64], v2: &mut [C64], damp: f64) {
+    phase_damp_body(v1, v2, damp);
+}
+
+#[inline(always)]
+fn phase_damp_body(v1: &mut [C64], v2: &mut [C64], damp: f64) {
+    for (b, c_) in v1.iter_mut().zip(v2.iter_mut()) {
+        *b = b.scale(damp);
+        *c_ = c_.scale(damp);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -905,6 +1115,101 @@ mod tests {
     }
 
     #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[test]
+    fn superop16_lanes_matches_plain_mat_vec() {
+        let lanes = 7;
+        let mut v: Vec<Vec<C64>> = (0..16).map(|r| dense(1, lanes, 20 + r as u64)).collect();
+        let mut s = [[C64::ZERO; 16]; 16];
+        for (i, row) in s.iter_mut().enumerate() {
+            for (j, x) in row.iter_mut().enumerate() {
+                let t = (i * 16 + j) as f64;
+                *x = C64::new((t * 0.311).sin(), (t * 0.731).cos());
+            }
+        }
+        let mut expected = v.clone();
+        for j in 0..lanes {
+            let vin: Vec<C64> = (0..16).map(|r| v[r][j]).collect();
+            for (i, row) in s.iter().enumerate() {
+                let mut acc = C64::ZERO;
+                for (m, x) in row.iter().zip(&vin) {
+                    acc += *m * *x;
+                }
+                expected[i][j] = acc;
+            }
+        }
+        let refs: Vec<&mut [C64]> = v.iter_mut().map(|r| r.as_mut_slice()).collect();
+        let mut rows: [&mut [C64]; 16] = refs.try_into().expect("sixteen rows");
+        superop16_lanes(&mut rows, &s);
+        for (r, exp) in expected.iter().enumerate() {
+            for j in 0..lanes {
+                assert!(
+                    v[r][j].approx_eq(exp[j], 1e-13),
+                    "row {r} lane {j}: {} vs {}",
+                    v[r][j],
+                    exp[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reset_and_damping_lanes_match_closed_forms() {
+        let lanes = 9;
+        let mk = || -> Vec<Vec<C64>> { (0..4).map(|r| dense(1, lanes, 40 + r as u64)).collect() };
+
+        // Reset: ρ00 + ρ11 survives, everything else vanishes.
+        let mut v = mk();
+        let orig = v.clone();
+        {
+            let (a, rest) = v.split_at_mut(1);
+            let (b, rest) = rest.split_at_mut(1);
+            let (c, d) = rest.split_at_mut(1);
+            reset_lanes(&mut a[0], &mut b[0], &mut c[0], &mut d[0]);
+        }
+        for j in 0..lanes {
+            assert!(v[0][j].approx_eq(orig[0][j] + orig[3][j], 1e-14));
+            for row in v.iter().take(4).skip(1) {
+                assert_eq!(row[j], C64::ZERO);
+            }
+        }
+
+        // Amplitude damping at γ: population transfer + coherence decay.
+        let gamma: f64 = 0.37;
+        let damp = (1.0 - gamma).sqrt();
+        let mut v = mk();
+        let orig = v.clone();
+        {
+            let (a, rest) = v.split_at_mut(1);
+            let (b, rest) = rest.split_at_mut(1);
+            let (c, d) = rest.split_at_mut(1);
+            amp_damp_lanes(&mut a[0], &mut b[0], &mut c[0], &mut d[0], gamma, damp);
+        }
+        for j in 0..lanes {
+            assert!(v[0][j].approx_eq(orig[0][j] + orig[3][j].scale(gamma), 1e-14));
+            assert!(v[1][j].approx_eq(orig[1][j].scale(damp), 1e-14));
+            assert!(v[2][j].approx_eq(orig[2][j].scale(damp), 1e-14));
+            assert!(v[3][j].approx_eq(orig[3][j].scale(1.0 - gamma), 1e-14));
+        }
+
+        // Phase damping at λ: only the coherences shrink.
+        let lambda: f64 = 0.52;
+        let damp = (1.0 - lambda).sqrt();
+        let mut v = mk();
+        let orig = v.clone();
+        {
+            let (_, rest) = v.split_at_mut(1);
+            let (b, rest) = rest.split_at_mut(1);
+            let (c, _) = rest.split_at_mut(1);
+            phase_damp_lanes(&mut b[0], &mut c[0], damp);
+        }
+        for j in 0..lanes {
+            assert_eq!(v[0][j], orig[0][j]);
+            assert!(v[1][j].approx_eq(orig[1][j].scale(damp), 1e-14));
+            assert!(v[2][j].approx_eq(orig[2][j].scale(damp), 1e-14));
+            assert_eq!(v[3][j], orig[3][j]);
+        }
+    }
+
     #[test]
     fn avx2_kernel_matches_oracle_when_available() {
         if !simd_active() {

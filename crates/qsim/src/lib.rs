@@ -46,6 +46,7 @@
 
 #![warn(missing_docs)]
 
+pub mod channel;
 pub mod circuit;
 pub mod complex;
 pub mod density;

@@ -341,7 +341,7 @@ mod tests {
 
     #[test]
     fn depolarizing_full_strength_mixes_completely() {
-        let mut rho = DensityMatrix::new(1);
+        let mut rho = DensityMatrix::new(1).unwrap();
         // p = 3/4 gives the maximally mixed state in this convention:
         // (1-3/4)ρ + (1/4)(XρX+YρY+ZρZ) = I/2 for any pure ρ.
         rho.apply_kraus(&depolarizing_1q(0.75), &[0]).unwrap();
@@ -350,7 +350,7 @@ mod tests {
 
     #[test]
     fn amplitude_damping_decays_excited_state() {
-        let mut rho = DensityMatrix::new(1);
+        let mut rho = DensityMatrix::new(1).unwrap();
         rho.apply_gate(Gate::X, &[0]).unwrap();
         rho.apply_kraus(&amplitude_damping(0.25), &[0]).unwrap();
         assert!((rho.probability_one(0).unwrap() - 0.75).abs() < TOL);
@@ -358,7 +358,7 @@ mod tests {
 
     #[test]
     fn phase_damping_preserves_populations() {
-        let mut rho = DensityMatrix::new(1);
+        let mut rho = DensityMatrix::new(1).unwrap();
         rho.apply_gate(Gate::RY(0.9), &[0]).unwrap();
         let p_before = rho.probability_one(0).unwrap();
         rho.apply_kraus(&phase_damping(0.5), &[0]).unwrap();

@@ -315,7 +315,7 @@ mod tests {
     #[test]
     fn mixed_state_expectation() {
         // Maximally mixed single qubit: every non-identity Pauli reads 0.
-        let mut rho = DensityMatrix::new(1);
+        let mut rho = DensityMatrix::new(1).unwrap();
         rho.apply_gate(Gate::H, &[0]).unwrap();
         rho.dephase(0).unwrap();
         rho.apply_gate(Gate::H, &[0]).unwrap();

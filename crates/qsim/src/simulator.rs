@@ -399,6 +399,22 @@ impl GateNoise {
         self.readout_error
     }
 
+    /// The fused channel charged after every 1-qubit gate, if any.
+    pub fn superop_1q(&self) -> Option<&[[crate::complex::C64; 4]; 4]> {
+        self.superop_1q.as_ref()
+    }
+
+    /// The closed-form depolarizing parameter charged after every CX.
+    pub fn depol_2q(&self) -> f64 {
+        self.depol_2q
+    }
+
+    /// The fused per-qubit relaxation charged on each operand of a
+    /// 2-qubit gate, if any.
+    pub fn superop_2q_relax(&self) -> Option<&[[crate::complex::C64; 4]; 4]> {
+        self.superop_2q_relax.as_ref()
+    }
+
     /// Applies the post-gate channel stack for a gate of the given arity on
     /// `qubits` — the Schrödinger-picture direction used when evolving
     /// states forward.
@@ -586,7 +602,7 @@ impl Backend for DensityMatrixBackend {
         };
 
         let n = circ.num_qubits();
-        let mut rho = DensityMatrix::new(n);
+        let mut rho = DensityMatrix::new(n)?;
         // clbit -> qubit mapping established by measures; measures must be
         // terminal per qubit (checked below).
         let mut measured: Vec<Option<usize>> = vec![None; circ.num_clbits()];
@@ -776,11 +792,11 @@ mod tests {
         // backward-evolved SWAP-test functional rests on.
         use crate::gate::Gate;
         let gate_noise = GateNoise::from_model(&NoiseModel::brisbane());
-        let mut rho = DensityMatrix::new(3);
+        let mut rho = DensityMatrix::new(3).unwrap();
         rho.apply_gate(Gate::RY(0.9), &[0]).unwrap();
         rho.apply_gate(Gate::CX, &[0, 1]).unwrap();
         rho.apply_gate(Gate::RX(0.4), &[2]).unwrap();
-        let mut obs = DensityMatrix::new(3);
+        let mut obs = DensityMatrix::new(3).unwrap();
         obs.apply_gate(Gate::RY(2.2), &[1]).unwrap();
         obs.apply_gate(Gate::CX, &[1, 2]).unwrap();
         for (arity, qubits) in [(1usize, vec![1usize]), (2, vec![0, 2])] {
@@ -801,7 +817,7 @@ mod tests {
     #[test]
     fn gate_noise_rejects_unlowered_gates() {
         let gate_noise = GateNoise::from_model(&NoiseModel::brisbane());
-        let mut rho = DensityMatrix::new(3);
+        let mut rho = DensityMatrix::new(3).unwrap();
         assert!(matches!(
             gate_noise.apply_after_gate(&mut rho, 3, &[0, 1, 2]),
             Err(QsimError::Unsupported(_))
