@@ -17,7 +17,10 @@
 //! channel engine against the dense fused-superoperator engine at n = 5
 //! (structured must win outright) and tracks the structured engine alone
 //! at n = 6 (`structured_noisy_ns_per_sample`), a width the dense `16^n`
-//! path cannot practically reach.
+//! path cannot practically reach. A serving column streams the flagship
+//! noisy workload through a frozen detector at coalescing batch sizes
+//! 1/8/32 and requires the per-sample cost to fall as panels grow — the
+//! win the cross-request batcher delivers to a long-lived server.
 //!
 //! Every reported number also lands in `BENCH_engines.json` (per-engine
 //! ns/sample, kernel GFLOP/s, speedup ratios) so the perf trajectory is
@@ -527,6 +530,68 @@ fn report_gemm_kernel(_c: &mut Criterion) {
     }
 }
 
+/// Coalescing batch sizes for the serving-throughput column.
+const SERVE_BATCHES: [usize; 3] = [1, 8, 32];
+/// Groups for the serving column — enough work per panel for the batched
+/// engine seams to matter, small enough for a best-of protocol.
+const SERVE_GROUPS: usize = 8;
+
+/// The serving-throughput column: sustained streamed scoring through a
+/// frozen noisy detector at coalescing batch sizes 1, 8 and 32. The
+/// per-sample cost must fall as the coalescing window admits bigger
+/// panels — that drop is exactly what the cross-request batcher buys a
+/// long-lived server, since every panel runs once through the batched
+/// `prepare_batch`/`score_prepared` and `deviations_all_levels` seams
+/// instead of per-sample. Scores are batch-invariant (pinned by the
+/// serve crate's tests), so the sizes here only move throughput.
+fn report_serve_throughput(_c: &mut Criterion) {
+    let config = noisy_flagship_config(EngineKind::Density).with_ensemble_groups(SERVE_GROUPS);
+    let ds = flagship_dataset();
+    let frozen = quorum_serve::FrozenDetector::freeze(config, &ds).unwrap();
+    let rows = ds.strip_labels().rows().to_vec();
+
+    let mut per_sample_ns = Vec::new();
+    for &batch in &SERVE_BATCHES {
+        // Warm up, then best-of-5 sweeps of the whole stream in
+        // `batch`-sized coalesced panels with stable running ids.
+        let sweep = |rows: &[Vec<f64>]| {
+            let mut next_id = 0u64;
+            for chunk in rows.chunks(batch) {
+                black_box(frozen.score_samples(chunk, next_id).unwrap());
+                next_id += chunk.len() as u64;
+            }
+        };
+        sweep(&rows);
+        let elapsed = best_of(5, || sweep(&rows));
+        let ns = ns_per_sample(elapsed, rows.len());
+        per_sample_ns.push(ns);
+        let throughput = rows.len() as f64 / elapsed.as_secs_f64();
+        match batch {
+            1 => record("serve_batch1_ns_per_sample", ns),
+            8 => record("serve_batch8_ns_per_sample", ns),
+            _ => {
+                record("serve_batch32_ns_per_sample", ns);
+                record("serve_batch32_samples_per_sec", throughput);
+            }
+        }
+        println!(
+            "serve_throughput_batch{batch:<2}                                   {ns:.0} ns/sample ({throughput:.0} samples/s)"
+        );
+    }
+    let coalescing_gain = per_sample_ns[0] / per_sample_ns[2];
+    record(
+        "serve_coalescing_batch32_vs_batch1_speedup",
+        coalescing_gain,
+    );
+    println!(
+        "serve_throughput_coalescing_gain                         batch32/batch1 x{coalescing_gain:.2}"
+    );
+    assert!(
+        per_sample_ns[2] < per_sample_ns[1] && per_sample_ns[1] < per_sample_ns[0],
+        "per-sample cost must fall as the coalescing batch grows, got {per_sample_ns:?} ns"
+    );
+}
+
 /// Writes every recorded metric to `BENCH_engines.json` (override the
 /// path with `QUORUM_BENCH_JSON`) so CI and future PRs can track the
 /// perf trajectory without scraping bench stdout.
@@ -557,6 +622,6 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench_engines, report_speedup, report_noisy_speedup,
         report_density_batch_speedup, report_structured_noisy,
-        report_gemm_kernel, emit_bench_json
+        report_gemm_kernel, report_serve_throughput, emit_bench_json
 }
 criterion_main!(benches);

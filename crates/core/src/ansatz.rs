@@ -66,6 +66,13 @@ impl AnsatzParams {
         self.layers.len()
     }
 
+    /// The raw per-layer `(rx_angles, rz_angles)` pairs, in application
+    /// order. Exposed so a generated detector can be frozen to an artifact
+    /// and reassembled bit-identically via [`AnsatzParams::from_layers`].
+    pub fn layers(&self) -> &[(Vec<f64>, Vec<f64>)] {
+        &self.layers
+    }
+
     /// The encoder circuit `E(θ)` over qubits `0..num_qubits`.
     pub fn encoder(&self) -> Circuit {
         let mut circ = Circuit::new(self.num_qubits);

@@ -138,8 +138,9 @@ pub fn normalize_for_scoring(config: &QuorumConfig, data: &Dataset) -> Dataset {
 /// Replaces every feature with its absolute value so amplitude embedding
 /// (which needs non-negative reals) is well-defined; the paper's features
 /// are non-negative after its normalisation, and |·| preserves "distance
-/// from typical" for signed data.
-fn absolute_features(ds: &Dataset) -> Dataset {
+/// from typical" for signed data. Public so a frozen detector can apply
+/// the identical fold to streamed samples.
+pub fn absolute_features(ds: &Dataset) -> Dataset {
     let rows = ds
         .rows()
         .iter()

@@ -95,6 +95,7 @@
 //! Noisy.
 
 use crate::ansatz::AnsatzParams;
+use crate::cache::ByteBounded;
 use crate::circuit::build_sample_circuit;
 use crate::config::{EngineKind, ExecutionMode, QuorumConfig};
 use crate::ensemble::{derive_seed, EnsembleGroup};
@@ -112,7 +113,7 @@ use qsim::simulator::{
 use qsim::stateprep::{prepare_real_amplitudes, PrepSkeleton, PrepStep};
 use qsim::{transpile, NoiseModel};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Branches lighter than this are dropped, mirroring the branching
 /// statevector backend's prune threshold.
@@ -258,8 +259,20 @@ fn ensure_noisy(config: &QuorumConfig) -> Result<(), QuorumError> {
 }
 
 /// Deterministic per-measurement seed, shared by every engine so sampled
-/// runs stay comparable across engine switches.
-fn shot_seed(config: &QuorumConfig, group_index: usize, reset_count: usize, sample: usize) -> u64 {
+/// runs stay comparable across engine switches. Public for the serving
+/// runtime, which scores coalesced cross-request batches with shots
+/// stripped and re-applies the binomial draw per sample under a stable
+/// request-assigned sample id — using this exact derivation so served
+/// draws match what an in-process run at the same index would produce.
+/// `sample` contributes its low 32 bits; callers with wider ids should
+/// mask (draw streams repeat after 2^32 samples, which only recycles
+/// measurement randomness, never data).
+pub fn shot_seed(
+    config: &QuorumConfig,
+    group_index: usize,
+    reset_count: usize,
+    sample: usize,
+) -> u64 {
     derive_seed(
         config.seed ^ 0x5107,
         (group_index as u64) << 40 | (reset_count as u64) << 32 | sample as u64,
@@ -280,8 +293,9 @@ fn ensure_reset_range(reset_count: usize, num_qubits: usize) -> Result<(), Quoru
 /// Binomial draw of `shots` ancilla measurements from an exact deviation,
 /// through the same cumulative-distribution sampler the circuit backends
 /// use — so all engines produce bit-identical sampled statistics from the
-/// same seed.
-fn sampled_deviation(exact: f64, shots: u64, seed: u64) -> f64 {
+/// same seed. Public for the serving runtime, which applies the draw
+/// after scoring a coalesced batch exactly (see [`shot_seed`]).
+pub fn sampled_deviation(exact: f64, shots: u64, seed: u64) -> f64 {
     use rand::SeedableRng;
     let mut probs = HashMap::new();
     probs.insert(0u64, 1.0 - exact);
@@ -601,7 +615,8 @@ impl ScoringEngine for BatchedAnalyticEngine {
         reset_count: usize,
     ) -> Result<Vec<f64>, QuorumError> {
         let mut all = self.deviations_all_levels(group, normalized, config, &[reset_count])?;
-        Ok(all.pop().expect("one level requested"))
+        all.pop()
+            .ok_or_else(|| QuorumError::Internal("deviations_all_levels returned no levels".into()))
     }
 
     fn deviations_all_levels(
@@ -842,31 +857,26 @@ fn build_swap_test_functional(n: usize, noise: &NoiseModel) -> Result<CMatrix, Q
 /// functional is ~65 KiB).
 const SWAP_FUNCTIONAL_CACHE_BYTES: usize = 64 << 20;
 
-/// The globally cached SWAP-test readout functional: `W` depends only on
-/// the register width and the noise model, so every group and sample of a
-/// run shares one instance. Retention is bounded by
+/// The process-wide SWAP-test functional store: `W` depends only on the
+/// register width and the noise model, so every group, sample and
+/// serving request of the process shares one instance per key. The
+/// [`ByteBounded`] store recovers from mutex poisoning (a panicked
+/// scorer must not wedge a resident server) and evicts oldest-first on
+/// overflow instead of flushing the hot entries.
+static SWAP_FUNCTIONAL_CACHE: ByteBounded<(usize, NoiseModel), CMatrix> = ByteBounded::new();
+
+/// The globally cached SWAP-test readout functional (see
+/// [`SWAP_FUNCTIONAL_CACHE`]). Retention is bounded by
 /// [`SWAP_FUNCTIONAL_CACHE_BYTES`]; oversized functionals are returned
-/// uncached and an overflowing cache is flushed before inserting.
+/// uncached. The build runs outside the cache lock.
 fn swap_test_functional(n: usize, noise: &NoiseModel) -> Result<Arc<CMatrix>, QuorumError> {
-    static CACHE: Mutex<Vec<(usize, NoiseModel, Arc<CMatrix>)>> = Mutex::new(Vec::new());
     let functional_bytes = |w: &CMatrix| w.rows() * w.cols() * std::mem::size_of::<C64>();
-    let mut cache = CACHE.lock().expect("functional cache poisoned");
-    if let Some((_, _, w)) = cache
-        .iter()
-        .find(|(width, model, _)| *width == n && model == noise)
-    {
-        return Ok(Arc::clone(w));
-    }
-    let w = Arc::new(build_swap_test_functional(n, noise)?);
-    let new_bytes = functional_bytes(&w);
-    if new_bytes <= SWAP_FUNCTIONAL_CACHE_BYTES {
-        let held: usize = cache.iter().map(|(_, _, w)| functional_bytes(w)).sum();
-        if held + new_bytes > SWAP_FUNCTIONAL_CACHE_BYTES {
-            cache.clear();
-        }
-        cache.push((n, noise.clone(), Arc::clone(&w)));
-    }
-    Ok(w)
+    SWAP_FUNCTIONAL_CACHE.get_or_try_build(
+        &(n, noise.clone()),
+        SWAP_FUNCTIONAL_CACHE_BYTES,
+        functional_bytes,
+        || build_swap_test_functional(n, noise),
+    )
 }
 
 /// The batched analytic density-matrix noise engine: `n`-qubit mixed-state
@@ -1243,7 +1253,8 @@ impl ScoringEngine for DensityEngine {
         reset_count: usize,
     ) -> Result<Vec<f64>, QuorumError> {
         let mut all = self.deviations_all_levels(group, normalized, config, &[reset_count])?;
-        Ok(all.pop().expect("one level requested"))
+        all.pop()
+            .ok_or_else(|| QuorumError::Internal("deviations_all_levels returned no levels".into()))
     }
 
     fn deviations_all_levels(
@@ -1398,7 +1409,8 @@ impl ScoringEngine for StructuredDensityEngine {
         reset_count: usize,
     ) -> Result<Vec<f64>, QuorumError> {
         let mut all = self.deviations_all_levels(group, normalized, config, &[reset_count])?;
-        Ok(all.pop().expect("one level requested"))
+        all.pop()
+            .ok_or_else(|| QuorumError::Internal("deviations_all_levels returned no levels".into()))
     }
 
     fn deviations_all_levels(
@@ -1476,7 +1488,8 @@ impl ScoringEngine for SampleDensityEngine {
         reset_count: usize,
     ) -> Result<Vec<f64>, QuorumError> {
         let mut all = self.deviations_all_levels(group, normalized, config, &[reset_count])?;
-        Ok(all.pop().expect("one level requested"))
+        all.pop()
+            .ok_or_else(|| QuorumError::Internal("deviations_all_levels returned no levels".into()))
     }
 
     fn deviations_all_levels(
@@ -1826,6 +1839,21 @@ mod tests {
         assert_eq!(fresh.noisy_superop_fusions(), 0);
         fresh.run_with(&DensityEngine, &ds, &config).unwrap();
         assert_eq!(fresh.noisy_superop_fusions(), levels.len());
+    }
+
+    #[test]
+    fn noisy_scoring_survives_poisoned_global_functional_cache() {
+        // Resident-server regression: one scorer thread panicking while it
+        // holds the global swap-functional cache must not wedge every later
+        // request. The cache recovers the guard and keeps serving the same
+        // write-once-valid entries.
+        let ds = tiny_dataset();
+        let config = noisy_config(qsim::NoiseModel::brisbane(), None).with_seed(31);
+        let group = group_for(&config, &ds, 0);
+        let before = group.run_with(&DensityEngine, &ds, &config).unwrap();
+        SWAP_FUNCTIONAL_CACHE.poison_for_test();
+        let after = group.run_with(&DensityEngine, &ds, &config).unwrap();
+        assert_eq!(before, after, "recovered cache must score identically");
     }
 
     #[test]

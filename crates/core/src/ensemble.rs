@@ -8,6 +8,7 @@
 
 use crate::ansatz::AnsatzParams;
 use crate::bucket::BucketPlan;
+use crate::cache::ByteBounded;
 use crate::config::QuorumConfig;
 use crate::engine::{self, ScoringEngine};
 use crate::error::QuorumError;
@@ -20,7 +21,7 @@ use qsim::NoiseModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 
 /// SplitMix64: deterministic per-index seed derivation from a master seed.
 pub(crate) fn derive_seed(master: u64, index: u64) -> u64 {
@@ -47,60 +48,26 @@ impl Clone for EncoderCache {
     }
 }
 
-/// One cached fused noisy superoperator: the `(noise model, reset count)`
-/// key plus the `4^n × 4^n` matrix the density engine applies per sample.
-#[derive(Debug)]
-struct NoisySuperopEntry {
-    noise: NoiseModel,
-    reset_count: usize,
-    superop: Arc<CMatrix>,
-}
+/// Bytes one group's superoperator cache may retain. Every level of
+/// the supported widths up to `n = 5` fits (a `4^n × 4^n` entry is
+/// ~1 MiB at n = 4, ~16 MiB at n = 5); the n = 6 extreme (~268 MiB
+/// per entry) is rebuilt per scoring pass instead of pinned, which
+/// keeps a wide multi-group ensemble from retaining hundreds of
+/// gigabytes.
+const NOISY_SUPEROP_CACHE_BYTES: usize = 64 << 20;
 
-/// Lazily fused noisy superoperators, one per `(noise model, compression
-/// level)`, shared by every sample (and scoring pass) of the group. The
-/// fusion counter backs the cache regression tests, mirroring
-/// [`EncoderCache`].
-#[derive(Debug, Default)]
-struct NoisySuperopCache {
-    entries: Mutex<Vec<NoisySuperopEntry>>,
-    fusions: AtomicUsize,
-}
-
-impl Clone for NoisySuperopCache {
-    /// Clones start cold, for the same reason [`EncoderCache`]'s do.
-    fn clone(&self) -> Self {
-        NoisySuperopCache::default()
-    }
-}
-
-/// One cached structured channel program: the `(noise model, reset
-/// count)` key plus the per-gate op list the structured density engine
-/// walks over the whole panel.
-#[derive(Debug)]
-struct ChannelProgramEntry {
-    noise: NoiseModel,
-    reset_count: usize,
-    program: Arc<ChannelProgram>,
-}
-
-/// Lazily lowered channel programs, one per `(noise model, compression
-/// level)` — the structured engine's analogue of [`NoisySuperopCache`],
-/// with the same build-under-lock discipline and fusion counter. The
-/// entries are `O(gates)` (a few KiB) instead of `O(16^n)`.
-#[derive(Debug, Default)]
-struct ChannelProgramCache {
-    entries: Mutex<Vec<ChannelProgramEntry>>,
-    fusions: AtomicUsize,
-}
-
-impl Clone for ChannelProgramCache {
-    /// Clones start cold, for the same reason [`EncoderCache`]'s do.
-    fn clone(&self) -> Self {
-        ChannelProgramCache::default()
-    }
-}
+/// Bytes one group's program cache may retain — programs are a
+/// few KiB, so this holds hundreds of `(model, level)` pairs.
+const CHANNEL_PROGRAM_CACHE_BYTES: usize = 1 << 20;
 
 /// One randomized ensemble group: buckets, feature subset and ansatz.
+///
+/// The three per-group caches — the fused encoder, the fused noisy
+/// superoperators and the lowered channel programs — live on the group
+/// itself, so a **resident** group (the serving runtime keeps thawed
+/// groups alive for the process lifetime) amortises every fusion across
+/// all requests that score through it. The two keyed caches share the
+/// poison-recovering, oldest-first-evicting [`ByteBounded`] store.
 #[derive(Debug, Clone)]
 pub struct EnsembleGroup {
     index: usize,
@@ -108,8 +75,8 @@ pub struct EnsembleGroup {
     features: FeatureSelection,
     buckets: Vec<Vec<usize>>,
     encoder_cache: EncoderCache,
-    noisy_superop_cache: NoisySuperopCache,
-    channel_program_cache: ChannelProgramCache,
+    noisy_superop_cache: ByteBounded<(NoiseModel, usize), CMatrix>,
+    channel_program_cache: ByteBounded<(NoiseModel, usize), ChannelProgram>,
 }
 
 impl EnsembleGroup {
@@ -126,14 +93,29 @@ impl EnsembleGroup {
         let features =
             FeatureSelection::random(num_features, config.features_per_circuit(), &mut rng);
         let ansatz = AnsatzParams::random(config.data_qubits, config.ansatz_layers, &mut rng);
+        Self::from_parts(index, ansatz, features, buckets)
+    }
+
+    /// Reassembles a group from explicitly given parts — the thaw half
+    /// of the serving runtime's freeze/thaw round trip, and the seam for
+    /// any caller that stores a group's random draw externally instead
+    /// of re-deriving it from a seed. All caches start cold;
+    /// [`EnsembleGroup::prime_fused_encoder`] can re-seat a stored
+    /// encoder without paying (or counting) a fusion.
+    pub fn from_parts(
+        index: usize,
+        ansatz: AnsatzParams,
+        features: FeatureSelection,
+        buckets: Vec<Vec<usize>>,
+    ) -> Self {
         EnsembleGroup {
             index,
             ansatz,
             features,
             buckets,
             encoder_cache: EncoderCache::default(),
-            noisy_superop_cache: NoisySuperopCache::default(),
-            channel_program_cache: ChannelProgramCache::default(),
+            noisy_superop_cache: ByteBounded::new(),
+            channel_program_cache: ByteBounded::new(),
         }
     }
 
@@ -189,6 +171,15 @@ impl EnsembleGroup {
         self.encoder_cache.fusions.load(Ordering::Relaxed)
     }
 
+    /// Seats an externally stored fused encoder (e.g. one thawed from a
+    /// frozen serving artifact) without paying or counting a fusion.
+    /// No-op when the cache is already populated; the caller is
+    /// responsible for the matrix actually being this group's encoder
+    /// (the serving artifact's checksum guards the stored copy).
+    pub fn prime_fused_encoder(&self, encoder: CMatrix) {
+        let _ = self.encoder_cache.fused.set(encoder);
+    }
+
     /// The group's bottlenecked autoencoder segment (encoder, `reset_count`
     /// resets, decoder) fused into a `4^n × 4^n` noisy superoperator over
     /// `vec(ρ)`, built at most once per `(noise model, compression level)`
@@ -205,49 +196,29 @@ impl EnsembleGroup {
         noise: &NoiseModel,
         reset_count: usize,
     ) -> Result<Arc<CMatrix>, QuorumError> {
-        /// Bytes one group's superoperator cache may retain. Every level of
-        /// the supported widths up to `n = 5` fits (a `4^n × 4^n` entry is
-        /// ~1 MiB at n = 4, ~16 MiB at n = 5); the n = 6 extreme (~268 MiB
-        /// per entry) is rebuilt per scoring pass instead of pinned, which
-        /// keeps a wide multi-group ensemble from retaining hundreds of
-        /// gigabytes.
-        const NOISY_SUPEROP_CACHE_BYTES: usize = 64 << 20;
-        let superop_bytes = |m: &CMatrix| m.rows() * m.cols() * std::mem::size_of::<qsim::C64>();
+        self.fused_noisy_superop_bounded(noise, reset_count, NOISY_SUPEROP_CACHE_BYTES)
+    }
 
-        let mut entries = self
-            .noisy_superop_cache
-            .entries
-            .lock()
-            .expect("noisy superoperator cache poisoned");
-        if let Some(entry) = entries
-            .iter()
-            .find(|e| e.reset_count == reset_count && &e.noise == noise)
-        {
-            return Ok(Arc::clone(&entry.superop));
-        }
-        // Build under the lock: concurrent scorers of the same group wait
-        // rather than duplicating the fusion, keeping the counter exact.
-        let superop = Arc::new(engine::build_noisy_superop(
-            &self.ansatz,
-            noise,
-            reset_count,
-        )?);
-        self.noisy_superop_cache
-            .fusions
-            .fetch_add(1, Ordering::Relaxed);
-        let new_bytes = superop_bytes(&superop);
-        if new_bytes <= NOISY_SUPEROP_CACHE_BYTES {
-            let held: usize = entries.iter().map(|e| superop_bytes(&e.superop)).sum();
-            if held + new_bytes > NOISY_SUPEROP_CACHE_BYTES {
-                entries.clear();
-            }
-            entries.push(NoisySuperopEntry {
-                noise: noise.clone(),
-                reset_count,
-                superop: Arc::clone(&superop),
-            });
-        }
-        Ok(superop)
+    /// [`EnsembleGroup::fused_noisy_superop`] with an explicit byte
+    /// budget, so the eviction-policy regression tests can overflow the
+    /// cache without building gigabytes of superoperators. The fusion
+    /// happens **outside** the cache lock — concurrent scorers of the
+    /// same group never serialise behind a multi-ms build (racing
+    /// duplicates are counted and the first insert wins) — and an
+    /// overflowing insert evicts oldest-first, never the hot entries.
+    pub(crate) fn fused_noisy_superop_bounded(
+        &self,
+        noise: &NoiseModel,
+        reset_count: usize,
+        budget: usize,
+    ) -> Result<Arc<CMatrix>, QuorumError> {
+        let superop_bytes = |m: &CMatrix| m.rows() * m.cols() * std::mem::size_of::<qsim::C64>();
+        self.noisy_superop_cache.get_or_try_build(
+            &(noise.clone(), reset_count),
+            budget,
+            superop_bytes,
+            || engine::build_noisy_superop(&self.ansatz, noise, reset_count),
+        )
     }
 
     /// The group's bottlenecked autoencoder segment lowered into a
@@ -266,51 +237,36 @@ impl EnsembleGroup {
         noise: &NoiseModel,
         reset_count: usize,
     ) -> Result<Arc<ChannelProgram>, QuorumError> {
-        /// Bytes one group's program cache may retain — programs are a
-        /// few KiB, so this holds hundreds of `(model, level)` pairs.
-        const CHANNEL_PROGRAM_CACHE_BYTES: usize = 1 << 20;
+        self.channel_program_bounded(noise, reset_count, CHANNEL_PROGRAM_CACHE_BYTES)
+    }
 
-        let mut entries = self
-            .channel_program_cache
-            .entries
-            .lock()
-            .expect("channel program cache poisoned");
-        if let Some(entry) = entries
-            .iter()
-            .find(|e| e.reset_count == reset_count && &e.noise == noise)
-        {
-            return Ok(Arc::clone(&entry.program));
-        }
-        // Build under the lock, like the superoperator cache: concurrent
-        // scorers wait rather than duplicating the lowering.
-        let program = Arc::new(engine::build_channel_program(
-            &self.ansatz,
-            noise,
-            reset_count,
-        )?);
-        self.channel_program_cache
-            .fusions
-            .fetch_add(1, Ordering::Relaxed);
-        let new_bytes = program.approx_bytes();
-        if new_bytes <= CHANNEL_PROGRAM_CACHE_BYTES {
-            let held: usize = entries.iter().map(|e| e.program.approx_bytes()).sum();
-            if held + new_bytes > CHANNEL_PROGRAM_CACHE_BYTES {
-                entries.clear();
-            }
-            entries.push(ChannelProgramEntry {
-                noise: noise.clone(),
-                reset_count,
-                program: Arc::clone(&program),
-            });
-        }
-        Ok(program)
+    /// [`EnsembleGroup::channel_program`] with an explicit byte budget
+    /// (the eviction-test seam). The lowering runs **outside** the cache
+    /// lock: a multi-ms build must not serialise the other scorer
+    /// threads of a long-lived server behind the mutex — racing builders
+    /// duplicate the work (each counted) and the first insert wins.
+    pub(crate) fn channel_program_bounded(
+        &self,
+        noise: &NoiseModel,
+        reset_count: usize,
+        budget: usize,
+    ) -> Result<Arc<ChannelProgram>, QuorumError> {
+        self.channel_program_cache.get_or_try_build(
+            &(noise.clone(), reset_count),
+            budget,
+            ChannelProgram::approx_bytes,
+            || engine::build_channel_program(&self.ansatz, noise, reset_count),
+        )
     }
 
     /// How many channel programs this group actually lowered — the
     /// observable behind the structured engine's cache regression tests,
-    /// mirroring [`EnsembleGroup::noisy_superop_fusions`].
+    /// mirroring [`EnsembleGroup::noisy_superop_fusions`]. Sequential
+    /// passes count exactly the distinct live `(noise model, level)`
+    /// pairs; racing scorers may briefly duplicate a lowering (built
+    /// outside the lock) and every duplicate is counted.
     pub fn channel_program_fusions(&self) -> usize {
-        self.channel_program_cache.fusions.load(Ordering::Relaxed)
+        self.channel_program_cache.builds()
     }
 
     /// How many noisy superoperators this group actually fused — the
@@ -318,9 +274,11 @@ impl EnsembleGroup {
     /// Stays at the number of distinct `(noise model, compression level)`
     /// pairs scored — however many samples and passes ran — as long as the
     /// entries fit the cache's byte bound (always true at the paper's
-    /// widths; only the n = 6 extreme re-fuses per pass).
+    /// widths; only the n = 6 extreme re-fuses per pass). Like
+    /// [`EnsembleGroup::channel_program_fusions`], racing builders each
+    /// count.
     pub fn noisy_superop_fusions(&self) -> usize {
-        self.noisy_superop_cache.fusions.load(Ordering::Relaxed)
+        self.noisy_superop_cache.builds()
     }
 
     /// Evaluates the SWAP-test deviation of every sample at one
@@ -516,6 +474,148 @@ mod tests {
         let again = group.fused_encoder().unwrap();
         assert!(again.approx_eq(&direct, 1e-12));
         assert_eq!(group.encoder_fusions(), 1);
+    }
+
+    #[test]
+    fn from_parts_reassembles_an_identical_group() {
+        let ds = tiny_dataset();
+        let cfg = config();
+        let plan = BucketPlan::from_target(ds.num_samples(), 0.1, cfg.bucket_probability);
+        let generated = EnsembleGroup::generate(2, &cfg, ds.num_features(), &plan);
+        let rebuilt = EnsembleGroup::from_parts(
+            generated.index(),
+            generated.ansatz().clone(),
+            generated.features().clone(),
+            generated.buckets().to_vec(),
+        );
+        assert_eq!(rebuilt.index(), generated.index());
+        assert_eq!(rebuilt.encoder_fusions(), 0);
+        let a = generated.run(&ds, &cfg).unwrap();
+        let b = rebuilt.run(&ds, &cfg).unwrap();
+        assert_eq!(a, b, "a reassembled group must score bit-identically");
+    }
+
+    #[test]
+    fn primed_encoder_is_used_without_a_fusion() {
+        let ds = tiny_dataset();
+        let cfg = config();
+        let plan = BucketPlan::from_target(ds.num_samples(), 0.1, cfg.bucket_probability);
+        let group = EnsembleGroup::generate(0, &cfg, ds.num_features(), &plan);
+        let encoder = group.ansatz().encoder().to_unitary().unwrap();
+        group.prime_fused_encoder(encoder.clone());
+        let cached = group.fused_encoder().unwrap();
+        assert!(
+            cached.approx_eq(&encoder, 0.0),
+            "the primed matrix is served"
+        );
+        assert_eq!(
+            group.encoder_fusions(),
+            0,
+            "priming must not count a fusion"
+        );
+    }
+
+    #[test]
+    fn scoring_survives_poisoned_group_caches() {
+        // The long-lived-server regression: a scorer thread that panics
+        // while holding a cache mutex must not wedge every later request
+        // on that group. Poison both keyed caches, then score again and
+        // expect identical results.
+        let ds = tiny_dataset();
+        let noise = NoiseModel::brisbane();
+        let cfg = config().with_execution(crate::config::ExecutionMode::Noisy {
+            noise: noise.clone(),
+            shots: None,
+        });
+        let plan = BucketPlan::from_target(ds.num_samples(), 0.1, cfg.bucket_probability);
+        let group = EnsembleGroup::generate(1, &cfg, ds.num_features(), &plan);
+        let before_dense = group.run_with(&engine::DensityEngine, &ds, &cfg).unwrap();
+        let before_structured = group
+            .run_with(&engine::StructuredDensityEngine, &ds, &cfg)
+            .unwrap();
+        group.noisy_superop_cache.poison_for_test();
+        group.channel_program_cache.poison_for_test();
+        let after_dense = group.run_with(&engine::DensityEngine, &ds, &cfg).unwrap();
+        let after_structured = group
+            .run_with(&engine::StructuredDensityEngine, &ds, &cfg)
+            .unwrap();
+        assert_eq!(before_dense, after_dense);
+        assert_eq!(before_structured, after_structured);
+        // The pre-poison entries survived: no re-fusion was needed.
+        let levels = cfg.effective_compression_levels().len();
+        assert_eq!(group.noisy_superop_fusions(), levels);
+        assert_eq!(group.channel_program_fusions(), levels);
+    }
+
+    #[test]
+    fn superop_overflow_evicts_oldest_and_spares_the_hot_entry() {
+        // The eviction-policy pin: an n = 3 superoperator is
+        // 64·64·16 B = 64 KiB, so a 150 KB budget holds two entries.
+        // Fill with (brisbane, 1) and (brisbane, 2), touch level 1 to
+        // make it hot, then overflow with a third model: level 2 (the
+        // oldest) must be the only casualty.
+        let ds = tiny_dataset();
+        let cfg = config();
+        let plan = BucketPlan::from_target(ds.num_samples(), 0.1, cfg.bucket_probability);
+        let group = EnsembleGroup::generate(0, &cfg, ds.num_features(), &plan);
+        let budget = 150_000;
+        let brisbane = NoiseModel::brisbane();
+        let scaled = NoiseModel::brisbane().scaled(2.0);
+        group
+            .fused_noisy_superop_bounded(&brisbane, 1, budget)
+            .unwrap();
+        group
+            .fused_noisy_superop_bounded(&brisbane, 2, budget)
+            .unwrap();
+        assert_eq!(group.noisy_superop_fusions(), 2);
+        group
+            .fused_noisy_superop_bounded(&brisbane, 1, budget)
+            .unwrap();
+        group
+            .fused_noisy_superop_bounded(&scaled, 1, budget)
+            .unwrap();
+        assert_eq!(group.noisy_superop_fusions(), 3);
+        group
+            .fused_noisy_superop_bounded(&brisbane, 1, budget)
+            .unwrap();
+        assert_eq!(
+            group.noisy_superop_fusions(),
+            3,
+            "the hot (brisbane, 1) entry must survive the overflow insert"
+        );
+        group
+            .fused_noisy_superop_bounded(&brisbane, 2, budget)
+            .unwrap();
+        assert_eq!(
+            group.noisy_superop_fusions(),
+            4,
+            "the oldest (brisbane, 2) entry is the one evicted"
+        );
+    }
+
+    #[test]
+    fn program_overflow_evicts_oldest_and_spares_the_hot_entry() {
+        // Same pin for the channel-program cache, with the budget
+        // derived from a measured program size.
+        let ds = tiny_dataset();
+        let cfg = config();
+        let plan = BucketPlan::from_target(ds.num_samples(), 0.1, cfg.bucket_probability);
+        let group = EnsembleGroup::generate(0, &cfg, ds.num_features(), &plan);
+        let brisbane = NoiseModel::brisbane();
+        let scaled = NoiseModel::brisbane().scaled(2.0);
+        let probe = group.channel_program(&brisbane, 1).unwrap();
+        // Room for two program-sized entries, not three.
+        let budget = probe.approx_bytes() * 5 / 2;
+        let fresh = group.clone();
+        fresh.channel_program_bounded(&brisbane, 1, budget).unwrap();
+        fresh.channel_program_bounded(&brisbane, 2, budget).unwrap();
+        fresh.channel_program_bounded(&brisbane, 1, budget).unwrap();
+        fresh.channel_program_bounded(&scaled, 1, budget).unwrap();
+        assert_eq!(fresh.channel_program_fusions(), 3);
+        fresh.channel_program_bounded(&brisbane, 1, budget).unwrap();
+        assert_eq!(fresh.channel_program_fusions(), 3, "hot entry survived");
+        fresh.channel_program_bounded(&brisbane, 2, budget).unwrap();
+        assert_eq!(fresh.channel_program_fusions(), 4, "oldest entry evicted");
     }
 
     #[test]

@@ -13,6 +13,8 @@ pub enum QuorumError {
     InvalidData(String),
     /// An underlying simulator failure.
     Simulation(qsim::QsimError),
+    /// An internal invariant was violated; indicates a bug in quorum itself.
+    Internal(String),
 }
 
 impl fmt::Display for QuorumError {
@@ -21,6 +23,7 @@ impl fmt::Display for QuorumError {
             QuorumError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             QuorumError::InvalidData(msg) => write!(f, "invalid data: {msg}"),
             QuorumError::Simulation(e) => write!(f, "simulation failed: {e}"),
+            QuorumError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }

@@ -53,6 +53,7 @@
 pub mod analysis;
 pub mod ansatz;
 pub mod bucket;
+mod cache;
 pub mod circuit;
 pub mod config;
 pub mod detector;

@@ -43,6 +43,12 @@ impl RangeNormalizer {
         }
     }
 
+    /// Rebuilds a fitted normaliser from stored per-feature maxima
+    /// (e.g. thawed from a frozen-detector artifact).
+    pub fn from_maxima(maxima: Vec<f64>) -> Self {
+        RangeNormalizer { maxima }
+    }
+
     /// The stored per-feature maxima.
     pub fn maxima(&self) -> &[f64] {
         &self.maxima
@@ -119,6 +125,27 @@ impl MinMaxNormalizer {
         }
         let ranges = mins.iter().zip(&maxs).map(|(lo, hi)| hi - lo).collect();
         MinMaxNormalizer { mins, ranges }
+    }
+
+    /// Rebuilds a fitted normaliser from stored per-feature minima and
+    /// ranges (e.g. thawed from a frozen-detector artifact).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mins` and `ranges` have different lengths.
+    pub fn from_parts(mins: Vec<f64>, ranges: Vec<f64>) -> Self {
+        assert_eq!(mins.len(), ranges.len(), "mins/ranges length mismatch");
+        MinMaxNormalizer { mins, ranges }
+    }
+
+    /// The stored per-feature minima.
+    pub fn mins(&self) -> &[f64] {
+        &self.mins
+    }
+
+    /// The stored per-feature ranges (`max − min`).
+    pub fn ranges(&self) -> &[f64] {
+        &self.ranges
     }
 
     /// Applies `(v − min) / (range · M)` per feature, clamping held-out

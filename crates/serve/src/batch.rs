@@ -1,0 +1,190 @@
+//! Cross-request batching: concurrently arriving samples coalesce into
+//! one panel through a bounded window (N samples or T µs, whichever
+//! fills first) and run through the engine's batched seams in a single
+//! pass.
+//!
+//! Correctness rests on the per-column batch invariance of
+//! [`crate::FrozenDetector::score_samples`]: a sample's score depends
+//! only on its row and its stable id, never on what else shares the
+//! panel, so coalescing changes throughput and nothing else.
+
+use crate::error::ServeError;
+use crate::frozen::FrozenDetector;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How aggressively concurrent requests coalesce into one panel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoalescePolicy {
+    /// Dispatch as soon as this many samples are pending.
+    pub max_batch: usize,
+    /// Dispatch a partial batch after waiting this long for company.
+    pub max_wait: Duration,
+}
+
+impl Default for CoalescePolicy {
+    fn default() -> Self {
+        CoalescePolicy {
+            max_batch: 32,
+            max_wait: Duration::from_micros(500),
+        }
+    }
+}
+
+/// One enqueued sample and the channel its score goes back on.
+struct Request {
+    row: Vec<f64>,
+    reply: Sender<Result<f64, ServeError>>,
+}
+
+/// The batching worker: owns the submission queue, coalesces pending
+/// requests into panels, scores each panel once and fans results back
+/// out. Dropping the scorer drains the queue and joins the worker.
+#[derive(Debug)]
+pub struct BatchScorer {
+    tx: Option<Sender<Request>>,
+    worker: Option<JoinHandle<()>>,
+    batches: Arc<AtomicU64>,
+    samples: Arc<AtomicU64>,
+}
+
+impl BatchScorer {
+    /// Starts the batching worker over a frozen detector.
+    pub fn start(frozen: Arc<FrozenDetector>, policy: CoalescePolicy) -> Self {
+        let (tx, rx) = mpsc::channel::<Request>();
+        let batches = Arc::new(AtomicU64::new(0));
+        let samples = Arc::new(AtomicU64::new(0));
+        let batches_in = Arc::clone(&batches);
+        let samples_in = Arc::clone(&samples);
+        let worker = std::thread::Builder::new()
+            .name("quorum-batcher".into())
+            .spawn(move || batcher_loop(&frozen, &policy, &rx, &batches_in, &samples_in))
+            .expect("spawning the batcher thread");
+        BatchScorer {
+            tx: Some(tx),
+            worker: Some(worker),
+            batches,
+            samples,
+        }
+    }
+
+    /// A cloneable submission handle for connection threads.
+    pub fn handle(&self) -> BatchHandle {
+        BatchHandle {
+            tx: self.tx.as_ref().expect("queue lives until drop").clone(),
+        }
+    }
+
+    /// Scores one sample through the coalescing queue, blocking until
+    /// its batch completes.
+    ///
+    /// # Errors
+    ///
+    /// Request and scoring failures from the worker; [`ServeError::Io`]
+    /// if the worker is gone.
+    pub fn score(&self, row: Vec<f64>) -> Result<f64, ServeError> {
+        self.handle().score(row)
+    }
+
+    /// Panels dispatched so far — the coalescing regression tests assert
+    /// this grows slower than the sample count.
+    pub fn batches_dispatched(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Samples scored so far.
+    pub fn samples_scored(&self) -> u64 {
+        self.samples.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for BatchScorer {
+    fn drop(&mut self) {
+        // Closing the queue lets the worker drain pending requests and
+        // exit its recv loop.
+        drop(self.tx.take());
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// A cheap cloneable handle for submitting samples to the batcher.
+#[derive(Debug, Clone)]
+pub struct BatchHandle {
+    tx: Sender<Request>,
+}
+
+impl BatchHandle {
+    /// Scores one sample through the coalescing queue, blocking until
+    /// its batch completes.
+    ///
+    /// # Errors
+    ///
+    /// Request and scoring failures from the worker; [`ServeError::Io`]
+    /// if the worker is gone.
+    pub fn score(&self, row: Vec<f64>) -> Result<f64, ServeError> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.tx
+            .send(Request {
+                row,
+                reply: reply_tx,
+            })
+            .map_err(|_| worker_gone())?;
+        reply_rx.recv().map_err(|_| worker_gone())?
+    }
+}
+
+fn worker_gone() -> ServeError {
+    ServeError::Io(std::io::Error::new(
+        std::io::ErrorKind::BrokenPipe,
+        "the batching worker has shut down",
+    ))
+}
+
+/// The worker body: block for the first request, then top the batch up
+/// until it is full or the window closes, score the panel once, fan out.
+fn batcher_loop(
+    frozen: &FrozenDetector,
+    policy: &CoalescePolicy,
+    rx: &Receiver<Request>,
+    batches: &AtomicU64,
+    samples: &AtomicU64,
+) {
+    let max_batch = policy.max_batch.max(1);
+    let mut next_id: u64 = 0;
+    while let Ok(first) = rx.recv() {
+        let mut batch = vec![first];
+        let deadline = Instant::now() + policy.max_wait;
+        while batch.len() < max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(request) => batch.push(request),
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        let rows: Vec<Vec<f64>> = batch.iter().map(|r| r.row.clone()).collect();
+        let first_id = next_id;
+        next_id = next_id.wrapping_add(rows.len() as u64);
+        batches.fetch_add(1, Ordering::Relaxed);
+        samples.fetch_add(rows.len() as u64, Ordering::Relaxed);
+        match frozen.score_samples(&rows, first_id) {
+            Ok(scores) => {
+                for (request, score) in batch.into_iter().zip(scores) {
+                    let _ = request.reply.send(Ok(score));
+                }
+            }
+            Err(e) => {
+                for request in batch {
+                    let _ = request.reply.send(Err(e.duplicate()));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Error type for the serving runtime.
+
+use quorum_core::QuorumError;
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors produced by freezing, thawing or serving a detector.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The artifact bytes are malformed, truncated, corrupt or of an
+    /// unsupported version.
+    Artifact(String),
+    /// A scoring request is unusable (wrong feature width, empty batch).
+    Request(String),
+    /// The underlying pipeline failed while scoring or freezing.
+    Quorum(QuorumError),
+    /// A transport-level failure on the TCP server or client.
+    Io(io::Error),
+}
+
+impl ServeError {
+    /// A best-effort copy for fanning one batch failure out to every
+    /// waiting request. `io::Error` is not `Clone`, so it is rebuilt
+    /// from its kind and message.
+    pub(crate) fn duplicate(&self) -> ServeError {
+        match self {
+            ServeError::Artifact(msg) => ServeError::Artifact(msg.clone()),
+            ServeError::Request(msg) => ServeError::Request(msg.clone()),
+            ServeError::Quorum(e) => ServeError::Quorum(e.clone()),
+            ServeError::Io(e) => ServeError::Io(io::Error::new(e.kind(), e.to_string())),
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Artifact(msg) => write!(f, "invalid artifact: {msg}"),
+            ServeError::Request(msg) => write!(f, "invalid request: {msg}"),
+            ServeError::Quorum(e) => write!(f, "scoring failed: {e}"),
+            ServeError::Io(e) => write!(f, "transport failed: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Quorum(e) => Some(e),
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QuorumError> for ServeError {
+    fn from(e: QuorumError) -> Self {
+        ServeError::Quorum(e)
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ServeError::Artifact("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+        assert!(Error::source(&e).is_none());
+        let e: ServeError = QuorumError::InvalidData("too small".into()).into();
+        assert!(e.to_string().contains("too small"));
+        assert!(Error::source(&e).is_some());
+        let e: ServeError = io::Error::new(io::ErrorKind::UnexpectedEof, "eof").into();
+        assert!(matches!(e, ServeError::Io(_)));
+    }
+
+    #[test]
+    fn duplicate_preserves_the_message() {
+        let e = ServeError::Quorum(QuorumError::Internal("no levels".into()));
+        assert_eq!(e.duplicate().to_string(), e.to_string());
+        let e = ServeError::Io(io::Error::new(io::ErrorKind::BrokenPipe, "pipe"));
+        assert!(e.duplicate().to_string().contains("pipe"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<ServeError>();
+    }
+}

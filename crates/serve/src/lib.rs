@@ -1,0 +1,44 @@
+//! Frozen-detector serving runtime for Quorum.
+//!
+//! Quorum's detectors need no training, but a long-lived service should
+//! not redraw and refuse its ensemble per request either. This crate
+//! freezes a generated detector — ensemble draws, fused encoders, bucket
+//! partitions and pooled reference deviation statistics — into a
+//! versioned, checksummed artifact, thaws it back into a resident
+//! [`FrozenDetector`], and serves scores from a std-only threadpool TCP
+//! server that coalesces concurrently arriving samples into one batched
+//! engine panel (N samples or T µs, whichever comes first).
+//!
+//! Data flow:
+//!
+//! ```text
+//! QuorumConfig + reference Dataset
+//!         │ FrozenDetector::freeze
+//!         ▼
+//! FrozenArtifact bytes  (QUORUMFZ | version | length | checksum | payload)
+//!         │ FrozenDetector::from_bytes (thaw + cache pre-warm)
+//!         ▼
+//! FrozenDetector ── score_dataset (reference replay, bit-identical)
+//!         │
+//!         └─ QuorumServer ── per-connection handlers ──► BatchScorer
+//!                              coalesced 2^n×S panel ──► score_samples
+//! ```
+//!
+//! Coalescing is invisible in the results: every per-sample score
+//! depends only on the sample's row and its stable id, so batch
+//! composition can never change an individual answer.
+
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod batch;
+mod error;
+pub mod frozen;
+pub mod server;
+mod wire;
+
+pub use artifact::{FrozenArtifact, FrozenGroup, FrozenNormalizer, LevelStats};
+pub use batch::{BatchHandle, BatchScorer, CoalescePolicy};
+pub use error::ServeError;
+pub use frozen::FrozenDetector;
+pub use server::{QuorumServer, ScoreClient};

@@ -1,0 +1,273 @@
+//! A long-lived TCP scoring server over a frozen detector, plus the
+//! matching blocking client.
+//!
+//! Wire protocol (all little-endian):
+//!
+//! * request — `u32` feature count `n`, then `n` `f64` values;
+//! * response — one status byte: `0` followed by the `f64` score, or
+//!   `1` followed by a `u32` length and a UTF-8 error message.
+//!
+//! Each connection gets its own handler thread; every handler submits
+//! through the shared [`BatchScorer`], so samples arriving concurrently
+//! on different connections coalesce into one panel.
+
+use crate::batch::{BatchScorer, CoalescePolicy};
+use crate::error::ServeError;
+use crate::frozen::FrozenDetector;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+/// Upper bound on a request's declared feature count; anything larger is
+/// a corrupt or hostile frame, not a plausible sample.
+const MAX_REQUEST_FEATURES: u32 = 1 << 20;
+
+/// The serving runtime: an acceptor thread, one handler thread per
+/// connection, and a shared batching worker coalescing across all of
+/// them. Shuts down cleanly on [`QuorumServer::shutdown`] or drop.
+#[derive(Debug)]
+pub struct QuorumServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    scorer: Arc<BatchScorer>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl QuorumServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// serving `frozen` under the given coalescing policy.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if binding fails.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        frozen: Arc<FrozenDetector>,
+        policy: CoalescePolicy,
+    ) -> Result<Self, ServeError> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let scorer = Arc::new(BatchScorer::start(Arc::clone(&frozen), policy));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let scorer = Arc::clone(&scorer);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("quorum-acceptor".into())
+                .spawn(move || {
+                    accept_loop(&listener, &frozen, &scorer, &conns, &stop);
+                })
+                .expect("spawning the acceptor thread")
+        };
+        Ok(QuorumServer {
+            local_addr,
+            stop,
+            acceptor: Some(acceptor),
+            scorer,
+            conns,
+        })
+    }
+
+    /// The bound address — connect clients here.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Panels dispatched by the shared batcher (throughput diagnostics).
+    pub fn batches_dispatched(&self) -> u64 {
+        self.scorer.batches_dispatched()
+    }
+
+    /// Samples scored by the shared batcher.
+    pub fn samples_scored(&self) -> u64 {
+        self.scorer.samples_scored()
+    }
+
+    /// Stops accepting, severs live connections so handler threads exit,
+    /// and joins the acceptor. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the acceptor's blocking accept() with a throwaway
+        // connection; it observes the flag and returns.
+        let _ = TcpStream::connect(self.local_addr);
+        let conns = self.conns.lock().unwrap_or_else(PoisonError::into_inner);
+        for conn in conns.iter() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        drop(conns);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+impl Drop for QuorumServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    frozen: &Arc<FrozenDetector>,
+    scorer: &Arc<BatchScorer>,
+    conns: &Arc<Mutex<Vec<TcpStream>>>,
+    stop: &Arc<AtomicBool>,
+) {
+    let mut handlers = Vec::new();
+    while let Ok((stream, _)) = listener.accept() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        if let Ok(clone) = stream.try_clone() {
+            conns
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(clone);
+        }
+        let handle = scorer.handle();
+        let frozen = Arc::clone(frozen);
+        if let Ok(join) = std::thread::Builder::new()
+            .name("quorum-conn".into())
+            .spawn(move || handle_connection(stream, &frozen, &handle))
+        {
+            handlers.push(join);
+        }
+    }
+    for handler in handlers {
+        let _ = handler.join();
+    }
+}
+
+/// One connection's request loop: read frames until EOF or a transport
+/// error, answering each with a score or a typed error message. Protocol
+/// errors are answered (keeping the connection usable); transport errors
+/// end the loop.
+fn handle_connection(
+    mut stream: TcpStream,
+    frozen: &Arc<FrozenDetector>,
+    handle: &crate::batch::BatchHandle,
+) {
+    loop {
+        let mut len_buf = [0u8; 4];
+        if stream.read_exact(&mut len_buf).is_err() {
+            return; // EOF (client done) or severed by shutdown.
+        }
+        let n = u32::from_le_bytes(len_buf);
+        if n > MAX_REQUEST_FEATURES {
+            let _ = write_error(&mut stream, &format!("implausible feature count {n}"));
+            return;
+        }
+        let mut row = vec![0.0f64; n as usize];
+        let mut value = [0u8; 8];
+        for slot in &mut row {
+            if stream.read_exact(&mut value).is_err() {
+                return;
+            }
+            *slot = f64::from_le_bytes(value);
+        }
+        // Reject wrong widths before enqueueing so one malformed client
+        // never occupies a slot in a coalesced panel.
+        let result = if row.len() == frozen.num_features() {
+            handle.score(row)
+        } else {
+            Err(ServeError::Request(format!(
+                "expected {} features, got {}",
+                frozen.num_features(),
+                row.len()
+            )))
+        };
+        let ok = match result {
+            Ok(score) => write_score(&mut stream, score).is_ok(),
+            Err(e) => write_error(&mut stream, &e.to_string()).is_ok(),
+        };
+        if !ok {
+            return;
+        }
+    }
+}
+
+fn write_score(stream: &mut TcpStream, score: f64) -> std::io::Result<()> {
+    let mut frame = [0u8; 9];
+    frame[1..].copy_from_slice(&score.to_le_bytes());
+    stream.write_all(&frame)
+}
+
+fn write_error(stream: &mut TcpStream, message: &str) -> std::io::Result<()> {
+    let bytes = message.as_bytes();
+    let mut frame = Vec::with_capacity(5 + bytes.len());
+    frame.push(1u8);
+    frame.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    frame.extend_from_slice(bytes);
+    stream.write_all(&frame)
+}
+
+/// A minimal blocking client for the scoring protocol.
+#[derive(Debug)]
+pub struct ScoreClient {
+    stream: TcpStream,
+}
+
+impl ScoreClient {
+    /// Connects to a running [`QuorumServer`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the connection fails.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        Ok(ScoreClient {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Scores one sample, blocking for the response.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Request`] when the server answers with an error
+    /// frame; [`ServeError::Io`] on transport failures.
+    pub fn score(&mut self, row: &[f64]) -> Result<f64, ServeError> {
+        let mut frame = Vec::with_capacity(4 + row.len() * 8);
+        frame.extend_from_slice(&(row.len() as u32).to_le_bytes());
+        for &v in row {
+            frame.extend_from_slice(&v.to_le_bytes());
+        }
+        self.stream.write_all(&frame)?;
+        let mut status = [0u8; 1];
+        self.stream.read_exact(&mut status)?;
+        match status[0] {
+            0 => {
+                let mut value = [0u8; 8];
+                self.stream.read_exact(&mut value)?;
+                Ok(f64::from_le_bytes(value))
+            }
+            1 => {
+                let mut len_buf = [0u8; 4];
+                self.stream.read_exact(&mut len_buf)?;
+                let len = u32::from_le_bytes(len_buf);
+                if len > 1 << 16 {
+                    return Err(ServeError::Io(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "oversized error frame",
+                    )));
+                }
+                let mut msg = vec![0u8; len as usize];
+                self.stream.read_exact(&mut msg)?;
+                Err(ServeError::Request(
+                    String::from_utf8_lossy(&msg).into_owned(),
+                ))
+            }
+            other => Err(ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unknown response status {other}"),
+            ))),
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! End-to-end serving-runtime tests: freeze/thaw bit-identity across
+//! execution modes and engines, coalescing invariance, sampled-draw
+//! reproducibility, and the TCP server under concurrent clients.
+
+use qdata::Dataset;
+use qsim::NoiseModel;
+use quorum_core::config::{EngineKind, ExecutionMode, Normalization};
+use quorum_core::{QuorumConfig, QuorumDetector};
+use quorum_serve::{
+    BatchScorer, CoalescePolicy, FrozenArtifact, FrozenDetector, QuorumServer, ScoreClient,
+    ServeError,
+};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+/// A deterministic 12×7 dataset with enough spread for stable buckets.
+fn reference() -> Dataset {
+    let rows: Vec<Vec<f64>> = (0..12)
+        .map(|i| {
+            (0..7)
+                .map(|j| {
+                    let x = (i * 7 + j) as f64;
+                    (x * 0.37).sin() * (1.0 + 0.1 * j as f64) + 0.01 * x
+                })
+                .collect()
+        })
+        .collect();
+    Dataset::from_rows("serve-ref", rows, None).unwrap()
+}
+
+/// Streamed rows distinct from the reference set.
+fn stream_rows(count: usize) -> Vec<Vec<f64>> {
+    (0..count)
+        .map(|i| {
+            (0..7)
+                .map(|j| ((i * 13 + j * 5) as f64 * 0.23).cos() * 0.8 + 0.05 * j as f64)
+                .collect()
+        })
+        .collect()
+}
+
+fn base_config() -> QuorumConfig {
+    QuorumConfig::default()
+        .with_data_qubits(3)
+        .with_ensemble_groups(5)
+        .with_ansatz_layers(2)
+        .with_threads(2)
+        .with_seed(0x5EEF_1E55)
+}
+
+/// Freeze → serialize → deserialize → thaw must reproduce the
+/// in-process pipeline bit-for-bit on the reference dataset.
+fn assert_round_trip_bit_identical(config: QuorumConfig) {
+    let ds = reference();
+    let in_process = QuorumDetector::new(config.clone())
+        .unwrap()
+        .score(&ds)
+        .unwrap();
+    let frozen = FrozenDetector::freeze(config, &ds).unwrap();
+    let bytes = frozen.to_bytes().unwrap();
+    let thawed = FrozenDetector::from_bytes(&bytes).unwrap();
+    let served = thawed.score_dataset(&ds).unwrap();
+    assert_eq!(
+        in_process.scores(),
+        served.scores(),
+        "thawed scores must be bit-identical to the in-process run"
+    );
+}
+
+#[test]
+fn round_trip_is_bit_identical_exact_default_engine() {
+    assert_round_trip_bit_identical(base_config());
+}
+
+#[test]
+fn round_trip_is_bit_identical_exact_across_engines() {
+    for engine in [
+        EngineKind::Analytic,
+        EngineKind::Batched,
+        EngineKind::Circuit,
+    ] {
+        assert_round_trip_bit_identical(base_config().with_engine(engine));
+    }
+}
+
+#[test]
+fn round_trip_is_bit_identical_sampled() {
+    assert_round_trip_bit_identical(
+        base_config().with_execution(ExecutionMode::Sampled { shots: 256 }),
+    );
+}
+
+#[test]
+fn round_trip_is_bit_identical_noisy_across_engines() {
+    let noise = NoiseModel::brisbane();
+    for engine in [
+        EngineKind::Density,
+        EngineKind::DensityStructured,
+        EngineKind::DensitySample,
+    ] {
+        assert_round_trip_bit_identical(base_config().with_engine(engine).with_execution(
+            ExecutionMode::Noisy {
+                noise: noise.clone(),
+                shots: Some(128),
+            },
+        ));
+    }
+}
+
+#[test]
+fn round_trip_is_bit_identical_minmax_normalization() {
+    assert_round_trip_bit_identical(base_config().with_normalization(Normalization::MinMax));
+}
+
+/// Thawing pre-fuses: a full reference replay on a thawed noisy detector
+/// must not trigger any new superoperator fusions.
+#[test]
+fn thaw_prewarms_the_noisy_caches() {
+    let config = base_config().with_execution(ExecutionMode::Noisy {
+        noise: NoiseModel::brisbane(),
+        shots: None,
+    });
+    let ds = reference();
+    let frozen = FrozenDetector::freeze(config, &ds).unwrap();
+    let thawed = FrozenDetector::from_bytes(&frozen.to_bytes().unwrap()).unwrap();
+    let fusions_after_thaw: Vec<usize> = thawed
+        .groups()
+        .iter()
+        .map(|g| g.noisy_superop_fusions())
+        .collect();
+    assert!(
+        fusions_after_thaw.iter().all(|&f| f > 0),
+        "thaw must pre-warm every group's superoperator cache"
+    );
+    thawed.score_dataset(&ds).unwrap();
+    let fusions_after_score: Vec<usize> = thawed
+        .groups()
+        .iter()
+        .map(|g| g.noisy_superop_fusions())
+        .collect();
+    assert_eq!(
+        fusions_after_thaw, fusions_after_score,
+        "scoring after thaw must hit only warm caches"
+    );
+}
+
+/// Streamed scoring is batch-invariant: one coalesced panel must give
+/// bit-identical scores to scoring each sample alone under its id.
+fn assert_coalescing_invariant(config: QuorumConfig) {
+    let frozen = FrozenDetector::freeze(config, &reference()).unwrap();
+    let rows = stream_rows(6);
+    let batched = frozen.score_samples(&rows, 100).unwrap();
+    for (j, row) in rows.iter().enumerate() {
+        let alone = frozen
+            .score_samples(std::slice::from_ref(row), 100 + j as u64)
+            .unwrap();
+        assert_eq!(
+            alone[0], batched[j],
+            "sample {j} must score identically alone and in a panel"
+        );
+    }
+}
+
+#[test]
+fn coalescing_is_invariant_exact() {
+    assert_coalescing_invariant(base_config());
+}
+
+#[test]
+fn coalescing_is_invariant_with_shots() {
+    assert_coalescing_invariant(
+        base_config().with_execution(ExecutionMode::Sampled { shots: 512 }),
+    );
+}
+
+#[test]
+fn coalescing_is_invariant_noisy_with_shots() {
+    assert_coalescing_invariant(base_config().with_execution(ExecutionMode::Noisy {
+        noise: NoiseModel::brisbane(),
+        shots: Some(256),
+    }));
+}
+
+/// Sampled draws are a pure function of (config, group, level, id): the
+/// same rows under the same ids score identically across calls, and a
+/// different id changes the draw.
+#[test]
+fn sampled_draws_are_reproducible_and_id_dependent() {
+    let config = base_config().with_execution(ExecutionMode::Sampled { shots: 64 });
+    let frozen = FrozenDetector::freeze(config, &reference()).unwrap();
+    let rows = stream_rows(3);
+    let first = frozen.score_samples(&rows, 7).unwrap();
+    let second = frozen.score_samples(&rows, 7).unwrap();
+    assert_eq!(first, second, "same ids must reproduce the same draws");
+    let shifted = frozen.score_samples(&rows, 8).unwrap();
+    assert_ne!(
+        first, shifted,
+        "shifting the ids must change the shot noise"
+    );
+}
+
+/// Exact-mode streamed scores do not depend on the id at all.
+#[test]
+fn exact_streamed_scores_ignore_the_sample_id() {
+    let frozen = FrozenDetector::freeze(base_config(), &reference()).unwrap();
+    let rows = stream_rows(4);
+    assert_eq!(
+        frozen.score_samples(&rows, 0).unwrap(),
+        frozen.score_samples(&rows, 9999).unwrap()
+    );
+}
+
+#[test]
+fn score_samples_rejects_bad_rows() {
+    let frozen = FrozenDetector::freeze(base_config(), &reference()).unwrap();
+    assert!(matches!(
+        frozen.score_samples(&[vec![1.0; 3]], 0),
+        Err(ServeError::Request(_))
+    ));
+    assert!(matches!(
+        frozen.score_samples(&[vec![f64::NAN; 7]], 0),
+        Err(ServeError::Request(_))
+    ));
+    assert!(frozen.score_samples(&[], 0).unwrap().is_empty());
+}
+
+#[test]
+fn tampered_artifacts_thaw_to_typed_errors() {
+    let frozen = FrozenDetector::freeze(base_config(), &reference()).unwrap();
+    let artifact = frozen.to_artifact().unwrap();
+    // Duplicate feature columns would otherwise panic inside the core
+    // feature-selection constructor.
+    let mut bad = artifact_clone(&artifact);
+    let first = bad.groups[0].feature_columns[0];
+    *bad.groups[0].feature_columns.last_mut().unwrap() = first;
+    let rebuilt = FrozenArtifact::from_bytes(&bad.to_bytes().unwrap()).unwrap();
+    assert!(matches!(
+        FrozenDetector::thaw(rebuilt),
+        Err(ServeError::Artifact(_))
+    ));
+    // A bucket index beyond the reference set.
+    let mut bad = artifact_clone(&artifact);
+    bad.groups[0].buckets[0][0] = bad.reference_samples + 1;
+    let rebuilt = FrozenArtifact::from_bytes(&bad.to_bytes().unwrap()).unwrap();
+    assert!(matches!(
+        FrozenDetector::thaw(rebuilt),
+        Err(ServeError::Artifact(_))
+    ));
+}
+
+/// Round-trips an artifact through bytes to get an owned copy to mutate.
+fn artifact_clone(artifact: &FrozenArtifact) -> FrozenArtifact {
+    FrozenArtifact::from_bytes(&artifact.to_bytes().unwrap()).unwrap()
+}
+
+/// Concurrent submissions through the batcher coalesce into fewer panels
+/// than samples, and every score matches the direct path.
+#[test]
+fn batch_scorer_coalesces_concurrent_requests() {
+    let frozen = Arc::new(FrozenDetector::freeze(base_config(), &reference()).unwrap());
+    let rows = stream_rows(8);
+    let direct = frozen.score_samples(&rows, 0).unwrap();
+    let scorer = BatchScorer::start(
+        Arc::clone(&frozen),
+        CoalescePolicy {
+            max_batch: 8,
+            max_wait: Duration::from_millis(200),
+        },
+    );
+    let barrier = Arc::new(Barrier::new(rows.len()));
+    let scores: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = rows
+            .iter()
+            .map(|row| {
+                let handle = scorer.handle();
+                let barrier = Arc::clone(&barrier);
+                let row = row.clone();
+                s.spawn(move || {
+                    barrier.wait();
+                    handle.score(row).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(scorer.samples_scored(), rows.len() as u64);
+    assert!(
+        scorer.batches_dispatched() < rows.len() as u64,
+        "concurrent requests must coalesce into fewer panels ({} batches for {} samples)",
+        scorer.batches_dispatched(),
+        rows.len()
+    );
+    // Exact mode: scores are id-independent, so coalescing order cannot
+    // matter and every score must equal the direct path's.
+    for (got, want) in scores.iter().zip(&direct) {
+        assert_eq!(got, want);
+    }
+}
+
+/// Full TCP path: concurrent clients against a live server, every score
+/// bit-identical to the direct in-process streamed path (exact mode, so
+/// arrival-order id assignment is immaterial).
+#[test]
+fn tcp_server_scores_concurrent_clients_correctly() {
+    let frozen = Arc::new(FrozenDetector::freeze(base_config(), &reference()).unwrap());
+    let rows = stream_rows(6);
+    let direct = frozen.score_samples(&rows, 0).unwrap();
+    let mut server = QuorumServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&frozen),
+        CoalescePolicy {
+            max_batch: 4,
+            max_wait: Duration::from_millis(5),
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let scores: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = rows
+            .iter()
+            .map(|row| {
+                let row = row.clone();
+                s.spawn(move || {
+                    let mut client = ScoreClient::connect(addr).unwrap();
+                    client.score(&row).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(scores, direct);
+    assert_eq!(server.samples_scored(), rows.len() as u64);
+    server.shutdown();
+}
+
+/// A malformed request gets an error frame and the connection stays
+/// usable for the next request.
+#[test]
+fn tcp_server_answers_width_mismatch_and_keeps_the_connection() {
+    let frozen = Arc::new(FrozenDetector::freeze(base_config(), &reference()).unwrap());
+    let mut server = QuorumServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&frozen),
+        CoalescePolicy::default(),
+    )
+    .unwrap();
+    let mut client = ScoreClient::connect(server.local_addr()).unwrap();
+    let err = client.score(&[1.0, 2.0]).unwrap_err();
+    assert!(matches!(err, ServeError::Request(_)), "got {err:?}");
+    let row = &stream_rows(1)[0];
+    let direct = frozen.score_samples(std::slice::from_ref(row), 0).unwrap();
+    assert_eq!(client.score(row).unwrap(), direct[0]);
+    server.shutdown();
+}
+
+/// One client streaming many samples sequentially: the server must hold
+/// up over a long-lived connection and agree with the direct path.
+#[test]
+fn tcp_server_sustains_a_long_lived_connection() {
+    let frozen = Arc::new(FrozenDetector::freeze(base_config(), &reference()).unwrap());
+    let rows = stream_rows(20);
+    let direct = frozen.score_samples(&rows, 0).unwrap();
+    let mut server = QuorumServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&frozen),
+        CoalescePolicy {
+            max_batch: 4,
+            max_wait: Duration::from_micros(100),
+        },
+    )
+    .unwrap();
+    let mut client = ScoreClient::connect(server.local_addr()).unwrap();
+    for (row, want) in rows.iter().zip(&direct) {
+        assert_eq!(client.score(row).unwrap(), *want);
+    }
+    assert_eq!(server.samples_scored(), rows.len() as u64);
+    server.shutdown();
+}

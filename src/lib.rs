@@ -5,6 +5,8 @@
 //!
 //! * [`core`] — the zero-training unsupervised quantum anomaly detector
 //!   (the paper's contribution).
+//! * [`serve`] — the frozen-detector serving runtime: freeze/thaw
+//!   artifacts, cross-request batching and the TCP scoring server.
 //! * [`sim`] — the quantum circuit simulation stack.
 //! * [`data`] — datasets, preprocessing and the Table I generators.
 //! * [`metrics`] — evaluation metrics.
@@ -20,3 +22,4 @@ pub use qmetrics as metrics;
 pub use qnn_baseline as qnn;
 pub use qsim as sim;
 pub use quorum_core as core;
+pub use quorum_serve as serve;
