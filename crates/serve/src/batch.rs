@@ -6,7 +6,11 @@
 //! Correctness rests on the per-column batch invariance of
 //! [`crate::FrozenDetector::score_samples`]: a sample's score depends
 //! only on its row and its stable id, never on what else shares the
-//! panel, so coalescing changes throughput and nothing else.
+//! panel, so coalescing changes throughput and nothing else. The same
+//! invariance powers failure isolation: when a panel fails, each row is
+//! rescored alone under its original sample id — innocent rows get the
+//! exact score they would have received in the batch, and only the
+//! offending request sees the error.
 
 use crate::error::ServeError;
 use crate::frozen::FrozenDetector;
@@ -15,6 +19,36 @@ use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Anything that can score a coalesced panel of rows under stable sample
+/// ids. The batcher and TCP server are generic over this seam so the
+/// same runtime serves a single-process [`FrozenDetector`] or a
+/// [`crate::ShardedScorer`] fanning groups across worker shards.
+///
+/// Implementations must be coalescing-invariant: a row's score depends
+/// only on the row and its id, never on panel company. The batcher's
+/// failure-isolation rescore relies on this.
+pub trait PanelScorer: Send + Sync + std::fmt::Debug {
+    /// The feature width every row must have.
+    fn num_features(&self) -> usize;
+
+    /// Scores `rows` as one panel; row `j` is sample `first_sample_id + j`.
+    ///
+    /// # Errors
+    ///
+    /// Row validation and scoring failures, as [`ServeError`].
+    fn score_panel(&self, rows: &[Vec<f64>], first_sample_id: u64) -> Result<Vec<f64>, ServeError>;
+}
+
+impl PanelScorer for FrozenDetector {
+    fn num_features(&self) -> usize {
+        FrozenDetector::num_features(self)
+    }
+
+    fn score_panel(&self, rows: &[Vec<f64>], first_sample_id: u64) -> Result<Vec<f64>, ServeError> {
+        self.score_samples(rows, first_sample_id)
+    }
+}
 
 /// How aggressively concurrent requests coalesce into one panel.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,10 +68,13 @@ impl Default for CoalescePolicy {
     }
 }
 
+/// The channel a scored sample's result travels back on.
+type ReplySender = Sender<Result<f64, ServeError>>;
+
 /// One enqueued sample and the channel its score goes back on.
 struct Request {
     row: Vec<f64>,
-    reply: Sender<Result<f64, ServeError>>,
+    reply: ReplySender,
 }
 
 /// The batching worker: owns the submission queue, coalesces pending
@@ -47,25 +84,33 @@ struct Request {
 pub struct BatchScorer {
     tx: Option<Sender<Request>>,
     worker: Option<JoinHandle<()>>,
+    num_features: usize,
     batches: Arc<AtomicU64>,
     samples: Arc<AtomicU64>,
 }
 
 impl BatchScorer {
-    /// Starts the batching worker over a frozen detector.
-    pub fn start(frozen: Arc<FrozenDetector>, policy: CoalescePolicy) -> Self {
+    /// Starts the batching worker over any panel scorer — a frozen
+    /// detector (`Arc<FrozenDetector>`), a sharded scorer, or an
+    /// already-erased `Arc<dyn PanelScorer>`.
+    pub fn start<S: PanelScorer + ?Sized + 'static>(
+        scorer: Arc<S>,
+        policy: CoalescePolicy,
+    ) -> Self {
         let (tx, rx) = mpsc::channel::<Request>();
+        let num_features = scorer.num_features();
         let batches = Arc::new(AtomicU64::new(0));
         let samples = Arc::new(AtomicU64::new(0));
         let batches_in = Arc::clone(&batches);
         let samples_in = Arc::clone(&samples);
         let worker = std::thread::Builder::new()
             .name("quorum-batcher".into())
-            .spawn(move || batcher_loop(&frozen, &policy, &rx, &batches_in, &samples_in))
+            .spawn(move || batcher_loop(&*scorer, &policy, &rx, &batches_in, &samples_in))
             .expect("spawning the batcher thread");
         BatchScorer {
             tx: Some(tx),
             worker: Some(worker),
+            num_features,
             batches,
             samples,
         }
@@ -75,6 +120,7 @@ impl BatchScorer {
     pub fn handle(&self) -> BatchHandle {
         BatchHandle {
             tx: self.tx.as_ref().expect("queue lives until drop").clone(),
+            num_features: self.num_features,
         }
     }
 
@@ -83,8 +129,10 @@ impl BatchScorer {
     ///
     /// # Errors
     ///
-    /// Request and scoring failures from the worker; [`ServeError::Io`]
-    /// if the worker is gone.
+    /// [`ServeError::Request`] for a wrong-width row (rejected at
+    /// enqueue, before it can occupy a panel slot); request and scoring
+    /// failures from the worker; [`ServeError::Io`] if the worker is
+    /// gone.
     pub fn score(&self, row: Vec<f64>) -> Result<f64, ServeError> {
         self.handle().score(row)
     }
@@ -116,17 +164,32 @@ impl Drop for BatchScorer {
 #[derive(Debug, Clone)]
 pub struct BatchHandle {
     tx: Sender<Request>,
+    num_features: usize,
 }
 
 impl BatchHandle {
+    /// The feature width the scorer expects.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
     /// Scores one sample through the coalescing queue, blocking until
     /// its batch completes.
     ///
     /// # Errors
     ///
-    /// Request and scoring failures from the worker; [`ServeError::Io`]
-    /// if the worker is gone.
+    /// [`ServeError::Request`] for a wrong-width row (rejected here, at
+    /// enqueue — a malformed submission must never occupy a slot in a
+    /// coalesced panel); request and scoring failures from the worker;
+    /// [`ServeError::Io`] if the worker is gone.
     pub fn score(&self, row: Vec<f64>) -> Result<f64, ServeError> {
+        if row.len() != self.num_features {
+            return Err(ServeError::Request(format!(
+                "expected {} features, got {}",
+                self.num_features,
+                row.len()
+            )));
+        }
         let (reply_tx, reply_rx) = mpsc::channel();
         self.tx
             .send(Request {
@@ -147,8 +210,8 @@ fn worker_gone() -> ServeError {
 
 /// The worker body: block for the first request, then top the batch up
 /// until it is full or the window closes, score the panel once, fan out.
-fn batcher_loop(
-    frozen: &FrozenDetector,
+fn batcher_loop<S: PanelScorer + ?Sized>(
+    scorer: &S,
     policy: &CoalescePolicy,
     rx: &Receiver<Request>,
     batches: &AtomicU64,
@@ -169,20 +232,29 @@ fn batcher_loop(
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
             }
         }
-        let rows: Vec<Vec<f64>> = batch.iter().map(|r| r.row.clone()).collect();
+        // Rows move into the panel; replies fan back out by index.
+        let (rows, replies): (Vec<Vec<f64>>, Vec<ReplySender>) =
+            batch.into_iter().map(|r| (r.row, r.reply)).unzip();
         let first_id = next_id;
         next_id = next_id.wrapping_add(rows.len() as u64);
         batches.fetch_add(1, Ordering::Relaxed);
         samples.fetch_add(rows.len() as u64, Ordering::Relaxed);
-        match frozen.score_samples(&rows, first_id) {
+        match scorer.score_panel(&rows, first_id) {
             Ok(scores) => {
-                for (request, score) in batch.into_iter().zip(scores) {
-                    let _ = request.reply.send(Ok(score));
+                for (reply, score) in replies.iter().zip(scores) {
+                    let _ = reply.send(Ok(score));
                 }
             }
-            Err(e) => {
-                for request in batch {
-                    let _ = request.reply.send(Err(e.duplicate()));
+            Err(_) => {
+                // Failure isolation: one bad row must not fail its panel
+                // company. Rescore each row alone under its original id —
+                // coalescing invariance guarantees good rows get the exact
+                // score the batch would have produced, and only offending
+                // rows carry an error back.
+                for (j, (row, reply)) in rows.into_iter().zip(replies).enumerate() {
+                    let solo = scorer
+                        .score_panel(std::slice::from_ref(&row), first_id.wrapping_add(j as u64));
+                    let _ = reply.send(solo.map(|scores| scores[0]));
                 }
             }
         }

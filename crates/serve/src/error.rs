@@ -20,20 +20,6 @@ pub enum ServeError {
     Io(io::Error),
 }
 
-impl ServeError {
-    /// A best-effort copy for fanning one batch failure out to every
-    /// waiting request. `io::Error` is not `Clone`, so it is rebuilt
-    /// from its kind and message.
-    pub(crate) fn duplicate(&self) -> ServeError {
-        match self {
-            ServeError::Artifact(msg) => ServeError::Artifact(msg.clone()),
-            ServeError::Request(msg) => ServeError::Request(msg.clone()),
-            ServeError::Quorum(e) => ServeError::Quorum(e.clone()),
-            ServeError::Io(e) => ServeError::Io(io::Error::new(e.kind(), e.to_string())),
-        }
-    }
-}
-
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -81,14 +67,6 @@ mod tests {
         assert!(Error::source(&e).is_some());
         let e: ServeError = io::Error::new(io::ErrorKind::UnexpectedEof, "eof").into();
         assert!(matches!(e, ServeError::Io(_)));
-    }
-
-    #[test]
-    fn duplicate_preserves_the_message() {
-        let e = ServeError::Quorum(QuorumError::Internal("no levels".into()));
-        assert_eq!(e.duplicate().to_string(), e.to_string());
-        let e = ServeError::Io(io::Error::new(io::ErrorKind::BrokenPipe, "pipe"));
-        assert!(e.duplicate().to_string().contains("pipe"));
     }
 
     #[test]

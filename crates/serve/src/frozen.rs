@@ -10,7 +10,7 @@ use qmetrics::stats;
 use qsim::parallel::map_indexed;
 use quorum_core::ansatz::AnsatzParams;
 use quorum_core::bucket::BucketPlan;
-use quorum_core::config::ExecutionMode;
+use quorum_core::config::{EngineKind, ExecutionMode};
 use quorum_core::engine::{self, sampled_deviation, shot_seed, ScoringEngine};
 use quorum_core::ensemble::EnsembleGroup;
 use quorum_core::features::FeatureSelection;
@@ -336,16 +336,7 @@ impl FrozenDetector {
         if rows.is_empty() {
             return Ok(Vec::new());
         }
-        if let Some(bad) = rows.iter().find(|r| r.len() != self.num_features) {
-            return Err(ServeError::Request(format!(
-                "expected {} features, got {}",
-                self.num_features,
-                bad.len()
-            )));
-        }
-        let ds = Dataset::from_rows("stream", rows.to_vec(), None)
-            .map_err(|e| ServeError::Request(format!("unusable rows: {e}")))?;
-        let normalized = self.normalizer.apply(&ds);
+        let normalized = self.normalize_stream_rows(rows)?;
         let levels = self.config.effective_compression_levels();
         let threads = self.config.effective_threads();
         let normalized_ref = &normalized;
@@ -364,7 +355,92 @@ impl FrozenDetector {
         Ok(totals)
     }
 
-    /// One group's additive streamed-score contribution.
+    /// One group's additive streamed-score contribution — the public
+    /// group-subset seam behind the sharded scorer. `engine` overrides
+    /// the engine that evaluates this group's deviations (`None` runs
+    /// the configuration's streaming engine); the override must honour
+    /// the frozen execution mode. Summing every group's vector in
+    /// ascending group-index order reproduces
+    /// [`FrozenDetector::score_samples`] bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Request`] for out-of-range groups or unusable rows;
+    /// [`ServeError::Quorum`] for an engine override incompatible with
+    /// the frozen execution mode; simulation failures propagate.
+    pub fn stream_group_scores(
+        &self,
+        group: usize,
+        rows: &[Vec<f64>],
+        first_sample_id: u64,
+        engine: Option<EngineKind>,
+    ) -> Result<Vec<f64>, ServeError> {
+        if group >= self.groups.len() {
+            return Err(ServeError::Request(format!(
+                "group {group} is out of range (detector holds {})",
+                self.groups.len()
+            )));
+        }
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+        let normalized = self.normalize_stream_rows(rows)?;
+        let levels = self.config.effective_compression_levels();
+        let (engine, exact_config) = self.resolve_stream_engine(engine)?;
+        self.stream_scores_for_group_with(
+            engine,
+            &exact_config,
+            group,
+            &normalized,
+            &levels,
+            first_sample_id,
+        )
+        .map_err(ServeError::Quorum)
+    }
+
+    /// Validates streamed rows (width, usability) and applies the frozen
+    /// normaliser — the shared head of every streaming entry point, so
+    /// the sharded scorer normalises one panel exactly once.
+    pub(crate) fn normalize_stream_rows(&self, rows: &[Vec<f64>]) -> Result<Dataset, ServeError> {
+        if let Some(bad) = rows.iter().find(|r| r.len() != self.num_features) {
+            return Err(ServeError::Request(format!(
+                "expected {} features, got {}",
+                self.num_features,
+                bad.len()
+            )));
+        }
+        let ds = Dataset::from_rows("stream", rows.to_vec(), None)
+            .map_err(|e| ServeError::Request(format!("unusable rows: {e}")))?;
+        Ok(self.normalizer.apply(&ds))
+    }
+
+    /// Resolves a per-shard engine override against the shot-stripped
+    /// streaming configuration. `None` returns the detector's own
+    /// streaming engine; `Some(kind)` must be compatible with the frozen
+    /// execution mode (e.g. a pure-state engine cannot serve a noisy
+    /// detector) and surfaces the same typed error the in-process
+    /// configuration validation would.
+    pub(crate) fn resolve_stream_engine(
+        &self,
+        kind: Option<EngineKind>,
+    ) -> Result<(&'static dyn ScoringEngine, QuorumConfig), ServeError> {
+        match kind {
+            None => Ok((self.stream_engine, self.exact_config.clone())),
+            Some(kind) => {
+                let config = self.exact_config.clone().with_engine(kind);
+                let engine = engine::resolve(&config).map_err(ServeError::Quorum)?;
+                Ok((engine, config))
+            }
+        }
+    }
+
+    /// The compression levels the streaming path sweeps.
+    pub(crate) fn stream_levels(&self) -> Vec<usize> {
+        self.config.effective_compression_levels()
+    }
+
+    /// One group's additive streamed-score contribution under the
+    /// detector's own streaming engine.
     fn stream_scores_for_group(
         &self,
         g: usize,
@@ -372,13 +448,33 @@ impl FrozenDetector {
         levels: &[usize],
         first_sample_id: u64,
     ) -> Result<Vec<f64>, QuorumError> {
-        let group = &self.groups[g];
-        let per_level = self.stream_engine.deviations_all_levels(
-            group,
-            normalized,
+        self.stream_scores_for_group_with(
+            self.stream_engine,
             &self.exact_config,
+            g,
+            normalized,
             levels,
-        )?;
+            first_sample_id,
+        )
+    }
+
+    /// One group's additive streamed-score contribution through an
+    /// explicit engine — the shard workers' inner loop. The engine only
+    /// changes *how* the exact deviations are evaluated; shot sampling
+    /// and z-scoring still run off the frozen configuration, so every
+    /// engine that honours the execution mode produces the same additive
+    /// semantics.
+    pub(crate) fn stream_scores_for_group_with(
+        &self,
+        engine: &dyn ScoringEngine,
+        exact_config: &QuorumConfig,
+        g: usize,
+        normalized: &Dataset,
+        levels: &[usize],
+        first_sample_id: u64,
+    ) -> Result<Vec<f64>, QuorumError> {
+        let group = &self.groups[g];
+        let per_level = engine.deviations_all_levels(group, normalized, exact_config, levels)?;
         let mut scores = vec![0.0; normalized.num_samples()];
         for ((deviations, &level), level_stats) in per_level.iter().zip(levels).zip(&self.stats[g])
         {
@@ -448,14 +544,27 @@ impl FrozenDetector {
     /// warm caches. No-op for pure-state configurations and for the
     /// per-sample circuit oracle (which builds circuits per request).
     fn prewarm(&self) -> Result<(), ServeError> {
-        use quorum_core::config::EngineKind;
+        let all: Vec<usize> = (0..self.groups.len()).collect();
+        self.prewarm_groups(self.config.effective_engine(), &all)
+    }
+
+    /// [`FrozenDetector::prewarm`] for one engine kind over a subset of
+    /// groups — the sharded scorer warms each shard's groups for the
+    /// engine that shard will actually run, so a per-shard engine
+    /// override never pays fusion or lowering at request time.
+    pub(crate) fn prewarm_groups(
+        &self,
+        kind: EngineKind,
+        groups: &[usize],
+    ) -> Result<(), ServeError> {
         let ExecutionMode::Noisy { noise, .. } = &self.config.execution else {
             return Ok(());
         };
         let levels = self.config.effective_compression_levels();
-        for group in &self.groups {
+        for &g in groups {
+            let group = &self.groups[g];
             for &level in &levels {
-                match self.config.effective_engine() {
+                match kind {
                     EngineKind::Density | EngineKind::DensitySample => {
                         group
                             .fused_noisy_superop(noise, level)

@@ -21,12 +21,25 @@
 //! FrozenDetector ── score_dataset (reference replay, bit-identical)
 //!         │
 //!         └─ QuorumServer ── per-connection handlers ──► BatchScorer
-//!                              coalesced 2^n×S panel ──► score_samples
+//!                              coalesced 2^n×S panel ──► PanelScorer
+//!                                      │
+//!                      ┌───────────────┴───────────────┐
+//!                      ▼ (bind)                        ▼ (bind_sharded)
+//!              FrozenDetector                   ShardedScorer
+//!              score_samples                    ShardPlan over groups
+//!                                               shard 0 ── groups {0,3,…}
+//!                                               shard 1 ── groups {1,2,…}
+//!                                               Σ partials (ascending g)
 //! ```
 //!
 //! Coalescing is invisible in the results: every per-sample score
 //! depends only on the sample's row and its stable id, so batch
-//! composition can never change an individual answer.
+//! composition can never change an individual answer. Sharding is
+//! invisible the same way: the ensemble score is an additive sum over
+//! independent groups, so partitioning groups across shard workers and
+//! summing their partial vectors in ascending group order reproduces the
+//! single-process scores bit for bit, for every shard count and engine
+//! assignment.
 
 #![warn(missing_docs)]
 
@@ -35,10 +48,12 @@ pub mod batch;
 mod error;
 pub mod frozen;
 pub mod server;
+pub mod shard;
 mod wire;
 
 pub use artifact::{FrozenArtifact, FrozenGroup, FrozenNormalizer, LevelStats};
-pub use batch::{BatchHandle, BatchScorer, CoalescePolicy};
+pub use batch::{BatchHandle, BatchScorer, CoalescePolicy, PanelScorer};
 pub use error::ServeError;
 pub use frozen::FrozenDetector;
 pub use server::{QuorumServer, ScoreClient};
+pub use shard::{BaselineCosts, Shard, ShardPlan, ShardPolicy, ShardedScorer};

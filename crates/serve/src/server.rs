@@ -7,22 +7,44 @@
 //! * response — one status byte: `0` followed by the `f64` score, or
 //!   `1` followed by a `u32` length and a UTF-8 error message.
 //!
+//! Error semantics: a *well-framed* bad request (wrong feature width,
+//! unscorable values) is answered with an error frame and the connection
+//! stays usable for the next request. A frame that cannot be trusted —
+//! a declared feature count over [`MAX_REQUEST_FEATURES`] — is answered
+//! with an error frame and then the connection is **closed**: the
+//! declared length is the only framing information the protocol carries,
+//! so once it is implausible the stream can never be resynchronised and
+//! draining it would mean reading up to 32 GiB of attacker-controlled
+//! payload.
+//!
 //! Each connection gets its own handler thread; every handler submits
 //! through the shared [`BatchScorer`], so samples arriving concurrently
-//! on different connections coalesce into one panel.
+//! on different connections coalesce into one panel. The backend behind
+//! the batcher is any [`PanelScorer`] — the single-process
+//! [`FrozenDetector`] via [`QuorumServer::bind`], or a [`ShardedScorer`]
+//! fanning ensemble groups across worker shards via
+//! [`QuorumServer::bind_sharded`]; the wire protocol is identical either
+//! way.
 
-use crate::batch::{BatchScorer, CoalescePolicy};
+use crate::batch::{BatchScorer, CoalescePolicy, PanelScorer};
 use crate::error::ServeError;
 use crate::frozen::FrozenDetector;
+use crate::shard::{ShardPolicy, ShardedScorer};
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Upper bound on a request's declared feature count; anything larger is
 /// a corrupt or hostile frame, not a plausible sample.
 const MAX_REQUEST_FEATURES: u32 = 1 << 20;
+
+/// Live connections keyed by connection id, shared between the acceptor
+/// (insert), handlers (remove-on-exit) and shutdown (sever all).
+type ConnSlab = Arc<Mutex<HashMap<u64, TcpStream>>>;
 
 /// The serving runtime: an acceptor thread, one handler thread per
 /// connection, and a shared batching worker coalescing across all of
@@ -33,7 +55,7 @@ pub struct QuorumServer {
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
     scorer: Arc<BatchScorer>,
-    conns: Arc<Mutex<Vec<TcpStream>>>,
+    conns: ConnSlab,
 }
 
 impl QuorumServer {
@@ -48,11 +70,44 @@ impl QuorumServer {
         frozen: Arc<FrozenDetector>,
         policy: CoalescePolicy,
     ) -> Result<Self, ServeError> {
+        Self::serve(addr, frozen, policy)
+    }
+
+    /// Binds `addr` and serves `frozen` through a [`ShardedScorer`]
+    /// planned from `shards`. The wire protocol is unchanged — clients
+    /// cannot tell a sharded server from a single-process one, scores
+    /// included (they are bit-identical by the sharding invariance).
+    /// [`ShardPolicy::Single`] degrades to [`QuorumServer::bind`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if binding fails; plan and engine-override
+    /// validation failures from [`ShardedScorer::new`].
+    pub fn bind_sharded(
+        addr: impl ToSocketAddrs,
+        frozen: Arc<FrozenDetector>,
+        policy: CoalescePolicy,
+        shards: &ShardPolicy,
+    ) -> Result<Self, ServeError> {
+        match shards {
+            ShardPolicy::Single => Self::serve(addr, frozen, policy),
+            _ => {
+                let sharded = Arc::new(ShardedScorer::new(frozen, shards)?);
+                Self::serve(addr, sharded, policy)
+            }
+        }
+    }
+
+    fn serve(
+        addr: impl ToSocketAddrs,
+        panel: Arc<dyn PanelScorer>,
+        policy: CoalescePolicy,
+    ) -> Result<Self, ServeError> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let scorer = Arc::new(BatchScorer::start(Arc::clone(&frozen), policy));
-        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let scorer = Arc::new(BatchScorer::start(panel, policy));
+        let conns: ConnSlab = Arc::new(Mutex::new(HashMap::new()));
         let acceptor = {
             let stop = Arc::clone(&stop);
             let scorer = Arc::clone(&scorer);
@@ -60,7 +115,7 @@ impl QuorumServer {
             std::thread::Builder::new()
                 .name("quorum-acceptor".into())
                 .spawn(move || {
-                    accept_loop(&listener, &frozen, &scorer, &conns, &stop);
+                    accept_loop(&listener, &scorer, &conns, &stop);
                 })
                 .expect("spawning the acceptor thread")
         };
@@ -88,6 +143,18 @@ impl QuorumServer {
         self.scorer.samples_scored()
     }
 
+    /// Connections currently tracked as live. Handlers remove their
+    /// entry (closing the server's cloned fd) as they exit, so this
+    /// returns to zero once disconnected clients' handlers have wound
+    /// down — the connection-reaping regression test asserts exactly
+    /// that after a connect/score/disconnect soak.
+    pub fn open_connections(&self) -> usize {
+        self.conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
     /// Stops accepting, severs live connections so handler threads exit,
     /// and joins the acceptor. Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
@@ -98,7 +165,7 @@ impl QuorumServer {
         // connection; it observes the flag and returns.
         let _ = TcpStream::connect(self.local_addr);
         let conns = self.conns.lock().unwrap_or_else(PoisonError::into_inner);
-        for conn in conns.iter() {
+        for conn in conns.values() {
             let _ = conn.shutdown(Shutdown::Both);
         }
         drop(conns);
@@ -116,45 +183,84 @@ impl Drop for QuorumServer {
 
 fn accept_loop(
     listener: &TcpListener,
-    frozen: &Arc<FrozenDetector>,
     scorer: &Arc<BatchScorer>,
-    conns: &Arc<Mutex<Vec<TcpStream>>>,
+    conns: &ConnSlab,
     stop: &Arc<AtomicBool>,
 ) {
-    let mut handlers = Vec::new();
+    // Handler JoinHandles live here, keyed by connection id; exiting
+    // handlers queue their id on `finished` and the acceptor reaps the
+    // handle (join + remove) on its next wakeup, so neither the conn
+    // slab nor this map grows with the lifetime total of connections —
+    // only with the number currently live.
+    let mut handlers: HashMap<u64, JoinHandle<()>> = HashMap::new();
+    let finished: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut next_id: u64 = 0;
     while let Ok((stream, _)) = listener.accept() {
+        for id in finished
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+        {
+            if let Some(join) = handlers.remove(&id) {
+                let _ = join.join();
+            }
+        }
         if stop.load(Ordering::SeqCst) {
             break;
         }
+        let id = next_id;
+        next_id = next_id.wrapping_add(1);
         if let Ok(clone) = stream.try_clone() {
             conns
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner)
-                .push(clone);
+                .insert(id, clone);
         }
         let handle = scorer.handle();
-        let frozen = Arc::clone(frozen);
-        if let Ok(join) = std::thread::Builder::new()
+        let conns_h = Arc::clone(conns);
+        let finished_h = Arc::clone(&finished);
+        match std::thread::Builder::new()
             .name("quorum-conn".into())
-            .spawn(move || handle_connection(stream, &frozen, &handle))
-        {
-            handlers.push(join);
+            .spawn(move || {
+                handle_connection(stream, &handle);
+                // Reap this connection's slab entry (dropping the cloned
+                // fd) and mark the JoinHandle collectable.
+                conns_h
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .remove(&id);
+                finished_h
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(id);
+            }) {
+            Ok(join) => {
+                handlers.insert(id, join);
+            }
+            Err(_) => {
+                conns
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .remove(&id);
+            }
         }
     }
-    for handler in handlers {
+    for handler in handlers.into_values() {
         let _ = handler.join();
     }
 }
 
 /// One connection's request loop: read frames until EOF or a transport
-/// error, answering each with a score or a typed error message. Protocol
-/// errors are answered (keeping the connection usable); transport errors
-/// end the loop.
-fn handle_connection(
-    mut stream: TcpStream,
-    frozen: &Arc<FrozenDetector>,
-    handle: &crate::batch::BatchHandle,
-) {
+/// error, answering each with a score or a typed error message.
+/// Well-framed protocol errors (wrong width, unscorable rows) are
+/// answered and keep the connection usable; transport errors end the
+/// loop. An implausible declared feature count (over
+/// [`MAX_REQUEST_FEATURES`]) is answered with an error frame and then
+/// **closes** the connection — the declared length is the stream's only
+/// framing, so an untrustworthy one leaves no way to find the next
+/// frame boundary, and draining it would read gigabytes on the
+/// attacker's say-so.
+fn handle_connection(mut stream: TcpStream, handle: &crate::batch::BatchHandle) {
     loop {
         let mut len_buf = [0u8; 4];
         if stream.read_exact(&mut len_buf).is_err() {
@@ -173,18 +279,9 @@ fn handle_connection(
             }
             *slot = f64::from_le_bytes(value);
         }
-        // Reject wrong widths before enqueueing so one malformed client
+        // The handle validates width at enqueue, so a malformed client
         // never occupies a slot in a coalesced panel.
-        let result = if row.len() == frozen.num_features() {
-            handle.score(row)
-        } else {
-            Err(ServeError::Request(format!(
-                "expected {} features, got {}",
-                frozen.num_features(),
-                row.len()
-            )))
-        };
-        let ok = match result {
+        let ok = match handle.score(row) {
             Ok(score) => write_score(&mut stream, score).is_ok(),
             Err(e) => write_error(&mut stream, &e.to_string()).is_ok(),
         };
@@ -210,13 +307,18 @@ fn write_error(stream: &mut TcpStream, message: &str) -> std::io::Result<()> {
 }
 
 /// A minimal blocking client for the scoring protocol.
+///
+/// By default reads and writes block indefinitely; set deadlines with
+/// [`ScoreClient::connect_with_timeouts`] or [`ScoreClient::set_timeouts`]
+/// so a hung or wedged server surfaces as [`ServeError::Io`]
+/// (`WouldBlock`/`TimedOut`) instead of blocking `score` forever.
 #[derive(Debug)]
 pub struct ScoreClient {
     stream: TcpStream,
 }
 
 impl ScoreClient {
-    /// Connects to a running [`QuorumServer`].
+    /// Connects to a running [`QuorumServer`] with no i/o deadlines.
     ///
     /// # Errors
     ///
@@ -227,12 +329,47 @@ impl ScoreClient {
         })
     }
 
-    /// Scores one sample, blocking for the response.
+    /// Connects and applies the given read/write deadlines in one step.
+    /// `None` leaves that direction blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the connection fails or a zero duration is
+    /// passed.
+    pub fn connect_with_timeouts(
+        addr: impl ToSocketAddrs,
+        read: Option<Duration>,
+        write: Option<Duration>,
+    ) -> Result<Self, ServeError> {
+        let mut client = Self::connect(addr)?;
+        client.set_timeouts(read, write)?;
+        Ok(client)
+    }
+
+    /// Sets the read/write deadlines for every subsequent `score` call.
+    /// `None` reverts that direction to blocking indefinitely.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] for a zero duration (the platform rejects it).
+    pub fn set_timeouts(
+        &mut self,
+        read: Option<Duration>,
+        write: Option<Duration>,
+    ) -> Result<(), ServeError> {
+        self.stream.set_read_timeout(read)?;
+        self.stream.set_write_timeout(write)?;
+        Ok(())
+    }
+
+    /// Scores one sample, blocking for the response (up to the
+    /// configured deadlines, when set).
     ///
     /// # Errors
     ///
     /// [`ServeError::Request`] when the server answers with an error
-    /// frame; [`ServeError::Io`] on transport failures.
+    /// frame; [`ServeError::Io`] on transport failures and expired
+    /// deadlines.
     pub fn score(&mut self, row: &[f64]) -> Result<f64, ServeError> {
         let mut frame = Vec::with_capacity(4 + row.len() * 8);
         frame.extend_from_slice(&(row.len() as u32).to_le_bytes());

@@ -1,0 +1,655 @@
+//! Sharded multi-worker serving: partition the ensemble groups across
+//! scoring workers and vector-sum their additive partial scores.
+//!
+//! Quorum's score is a plain sum over independent ensemble groups, which
+//! makes group sharding the natural scale-out seam: a [`ShardPlan`]
+//! assigns every group to one of K shards, a [`ShardedScorer`] fans each
+//! coalesced panel out to K resident worker threads (one per shard, each
+//! with its own engine and — because group subsets are disjoint — its own
+//! per-group caches), and the partial score vectors are summed back in
+//! **ascending group-index order**, exactly the accumulation order the
+//! single-process [`FrozenDetector::score_samples`] uses. Scores are
+//! therefore invariant to the shard plan the same way they are invariant
+//! to request coalescing: bit-identical for every K, engine assignment
+//! and execution mode.
+//!
+//! Plans balance groups by *cost*, not count: per-group weights come from
+//! the committed `BENCH_baseline.json` measurements when one is readable
+//! (`QUORUM_BENCH_BASELINE` overrides the path), falling back to a
+//! gate-count × engine-kind cost model, and a longest-processing-time
+//! pass assigns each group to the shard it finishes earliest on — which
+//! also handles heterogeneous shards, e.g. a noisy detector splitting
+//! groups between a dense-density shard and a structured-channel shard.
+
+use crate::batch::PanelScorer;
+use crate::error::ServeError;
+use crate::frozen::FrozenDetector;
+use qdata::Dataset;
+use quorum_core::config::EngineKind;
+use quorum_core::QuorumError;
+use std::collections::BTreeMap;
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// How a serving runtime splits its ensemble groups across workers.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum ShardPolicy {
+    /// No sharding: one in-process scorer runs every group (the
+    /// single-worker runtime). Default.
+    #[default]
+    Single,
+    /// K worker shards, all running the frozen configuration's engine,
+    /// with groups cost-balanced across them.
+    Workers(usize),
+    /// One worker shard per entry, each optionally overriding the engine
+    /// that evaluates its groups' deviations (`None` = the frozen
+    /// configuration's engine). Overrides must honour the frozen
+    /// execution mode — e.g. a noisy detector may mix
+    /// [`EngineKind::Density`] and [`EngineKind::DensityStructured`]
+    /// shards, but not a pure-state engine.
+    Mixed(Vec<Option<EngineKind>>),
+}
+
+impl ShardPolicy {
+    /// The per-shard engine assignments this policy asks for, or an error
+    /// for a degenerate policy. `Single` is the empty assignment — the
+    /// caller serves without a sharded scorer at all.
+    fn shard_engines(&self) -> Result<Vec<Option<EngineKind>>, ServeError> {
+        match self {
+            ShardPolicy::Single => Ok(Vec::new()),
+            ShardPolicy::Workers(0) => Err(ServeError::Request(
+                "a sharded scorer needs at least one worker shard".into(),
+            )),
+            ShardPolicy::Workers(k) => Ok(vec![None; *k]),
+            ShardPolicy::Mixed(engines) if engines.is_empty() => Err(ServeError::Request(
+                "a mixed shard policy needs at least one shard".into(),
+            )),
+            ShardPolicy::Mixed(engines) => Ok(engines.clone()),
+        }
+    }
+}
+
+/// One shard of a [`ShardPlan`]: the groups it scores (ascending) and the
+/// engine override it scores them with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shard {
+    groups: Vec<usize>,
+    engine: Option<EngineKind>,
+}
+
+impl Shard {
+    /// The group indices this shard owns, in ascending order.
+    pub fn groups(&self) -> &[usize] {
+        &self.groups
+    }
+
+    /// The engine override this shard scores with (`None` = the frozen
+    /// configuration's engine).
+    pub fn engine(&self) -> Option<EngineKind> {
+        self.engine
+    }
+}
+
+/// A cost-balanced assignment of every ensemble group to one shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    shards: Vec<Shard>,
+}
+
+impl ShardPlan {
+    /// Plans the given policy over a frozen detector: derives per-group
+    /// cost weights (measured baseline metrics when available, gate-count
+    /// model otherwise) and balances groups across the policy's shards.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Request`] for degenerate policies (zero shards).
+    pub fn for_detector(
+        frozen: &FrozenDetector,
+        policy: &ShardPolicy,
+    ) -> Result<ShardPlan, ServeError> {
+        let engines = policy.shard_engines()?;
+        if engines.is_empty() {
+            // `Single` still yields a valid one-shard plan so callers can
+            // treat every policy uniformly when they want to.
+            return Ok(ShardPlan::balanced(&group_costs(frozen), &[1.0], &[None]));
+        }
+        let noisy = matches!(
+            frozen.config().execution,
+            quorum_core::config::ExecutionMode::Noisy { .. }
+        );
+        let default_kind = frozen.config().effective_engine();
+        let baseline = BaselineCosts::load();
+        let speeds: Vec<f64> = engines
+            .iter()
+            .map(|e| engine_cost_weight(e.unwrap_or(default_kind), noisy, baseline.as_ref()))
+            .collect();
+        Ok(ShardPlan::balanced(&group_costs(frozen), &speeds, &engines))
+    }
+
+    /// Cost-balanced assignment: a longest-processing-time pass places
+    /// each group (heaviest first, ties broken by ascending index) on the
+    /// shard whose load-after-assignment is smallest, where a group's
+    /// cost on shard `s` is `group_cost × shard_weight[s]` — so a slower
+    /// engine's shard receives proportionally fewer groups. Deterministic
+    /// for fixed inputs; each shard's group list comes back ascending.
+    ///
+    /// # Panics
+    ///
+    /// `shard_weights` and `shard_engines` must be the same (non-zero)
+    /// length.
+    pub fn balanced(
+        group_costs: &[f64],
+        shard_weights: &[f64],
+        shard_engines: &[Option<EngineKind>],
+    ) -> ShardPlan {
+        assert_eq!(shard_weights.len(), shard_engines.len());
+        assert!(!shard_weights.is_empty(), "a plan needs at least one shard");
+        let mut order: Vec<usize> = (0..group_costs.len()).collect();
+        order.sort_by(|&a, &b| {
+            group_costs[b]
+                .partial_cmp(&group_costs[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut loads = vec![0.0f64; shard_weights.len()];
+        let mut shards: Vec<Shard> = shard_engines
+            .iter()
+            .map(|&engine| Shard {
+                groups: Vec::new(),
+                engine,
+            })
+            .collect();
+        for g in order {
+            let cost = group_costs[g].max(0.0);
+            let (best, _) = loads
+                .iter()
+                .enumerate()
+                .map(|(s, &load)| (s, load + cost * shard_weights[s].max(f64::MIN_POSITIVE)))
+                .min_by(|a, b| {
+                    a.1.partial_cmp(&b.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.cmp(&b.0))
+                })
+                .expect("at least one shard");
+            loads[best] += cost * shard_weights[best].max(f64::MIN_POSITIVE);
+            shards[best].groups.push(g);
+        }
+        for shard in &mut shards {
+            shard.groups.sort_unstable();
+        }
+        ShardPlan { shards }
+    }
+
+    /// The plan's shards.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Total number of worker shards (including empty ones).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+/// Per-group cost weights from the gate-count model: every group pays for
+/// its encoder twice (encoder + mirrored decoder) per compression level,
+/// plus the level's reset channels. Groups drawn from one configuration
+/// share a gate skeleton, so this is near-uniform today — the seam exists
+/// for heterogeneous ensembles (e.g. trained encoders of varying depth).
+fn group_costs(frozen: &FrozenDetector) -> Vec<f64> {
+    let levels = frozen.config().effective_compression_levels();
+    frozen
+        .groups()
+        .iter()
+        .map(|group| {
+            let encoder_ops: usize = group
+                .ansatz()
+                .encoder()
+                .count_ops()
+                .iter()
+                .map(|(_, n)| n)
+                .sum();
+            let resets: usize = levels.iter().sum();
+            (2 * encoder_ops * levels.len() + resets).max(1) as f64
+        })
+        .collect()
+}
+
+/// Relative per-sample cost of one engine kind, preferring measured
+/// baseline metrics and falling back to constants taken from the same
+/// measurement history. Only ratios between kinds matter: they decide how
+/// many groups a slower shard can afford.
+fn engine_cost_weight(kind: EngineKind, noisy: bool, baseline: Option<&BaselineCosts>) -> f64 {
+    let measured = baseline.and_then(|b| b.engine_ns_per_sample(kind, noisy));
+    measured.unwrap_or(match kind {
+        EngineKind::Batched => 5_100.0,
+        EngineKind::Analytic => 13_400.0,
+        EngineKind::Density => 7_800.0,
+        EngineKind::DensityStructured => 16_000.0,
+        EngineKind::DensitySample => 28_800.0,
+        EngineKind::Circuit => {
+            if noisy {
+                813_000_000.0
+            } else {
+                1_710_000.0
+            }
+        }
+        // `Auto` never reaches here (callers resolve it first), and new
+        // kinds default to parity until measured.
+        _ => 10_000.0,
+    })
+}
+
+/// The flat `"key": value` metric map of a `BENCH_baseline.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineCosts {
+    metrics: BTreeMap<String, f64>,
+}
+
+impl BaselineCosts {
+    /// Reads the baseline the environment points at: the
+    /// `QUORUM_BENCH_BASELINE` path when set, else `BENCH_baseline.json`
+    /// in the working directory. Any read or parse failure degrades to
+    /// `None` — the cost model falls back to its constants, never errors.
+    pub fn load() -> Option<BaselineCosts> {
+        let path = std::env::var("QUORUM_BENCH_BASELINE")
+            .unwrap_or_else(|_| "BENCH_baseline.json".to_string());
+        Self::parse(&std::fs::read_to_string(path).ok()?)
+    }
+
+    /// Parses the flat `"key": value` lines of the bench JSON's `metrics`
+    /// object (the exact format `engine_comparison.rs` emits). Returns
+    /// `None` when no metric parses.
+    pub fn parse(text: &str) -> Option<BaselineCosts> {
+        let mut metrics = BTreeMap::new();
+        let mut in_metrics = false;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.starts_with("\"metrics\"") {
+                in_metrics = true;
+                continue;
+            }
+            if !in_metrics {
+                continue;
+            }
+            if line.starts_with('}') {
+                break;
+            }
+            let Some((key, value)) = line.split_once(':') else {
+                continue;
+            };
+            if let Ok(v) = value.trim().trim_end_matches(',').parse::<f64>() {
+                metrics.insert(key.trim().trim_matches('"').to_string(), v);
+            }
+        }
+        if metrics.is_empty() {
+            None
+        } else {
+            Some(BaselineCosts { metrics })
+        }
+    }
+
+    /// The measured ns/sample for one engine kind, when the baseline
+    /// carries the matching column. The structured and per-sample density
+    /// kinds are derived from their measured ratios against the batched
+    /// density column, since the baseline benches them on different
+    /// shapes.
+    pub fn engine_ns_per_sample(&self, kind: EngineKind, noisy: bool) -> Option<f64> {
+        let get = |k: &str| self.metrics.get(k).copied().filter(|v| *v > 0.0);
+        match kind {
+            EngineKind::Batched => get("batched_ns_per_sample"),
+            EngineKind::Analytic => get("analytic_ns_per_sample"),
+            EngineKind::Density => {
+                get("density_batched_ns_per_sample").or_else(|| get("density_ns_per_sample"))
+            }
+            EngineKind::DensityStructured => {
+                let dense = self.engine_ns_per_sample(EngineKind::Density, noisy)?;
+                let ratio = get("structured_n5_ns_per_sample")? / get("dense_n5_ns_per_sample")?;
+                Some(dense * ratio)
+            }
+            EngineKind::DensitySample => get("density_per_sample_ns_per_sample"),
+            EngineKind::Circuit => {
+                if noisy {
+                    get("noisy_circuit_ns_per_sample")
+                } else {
+                    get("circuit_ns_per_sample")
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+/// One panel job fanned out to a shard worker.
+struct ShardJob {
+    normalized: Arc<Dataset>,
+    first_sample_id: u64,
+    reply: Sender<ShardReply>,
+}
+
+/// A worker's answer: its shard index plus each owned group's additive
+/// partial vector (or that group's failure), in ascending group order.
+struct ShardReply {
+    shard: usize,
+    partials: Vec<(usize, Result<Vec<f64>, QuorumError>)>,
+}
+
+/// K resident shard workers over one frozen detector, scoring coalesced
+/// panels as the vector sum of per-shard partial scores.
+///
+/// Bit-identity contract: for any plan produced by any [`ShardPolicy`]
+/// whose shards all run the frozen configuration's engine,
+/// [`ShardedScorer::score_samples`] equals
+/// [`FrozenDetector::score_samples`] bit for bit — per-group partials are
+/// computed identically and merged in ascending group-index order, the
+/// single-process accumulation order. With per-shard engine overrides the
+/// same holds against a single process that evaluates each group with the
+/// same assigned engine.
+pub struct ShardedScorer {
+    frozen: Arc<FrozenDetector>,
+    plan: ShardPlan,
+    workers: Vec<ShardWorker>,
+}
+
+struct ShardWorker {
+    tx: Option<Sender<ShardJob>>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ShardedScorer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedScorer")
+            .field("shards", &self.plan.num_shards())
+            .field("plan", &self.plan)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedScorer {
+    /// Plans `policy` over `frozen` and starts one resident worker thread
+    /// per shard. Engine overrides are validated against the frozen
+    /// execution mode up front, and every shard's noisy caches are
+    /// pre-warmed for the engine that shard will actually run, so the
+    /// first request pays no fusion or lowering.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Request`] for degenerate policies;
+    /// [`ServeError::Quorum`] for engine overrides the execution mode
+    /// rejects.
+    pub fn new(frozen: Arc<FrozenDetector>, policy: &ShardPolicy) -> Result<Self, ServeError> {
+        let plan = ShardPlan::for_detector(&frozen, policy)?;
+        Self::with_plan(frozen, plan)
+    }
+
+    /// Starts workers for an explicit plan (the equivalence suite uses
+    /// this to pin score invariance across hand-built plans).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ShardedScorer::new`].
+    pub fn with_plan(frozen: Arc<FrozenDetector>, plan: ShardPlan) -> Result<Self, ServeError> {
+        let mut seen = vec![false; frozen.groups().len()];
+        for shard in plan.shards() {
+            for &g in shard.groups() {
+                if g >= seen.len() || seen[g] {
+                    return Err(ServeError::Request(format!(
+                        "shard plan assigns group {g} out of range or twice"
+                    )));
+                }
+                seen[g] = true;
+            }
+        }
+        if !seen.iter().all(|&s| s) {
+            return Err(ServeError::Request(
+                "shard plan leaves at least one group unassigned".into(),
+            ));
+        }
+        let mut workers = Vec::with_capacity(plan.num_shards());
+        for (s, shard) in plan.shards().iter().enumerate() {
+            // Validate the override and pre-warm this shard's groups for
+            // the engine the shard will run, before any worker spawns.
+            let (engine, exact_config) = frozen.resolve_stream_engine(shard.engine())?;
+            if let Some(kind) = shard.engine() {
+                frozen.prewarm_groups(kind, shard.groups())?;
+            }
+            let (tx, rx) = mpsc::channel::<ShardJob>();
+            let frozen_w = Arc::clone(&frozen);
+            let groups = shard.groups().to_vec();
+            let levels = frozen.stream_levels();
+            let join = std::thread::Builder::new()
+                .name(format!("quorum-shard-{s}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        let partials = groups
+                            .iter()
+                            .map(|&g| {
+                                (
+                                    g,
+                                    frozen_w.stream_scores_for_group_with(
+                                        engine,
+                                        &exact_config,
+                                        g,
+                                        &job.normalized,
+                                        &levels,
+                                        job.first_sample_id,
+                                    ),
+                                )
+                            })
+                            .collect();
+                        let _ = job.reply.send(ShardReply { shard: s, partials });
+                    }
+                })
+                .map_err(ServeError::Io)?;
+            workers.push(ShardWorker {
+                tx: Some(tx),
+                join: Some(join),
+            });
+        }
+        Ok(ShardedScorer {
+            frozen,
+            plan,
+            workers,
+        })
+    }
+
+    /// The plan this scorer executes.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The underlying frozen detector.
+    pub fn frozen(&self) -> &Arc<FrozenDetector> {
+        &self.frozen
+    }
+
+    /// Scores a panel of streamed rows: normalises once, fans the shared
+    /// panel out to every shard worker, and sums the per-group partial
+    /// vectors in ascending group-index order — bit-identical to
+    /// [`FrozenDetector::score_samples`] under the same per-group engine
+    /// assignment, for every shard plan.
+    ///
+    /// # Errors
+    ///
+    /// Row validation and scoring failures as in
+    /// [`FrozenDetector::score_samples`]; [`ServeError::Io`] when a shard
+    /// worker has died. When several groups fail, the lowest-indexed
+    /// group's error is reported (the single-process order).
+    pub fn score_samples(
+        &self,
+        rows: &[Vec<f64>],
+        first_sample_id: u64,
+    ) -> Result<Vec<f64>, ServeError> {
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+        let normalized = Arc::new(self.frozen.normalize_stream_rows(rows)?);
+        let (reply_tx, reply_rx) = mpsc::channel::<ShardReply>();
+        let mut live = 0usize;
+        for worker in &self.workers {
+            let tx = worker.tx.as_ref().expect("workers live until drop");
+            tx.send(ShardJob {
+                normalized: Arc::clone(&normalized),
+                first_sample_id,
+                reply: reply_tx.clone(),
+            })
+            .map_err(|_| worker_gone())?;
+            live += 1;
+        }
+        drop(reply_tx);
+        let mut per_group: Vec<Option<Result<Vec<f64>, QuorumError>>> =
+            (0..self.frozen.groups().len()).map(|_| None).collect();
+        for _ in 0..live {
+            let reply = reply_rx.recv().map_err(|_| worker_gone())?;
+            debug_assert!(reply.shard < self.workers.len());
+            for (g, partial) in reply.partials {
+                per_group[g] = Some(partial);
+            }
+        }
+        let mut totals = vec![0.0; rows.len()];
+        for slot in per_group {
+            let partial = slot.ok_or_else(worker_gone)?.map_err(ServeError::Quorum)?;
+            for (t, p) in totals.iter_mut().zip(partial) {
+                *t += p;
+            }
+        }
+        Ok(totals)
+    }
+}
+
+impl Drop for ShardedScorer {
+    fn drop(&mut self) {
+        for worker in &mut self.workers {
+            drop(worker.tx.take());
+        }
+        for worker in &mut self.workers {
+            if let Some(join) = worker.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+impl PanelScorer for ShardedScorer {
+    fn num_features(&self) -> usize {
+        self.frozen.num_features()
+    }
+
+    fn score_panel(&self, rows: &[Vec<f64>], first_sample_id: u64) -> Result<Vec<f64>, ServeError> {
+        self.score_samples(rows, first_sample_id)
+    }
+}
+
+fn worker_gone() -> ServeError {
+    ServeError::Io(std::io::Error::new(
+        std::io::ErrorKind::BrokenPipe,
+        "a shard worker has shut down",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_covers_every_group_exactly_once() {
+        let costs = vec![1.0; 10];
+        let plan = ShardPlan::balanced(&costs, &[1.0, 1.0, 1.0], &[None, None, None]);
+        let mut seen = vec![0usize; costs.len()];
+        for shard in plan.shards() {
+            assert!(shard.groups().windows(2).all(|w| w[0] < w[1]));
+            for &g in shard.groups() {
+                seen[g] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+        // Uniform costs: balanced counts (10 over 3 ⇒ 4/3/3).
+        let mut sizes: Vec<usize> = plan.shards().iter().map(|s| s.groups().len()).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![3, 3, 4]);
+    }
+
+    #[test]
+    fn balanced_is_cost_aware_not_count_aware() {
+        // One heavyweight group must travel alone: LPT puts the 10.0
+        // group on its own shard and packs the six light groups opposite.
+        let costs = vec![10.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let plan = ShardPlan::balanced(&costs, &[1.0, 1.0], &[None, None]);
+        let with_heavy = plan
+            .shards()
+            .iter()
+            .find(|s| s.groups().contains(&0))
+            .unwrap();
+        assert_eq!(with_heavy.groups(), &[0]);
+        let other = plan.shards().iter().find(|s| !s.groups().contains(&0));
+        assert_eq!(other.unwrap().groups().len(), 6);
+    }
+
+    #[test]
+    fn balanced_respects_shard_speed_weights() {
+        // A shard whose engine is 4× slower should receive ~1/4 the work
+        // of a fast shard under uniform group costs.
+        let costs = vec![1.0; 10];
+        let plan = ShardPlan::balanced(&costs, &[1.0, 4.0], &[None, None]);
+        assert_eq!(plan.shards()[0].groups().len(), 8);
+        assert_eq!(plan.shards()[1].groups().len(), 2);
+    }
+
+    #[test]
+    fn balanced_is_deterministic_and_tolerates_empty_shards() {
+        let costs = vec![3.0, 1.0, 2.0];
+        let a = ShardPlan::balanced(&costs, &[1.0; 5], &[None; 5]);
+        let b = ShardPlan::balanced(&costs, &[1.0; 5], &[None; 5]);
+        assert_eq!(a, b);
+        assert_eq!(a.num_shards(), 5);
+        let assigned: usize = a.shards().iter().map(|s| s.groups().len()).sum();
+        assert_eq!(assigned, costs.len());
+        assert!(a.shards().iter().any(|s| s.groups().is_empty()));
+    }
+
+    #[test]
+    fn baseline_costs_parse_the_bench_format() {
+        let text = r#"{
+  "config": { "data_qubits": 3 },
+  "metrics": {
+    "batched_ns_per_sample": 5126.021,
+    "analytic_ns_per_sample": 13425.125,
+    "density_batched_ns_per_sample": 7811.594,
+    "density_per_sample_ns_per_sample": 28760.021,
+    "dense_n5_ns_per_sample": 1387566.208,
+    "structured_n5_ns_per_sample": 1068530.833,
+    "noisy_circuit_ns_per_sample": 813516036.750
+  }
+}"#;
+        let costs = BaselineCosts::parse(text).unwrap();
+        assert_eq!(
+            costs.engine_ns_per_sample(EngineKind::Batched, false),
+            Some(5126.021)
+        );
+        let structured = costs
+            .engine_ns_per_sample(EngineKind::DensityStructured, true)
+            .unwrap();
+        // Derived: dense column × measured structured/dense ratio.
+        assert!((structured - 7811.594 * (1068530.833 / 1387566.208)).abs() < 1e-6);
+        assert_eq!(
+            costs.engine_ns_per_sample(EngineKind::Circuit, true),
+            Some(813516036.750)
+        );
+        assert!(BaselineCosts::parse("not json at all").is_none());
+        assert!(BaselineCosts::parse("{\"metrics\": {}}").is_none());
+    }
+
+    #[test]
+    fn policy_rejects_degenerate_shapes() {
+        assert!(ShardPolicy::Workers(0).shard_engines().is_err());
+        assert!(ShardPolicy::Mixed(Vec::new()).shard_engines().is_err());
+        assert_eq!(
+            ShardPolicy::Workers(3).shard_engines().unwrap(),
+            vec![None; 3]
+        );
+        assert!(ShardPolicy::Single.shard_engines().unwrap().is_empty());
+    }
+}

@@ -376,3 +376,198 @@ fn tcp_server_sustains_a_long_lived_connection() {
     assert_eq!(server.samples_scored(), rows.len() as u64);
     server.shutdown();
 }
+
+/// Failure isolation through the public batching API: a wrong-width row
+/// is rejected at enqueue and a width-valid-but-unscorable row (NaNs)
+/// fails its panel — in both cases every concurrently enqueued good row
+/// still gets its exact score.
+#[test]
+fn bad_rows_do_not_fail_their_panel_company() {
+    let frozen = Arc::new(FrozenDetector::freeze(base_config(), &reference()).unwrap());
+    let good = stream_rows(6);
+    let direct = frozen.score_samples(&good, 0).unwrap();
+    let scorer = BatchScorer::start(
+        Arc::clone(&frozen),
+        CoalescePolicy {
+            max_batch: 8,
+            max_wait: Duration::from_millis(200),
+        },
+    );
+    // Round 1: a short row rides along with six good ones. Width is
+    // validated at enqueue, so the bad submission never occupies a
+    // panel slot and the good rows coalesce undisturbed.
+    let (scores, width_err) = std::thread::scope(|s| {
+        let barrier = Arc::new(Barrier::new(good.len() + 1));
+        let goods: Vec<_> = good
+            .iter()
+            .map(|row| {
+                let handle = scorer.handle();
+                let barrier = Arc::clone(&barrier);
+                let row = row.clone();
+                s.spawn(move || {
+                    barrier.wait();
+                    handle.score(row)
+                })
+            })
+            .collect();
+        let bad = {
+            let handle = scorer.handle();
+            let barrier = Arc::clone(&barrier);
+            s.spawn(move || {
+                barrier.wait();
+                handle.score(vec![1.0, 2.0])
+            })
+        };
+        (
+            goods
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>(),
+            bad.join().unwrap(),
+        )
+    });
+    let err = width_err.unwrap_err();
+    assert!(matches!(err, ServeError::Request(_)), "got {err:?}");
+    assert!(err.to_string().contains("expected 7 features, got 2"));
+    for (got, want) in scores.iter().zip(&direct) {
+        assert_eq!(got.as_ref().unwrap(), want);
+    }
+    // Round 2: a NaN row has the right width, so it passes enqueue and
+    // poisons its coalesced panel. The batcher rescores each row alone —
+    // only the NaN submission errors, and coalescing invariance keeps
+    // the good rows' scores exact.
+    let (scores, nan_err) = std::thread::scope(|s| {
+        let barrier = Arc::new(Barrier::new(good.len() + 1));
+        let goods: Vec<_> = good
+            .iter()
+            .map(|row| {
+                let handle = scorer.handle();
+                let barrier = Arc::clone(&barrier);
+                let row = row.clone();
+                s.spawn(move || {
+                    barrier.wait();
+                    handle.score(row)
+                })
+            })
+            .collect();
+        let bad = {
+            let handle = scorer.handle();
+            let barrier = Arc::clone(&barrier);
+            s.spawn(move || {
+                barrier.wait();
+                handle.score(vec![f64::NAN; 7])
+            })
+        };
+        (
+            goods
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>(),
+            bad.join().unwrap(),
+        )
+    });
+    assert!(nan_err.is_err(), "a NaN row must fail its own request");
+    for (got, want) in scores.iter().zip(&direct) {
+        assert_eq!(
+            got.as_ref().unwrap(),
+            want,
+            "good rows must survive a poisoned panel with exact scores"
+        );
+    }
+}
+
+/// A connect/score/disconnect soak must not accumulate connection state:
+/// handlers reap their slab entry (closing the server-side fd clone) as
+/// they exit, so the live-connection count returns to zero.
+#[test]
+fn connection_soak_leaves_no_tracked_connections() {
+    let frozen = Arc::new(FrozenDetector::freeze(base_config(), &reference()).unwrap());
+    let mut server = QuorumServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&frozen),
+        CoalescePolicy::default(),
+    )
+    .unwrap();
+    let row = &stream_rows(1)[0];
+    for _ in 0..20 {
+        let mut client = ScoreClient::connect(server.local_addr()).unwrap();
+        client.score(row).unwrap();
+        drop(client);
+    }
+    // Handlers observe the disconnect asynchronously; poll briefly.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.open_connections() > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        server.open_connections(),
+        0,
+        "disconnected clients must not leave tracked connections behind"
+    );
+    server.shutdown();
+}
+
+/// A wedged server must not hang the client forever: with a read
+/// deadline set, `score` surfaces a transport error instead of blocking.
+#[test]
+fn client_read_timeout_fires_against_a_stalled_server() {
+    // A bound listener that accepts and then never answers.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stall = std::thread::spawn(move || {
+        // Hold the accepted socket open without reading or writing until
+        // the client has timed out.
+        let conn = listener.accept().map(|(conn, _)| conn);
+        std::thread::sleep(Duration::from_millis(500));
+        drop(conn);
+    });
+    let mut client = ScoreClient::connect_with_timeouts(
+        addr,
+        Some(Duration::from_millis(50)),
+        Some(Duration::from_millis(50)),
+    )
+    .unwrap();
+    let started = std::time::Instant::now();
+    let err = client.score(&stream_rows(1)[0]).unwrap_err();
+    assert!(matches!(err, ServeError::Io(_)), "got {err:?}");
+    assert!(
+        started.elapsed() < Duration::from_millis(450),
+        "the deadline must fire well before the server unwedges"
+    );
+    stall.join().unwrap();
+}
+
+/// An implausible declared feature count is answered with an error frame
+/// and then the connection closes: the declared length is the stream's
+/// only framing, so an untrustworthy one cannot be resynchronised.
+#[test]
+fn implausible_feature_count_is_answered_then_closed() {
+    use std::io::{Read, Write};
+    let frozen = Arc::new(FrozenDetector::freeze(base_config(), &reference()).unwrap());
+    let mut server = QuorumServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&frozen),
+        CoalescePolicy::default(),
+    )
+    .unwrap();
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    let mut status = [0u8; 1];
+    raw.read_exact(&mut status).unwrap();
+    assert_eq!(status[0], 1, "the hostile frame still gets an error frame");
+    let mut len_buf = [0u8; 4];
+    raw.read_exact(&mut len_buf).unwrap();
+    let mut msg = vec![0u8; u32::from_le_bytes(len_buf) as usize];
+    raw.read_exact(&mut msg).unwrap();
+    assert!(String::from_utf8_lossy(&msg).contains("implausible feature count"));
+    // ... and then EOF: the server closed rather than trying to drain an
+    // attacker-sized payload.
+    let mut probe = [0u8; 1];
+    assert_eq!(
+        raw.read(&mut probe).unwrap(),
+        0,
+        "connection must be closed"
+    );
+    server.shutdown();
+}
