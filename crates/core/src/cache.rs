@@ -124,10 +124,12 @@ impl<K: PartialEq + Clone, V> ByteBounded<K, V> {
     }
 }
 
-#[cfg(test)]
+#[cfg(any(test, feature = "failpoints"))]
 impl<K: Send, V: Send + Sync> ByteBounded<K, V> {
     /// Deliberately poisons the entry mutex by panicking a thread that
-    /// holds it — the regression-test hook for recovery path 1.
+    /// holds it — the regression-test hook for recovery path 1, also
+    /// driven by the serving runtime's chaos suite under the
+    /// `failpoints` feature.
     pub fn poison_for_test(&self) {
         let joined = std::thread::scope(|s| {
             s.spawn(|| {
@@ -138,6 +140,16 @@ impl<K: Send, V: Send + Sync> ByteBounded<K, V> {
         });
         assert!(joined.is_err(), "the poisoning thread must panic");
         assert!(self.entries.is_poisoned(), "mutex should now be poisoned");
+    }
+}
+
+#[cfg(any(test, feature = "failpoints"))]
+impl<K: PartialEq + Clone, V> ByteBounded<K, V> {
+    /// Drops every cached entry, leaving the build counter intact — the
+    /// cold-restart hook behind the chaos suite's re-warm assertions
+    /// (a supervisor restart must rebuild exactly what it pre-warms).
+    pub fn purge(&self) {
+        self.lock().clear();
     }
 }
 
@@ -313,6 +325,19 @@ mod tests {
             .unwrap();
         assert_eq!(*fresh, vec![2; 10]);
         assert_eq!(cache.builds(), 2);
+    }
+
+    #[test]
+    fn purge_empties_but_keeps_counting() {
+        let cache: ByteBounded<u32, Vec<u8>> = ByteBounded::new();
+        cache
+            .get_or_try_build(&1, 100, bytes_of, || build(1))
+            .unwrap();
+        cache.purge();
+        cache
+            .get_or_try_build(&1, 100, bytes_of, || build(1))
+            .unwrap();
+        assert_eq!(cache.builds(), 2, "a purged entry is rebuilt on next use");
     }
 
     #[test]

@@ -281,6 +281,29 @@ impl EnsembleGroup {
         self.noisy_superop_cache.builds()
     }
 
+    /// Deliberately poisons both keyed derived-object caches by
+    /// panicking threads that hold their mutexes — the chaos-suite
+    /// fault-injection hook. Scoring through a poisoned cache must keep
+    /// working (guards are recovered via `PoisonError::into_inner`), so
+    /// this models a scorer thread that crashed while holding a cache
+    /// lock, not data corruption: entries are write-once-valid.
+    #[cfg(any(test, feature = "failpoints"))]
+    pub fn poison_derived_caches(&self) {
+        self.noisy_superop_cache.poison_for_test();
+        self.channel_program_cache.poison_for_test();
+    }
+
+    /// Drops every cached fused superoperator and lowered channel
+    /// program, leaving the build counters intact — the cold-restart
+    /// chaos hook. A supervisor that restarts a worker re-warms these
+    /// through the same build path, so the counters observe exactly what
+    /// a restart pays.
+    #[cfg(any(test, feature = "failpoints"))]
+    pub fn purge_derived_caches(&self) {
+        self.noisy_superop_cache.purge();
+        self.channel_program_cache.purge();
+    }
+
     /// Evaluates the SWAP-test deviation of every sample at one
     /// compression level, through the engine the configuration selects.
     ///

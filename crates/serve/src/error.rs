@@ -18,6 +18,22 @@ pub enum ServeError {
     Quorum(QuorumError),
     /// A transport-level failure on the TCP server or client.
     Io(io::Error),
+    /// The server shed this request to protect itself: the submission
+    /// queue was full or the per-request deadline expired. The request
+    /// was *not* scored; retrying after a backoff is safe.
+    Overloaded(String),
+    /// The runtime could not spawn a worker thread — resource
+    /// exhaustion surfacing as a typed error instead of a panic.
+    Spawn {
+        /// What the thread would have been (e.g. `"quorum-batcher"`).
+        thread: String,
+        /// The OS-level spawn failure.
+        source: io::Error,
+    },
+    /// Serving capacity was lost faster than the supervisor could
+    /// recover it: every shard worker is retired or the per-request
+    /// retry budget ran out mid-panel.
+    Faulted(String),
 }
 
 impl fmt::Display for ServeError {
@@ -27,6 +43,11 @@ impl fmt::Display for ServeError {
             ServeError::Request(msg) => write!(f, "invalid request: {msg}"),
             ServeError::Quorum(e) => write!(f, "scoring failed: {e}"),
             ServeError::Io(e) => write!(f, "transport failed: {e}"),
+            ServeError::Overloaded(msg) => write!(f, "overloaded: {msg}"),
+            ServeError::Spawn { thread, source } => {
+                write!(f, "could not spawn thread {thread:?}: {source}")
+            }
+            ServeError::Faulted(msg) => write!(f, "serving capacity lost: {msg}"),
         }
     }
 }
@@ -36,7 +57,18 @@ impl Error for ServeError {
         match self {
             ServeError::Quorum(e) => Some(e),
             ServeError::Io(e) => Some(e),
+            ServeError::Spawn { source, .. } => Some(source),
             _ => None,
+        }
+    }
+}
+
+impl ServeError {
+    /// Wraps a thread-spawn failure for the named thread.
+    pub(crate) fn spawn(thread: &str, source: io::Error) -> Self {
+        ServeError::Spawn {
+            thread: thread.to_string(),
+            source,
         }
     }
 }
@@ -67,6 +99,17 @@ mod tests {
         assert!(Error::source(&e).is_some());
         let e: ServeError = io::Error::new(io::ErrorKind::UnexpectedEof, "eof").into();
         assert!(matches!(e, ServeError::Io(_)));
+        let e = ServeError::Overloaded("queue full".into());
+        assert!(e.to_string().contains("overloaded"));
+        assert!(Error::source(&e).is_none());
+        let e = ServeError::spawn(
+            "quorum-batcher",
+            io::Error::new(io::ErrorKind::OutOfMemory, "no threads left"),
+        );
+        assert!(e.to_string().contains("quorum-batcher"));
+        assert!(Error::source(&e).is_some());
+        let e = ServeError::Faulted("every shard is retired".into());
+        assert!(e.to_string().contains("capacity lost"));
     }
 
     #[test]

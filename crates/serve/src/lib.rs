@@ -40,20 +40,37 @@
 //! summing their partial vectors in ascending group order reproduces the
 //! single-process scores bit for bit, for every shard count and engine
 //! assignment.
+//!
+//! Fault tolerance builds on the same invariant. A
+//! [`SupervisedScorer`] runs each shard worker under `catch_unwind`,
+//! restarts crashed workers with bounded exponential backoff, and past
+//! a restart budget retires the shard and re-folds its groups into the
+//! survivors — all bit-identical, because re-planning never changes a
+//! group's engine assignment or the ascending merge order. The server
+//! side sheds load with typed [`ServeError::Overloaded`] frames when
+//! the batching queue fills, answers `Health` probes with per-shard
+//! liveness, and [`ScoreClient`] retries transient failures with
+//! seeded exponential backoff. A deterministic failpoint registry
+//! ([`mod@fault`], compiled only under the `failpoints` feature or
+//! `cfg(test)`) drives the chaos suite that pins these guarantees.
 
 #![warn(missing_docs)]
 
 pub mod artifact;
 pub mod batch;
 mod error;
+#[cfg(any(test, feature = "failpoints"))]
+pub mod fault;
 pub mod frozen;
 pub mod server;
 pub mod shard;
+pub mod supervisor;
 mod wire;
 
 pub use artifact::{FrozenArtifact, FrozenGroup, FrozenNormalizer, LevelStats};
-pub use batch::{BatchHandle, BatchScorer, CoalescePolicy, PanelScorer};
+pub use batch::{BatchHandle, BatchScorer, CoalescePolicy, OverloadPolicy, PanelScorer};
 pub use error::ServeError;
 pub use frozen::FrozenDetector;
-pub use server::{QuorumServer, ScoreClient};
+pub use server::{HealthReport, QuorumServer, RetryPolicy, ScoreClient};
 pub use shard::{BaselineCosts, Shard, ShardPlan, ShardPolicy, ShardedScorer};
+pub use supervisor::{ShardHealth, ShardLiveness, SupervisedScorer, SupervisorPolicy};

@@ -1,11 +1,28 @@
 //! A long-lived TCP scoring server over a frozen detector, plus the
 //! matching blocking client.
 //!
-//! Wire protocol (all little-endian):
+//! Wire protocol **version 2** (all little-endian):
 //!
-//! * request — `u32` feature count `n`, then `n` `f64` values;
-//! * response — one status byte: `0` followed by the `f64` score, or
-//!   `1` followed by a `u32` length and a UTF-8 error message.
+//! * score request — `u32` feature count `n`, then `n` `f64` values;
+//! * health probe — the sentinel feature count `u32::MAX`
+//!   ([`HEALTH_PROBE`]) with no payload;
+//! * response — one status byte:
+//!   * `0` followed by the `f64` score;
+//!   * `1` followed by a `u32` length and a UTF-8 error message;
+//!   * `2` followed by a `u32` length and a UTF-8 message — the server
+//!     **shed** this request to protect itself (queue full or deadline
+//!     expired). The sample was not scored; retrying after a backoff is
+//!     safe and the connection stays usable;
+//!   * `3` followed by a `u32` payload length and an encoded
+//!     [`HealthReport`] (the answer to a health probe).
+//!
+//! Version 1 of the protocol had only statuses `0` and `1` and no
+//! health probe. Version 2 is a superset: v1 clients never see the new
+//! statuses unless the server sheds (in which case a v1 client reads
+//! status `2` as unknown and drops the connection — a safe failure),
+//! and a v2 client probing a v1 server gets an error frame followed by
+//! a close (v1 treats the sentinel as an implausible feature count),
+//! which the client surfaces as a typed error.
 //!
 //! Error semantics: a *well-framed* bad request (wrong feature width,
 //! unscorable values) is answered with an error frame and the connection
@@ -21,15 +38,18 @@
 //! through the shared [`BatchScorer`], so samples arriving concurrently
 //! on different connections coalesce into one panel. The backend behind
 //! the batcher is any [`PanelScorer`] — the single-process
-//! [`FrozenDetector`] via [`QuorumServer::bind`], or a [`ShardedScorer`]
+//! [`FrozenDetector`] via [`QuorumServer::bind`], a [`ShardedScorer`]
 //! fanning ensemble groups across worker shards via
-//! [`QuorumServer::bind_sharded`]; the wire protocol is identical either
-//! way.
+//! [`QuorumServer::bind_sharded`], or a fault-tolerant
+//! [`SupervisedScorer`] via [`QuorumServer::bind_supervised`]; the wire
+//! protocol is identical either way.
 
-use crate::batch::{BatchScorer, CoalescePolicy, PanelScorer};
+use crate::batch::{BatchScorer, CoalescePolicy, OverloadPolicy, PanelScorer};
 use crate::error::ServeError;
 use crate::frozen::FrozenDetector;
 use crate::shard::{ShardPolicy, ShardedScorer};
+use crate::supervisor::{ShardHealth, ShardLiveness, SupervisedScorer, SupervisorPolicy};
+use crate::wire::{Reader, Writer};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -42,9 +62,98 @@ use std::time::Duration;
 /// a corrupt or hostile frame, not a plausible sample.
 const MAX_REQUEST_FEATURES: u32 = 1 << 20;
 
+/// Sentinel feature count marking a health probe instead of a score
+/// request (protocol v2).
+pub const HEALTH_PROBE: u32 = u32::MAX;
+
+/// The version this server speaks (reported in [`HealthReport`]).
+pub const PROTOCOL_VERSION: u32 = 2;
+
 /// Live connections keyed by connection id, shared between the acceptor
 /// (insert), handlers (remove-on-exit) and shutdown (sever all).
 type ConnSlab = Arc<Mutex<HashMap<u64, TcpStream>>>;
+
+/// A server liveness snapshot, answered to a [`HEALTH_PROBE`]: batcher
+/// queue pressure, load-shedding totals and — for supervised backends —
+/// per-shard worker liveness and restart counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// The wire protocol version the server speaks.
+    pub protocol_version: u32,
+    /// Samples currently waiting in the batching queue.
+    pub queue_depth: u64,
+    /// Requests shed so far because the queue was at capacity.
+    pub shed_total: u64,
+    /// Panels dispatched by the shared batcher.
+    pub batches_dispatched: u64,
+    /// Samples scored by the shared batcher.
+    pub samples_scored: u64,
+    /// Per-shard liveness (empty for unsharded backends).
+    pub shards: Vec<ShardHealth>,
+}
+
+impl HealthReport {
+    fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u32(self.protocol_version);
+        w.u64(self.queue_depth);
+        w.u64(self.shed_total);
+        w.u64(self.batches_dispatched);
+        w.u64(self.samples_scored);
+        w.u32(self.shards.len() as u32);
+        for shard in &self.shards {
+            w.u32(shard.shard as u32);
+            w.u8(match shard.liveness {
+                ShardLiveness::Live => 0,
+                ShardLiveness::BackingOff => 1,
+                ShardLiveness::Retired => 2,
+            });
+            w.u64(shard.restarts);
+            w.u32(shard.groups as u32);
+        }
+        w.into_bytes()
+    }
+
+    fn decode(payload: &[u8]) -> Result<Self, ServeError> {
+        let mut r = Reader::new(payload);
+        let protocol_version = r.u32()?;
+        let queue_depth = r.u64()?;
+        let shed_total = r.u64()?;
+        let batches_dispatched = r.u64()?;
+        let samples_scored = r.u64()?;
+        let n = r.u32()?;
+        let mut shards = Vec::with_capacity(n.min(1024) as usize);
+        for _ in 0..n {
+            let shard = r.u32()? as usize;
+            let liveness = match r.u8()? {
+                0 => ShardLiveness::Live,
+                1 => ShardLiveness::BackingOff,
+                2 => ShardLiveness::Retired,
+                other => {
+                    return Err(ServeError::Artifact(format!(
+                        "unknown shard liveness {other}"
+                    )))
+                }
+            };
+            let restarts = r.u64()?;
+            let groups = r.u32()? as usize;
+            shards.push(ShardHealth {
+                shard,
+                liveness,
+                restarts,
+                groups,
+            });
+        }
+        Ok(HealthReport {
+            protocol_version,
+            queue_depth,
+            shed_total,
+            batches_dispatched,
+            samples_scored,
+            shards,
+        })
+    }
+}
 
 /// The serving runtime: an acceptor thread, one handler thread per
 /// connection, and a shared batching worker coalescing across all of
@@ -55,22 +164,40 @@ pub struct QuorumServer {
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
     scorer: Arc<BatchScorer>,
+    panel: Arc<dyn PanelScorer>,
     conns: ConnSlab,
 }
 
 impl QuorumServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// serving `frozen` under the given coalescing policy.
+    /// serving `frozen` under the given coalescing policy and default
+    /// overload limits.
     ///
     /// # Errors
     ///
-    /// [`ServeError::Io`] if binding fails.
+    /// [`ServeError::Io`] if binding fails; [`ServeError::Spawn`] if
+    /// the batcher or acceptor thread cannot be spawned.
     pub fn bind(
         addr: impl ToSocketAddrs,
         frozen: Arc<FrozenDetector>,
         policy: CoalescePolicy,
     ) -> Result<Self, ServeError> {
-        Self::serve(addr, frozen, policy)
+        Self::serve(addr, frozen, policy, OverloadPolicy::default())
+    }
+
+    /// [`QuorumServer::bind`] with explicit overload limits (queue
+    /// capacity and per-request deadline).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QuorumServer::bind`].
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        frozen: Arc<FrozenDetector>,
+        policy: CoalescePolicy,
+        overload: OverloadPolicy,
+    ) -> Result<Self, ServeError> {
+        Self::serve(addr, frozen, policy, overload)
     }
 
     /// Binds `addr` and serves `frozen` through a [`ShardedScorer`]
@@ -90,40 +217,75 @@ impl QuorumServer {
         shards: &ShardPolicy,
     ) -> Result<Self, ServeError> {
         match shards {
-            ShardPolicy::Single => Self::serve(addr, frozen, policy),
+            ShardPolicy::Single => Self::serve(addr, frozen, policy, OverloadPolicy::default()),
             _ => {
                 let sharded = Arc::new(ShardedScorer::new(frozen, shards)?);
-                Self::serve(addr, sharded, policy)
+                Self::serve(addr, sharded, policy, OverloadPolicy::default())
             }
         }
+    }
+
+    /// Binds `addr` and serves `frozen` through a fault-tolerant
+    /// [`SupervisedScorer`]: shard workers run under a supervisor that
+    /// restarts crashes with bounded backoff and re-folds chronically
+    /// failing shards into the survivors, bit-identically. The `Health`
+    /// message reports the per-shard liveness this backend maintains.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if binding fails; plan and engine-override
+    /// validation failures from [`SupervisedScorer::new`];
+    /// [`ServeError::Spawn`] for thread-spawn failures.
+    pub fn bind_supervised(
+        addr: impl ToSocketAddrs,
+        frozen: Arc<FrozenDetector>,
+        policy: CoalescePolicy,
+        overload: OverloadPolicy,
+        shards: &ShardPolicy,
+        supervisor: SupervisorPolicy,
+    ) -> Result<Self, ServeError> {
+        let shards = match shards {
+            // A supervised single backend is one worker shard.
+            ShardPolicy::Single => ShardPolicy::Workers(1),
+            other => other.clone(),
+        };
+        let supervised = Arc::new(SupervisedScorer::new(frozen, &shards, supervisor)?);
+        Self::serve(addr, supervised, policy, overload)
     }
 
     fn serve(
         addr: impl ToSocketAddrs,
         panel: Arc<dyn PanelScorer>,
         policy: CoalescePolicy,
+        overload: OverloadPolicy,
     ) -> Result<Self, ServeError> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let scorer = Arc::new(BatchScorer::start(panel, policy));
+        let scorer = Arc::new(BatchScorer::start_with(
+            Arc::clone(&panel),
+            policy,
+            overload,
+        )?);
         let conns: ConnSlab = Arc::new(Mutex::new(HashMap::new()));
         let acceptor = {
             let stop = Arc::clone(&stop);
             let scorer = Arc::clone(&scorer);
+            let panel = Arc::clone(&panel);
             let conns = Arc::clone(&conns);
             std::thread::Builder::new()
                 .name("quorum-acceptor".into())
                 .spawn(move || {
-                    accept_loop(&listener, &scorer, &conns, &stop);
+                    accept_loop(&listener, &scorer, &panel, &conns, &stop);
                 })
-                .expect("spawning the acceptor thread")
+                .map_err(|e| ServeError::spawn("quorum-acceptor", e))?
         };
         Ok(QuorumServer {
             local_addr,
             stop,
             acceptor: Some(acceptor),
             scorer,
+            panel,
             conns,
         })
     }
@@ -141,6 +303,16 @@ impl QuorumServer {
     /// Samples scored by the shared batcher.
     pub fn samples_scored(&self) -> u64 {
         self.scorer.samples_scored()
+    }
+
+    /// Requests shed so far because the batching queue was at capacity.
+    pub fn shed_total(&self) -> u64 {
+        self.scorer.shed_total()
+    }
+
+    /// The liveness snapshot a [`HEALTH_PROBE`] would answer right now.
+    pub fn health_report(&self) -> HealthReport {
+        health_report(&self.scorer, self.panel.as_ref())
     }
 
     /// Connections currently tracked as live. Handlers remove their
@@ -181,9 +353,21 @@ impl Drop for QuorumServer {
     }
 }
 
+fn health_report(scorer: &BatchScorer, panel: &dyn PanelScorer) -> HealthReport {
+    HealthReport {
+        protocol_version: PROTOCOL_VERSION,
+        queue_depth: scorer.queue_depth() as u64,
+        shed_total: scorer.shed_total(),
+        batches_dispatched: scorer.batches_dispatched(),
+        samples_scored: scorer.samples_scored(),
+        shards: panel.shard_health(),
+    }
+}
+
 fn accept_loop(
     listener: &TcpListener,
     scorer: &Arc<BatchScorer>,
+    panel: &Arc<dyn PanelScorer>,
     conns: &ConnSlab,
     stop: &Arc<AtomicBool>,
 ) {
@@ -217,12 +401,14 @@ fn accept_loop(
                 .insert(id, clone);
         }
         let handle = scorer.handle();
+        let scorer_h = Arc::clone(scorer);
+        let panel_h = Arc::clone(panel);
         let conns_h = Arc::clone(conns);
         let finished_h = Arc::clone(&finished);
         match std::thread::Builder::new()
             .name("quorum-conn".into())
             .spawn(move || {
-                handle_connection(stream, &handle);
+                handle_connection(stream, &handle, &scorer_h, panel_h.as_ref());
                 // Reap this connection's slab entry (dropping the cloned
                 // fd) and mark the JoinHandle collectable.
                 conns_h
@@ -254,19 +440,31 @@ fn accept_loop(
 /// error, answering each with a score or a typed error message.
 /// Well-framed protocol errors (wrong width, unscorable rows) are
 /// answered and keep the connection usable; transport errors end the
-/// loop. An implausible declared feature count (over
+/// loop. A [`HEALTH_PROBE`] sentinel is answered with a status-3 health
+/// frame. An implausible declared feature count (over
 /// [`MAX_REQUEST_FEATURES`]) is answered with an error frame and then
 /// **closes** the connection — the declared length is the stream's only
 /// framing, so an untrustworthy one leaves no way to find the next
 /// frame boundary, and draining it would read gigabytes on the
 /// attacker's say-so.
-fn handle_connection(mut stream: TcpStream, handle: &crate::batch::BatchHandle) {
+fn handle_connection(
+    mut stream: TcpStream,
+    handle: &crate::batch::BatchHandle,
+    scorer: &BatchScorer,
+    panel: &dyn PanelScorer,
+) {
     loop {
         let mut len_buf = [0u8; 4];
         if stream.read_exact(&mut len_buf).is_err() {
             return; // EOF (client done) or severed by shutdown.
         }
         let n = u32::from_le_bytes(len_buf);
+        if n == HEALTH_PROBE {
+            if write_health(&mut stream, &health_report(scorer, panel)).is_err() {
+                return;
+            }
+            continue;
+        }
         if n > MAX_REQUEST_FEATURES {
             let _ = write_error(&mut stream, &format!("implausible feature count {n}"));
             return;
@@ -283,6 +481,9 @@ fn handle_connection(mut stream: TcpStream, handle: &crate::batch::BatchHandle) 
         // never occupies a slot in a coalesced panel.
         let ok = match handle.score(row) {
             Ok(score) => write_score(&mut stream, score).is_ok(),
+            // Shed requests get the typed status so clients can back
+            // off and retry instead of parsing error text.
+            Err(ServeError::Overloaded(msg)) => write_overloaded(&mut stream, &msg).is_ok(),
             Err(e) => write_error(&mut stream, &e.to_string()).is_ok(),
         };
         if !ok {
@@ -291,19 +492,111 @@ fn handle_connection(mut stream: TcpStream, handle: &crate::batch::BatchHandle) 
     }
 }
 
+/// Writes one response frame. The `"server::write_frame"` failpoint can
+/// tear the frame here: only the first `keep_bytes` reach the wire and
+/// the socket is shut down, exactly what a mid-write crash or network
+/// partition produces.
+fn write_frame(stream: &mut TcpStream, frame: &[u8]) -> std::io::Result<()> {
+    #[cfg(any(test, feature = "failpoints"))]
+    if let Some(crate::fault::FaultAction::TornWrite { keep_bytes }) =
+        crate::fault::check("server::write_frame")
+    {
+        let keep = keep_bytes.min(frame.len());
+        let _ = stream.write_all(&frame[..keep]);
+        let _ = stream.flush();
+        let _ = stream.shutdown(Shutdown::Both);
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::BrokenPipe,
+            "failpoint tore the response frame",
+        ));
+    }
+    stream.write_all(frame)
+}
+
 fn write_score(stream: &mut TcpStream, score: f64) -> std::io::Result<()> {
     let mut frame = [0u8; 9];
     frame[1..].copy_from_slice(&score.to_le_bytes());
-    stream.write_all(&frame)
+    write_frame(stream, &frame)
+}
+
+fn write_message_frame(stream: &mut TcpStream, status: u8, message: &str) -> std::io::Result<()> {
+    let bytes = message.as_bytes();
+    let mut frame = Vec::with_capacity(5 + bytes.len());
+    frame.push(status);
+    frame.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    frame.extend_from_slice(bytes);
+    write_frame(stream, &frame)
 }
 
 fn write_error(stream: &mut TcpStream, message: &str) -> std::io::Result<()> {
-    let bytes = message.as_bytes();
-    let mut frame = Vec::with_capacity(5 + bytes.len());
-    frame.push(1u8);
-    frame.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
-    frame.extend_from_slice(bytes);
-    stream.write_all(&frame)
+    write_message_frame(stream, 1, message)
+}
+
+fn write_overloaded(stream: &mut TcpStream, message: &str) -> std::io::Result<()> {
+    write_message_frame(stream, 2, message)
+}
+
+fn write_health(stream: &mut TcpStream, report: &HealthReport) -> std::io::Result<()> {
+    let payload = report.encode();
+    let mut frame = Vec::with_capacity(5 + payload.len());
+    frame.push(3u8);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    write_frame(stream, &frame)
+}
+
+/// Retry schedule for [`ScoreClient`]: exponential backoff with
+/// deterministic, seeded jitter (no OS randomness — the same client
+/// replays the same schedule, which the chaos suite relies on).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first failure.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Ceiling on any single backoff.
+    pub backoff_cap: Duration,
+    /// Jitter fraction in `[0, 1]`: each backoff is scaled by a
+    /// deterministic factor in `[1 - jitter, 1]`, decorrelating clients
+    /// that share a seed schedule shape but not a seed.
+    pub jitter: f64,
+    /// Seed for the jitter sequence.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_secs(1),
+            jitter: 0.5,
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `attempt` (0-based).
+    fn backoff(&self, attempt: u32) -> Duration {
+        let exp = attempt.min(20);
+        let raw = self
+            .backoff_base
+            .saturating_mul(1u32 << exp)
+            .min(self.backoff_cap);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        // splitmix64 of (seed, attempt) → uniform in [0, 1).
+        let u = (splitmix64(self.seed ^ u64::from(attempt)) >> 11) as f64 / (1u64 << 53) as f64;
+        raw.mul_f64(1.0 - jitter * u)
+    }
+}
+
+/// SplitMix64 — deterministic jitter source (no OS randomness needed).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 /// A minimal blocking client for the scoring protocol.
@@ -312,9 +605,25 @@ fn write_error(stream: &mut TcpStream, message: &str) -> std::io::Result<()> {
 /// [`ScoreClient::connect_with_timeouts`] or [`ScoreClient::set_timeouts`]
 /// so a hung or wedged server surfaces as [`ServeError::Io`]
 /// (`WouldBlock`/`TimedOut`) instead of blocking `score` forever.
+///
+/// [`ScoreClient::score_with_retry`] retries transient failures —
+/// transport errors (reconnecting first) and typed
+/// [`ServeError::Overloaded`] sheds — with seeded exponential backoff.
+/// Retrying a score request is always safe: the protocol carries no
+/// client state and scoring mutates nothing, so a resend can at worst
+/// recompute. Under exact or noisy-expectation execution a resent row
+/// scores bit-identically — the score depends only on the row and the
+/// frozen statistics. Under `Sampled` execution the shot-noise draw is
+/// keyed by the server-assigned sample id, so a resend is a fresh,
+/// identically distributed draw rather than a byte-for-byte replay.
 #[derive(Debug)]
 pub struct ScoreClient {
     stream: TcpStream,
+    /// Resolved addresses, kept for reconnects during retry.
+    addrs: Vec<SocketAddr>,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    retry: RetryPolicy,
 }
 
 impl ScoreClient {
@@ -324,8 +633,14 @@ impl ScoreClient {
     ///
     /// [`ServeError::Io`] if the connection fails.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let stream = TcpStream::connect(&addrs[..])?;
         Ok(ScoreClient {
-            stream: TcpStream::connect(addr)?,
+            stream,
+            addrs,
+            read_timeout: None,
+            write_timeout: None,
+            retry: RetryPolicy::default(),
         })
     }
 
@@ -346,6 +661,39 @@ impl ScoreClient {
         Ok(client)
     }
 
+    /// Connects, retrying transport failures under `retry` — a client
+    /// started before (or racing) its server converges instead of
+    /// failing fast.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when every attempt fails; the last error wins.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs,
+        retry: RetryPolicy,
+    ) -> Result<Self, ServeError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let mut attempt = 0u32;
+        loop {
+            match TcpStream::connect(&addrs[..]) {
+                Ok(stream) => {
+                    return Ok(ScoreClient {
+                        stream,
+                        addrs,
+                        read_timeout: None,
+                        write_timeout: None,
+                        retry,
+                    })
+                }
+                Err(_) if attempt < retry.max_retries => {
+                    std::thread::sleep(retry.backoff(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(ServeError::Io(e)),
+            }
+        }
+    }
+
     /// Sets the read/write deadlines for every subsequent `score` call.
     /// `None` reverts that direction to blocking indefinitely.
     ///
@@ -359,17 +707,27 @@ impl ScoreClient {
     ) -> Result<(), ServeError> {
         self.stream.set_read_timeout(read)?;
         self.stream.set_write_timeout(write)?;
+        self.read_timeout = read;
+        self.write_timeout = write;
         Ok(())
     }
 
+    /// Replaces the retry schedule used by
+    /// [`ScoreClient::score_with_retry`].
+    pub fn set_retry(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
     /// Scores one sample, blocking for the response (up to the
-    /// configured deadlines, when set).
+    /// configured deadlines, when set). No retries — see
+    /// [`ScoreClient::score_with_retry`].
     ///
     /// # Errors
     ///
     /// [`ServeError::Request`] when the server answers with an error
-    /// frame; [`ServeError::Io`] on transport failures and expired
-    /// deadlines.
+    /// frame; [`ServeError::Overloaded`] when the server shed the
+    /// request (status 2 — not scored, safe to retry);
+    /// [`ServeError::Io`] on transport failures and expired deadlines.
     pub fn score(&mut self, row: &[f64]) -> Result<f64, ServeError> {
         let mut frame = Vec::with_capacity(4 + row.len() * 8);
         frame.extend_from_slice(&(row.len() as u32).to_le_bytes());
@@ -385,26 +743,171 @@ impl ScoreClient {
                 self.stream.read_exact(&mut value)?;
                 Ok(f64::from_le_bytes(value))
             }
-            1 => {
-                let mut len_buf = [0u8; 4];
-                self.stream.read_exact(&mut len_buf)?;
-                let len = u32::from_le_bytes(len_buf);
-                if len > 1 << 16 {
-                    return Err(ServeError::Io(std::io::Error::new(
-                        std::io::ErrorKind::InvalidData,
-                        "oversized error frame",
-                    )));
-                }
-                let mut msg = vec![0u8; len as usize];
-                self.stream.read_exact(&mut msg)?;
-                Err(ServeError::Request(
-                    String::from_utf8_lossy(&msg).into_owned(),
-                ))
-            }
+            1 => Err(ServeError::Request(self.read_message()?)),
+            2 => Err(ServeError::Overloaded(self.read_message()?)),
             other => Err(ServeError::Io(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
                 format!("unknown response status {other}"),
             ))),
         }
+    }
+
+    /// [`ScoreClient::score`] with retries: transport failures
+    /// reconnect and resend after a backoff, [`ServeError::Overloaded`]
+    /// sheds back off on the same connection, and every other error
+    /// (bad request, scoring failure) returns immediately — retrying a
+    /// deterministic failure would only repeat it.
+    ///
+    /// # Errors
+    ///
+    /// The last transient error once the retry budget is spent, or the
+    /// first non-transient error.
+    pub fn score_with_retry(&mut self, row: &[f64]) -> Result<f64, ServeError> {
+        let mut attempt = 0u32;
+        loop {
+            let err = match self.score(row) {
+                Ok(score) => return Ok(score),
+                Err(e @ (ServeError::Io(_) | ServeError::Overloaded(_))) => e,
+                Err(other) => return Err(other),
+            };
+            if attempt >= self.retry.max_retries {
+                return Err(err);
+            }
+            std::thread::sleep(self.retry.backoff(attempt));
+            attempt += 1;
+            if matches!(err, ServeError::Io(_)) {
+                // The stream may be torn mid-frame; resynchronise with a
+                // fresh connection. A failed reconnect just consumes the
+                // attempt — the next loop iteration fails fast on i/o.
+                if let Ok(stream) = TcpStream::connect(&self.addrs[..]) {
+                    if stream.set_read_timeout(self.read_timeout).is_ok()
+                        && stream.set_write_timeout(self.write_timeout).is_ok()
+                    {
+                        self.stream = stream;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Probes the server's health (protocol v2): batcher queue pressure,
+    /// shed totals and per-shard worker liveness.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on transport failures or when the server does
+    /// not speak protocol v2 (a v1 server answers the probe with an
+    /// error frame and closes the connection, surfaced as
+    /// [`ServeError::Request`]).
+    pub fn health(&mut self) -> Result<HealthReport, ServeError> {
+        self.stream.write_all(&HEALTH_PROBE.to_le_bytes())?;
+        let mut status = [0u8; 1];
+        self.stream.read_exact(&mut status)?;
+        match status[0] {
+            3 => {
+                let payload = self.read_payload()?;
+                HealthReport::decode(&payload)
+            }
+            1 => Err(ServeError::Request(self.read_message()?)),
+            other => Err(ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected health response status {other}"),
+            ))),
+        }
+    }
+
+    /// Reads a `u32`-length-prefixed payload, bounded at 64 KiB.
+    fn read_payload(&mut self) -> Result<Vec<u8>, ServeError> {
+        let mut len_buf = [0u8; 4];
+        self.stream.read_exact(&mut len_buf)?;
+        let len = u32::from_le_bytes(len_buf);
+        if len > 1 << 16 {
+            return Err(ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "oversized response frame",
+            )));
+        }
+        let mut payload = vec![0u8; len as usize];
+        self.stream.read_exact(&mut payload)?;
+        Ok(payload)
+    }
+
+    fn read_message(&mut self) -> Result<String, ServeError> {
+        let payload = self.read_payload()?;
+        Ok(String::from_utf8_lossy(&payload).into_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_backoff_is_deterministic_capped_and_jittered() {
+        let policy = RetryPolicy {
+            max_retries: 5,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(100),
+            jitter: 0.5,
+            seed: 42,
+        };
+        let a: Vec<Duration> = (0..6).map(|i| policy.backoff(i)).collect();
+        let b: Vec<Duration> = (0..6).map(|i| policy.backoff(i)).collect();
+        assert_eq!(a, b, "same seed must replay the same schedule");
+        for (i, d) in a.iter().enumerate() {
+            let raw = Duration::from_millis(10)
+                .saturating_mul(1 << i as u32)
+                .min(Duration::from_millis(100));
+            assert!(*d <= raw, "jitter only shrinks the delay");
+            assert!(
+                d.as_secs_f64() >= raw.as_secs_f64() * 0.5 - 1e-9,
+                "jitter is bounded by the configured fraction"
+            );
+        }
+        let other = RetryPolicy { seed: 43, ..policy };
+        let c: Vec<Duration> = (0..6).map(|i| other.backoff(i)).collect();
+        assert_ne!(a, c, "a different seed jitters differently");
+        // Zero jitter is the plain exponential schedule.
+        let plain = RetryPolicy {
+            jitter: 0.0,
+            ..policy
+        };
+        assert_eq!(plain.backoff(0), Duration::from_millis(10));
+        assert_eq!(plain.backoff(2), Duration::from_millis(40));
+        assert_eq!(plain.backoff(5), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn health_report_round_trips() {
+        let report = HealthReport {
+            protocol_version: PROTOCOL_VERSION,
+            queue_depth: 3,
+            shed_total: 11,
+            batches_dispatched: 7,
+            samples_scored: 19,
+            shards: vec![
+                ShardHealth {
+                    shard: 0,
+                    liveness: ShardLiveness::Live,
+                    restarts: 2,
+                    groups: 5,
+                },
+                ShardHealth {
+                    shard: 1,
+                    liveness: ShardLiveness::Retired,
+                    restarts: 4,
+                    groups: 0,
+                },
+                ShardHealth {
+                    shard: 2,
+                    liveness: ShardLiveness::BackingOff,
+                    restarts: 1,
+                    groups: 3,
+                },
+            ],
+        };
+        let decoded = HealthReport::decode(&report.encode()).unwrap();
+        assert_eq!(decoded, report);
+        assert!(HealthReport::decode(&report.encode()[..7]).is_err());
     }
 }

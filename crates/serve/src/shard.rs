@@ -114,7 +114,7 @@ impl ShardPlan {
         if engines.is_empty() {
             // `Single` still yields a valid one-shard plan so callers can
             // treat every policy uniformly when they want to.
-            return Ok(ShardPlan::balanced(&group_costs(frozen), &[1.0], &[None]));
+            return ShardPlan::balanced(&group_costs(frozen), &[1.0], &[None]);
         }
         let noisy = matches!(
             frozen.config().execution,
@@ -126,7 +126,7 @@ impl ShardPlan {
             .iter()
             .map(|e| engine_cost_weight(e.unwrap_or(default_kind), noisy, baseline.as_ref()))
             .collect();
-        Ok(ShardPlan::balanced(&group_costs(frozen), &speeds, &engines))
+        ShardPlan::balanced(&group_costs(frozen), &speeds, &engines)
     }
 
     /// Cost-balanced assignment: a longest-processing-time pass places
@@ -136,17 +136,28 @@ impl ShardPlan {
     /// engine's shard receives proportionally fewer groups. Deterministic
     /// for fixed inputs; each shard's group list comes back ascending.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// `shard_weights` and `shard_engines` must be the same (non-zero)
-    /// length.
+    /// [`ServeError::Request`] when `shard_weights` is empty (a plan
+    /// needs at least one shard to put groups on) or its length differs
+    /// from `shard_engines`.
     pub fn balanced(
         group_costs: &[f64],
         shard_weights: &[f64],
         shard_engines: &[Option<EngineKind>],
-    ) -> ShardPlan {
-        assert_eq!(shard_weights.len(), shard_engines.len());
-        assert!(!shard_weights.is_empty(), "a plan needs at least one shard");
+    ) -> Result<ShardPlan, ServeError> {
+        if shard_weights.len() != shard_engines.len() {
+            return Err(ServeError::Request(format!(
+                "shard weights ({}) and engine assignments ({}) disagree on the shard count",
+                shard_weights.len(),
+                shard_engines.len()
+            )));
+        }
+        if shard_weights.is_empty() {
+            return Err(ServeError::Request(
+                "a shard plan needs at least one shard".into(),
+            ));
+        }
         let mut order: Vec<usize> = (0..group_costs.len()).collect();
         order.sort_by(|&a, &b| {
             group_costs[b]
@@ -164,23 +175,23 @@ impl ShardPlan {
             .collect();
         for g in order {
             let cost = group_costs[g].max(0.0);
-            let (best, _) = loads
-                .iter()
-                .enumerate()
-                .map(|(s, &load)| (s, load + cost * shard_weights[s].max(f64::MIN_POSITIVE)))
-                .min_by(|a, b| {
-                    a.1.partial_cmp(&b.1)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.0.cmp(&b.0))
-                })
-                .expect("at least one shard");
-            loads[best] += cost * shard_weights[best].max(f64::MIN_POSITIVE);
+            // The emptiness check above guarantees a minimum exists.
+            let mut best = 0usize;
+            let mut best_load = f64::INFINITY;
+            for (s, &load) in loads.iter().enumerate() {
+                let would_be = load + cost * shard_weights[s].max(f64::MIN_POSITIVE);
+                if would_be < best_load {
+                    best = s;
+                    best_load = would_be;
+                }
+            }
+            loads[best] = best_load;
             shards[best].groups.push(g);
         }
         for shard in &mut shards {
             shard.groups.sort_unstable();
         }
-        ShardPlan { shards }
+        Ok(ShardPlan { shards })
     }
 
     /// The plan's shards.
@@ -443,7 +454,7 @@ impl ShardedScorer {
                         let _ = job.reply.send(ShardReply { shard: s, partials });
                     }
                 })
-                .map_err(ServeError::Io)?;
+                .map_err(|e| ServeError::spawn(&format!("quorum-shard-{s}"), e))?;
             workers.push(ShardWorker {
                 tx: Some(tx),
                 join: Some(join),
@@ -557,7 +568,7 @@ mod tests {
     #[test]
     fn balanced_covers_every_group_exactly_once() {
         let costs = vec![1.0; 10];
-        let plan = ShardPlan::balanced(&costs, &[1.0, 1.0, 1.0], &[None, None, None]);
+        let plan = ShardPlan::balanced(&costs, &[1.0, 1.0, 1.0], &[None, None, None]).unwrap();
         let mut seen = vec![0usize; costs.len()];
         for shard in plan.shards() {
             assert!(shard.groups().windows(2).all(|w| w[0] < w[1]));
@@ -577,7 +588,7 @@ mod tests {
         // One heavyweight group must travel alone: LPT puts the 10.0
         // group on its own shard and packs the six light groups opposite.
         let costs = vec![10.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
-        let plan = ShardPlan::balanced(&costs, &[1.0, 1.0], &[None, None]);
+        let plan = ShardPlan::balanced(&costs, &[1.0, 1.0], &[None, None]).unwrap();
         let with_heavy = plan
             .shards()
             .iter()
@@ -593,7 +604,7 @@ mod tests {
         // A shard whose engine is 4× slower should receive ~1/4 the work
         // of a fast shard under uniform group costs.
         let costs = vec![1.0; 10];
-        let plan = ShardPlan::balanced(&costs, &[1.0, 4.0], &[None, None]);
+        let plan = ShardPlan::balanced(&costs, &[1.0, 4.0], &[None, None]).unwrap();
         assert_eq!(plan.shards()[0].groups().len(), 8);
         assert_eq!(plan.shards()[1].groups().len(), 2);
     }
@@ -601,8 +612,8 @@ mod tests {
     #[test]
     fn balanced_is_deterministic_and_tolerates_empty_shards() {
         let costs = vec![3.0, 1.0, 2.0];
-        let a = ShardPlan::balanced(&costs, &[1.0; 5], &[None; 5]);
-        let b = ShardPlan::balanced(&costs, &[1.0; 5], &[None; 5]);
+        let a = ShardPlan::balanced(&costs, &[1.0; 5], &[None; 5]).unwrap();
+        let b = ShardPlan::balanced(&costs, &[1.0; 5], &[None; 5]).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.num_shards(), 5);
         let assigned: usize = a.shards().iter().map(|s| s.groups().len()).sum();
@@ -651,5 +662,21 @@ mod tests {
             vec![None; 3]
         );
         assert!(ShardPolicy::Single.shard_engines().unwrap().is_empty());
+    }
+
+    #[test]
+    fn balanced_rejects_degenerate_plans_with_typed_errors() {
+        // Zero shards and mismatched shard lists must come back as
+        // request errors, never panics.
+        let empty = ShardPlan::balanced(&[1.0, 2.0], &[], &[]);
+        assert!(matches!(empty, Err(ServeError::Request(_))), "{empty:?}");
+        let mismatched = ShardPlan::balanced(&[1.0], &[1.0, 1.0], &[None]);
+        assert!(
+            matches!(mismatched, Err(ServeError::Request(_))),
+            "{mismatched:?}"
+        );
+        // No groups is fine: every shard simply comes back empty.
+        let no_groups = ShardPlan::balanced(&[], &[1.0, 1.0], &[None, None]).unwrap();
+        assert!(no_groups.shards().iter().all(|s| s.groups().is_empty()));
     }
 }

@@ -1,6 +1,15 @@
 //! Little-endian wire primitives shared by the artifact codec and the
 //! TCP protocol: a growable writer, a bounds-checked reader and the
 //! FNV-1a checksum guarding frozen payloads.
+//!
+//! The TCP scoring protocol built on these primitives is versioned;
+//! [`crate::server::PROTOCOL_VERSION`] is currently 2. Version 2 is a
+//! strict superset of version 1: it adds the `u32::MAX` health-probe
+//! request sentinel and two response statuses (2 = overloaded,
+//! 3 = health report) on top of v1's 0 = score / 1 = error. A v1
+//! client talking to a v2 server only sees the new statuses if the
+//! server sheds load, and never sees status 3 unless it sends the
+//! probe. See the `server` module docs for the full frame layout.
 
 use crate::error::ServeError;
 

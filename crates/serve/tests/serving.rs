@@ -7,8 +7,8 @@ use qsim::NoiseModel;
 use quorum_core::config::{EngineKind, ExecutionMode, Normalization};
 use quorum_core::{QuorumConfig, QuorumDetector};
 use quorum_serve::{
-    BatchScorer, CoalescePolicy, FrozenArtifact, FrozenDetector, QuorumServer, ScoreClient,
-    ServeError,
+    BatchScorer, CoalescePolicy, FrozenArtifact, FrozenDetector, OverloadPolicy, QuorumServer,
+    ScoreClient, ServeError, ShardLiveness, ShardPolicy, SupervisorPolicy,
 };
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
@@ -266,7 +266,8 @@ fn batch_scorer_coalesces_concurrent_requests() {
             max_batch: 8,
             max_wait: Duration::from_millis(200),
         },
-    );
+    )
+    .unwrap();
     let barrier = Arc::new(Barrier::new(rows.len()));
     let scores: Vec<f64> = std::thread::scope(|s| {
         let handles: Vec<_> = rows
@@ -392,7 +393,8 @@ fn bad_rows_do_not_fail_their_panel_company() {
             max_batch: 8,
             max_wait: Duration::from_millis(200),
         },
-    );
+    )
+    .unwrap();
     // Round 1: a short row rides along with six good ones. Width is
     // validated at enqueue, so the bad submission never occupies a
     // panel slot and the good rows coalesce undisturbed.
@@ -552,7 +554,9 @@ fn implausible_feature_count_is_answered_then_closed() {
     .unwrap();
     let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
     raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
-    raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    // u32::MAX is the protocol-v2 health sentinel, so the largest
+    // *hostile* count is one below it — still far over the feature cap.
+    raw.write_all(&(u32::MAX - 1).to_le_bytes()).unwrap();
     let mut status = [0u8; 1];
     raw.read_exact(&mut status).unwrap();
     assert_eq!(status[0], 1, "the hostile frame still gets an error frame");
@@ -568,6 +572,137 @@ fn implausible_feature_count_is_answered_then_closed() {
         raw.read(&mut probe).unwrap(),
         0,
         "connection must be closed"
+    );
+    server.shutdown();
+}
+
+/// A health probe (protocol v2) answers batcher statistics without
+/// disturbing scoring, and the connection stays usable for both kinds
+/// of request interleaved.
+#[test]
+fn health_probe_reports_server_liveness() {
+    let frozen = Arc::new(FrozenDetector::freeze(base_config(), &reference()).unwrap());
+    let rows = stream_rows(3);
+    let direct = frozen.score_samples(&rows, 0).unwrap();
+    let mut server = QuorumServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&frozen),
+        CoalescePolicy::default(),
+    )
+    .unwrap();
+    let mut client = ScoreClient::connect(server.local_addr()).unwrap();
+    let fresh = client.health().unwrap();
+    assert_eq!(fresh.protocol_version, 2);
+    assert_eq!(fresh.samples_scored, 0);
+    assert!(
+        fresh.shards.is_empty(),
+        "an unsharded backend reports no shard liveness"
+    );
+    for (row, want) in rows.iter().zip(&direct) {
+        assert_eq!(client.score(row).unwrap(), *want);
+    }
+    let after = client.health().unwrap();
+    assert_eq!(after.samples_scored, rows.len() as u64);
+    assert_eq!(after.shed_total, 0);
+    // The probe is answered outside the batching queue, so it never
+    // shows up in the sample counters.
+    assert_eq!(server.samples_scored(), rows.len() as u64);
+    server.shutdown();
+}
+
+/// With a zero-capacity queue every request is shed with the typed
+/// status-2 frame: the client surfaces `ServeError::Overloaded`, the
+/// connection stays usable, and the shed totals show up in both the
+/// server accessors and the health report.
+#[test]
+fn shed_requests_get_typed_overloaded_frames() {
+    let frozen = Arc::new(FrozenDetector::freeze(base_config(), &reference()).unwrap());
+    let mut server = QuorumServer::bind_with(
+        "127.0.0.1:0",
+        Arc::clone(&frozen),
+        CoalescePolicy::default(),
+        OverloadPolicy {
+            queue_capacity: 0,
+            request_deadline: None,
+        },
+    )
+    .unwrap();
+    let mut client = ScoreClient::connect(server.local_addr()).unwrap();
+    let row = &stream_rows(1)[0];
+    for _ in 0..3 {
+        let err = client.score(row).unwrap_err();
+        assert!(matches!(err, ServeError::Overloaded(_)), "got {err:?}");
+    }
+    assert_eq!(server.shed_total(), 3);
+    let health = client.health().unwrap();
+    assert_eq!(health.shed_total, 3);
+    assert_eq!(health.samples_scored, 0);
+    server.shutdown();
+}
+
+/// Supervised serving end-to-end without faults: scores are
+/// bit-identical to the direct path and the health report carries one
+/// live entry per shard worker.
+#[test]
+fn supervised_server_scores_bit_identical_and_reports_shards() {
+    let frozen = Arc::new(FrozenDetector::freeze(base_config(), &reference()).unwrap());
+    let rows = stream_rows(6);
+    let direct = frozen.score_samples(&rows, 0).unwrap();
+    let mut server = QuorumServer::bind_supervised(
+        "127.0.0.1:0",
+        Arc::clone(&frozen),
+        CoalescePolicy {
+            max_batch: 4,
+            max_wait: Duration::from_millis(5),
+        },
+        OverloadPolicy::default(),
+        &ShardPolicy::Workers(3),
+        SupervisorPolicy::default(),
+    )
+    .unwrap();
+    let mut client = ScoreClient::connect(server.local_addr()).unwrap();
+    for (row, want) in rows.iter().zip(&direct) {
+        assert_eq!(client.score(row).unwrap(), *want);
+    }
+    let health = client.health().unwrap();
+    assert_eq!(health.shards.len(), 3);
+    assert!(health
+        .shards
+        .iter()
+        .all(|s| s.liveness == ShardLiveness::Live && s.restarts == 0));
+    assert_eq!(
+        health.shards.iter().map(|s| s.groups).sum::<usize>(),
+        frozen.groups().len(),
+        "every group stays owned by exactly one shard"
+    );
+    server.shutdown();
+}
+
+/// `score_with_retry` is a straight pass-through on a healthy server
+/// and refuses to retry deterministic request errors.
+#[test]
+fn client_retry_passes_through_on_a_healthy_server() {
+    let frozen = Arc::new(FrozenDetector::freeze(base_config(), &reference()).unwrap());
+    let rows = stream_rows(4);
+    let direct = frozen.score_samples(&rows, 0).unwrap();
+    let mut server = QuorumServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&frozen),
+        CoalescePolicy::default(),
+    )
+    .unwrap();
+    let mut client = ScoreClient::connect(server.local_addr()).unwrap();
+    for (row, want) in rows.iter().zip(&direct) {
+        assert_eq!(client.score_with_retry(row).unwrap(), *want);
+    }
+    // A malformed row is a deterministic failure: no retry, immediate
+    // typed error (retries would just repeat it).
+    let started = std::time::Instant::now();
+    let err = client.score_with_retry(&[1.0, 2.0]).unwrap_err();
+    assert!(matches!(err, ServeError::Request(_)), "got {err:?}");
+    assert!(
+        started.elapsed() < Duration::from_millis(500),
+        "request errors must not burn the backoff schedule"
     );
     server.shutdown();
 }

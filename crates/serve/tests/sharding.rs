@@ -263,8 +263,13 @@ fn invalid_plans_and_overrides_are_rejected() {
         ShardedScorer::new(Arc::clone(&frozen), &ShardPolicy::Mixed(Vec::new())),
         Err(ServeError::Request(_))
     ));
+    // Degenerate plans are typed errors, not panics.
+    assert!(matches!(
+        ShardPlan::balanced(&[1.0; GROUPS], &[], &[]),
+        Err(ServeError::Request(_))
+    ));
     // A plan that drops group 4 (costs only cover 4 groups).
-    let partial = ShardPlan::balanced(&[1.0; GROUPS - 1], &[1.0, 1.0], &[None, None]);
+    let partial = ShardPlan::balanced(&[1.0; GROUPS - 1], &[1.0, 1.0], &[None, None]).unwrap();
     assert!(matches!(
         ShardedScorer::with_plan(Arc::clone(&frozen), partial),
         Err(ServeError::Request(_))
