@@ -590,6 +590,30 @@ fn report_serve_throughput(_c: &mut Criterion) {
         per_sample_ns[2] < per_sample_ns[1] && per_sample_ns[1] < per_sample_ns[0],
         "per-sample cost must fall as the coalescing batch grows, got {per_sample_ns:?} ns"
     );
+
+    // Pooled steady state: one warm batch-32 panel scored repeatedly.
+    // After warm-up the thread-local panel, density scratch and GEMM
+    // buffers are all resident (pinned by the serve crate's
+    // alloc-discipline test), so this column isolates the zero-copy
+    // request path the server runs per coalesced panel — no per-sweep
+    // chunking or tail batches.
+    let batch: Vec<Vec<f64>> = rows.iter().take(32).cloned().collect();
+    frozen.score_samples(&batch, 0).unwrap();
+    const POOLED_REPS: usize = 8;
+    let elapsed = best_of(5, || {
+        for _ in 0..POOLED_REPS {
+            black_box(frozen.score_samples(&batch, 0).unwrap());
+        }
+    });
+    let pooled_ns = ns_per_sample(elapsed, batch.len() * POOLED_REPS);
+    let pooled_throughput = (batch.len() * POOLED_REPS) as f64 / elapsed.as_secs_f64();
+    record("serve_pooled_batch32_ns_per_sample", pooled_ns);
+    record("serve_pooled_batch32_samples_per_sec", pooled_throughput);
+    let pooled_gain = per_sample_ns[0] / pooled_ns;
+    record("serve_pooled_vs_batch1_speedup", pooled_gain);
+    println!(
+        "serve_pooled_batch32                                     {pooled_ns:.0} ns/sample ({pooled_throughput:.0} samples/s, x{pooled_gain:.2} vs batch1)"
+    );
 }
 
 /// Sharded serving scaling on the flagship noisy config: the same frozen

@@ -1,27 +1,53 @@
 //! Bench-regression guard: compares a freshly emitted `BENCH_engines.json`
 //! against the committed `BENCH_baseline.json` and fails (exit code 1)
-//! when any tracked `*_ns_per_sample` metric regresses by more than 25%.
+//! when any tracked metric regresses by more than 25%. Guarding is
+//! direction-aware: `*_ns_per_sample` metrics regress when they RISE,
+//! `*_speedup` ratios regress when they DROP — a collapsing speedup
+//! (e.g. SIMD silently falling back to scalar, or sharding sliding
+//! below its single-worker baseline) now fails even when the absolute
+//! wall times stay inside their own 25% band.
 //!
 //! Usage: `bench_guard <baseline.json> <current.json>`
 //!
-//! Only per-sample wall-time metrics are guarded — ratios and GFLOP/s
-//! columns move with the host and are informational. Metric-set
-//! mismatches are reported as actionable diffs: a guarded metric that is
-//! in the baseline but MISSING from the fresh run is a hard failure
-//! (a bench column silently disappeared — either restore it or delete
-//! the stale key from `BENCH_baseline.json` in the same PR), while a
-//! metric that is new in the fresh run is only a note reminding you to
-//! fold it into the baseline. The parser reads exactly the flat
-//! `"key": value` lines `engine_comparison.rs` emits — no JSON
-//! dependency needed offline.
+//! GFLOP/s and samples/sec columns move with the host and remain
+//! informational. Metric-set mismatches are reported as actionable
+//! diffs: a guarded metric that is in the baseline but MISSING from the
+//! fresh run is a hard failure (a bench column silently disappeared —
+//! either restore it or delete the stale key from `BENCH_baseline.json`
+//! in the same PR), while a metric that is new in the fresh run is only
+//! a note reminding you to fold it into the baseline. The parser reads
+//! exactly the flat `"key": value` lines `engine_comparison.rs` emits —
+//! no JSON dependency needed offline.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 /// Regressions beyond this factor fail the job: generous enough to absorb
 /// normal runner jitter on the best-of-N protocol, tight enough to catch a
-/// real algorithmic slip.
+/// real algorithmic slip. Lower-is-better metrics fail above this ratio;
+/// higher-is-better metrics fail below its reciprocal.
 const MAX_REGRESSION: f64 = 1.25;
+
+/// Which way a guarded metric is allowed to move.
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    /// `*_ns_per_sample`: regression when the value RISES.
+    LowerIsBetter,
+    /// `*_speedup`: regression when the value DROPS.
+    HigherIsBetter,
+}
+
+/// Classifies a metric key into its guarded direction, or `None` for
+/// informational columns (GFLOP/s, samples/sec, flags).
+fn guarded_direction(key: &str) -> Option<Direction> {
+    if key.ends_with("_ns_per_sample") {
+        Some(Direction::LowerIsBetter)
+    } else if key.ends_with("_speedup") {
+        Some(Direction::HigherIsBetter)
+    } else {
+        None
+    }
+}
 
 /// Extracts the flat `"key": value` metric pairs from the bench JSON's
 /// `metrics` object (the exact format `emit_bench_json` writes).
@@ -76,34 +102,34 @@ fn main() -> ExitCode {
     let mut missing = Vec::new();
     println!(
         "{:<44} {:>14} {:>14} {:>8}",
-        "metric (ns/sample)", "baseline", "current", "ratio"
+        "metric", "baseline", "current", "ratio"
     );
-    for (key, &base) in baseline
-        .iter()
-        .filter(|(k, _)| k.ends_with("_ns_per_sample"))
-    {
+    for (key, &base) in baseline.iter() {
+        let Some(direction) = guarded_direction(key) else {
+            continue;
+        };
         let Some(&now) = current.get(key) else {
             println!(
-                "{key:<44} {base:>14.0} {:>14} {:>8}  MISSING",
+                "{key:<44} {base:>14.3} {:>14} {:>8}  MISSING",
                 "absent", "-"
             );
             missing.push(key.clone());
             continue;
         };
         let ratio = now / base;
-        let flag = if ratio > MAX_REGRESSION {
-            "  REGRESSED"
-        } else {
-            ""
+        let regressed = match direction {
+            Direction::LowerIsBetter => ratio > MAX_REGRESSION,
+            Direction::HigherIsBetter => ratio < 1.0 / MAX_REGRESSION,
         };
-        println!("{key:<44} {base:>14.0} {now:>14.0} {ratio:>8.2}{flag}");
-        if ratio > MAX_REGRESSION {
+        let flag = if regressed { "  REGRESSED" } else { "" };
+        println!("{key:<44} {base:>14.3} {now:>14.3} {ratio:>8.2}{flag}");
+        if regressed {
             regressions.push((key.clone(), ratio));
         }
     }
     let new_keys: Vec<&String> = current
         .keys()
-        .filter(|k| k.ends_with("_ns_per_sample") && !baseline.contains_key(*k))
+        .filter(|k| guarded_direction(k).is_some() && !baseline.contains_key(*k))
         .collect();
     for key in &new_keys {
         println!("{key:<44} {:>14} {:>14} {:>8}", "-", "new", "-");
@@ -121,7 +147,8 @@ fn main() -> ExitCode {
 
     if regressions.is_empty() && missing.is_empty() {
         println!(
-            "\nbench guard: all tracked ns/sample metrics within {MAX_REGRESSION}x of baseline"
+            "\nbench guard: all tracked ns/sample and speedup metrics within \
+             {MAX_REGRESSION}x of baseline (speedups guarded against drops)"
         );
         ExitCode::SUCCESS
     } else {

@@ -100,7 +100,7 @@ use crate::circuit::build_sample_circuit;
 use crate::config::{EngineKind, ExecutionMode, QuorumConfig};
 use crate::ensemble::{derive_seed, EnsembleGroup};
 use crate::error::QuorumError;
-use qdata::Dataset;
+use qdata::{Dataset, SamplePanel};
 use qsim::channel::{ChannelProgram, SwapTestMpo};
 use qsim::circuit::{Circuit, Operation};
 use qsim::complex::C64;
@@ -112,6 +112,7 @@ use qsim::simulator::{
 };
 use qsim::stateprep::{prepare_real_amplitudes, PrepSkeleton, PrepStep};
 use qsim::{transpile, NoiseModel};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -164,6 +165,34 @@ pub trait ScoringEngine: Send + Sync {
             .iter()
             .map(|&reset_count| self.deviations(group, normalized, config, reset_count))
             .collect()
+    }
+
+    /// [`ScoringEngine::deviations_all_levels`] over a borrowed flat
+    /// [`SamplePanel`] — the zero-copy entry the serving runtime feeds
+    /// from its pooled request buffers.
+    ///
+    /// The default implementation copies the panel into a [`Dataset`] and
+    /// delegates, so every engine serves panels correctly; the batched
+    /// engines override it to score the borrowed rows directly (same
+    /// per-element arithmetic and iteration order, hence bit-identical to
+    /// the [`Dataset`] path on the same values).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ScoringEngine::deviations_all_levels`], plus
+    /// [`QuorumError::InvalidData`] for panels a [`Dataset`] would reject
+    /// (empty, or non-finite values).
+    fn deviations_all_levels_panel(
+        &self,
+        group: &EnsembleGroup,
+        panel: &SamplePanel<'_>,
+        config: &QuorumConfig,
+        levels: &[usize],
+    ) -> Result<Vec<Vec<f64>>, QuorumError> {
+        let ds = panel
+            .to_dataset("panel")
+            .map_err(|e| QuorumError::InvalidData(e.to_string()))?;
+        self.deviations_all_levels(group, &ds, config, levels)
     }
 }
 
@@ -491,16 +520,17 @@ impl BatchedAnalyticEngine {
     /// `2^n × S` matrix, unit-normalising each column the way the circuit
     /// path's state preparation does. Projection and embedding run
     /// through reusable scratch buffers — no per-sample allocations.
-    fn pack_samples(
+    fn pack_samples<'a>(
         group: &EnsembleGroup,
-        normalized: &Dataset,
+        rows: impl Iterator<Item = &'a [f64]>,
+        samples: usize,
         num_qubits: usize,
     ) -> Result<CMatrix, QuorumError> {
         let dim = 1usize << num_qubits;
-        let mut psi = CMatrix::zeros(dim, normalized.num_samples());
+        let mut psi = CMatrix::zeros(dim, samples);
         let mut values = Vec::with_capacity(group.features().len());
         let mut amps = vec![0.0_f64; dim];
-        for (col, row) in normalized.rows().iter().enumerate() {
+        for (col, row) in rows.enumerate() {
             group.features().project_into(row, &mut values);
             crate::embed::amplitudes_with_overflow_into(&values, num_qubits, &mut amps)?;
             let norm: f64 = amps.iter().map(|a| a * a).sum::<f64>().sqrt();
@@ -514,14 +544,15 @@ impl BatchedAnalyticEngine {
     /// The level-independent half of a group pass: pack the batch and
     /// push it through the cached fused encoder in one GEMM, yielding
     /// `Φ = E·Ψ` with one encoded sample per column.
-    fn encode_batch(
+    fn encode_batch<'a>(
         group: &EnsembleGroup,
-        normalized: &Dataset,
+        rows: impl Iterator<Item = &'a [f64]>,
+        samples: usize,
         config: &QuorumConfig,
     ) -> Result<CMatrix, QuorumError> {
         let n = group.ansatz().num_qubits();
         let encoder = group.fused_encoder()?;
-        let psi = Self::pack_samples(group, normalized, n)?;
+        let psi = Self::pack_samples(group, rows, samples, n)?;
         let threads = gemm_threads(config, 1 << n, psi.cols());
         Ok(encoder.matmul_threaded(&psi, threads)?)
     }
@@ -626,6 +657,37 @@ impl ScoringEngine for BatchedAnalyticEngine {
         config: &QuorumConfig,
         levels: &[usize],
     ) -> Result<Vec<Vec<f64>>, QuorumError> {
+        self.deviations_all_levels_rows(
+            group,
+            normalized.rows().iter().map(Vec::as_slice),
+            normalized.num_samples(),
+            config,
+            levels,
+        )
+    }
+
+    fn deviations_all_levels_panel(
+        &self,
+        group: &EnsembleGroup,
+        panel: &SamplePanel<'_>,
+        config: &QuorumConfig,
+        levels: &[usize],
+    ) -> Result<Vec<Vec<f64>>, QuorumError> {
+        self.deviations_all_levels_rows(group, panel.rows(), panel.num_samples(), config, levels)
+    }
+}
+
+impl BatchedAnalyticEngine {
+    /// The shared body of both `deviations_all_levels` entry points,
+    /// generic over the row source.
+    fn deviations_all_levels_rows<'a>(
+        &self,
+        group: &EnsembleGroup,
+        rows: impl Iterator<Item = &'a [f64]>,
+        samples: usize,
+        config: &QuorumConfig,
+        levels: &[usize],
+    ) -> Result<Vec<Vec<f64>>, QuorumError> {
         ensure_pure_state(config)?;
         let n = group.ansatz().num_qubits();
         for &reset_count in levels {
@@ -635,7 +697,7 @@ impl ScoringEngine for BatchedAnalyticEngine {
         // Everything level-independent happens once per group: packing,
         // fusion (cached across calls too), the encoder GEMM, and the
         // split-complex repack the branch sweeps run on.
-        let phi = Self::encode_batch(group, normalized, config)?;
+        let phi = Self::encode_batch(group, rows, samples, config)?;
         let samples = phi.cols();
         let (phi_re, phi_im) = Self::split_phi(&phi);
 
@@ -879,6 +941,53 @@ fn swap_test_functional(n: usize, noise: &NoiseModel) -> Result<Arc<CMatrix>, Qu
     )
 }
 
+/// Bytes the fused per-gate channel cache may retain — [`GateNoise`] is a
+/// few fixed-size superoperator arrays (~1 KiB), so this admits hundreds
+/// of distinct noise models before evicting.
+const GATE_NOISE_CACHE_BYTES: usize = 1 << 20;
+
+/// The process-wide fused per-gate channel store: [`GateNoise::from_model`]
+/// costs microseconds of Kraus fusion per call, which a steady-state
+/// scoring loop would otherwise pay twice per group pass (preparation and
+/// scoring). The fused result depends only on the noise model, so every
+/// group and request shares one instance per model.
+static GATE_NOISE_CACHE: ByteBounded<NoiseModel, GateNoise> = ByteBounded::new();
+
+/// The globally cached fused per-gate channels for `noise` (see
+/// [`GATE_NOISE_CACHE`]).
+fn cached_gate_noise(noise: &NoiseModel) -> Arc<GateNoise> {
+    GATE_NOISE_CACHE
+        .get_or_try_build(
+            noise,
+            GATE_NOISE_CACHE_BYTES,
+            |_| std::mem::size_of::<GateNoise>(),
+            || Ok::<_, std::convert::Infallible>(GateNoise::from_model(noise)),
+        )
+        .expect("building GateNoise is infallible")
+}
+
+/// Bytes the prep-skeleton cache may retain — a skeleton is `O(2^n)`
+/// steps, so this admits every register width the engines support.
+const PREP_SKELETON_CACHE_BYTES: usize = 1 << 20;
+
+/// The process-wide Möttönen skeleton store: the gate skeleton depends
+/// only on the register width, and rebuilding it per batch is the kind of
+/// small steady-state allocation the serving hot path must not make.
+static PREP_SKELETON_CACHE: ByteBounded<usize, PrepSkeleton> = ByteBounded::new();
+
+/// The globally cached preparation skeleton for `num_qubits` (see
+/// [`PREP_SKELETON_CACHE`]).
+fn cached_prep_skeleton(num_qubits: usize) -> Arc<PrepSkeleton> {
+    PREP_SKELETON_CACHE
+        .get_or_try_build(
+            &num_qubits,
+            PREP_SKELETON_CACHE_BYTES,
+            |s| std::mem::size_of_val(s.steps()),
+            || Ok::<_, std::convert::Infallible>(PrepSkeleton::new(num_qubits)),
+        )
+        .expect("building PrepSkeleton is infallible")
+}
+
 /// The batched analytic density-matrix noise engine: `n`-qubit mixed-state
 /// algebra with all sample-independent structure fused and cached, and the
 /// whole group's samples pushed through each level's superoperator (and
@@ -899,7 +1008,7 @@ pub struct DensityEngine;
 /// readout functional, one superoperator per level, and the readout
 /// confusion probability.
 struct NoisyPassContext {
-    gate_noise: GateNoise,
+    gate_noise: Arc<GateNoise>,
     w: Arc<CMatrix>,
     superops: Vec<Arc<CMatrix>>,
     readout: f64,
@@ -920,7 +1029,7 @@ impl NoisyPassContext {
         for &reset_count in levels {
             ensure_reset_range(reset_count, n)?;
         }
-        let gate_noise = GateNoise::from_model(noise);
+        let gate_noise = cached_gate_noise(noise);
         let w = swap_test_functional(n, noise)?;
         let superops = levels
             .iter()
@@ -994,6 +1103,45 @@ struct RyCoeffs {
     ss: Vec<f64>,
 }
 
+/// Reusable buffers for the lockstep batch preparation: the angle matrix
+/// and the per-sample embedding scratch.
+#[derive(Default)]
+struct PrepScratch {
+    /// Per-sample angle vectors, angle-major (`num_angles × S`).
+    thetas: Vec<f64>,
+    values: Vec<f64>,
+    amps: Vec<f64>,
+    angles: Vec<f64>,
+    coeffs: RyCoeffs,
+}
+
+/// Reusable buffers for the dense scoring half: the readout image
+/// `W·P`, the per-level evolved panel, and the raw column dots.
+#[derive(Default)]
+struct ScoreScratch {
+    wp: CMatrix,
+    evolved: CMatrix,
+    raw: Vec<C64>,
+}
+
+/// The whole per-thread scratch of one dense noisy group pass. Held in a
+/// thread-local so a steady-state scoring loop (the serving hot path)
+/// stops heap-allocating per batch: after the first panel on a thread,
+/// every buffer — the packed `4^n × S` batch included — is reused at
+/// capacity. Resident pool workers ([`qsim::parallel::WorkerPool`]) keep
+/// their scratch warm across panels, which is half the point of keeping
+/// them alive.
+#[derive(Default)]
+struct DensityScratch {
+    prep: PrepScratch,
+    packed: CMatrix,
+    score: ScoreScratch,
+}
+
+thread_local! {
+    static DENSITY_SCRATCH: RefCell<DensityScratch> = RefCell::default();
+}
+
 impl DensityEngine {
     /// Packs every sample's noisy prepared state into the columns of a
     /// `4^n × S` matrix — column `j` is `vec(ρ_in)` of sample `j` after
@@ -1042,35 +1190,68 @@ impl DensityEngine {
         normalized: &Dataset,
         config: &QuorumConfig,
     ) -> Result<CMatrix, QuorumError> {
+        let mut packed = CMatrix::zeros(0, 0);
+        DENSITY_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            Self::prepare_panel_into(
+                group,
+                normalized.rows().iter().map(Vec::as_slice),
+                normalized.num_samples(),
+                config,
+                &mut scratch.prep,
+                &mut packed,
+            )
+        })?;
+        Ok(packed)
+    }
+
+    /// The generic body of [`DensityEngine::prepare_batch`]: consumes the
+    /// rows from any contiguous source (a [`Dataset`]'s row vectors or a
+    /// flat [`SamplePanel`]) and writes the packed `4^n × S` batch into a
+    /// caller-owned matrix through reusable scratch — the zero-allocation
+    /// seam the steady-state serving loop runs on. Identical arithmetic
+    /// and iteration order to the allocating path.
+    fn prepare_panel_into<'a>(
+        group: &EnsembleGroup,
+        rows: impl Iterator<Item = &'a [f64]>,
+        samples: usize,
+        config: &QuorumConfig,
+        scratch: &mut PrepScratch,
+        packed: &mut CMatrix,
+    ) -> Result<(), QuorumError> {
         ensure_noisy_mode(config)?;
         let noise = match &config.execution {
             ExecutionMode::Noisy { noise, .. } => noise,
             _ => unreachable!("ensure_noisy_mode admits only Noisy execution"),
         };
         let num_qubits = group.ansatz().num_qubits();
-        let gate_noise = GateNoise::from_model(noise);
+        let gate_noise = cached_gate_noise(noise);
         let dim = 1usize << num_qubits;
-        let samples = normalized.num_samples();
         if samples == 0 {
-            return Ok(CMatrix::zeros(dim * dim, 0));
+            packed.resize_zeroed(dim * dim, 0);
+            return Ok(());
         }
 
         // Per-sample angle vectors, angle-major: slot `a` of every sample
         // sits contiguously at `thetas[a·S..(a+1)·S]`, so each skeleton
         // rotation reads one lane run per column block.
-        let skeleton = PrepSkeleton::new(num_qubits);
-        let mut thetas = vec![0.0f64; skeleton.num_angles() * samples];
-        let mut values = Vec::with_capacity(group.features().len());
-        let mut amps = vec![0.0f64; dim];
-        let mut angles = Vec::with_capacity(skeleton.num_angles());
-        for (col, row) in normalized.rows().iter().enumerate() {
-            group.features().project_into(row, &mut values);
-            crate::embed::amplitudes_with_overflow_into(&values, num_qubits, &mut amps)?;
+        let skeleton = cached_prep_skeleton(num_qubits);
+        scratch.thetas.clear();
+        scratch.thetas.resize(skeleton.num_angles() * samples, 0.0);
+        scratch.amps.clear();
+        scratch.amps.resize(dim, 0.0);
+        for (col, row) in rows.enumerate() {
+            group.features().project_into(row, &mut scratch.values);
+            crate::embed::amplitudes_with_overflow_into(
+                &scratch.values,
+                num_qubits,
+                &mut scratch.amps,
+            )?;
             skeleton
-                .angles_for_into(&amps, &mut angles)
+                .angles_for_into(&scratch.amps, &mut scratch.angles)
                 .map_err(QuorumError::Simulation)?;
-            for (a, &theta) in angles.iter().enumerate() {
-                thetas[a * samples + col] = theta;
+            for (a, &theta) in scratch.angles.iter().enumerate() {
+                scratch.thetas[a * samples + col] = theta;
             }
         }
 
@@ -1082,18 +1263,19 @@ impl DensityEngine {
         // [`GEMM_COL_BLOCK`]-wide blocks out over workers.
         let threads = gemm_threads(config, dim * dim, samples);
         if threads <= 1 {
-            let mut coeffs = RyCoeffs::default();
-            return Self::evolve_block(
+            return Self::evolve_block_into(
                 &skeleton,
                 &gate_noise,
-                &thetas,
+                &scratch.thetas,
                 num_qubits,
                 samples,
                 0,
                 samples,
-                &mut coeffs,
+                &mut scratch.coeffs,
+                packed,
             );
         }
+        let thetas = &scratch.thetas;
         let blocks = samples.div_ceil(GEMM_COL_BLOCK);
         let panels = map_indexed_with(blocks, threads, RyCoeffs::default, |coeffs, b| {
             let c0 = b * GEMM_COL_BLOCK;
@@ -1101,7 +1283,7 @@ impl DensityEngine {
             Self::evolve_block(
                 &skeleton,
                 &gate_noise,
-                &thetas,
+                thetas,
                 num_qubits,
                 samples,
                 c0,
@@ -1110,7 +1292,7 @@ impl DensityEngine {
             )
         });
 
-        let mut packed = CMatrix::zeros(dim * dim, samples);
+        packed.resize_zeroed(dim * dim, samples);
         for (b, panel) in panels.into_iter().enumerate() {
             let panel = panel?;
             let c0 = b * GEMM_COL_BLOCK;
@@ -1120,7 +1302,7 @@ impl DensityEngine {
                     .copy_from_slice(panel.row(i));
             }
         }
-        Ok(packed)
+        Ok(())
     }
 
     /// Evolves one column block (samples `c0..c1`) through the whole
@@ -1138,9 +1320,31 @@ impl DensityEngine {
         c1: usize,
         coeffs: &mut RyCoeffs,
     ) -> Result<CMatrix, QuorumError> {
+        let mut block = CMatrix::zeros(0, 0);
+        Self::evolve_block_into(
+            skeleton, gate_noise, thetas, num_qubits, samples, c0, c1, coeffs, &mut block,
+        )?;
+        Ok(block)
+    }
+
+    /// [`DensityEngine::evolve_block`] writing into a caller-owned matrix,
+    /// so the sequential full-width path reuses one resident buffer across
+    /// panels instead of allocating `4^n × S` complexes per call.
+    #[allow(clippy::too_many_arguments)] // private worker body of prepare_batch
+    fn evolve_block_into(
+        skeleton: &PrepSkeleton,
+        gate_noise: &GateNoise,
+        thetas: &[f64],
+        num_qubits: usize,
+        samples: usize,
+        c0: usize,
+        c1: usize,
+        coeffs: &mut RyCoeffs,
+        block: &mut CMatrix,
+    ) -> Result<(), QuorumError> {
         let dim = 1usize << num_qubits;
         let width = c1 - c0;
-        let mut block = CMatrix::zeros(dim * dim, width);
+        block.resize_zeroed(dim * dim, width);
         for j in 0..width {
             // vec(|0…0⟩⟨0…0|): row-major index (0, 0) = row 0.
             block[(0, j)] = C64::ONE;
@@ -1192,7 +1396,7 @@ impl DensityEngine {
                 }
             }
         }
-        Ok(block)
+        Ok(())
     }
 
     /// Scores an already-prepared `4^n × S` batch (the output of
@@ -1211,32 +1415,81 @@ impl DensityEngine {
         config: &QuorumConfig,
         levels: &[usize],
     ) -> Result<Vec<Vec<f64>>, QuorumError> {
+        DENSITY_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            Self::score_prepared_scratch(group, packed, config, levels, &mut scratch.score)
+        })
+    }
+
+    /// The body of [`DensityEngine::score_prepared`] running on reusable
+    /// scratch: the two GEMM products land in resident matrices and the
+    /// per-sample accumulator vector is recycled, so steady-state scoring
+    /// allocates nothing panel-proportional.
+    fn score_prepared_scratch(
+        group: &EnsembleGroup,
+        packed: &CMatrix,
+        config: &QuorumConfig,
+        levels: &[usize],
+        scratch: &mut ScoreScratch,
+    ) -> Result<Vec<Vec<f64>>, QuorumError> {
         let (ctx, shots) = NoisyPassContext::prepare(group, config, levels)?;
         let dim2 = packed.rows();
         let samples = packed.cols();
         let threads = gemm_threads(config, dim2, samples);
-        let wp = ctx.w.matmul_threaded(packed, threads)?;
+        ctx.w
+            .matmul_threaded_into(packed, threads, &mut scratch.wp)?;
 
         let mut out = Vec::with_capacity(levels.len());
         for (level, superop) in ctx.superops.iter().enumerate() {
-            let evolved = superop.matmul_threaded(packed, threads)?;
+            superop.matmul_threaded_into(packed, threads, &mut scratch.evolved)?;
             // raw_j = Σ_i evolved[i,j]·wp[i,j], accumulated row-by-row so
             // each sample sums in the same index order as the per-sample
             // matvec path — the two engines agree to machine precision.
-            let mut raw = vec![C64::ZERO; samples];
+            scratch.raw.clear();
+            scratch.raw.resize(samples, C64::ZERO);
             for i in 0..dim2 {
-                for ((acc, &a), &b) in raw.iter_mut().zip(evolved.row(i)).zip(wp.row(i)) {
+                for ((acc, &a), &b) in scratch
+                    .raw
+                    .iter_mut()
+                    .zip(scratch.evolved.row(i))
+                    .zip(scratch.wp.row(i))
+                {
                     *acc += a * b;
                 }
             }
             out.push(
-                raw.iter()
+                scratch
+                    .raw
+                    .iter()
                     .enumerate()
                     .map(|(j, &z)| ctx.finish(z, shots, config, group.index(), levels[level], j))
                     .collect(),
             );
         }
         Ok(out)
+    }
+
+    /// Full prepare-then-score pass over rows from any contiguous source,
+    /// holding the thread-local scratch exactly once: the panel lands in
+    /// `scratch.packed`, preparation runs through `scratch.prep`, scoring
+    /// through `scratch.score` — disjoint field borrows, no re-entry.
+    fn deviations_rows<'a>(
+        group: &EnsembleGroup,
+        config: &QuorumConfig,
+        levels: &[usize],
+        rows: impl Iterator<Item = &'a [f64]>,
+        samples: usize,
+    ) -> Result<Vec<Vec<f64>>, QuorumError> {
+        DENSITY_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let DensityScratch {
+                prep,
+                packed,
+                score,
+            } = scratch;
+            Self::prepare_panel_into(group, rows, samples, config, prep, packed)?;
+            Self::score_prepared_scratch(group, packed, config, levels, score)
+        })
     }
 }
 
@@ -1268,8 +1521,23 @@ impl ScoringEngine for DensityEngine {
         // prepared in lockstep. The readout functional applies to the
         // whole batch once (`W·P` is level-independent); each level then
         // costs one superoperator GEMM plus column dot products.
-        let packed = Self::prepare_batch(group, normalized, config)?;
-        Self::score_prepared(group, &packed, config, levels)
+        Self::deviations_rows(
+            group,
+            config,
+            levels,
+            normalized.rows().iter().map(Vec::as_slice),
+            normalized.num_samples(),
+        )
+    }
+
+    fn deviations_all_levels_panel(
+        &self,
+        group: &EnsembleGroup,
+        panel: &SamplePanel<'_>,
+        config: &QuorumConfig,
+        levels: &[usize],
+    ) -> Result<Vec<Vec<f64>>, QuorumError> {
+        Self::deviations_rows(group, config, levels, panel.rows(), panel.num_samples())
     }
 }
 
@@ -1423,6 +1691,30 @@ impl ScoringEngine for StructuredDensityEngine {
         let packed = DensityEngine::prepare_batch(group, normalized, config)?;
         Self::score_prepared(group, &packed, config, levels)
     }
+
+    fn deviations_all_levels_panel(
+        &self,
+        group: &EnsembleGroup,
+        panel: &SamplePanel<'_>,
+        config: &QuorumConfig,
+        levels: &[usize],
+    ) -> Result<Vec<Vec<f64>>, QuorumError> {
+        // Preparation reuses the resident density scratch; the structured
+        // score half never touches that thread-local, so holding the
+        // borrow across it is safe.
+        DENSITY_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            DensityEngine::prepare_panel_into(
+                group,
+                panel.rows(),
+                panel.num_samples(),
+                config,
+                &mut scratch.prep,
+                &mut scratch.packed,
+            )?;
+            Self::score_prepared(group, &scratch.packed, config, levels)
+        })
+    }
 }
 
 /// The per-sample density oracle: PR 3's one-`4^n`-matvec-per-(sample,
@@ -1511,7 +1803,7 @@ impl ScoringEngine for SampleDensityEngine {
         for (i, row) in normalized.rows().iter().enumerate() {
             group.features().project_into(row, &mut values);
             crate::embed::amplitudes_with_overflow_into(&values, n, &mut amps)?;
-            let rho_in = noisy_prepared_state(&amps, n, &ctx.gate_noise)?;
+            let rho_in = noisy_prepared_state(&amps, n, ctx.gate_noise.as_ref())?;
             let wb = ctx.w.mul_vec(rho_in.as_slice());
             for (level, superop) in ctx.superops.iter().enumerate() {
                 let rho_a = superop.mul_vec(rho_in.as_slice());

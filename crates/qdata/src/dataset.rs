@@ -94,6 +94,79 @@ impl fmt::Display for DataError {
 
 impl std::error::Error for DataError {}
 
+/// A borrowed, flat row-major view of `samples × features` values — the
+/// allocation-free counterpart of [`Dataset`] for streaming hot paths.
+///
+/// Serving runtimes decode wire rows into one pooled flat buffer and hand
+/// engines a `SamplePanel` over it, instead of materialising a [`Dataset`]
+/// (a `Vec<Vec<f64>>` plus name/feature-name strings) per request batch.
+/// The view carries no labels and no names: streamed samples never have
+/// either.
+#[derive(Debug, Clone, Copy)]
+pub struct SamplePanel<'a> {
+    data: &'a [f64],
+    features: usize,
+}
+
+impl<'a> SamplePanel<'a> {
+    /// Wraps a flat row-major buffer holding `data.len() / features`
+    /// samples of `features` values each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features == 0` or `data.len()` is not a multiple of
+    /// `features` — a panel cannot represent ragged or zero-width rows.
+    pub fn new(data: &'a [f64], features: usize) -> Self {
+        assert!(features > 0, "a sample panel needs at least one feature");
+        assert_eq!(
+            data.len() % features,
+            0,
+            "panel length must be a whole number of rows"
+        );
+        SamplePanel { data, features }
+    }
+
+    /// Number of samples (rows).
+    pub fn num_samples(&self) -> usize {
+        self.data.len() / self.features
+    }
+
+    /// Number of features (columns).
+    pub fn num_features(&self) -> usize {
+        self.features
+    }
+
+    /// One sample's feature slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.num_samples()`.
+    pub fn row(&self, idx: usize) -> &'a [f64] {
+        &self.data[idx * self.features..(idx + 1) * self.features]
+    }
+
+    /// Iterates the rows in order, each as one contiguous slice.
+    pub fn rows(&self) -> std::slice::ChunksExact<'a, f64> {
+        self.data.chunks_exact(self.features)
+    }
+
+    /// The flat row-major backing slice.
+    pub fn as_slice(&self) -> &'a [f64] {
+        self.data
+    }
+
+    /// Copies the view into an owned [`Dataset`] — the compatibility
+    /// bridge for engines without a native panel path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError`] for empty panels or non-finite values, same
+    /// as [`Dataset::from_rows`].
+    pub fn to_dataset(&self, name: &str) -> Result<Dataset, DataError> {
+        Dataset::from_rows(name, self.rows().map(<[f64]>::to_vec).collect(), None)
+    }
+}
+
 impl Dataset {
     /// Builds a dataset from row-major features and optional labels.
     ///

@@ -23,5 +23,5 @@ pub mod dataset;
 pub mod preprocess;
 pub mod synth;
 
-pub use dataset::{DataError, Dataset};
+pub use dataset::{DataError, Dataset, SamplePanel};
 pub use preprocess::{MinMaxNormalizer, RangeNormalizer};

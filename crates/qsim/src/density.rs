@@ -883,6 +883,15 @@ pub fn apply_depolarizing_2q_columns(
         return;
     }
     #[cfg(target_arch = "x86_64")]
+    if crate::kernel::avx512_autovec_active() {
+        // SAFETY: AVX-512 support verified at runtime; the function body
+        // is the same safe Rust as `depol2q_columns_body`.
+        unsafe {
+            depol2q_columns_avx512(data, dim, samples, qa, qb, lambda);
+        }
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
     if crate::kernel::avx_autovec_active() {
         // SAFETY: AVX support verified at runtime; the function body is
         // the same safe Rust as `depol2q_columns_body`.
@@ -891,6 +900,25 @@ pub fn apply_depolarizing_2q_columns(
         }
         return;
     }
+    depol2q_columns_body(data, dim, samples, qa, qb, lambda);
+}
+
+/// [`apply_depolarizing_2q_columns`]'s body recompiled with 512-bit
+/// AVX-512 vectors enabled — identical safe Rust, identical results.
+///
+/// # Safety
+///
+/// The caller must have verified AVX-512 (F + VL + DQ) support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx512vl", enable = "avx512dq")]
+unsafe fn depol2q_columns_avx512(
+    data: &mut [crate::complex::C64],
+    dim: usize,
+    samples: usize,
+    qa: usize,
+    qb: usize,
+    lambda: f64,
+) {
     depol2q_columns_body(data, dim, samples, qa, qb, lambda);
 }
 

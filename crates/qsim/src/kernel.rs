@@ -157,6 +157,31 @@ pub(crate) fn avx_autovec_active() -> bool {
     }
 }
 
+/// Returns `true` when the 512-bit recompilation rung is usable: the same
+/// safe Rust bodies compiled with AVX-512 (F + VL + DQ) enabled. One more
+/// step on the same ladder as [`avx_autovec_active`] — no intrinsics, no
+/// contraction, so results stay identical to the baseline bodies; only the
+/// vector width doubles. Cached after the first probe (the lane kernels
+/// sit inside per-gate loops, unlike the per-panel GEMM dispatch).
+#[inline]
+#[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))] // callers are x86-64-gated
+pub(crate) fn avx512_autovec_active() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static ACTIVE: OnceLock<bool> = OnceLock::new();
+        *ACTIVE.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512vl")
+                && std::arch::is_x86_feature_detected!("avx512dq")
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
 /// The dispatching split-complex panel kernel: repacks the `rhs` panel
 /// into SoA slices once, then produces the output in register tiles —
 /// through the AVX2/FMA intrinsics when [`simd_active`], else the
@@ -174,12 +199,37 @@ pub fn mul_panel(
     c1: usize,
     scratch: &mut PanelScratch,
 ) -> Vec<C64> {
+    let mut panel = Vec::new();
+    mul_panel_into(a, a_rows, a_cols, b, b_cols, c0, c1, scratch, &mut panel);
+    panel
+}
+
+/// [`mul_panel`] writing into a caller-owned output vector — the
+/// allocation-free seam for steady-state scoring loops that run the same
+/// GEMM shape every batch. `panel` is cleared and refilled; its capacity
+/// is reused across calls. Values are identical to [`mul_panel`]'s: the
+/// output buffer never feeds back into the product.
+#[allow(clippy::too_many_arguments)] // flat BLAS-style kernel signature
+pub fn mul_panel_into(
+    a: &[C64],
+    a_rows: usize,
+    a_cols: usize,
+    b: &[C64],
+    b_cols: usize,
+    c0: usize,
+    c1: usize,
+    scratch: &mut PanelScratch,
+    panel: &mut Vec<C64>,
+) {
     let width = c1 - c0;
     repack_panel(b, b_cols, c0, c1, a_cols, scratch);
-    let mut panel = vec![C64::ZERO; a_rows * width];
+    panel.clear();
+    panel.resize(a_rows * width, C64::ZERO);
     // Only referenced from the x86-64 dispatch arms below.
     #[cfg(target_arch = "x86_64")]
     let avx_autovec = avx_autovec_active();
+    #[cfg(target_arch = "x86_64")]
+    let avx512_autovec = avx512_autovec_active();
     let mut i = 0;
     while i + TILE_ROWS <= a_rows {
         let a_rows_slice = &a[i * a_cols..(i + TILE_ROWS) * a_cols];
@@ -189,6 +239,16 @@ pub fn mul_panel(
             // SAFETY: `simd_active` verified AVX2 + FMA at runtime.
             unsafe {
                 tile_rows_avx2(a_rows_slice, a_cols, width, scratch, out);
+            }
+            i += TILE_ROWS;
+            continue;
+        }
+        #[cfg(target_arch = "x86_64")]
+        if avx512_autovec {
+            // SAFETY: `avx512_autovec` verified AVX-512 at runtime; the
+            // function body is the same safe Rust as `tile_rows_soa`.
+            unsafe {
+                tile_rows_soa_avx512(a_rows_slice, a_cols, width, scratch, out);
             }
             i += TILE_ROWS;
             continue;
@@ -210,6 +270,15 @@ pub fn mul_panel(
         let a_row = &a[i * a_cols..(i + 1) * a_cols];
         let out = &mut panel[i * width..(i + 1) * width];
         #[cfg(target_arch = "x86_64")]
+        if avx512_autovec {
+            // SAFETY: as above.
+            unsafe {
+                single_row_avx512(a_row, a_cols, width, scratch, out);
+            }
+            i += 1;
+            continue;
+        }
+        #[cfg(target_arch = "x86_64")]
         if avx_autovec {
             // SAFETY: as above.
             unsafe {
@@ -221,7 +290,6 @@ pub fn mul_panel(
         single_row(a_row, a_cols, width, scratch, out);
         i += 1;
     }
-    panel
 }
 
 /// Copies the `rhs` panel (`a_cols` rows × columns `c0..c1`) into the
@@ -314,6 +382,24 @@ unsafe fn tile_rows_soa_avx(
     tile_rows_body(a_rows, a_cols, width, scratch, out);
 }
 
+/// [`tile_rows_soa`]'s body recompiled with 512-bit AVX-512 vectors
+/// enabled — identical safe Rust, identical results.
+///
+/// # Safety
+///
+/// The caller must have verified AVX-512 (F + VL + DQ) support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx512vl", enable = "avx512dq")]
+unsafe fn tile_rows_soa_avx512(
+    a_rows: &[C64],
+    a_cols: usize,
+    width: usize,
+    scratch: &PanelScratch,
+    out: &mut [C64],
+) {
+    tile_rows_body(a_rows, a_cols, width, scratch, out);
+}
+
 #[inline(always)]
 fn tile_rows_body(
     a_rows: &[C64],
@@ -384,6 +470,24 @@ fn single_row(a_row: &[C64], a_cols: usize, width: usize, scratch: &PanelScratch
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx")]
 unsafe fn single_row_avx(
+    a_row: &[C64],
+    a_cols: usize,
+    width: usize,
+    scratch: &PanelScratch,
+    out: &mut [C64],
+) {
+    single_row_body(a_row, a_cols, width, scratch, out);
+}
+
+/// [`single_row`]'s body recompiled with 512-bit AVX-512 vectors
+/// enabled — identical safe Rust, identical results.
+///
+/// # Safety
+///
+/// The caller must have verified AVX-512 (F + VL + DQ) support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx512vl", enable = "avx512dq")]
+unsafe fn single_row_avx512(
     a_row: &[C64],
     a_cols: usize,
     width: usize,
@@ -475,12 +579,23 @@ unsafe fn tile_rows_avx2(
     }
     while j < width {
         for r in 0..TILE_ROWS {
-            let mut acc = C64::ZERO;
+            let mut acc_re = 0.0_f64;
+            let mut acc_im = 0.0_f64;
             for k in 0..a_cols {
                 let av = *a_rows.get_unchecked(r * a_cols + k);
-                acc += av * C64::new(*b_re.add(k * width + j), *b_im.add(k * width + j));
+                let br = *b_re.add(k * width + j);
+                let bi = *b_im.add(k * width + j);
+                // The exact fused sequence of the vector lanes above
+                // (mul_add(ai, -bi, ·) is bit-identical to fnmadd), so a
+                // column's bits never depend on which path the panel
+                // width routed it through — a single-sample panel must
+                // score bit-identically to a coalesced one.
+                acc_re = av.re.mul_add(br, acc_re);
+                acc_re = av.im.mul_add(-bi, acc_re);
+                acc_im = av.re.mul_add(bi, acc_im);
+                acc_im = av.im.mul_add(br, acc_im);
             }
-            *out.get_unchecked_mut(r * width + j) = acc;
+            *out.get_unchecked_mut(r * width + j) = C64::new(acc_re, acc_im);
         }
         j += 1;
     }
@@ -510,6 +625,15 @@ pub fn ry_conj_lanes(
     ss: &[f64],
 ) {
     #[cfg(target_arch = "x86_64")]
+    if avx512_autovec_active() {
+        // SAFETY: AVX-512 support verified at runtime; the function body
+        // is the same safe Rust as `ry_conj_body`.
+        unsafe {
+            ry_conj_avx512(v0, v1, v2, v3, cc, cs, ss);
+        }
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
     if avx_autovec_active() {
         // SAFETY: AVX support verified at runtime; the function body is
         // the same safe Rust as `ry_conj_body`.
@@ -518,6 +642,26 @@ pub fn ry_conj_lanes(
         }
         return;
     }
+    ry_conj_body(v0, v1, v2, v3, cc, cs, ss);
+}
+
+/// [`ry_conj_lanes`]'s body recompiled with 512-bit AVX-512 vectors
+/// enabled — identical safe Rust, identical results.
+///
+/// # Safety
+///
+/// The caller must have verified AVX-512 (F + VL + DQ) support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx512vl", enable = "avx512dq")]
+unsafe fn ry_conj_avx512(
+    v0: &mut [C64],
+    v1: &mut [C64],
+    v2: &mut [C64],
+    v3: &mut [C64],
+    cc: &[f64],
+    cs: &[f64],
+    ss: &[f64],
+) {
     ry_conj_body(v0, v1, v2, v3, cc, cs, ss);
 }
 
@@ -601,6 +745,15 @@ pub fn superop4_lanes(
     s: &[[C64; 4]; 4],
 ) {
     #[cfg(target_arch = "x86_64")]
+    if avx512_autovec_active() {
+        // SAFETY: AVX-512 support verified at runtime; the function body
+        // is the same safe Rust as `superop4_body`.
+        unsafe {
+            superop4_avx512(v0, v1, v2, v3, s);
+        }
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
     if avx_autovec_active() {
         // SAFETY: AVX support verified at runtime; the function body is
         // the same safe Rust as `superop4_body`.
@@ -609,6 +762,24 @@ pub fn superop4_lanes(
         }
         return;
     }
+    superop4_body(v0, v1, v2, v3, s);
+}
+
+/// [`superop4_lanes`]'s body recompiled with 512-bit AVX-512 vectors
+/// enabled — identical safe Rust, identical results.
+///
+/// # Safety
+///
+/// The caller must have verified AVX-512 (F + VL + DQ) support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx512vl", enable = "avx512dq")]
+unsafe fn superop4_avx512(
+    v0: &mut [C64],
+    v1: &mut [C64],
+    v2: &mut [C64],
+    v3: &mut [C64],
+    s: &[[C64; 4]; 4],
+) {
     superop4_body(v0, v1, v2, v3, s);
 }
 
@@ -676,6 +847,15 @@ pub fn branch_sweep_lanes(
     over_im: &mut [f64],
 ) {
     #[cfg(target_arch = "x86_64")]
+    if avx512_autovec_active() {
+        // SAFETY: AVX-512 support verified at runtime; the function body
+        // is the same safe Rust as `branch_sweep_body`.
+        unsafe {
+            branch_sweep_avx512(low_re, low_im, top_re, top_im, weight, over_re, over_im);
+        }
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
     if avx_autovec_active() {
         // SAFETY: AVX support verified at runtime; the function body is
         // the same safe Rust as `branch_sweep_body`.
@@ -684,6 +864,27 @@ pub fn branch_sweep_lanes(
         }
         return;
     }
+    branch_sweep_body(low_re, low_im, top_re, top_im, weight, over_re, over_im);
+}
+
+/// [`branch_sweep_lanes`]'s body recompiled with 512-bit AVX-512 vectors
+/// enabled — identical safe Rust, identical results.
+///
+/// # Safety
+///
+/// The caller must have verified AVX-512 (F + VL + DQ) support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx512vl", enable = "avx512dq")]
+#[allow(clippy::too_many_arguments)] // flat lane-kernel signature
+unsafe fn branch_sweep_avx512(
+    low_re: &[f64],
+    low_im: &[f64],
+    top_re: &[f64],
+    top_im: &[f64],
+    weight: &mut [f64],
+    over_re: &mut [f64],
+    over_im: &mut [f64],
+) {
     branch_sweep_body(low_re, low_im, top_re, top_im, weight, over_re, over_im);
 }
 
@@ -744,6 +945,15 @@ fn branch_sweep_body(
 /// AVX recompilation ladder.
 pub fn superop16_lanes(rows: &mut [&mut [C64]; 16], s: &[[C64; 16]; 16]) {
     #[cfg(target_arch = "x86_64")]
+    if avx512_autovec_active() {
+        // SAFETY: AVX-512 support verified at runtime; the function body
+        // is the same safe Rust as `superop16_body`.
+        unsafe {
+            superop16_avx512(rows, s);
+        }
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
     if avx_autovec_active() {
         // SAFETY: AVX support verified at runtime; the function body is
         // the same safe Rust as `superop16_body`.
@@ -752,6 +962,18 @@ pub fn superop16_lanes(rows: &mut [&mut [C64]; 16], s: &[[C64; 16]; 16]) {
         }
         return;
     }
+    superop16_body(rows, s);
+}
+
+/// [`superop16_lanes`]'s body recompiled with 512-bit AVX-512 vectors
+/// enabled — identical safe Rust, identical results.
+///
+/// # Safety
+///
+/// The caller must have verified AVX-512 (F + VL + DQ) support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx512vl", enable = "avx512dq")]
+unsafe fn superop16_avx512(rows: &mut [&mut [C64]; 16], s: &[[C64; 16]; 16]) {
     superop16_body(rows, s);
 }
 

@@ -83,6 +83,16 @@ impl CMatrix {
         }
     }
 
+    /// Reshapes to `rows × cols` with every entry zero, reusing the
+    /// backing allocation when its capacity suffices — the reset step for
+    /// pooled scratch matrices on steady-state scoring paths.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, C64::ZERO);
+    }
+
     /// Creates the `n × n` identity matrix.
     pub fn identity(n: usize) -> Self {
         let mut m = CMatrix::zeros(n, n);
@@ -296,6 +306,28 @@ impl CMatrix {
     /// Returns [`QsimError::DimensionMismatch`] when
     /// `self.cols() != rhs.rows()`.
     pub fn matmul_threaded(&self, rhs: &CMatrix, threads: usize) -> Result<CMatrix, QsimError> {
+        let mut out = CMatrix::zeros(0, 0);
+        self.matmul_threaded_into(rhs, threads, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`CMatrix::matmul_threaded`] writing into a caller-owned output
+    /// matrix — the allocation-free seam for steady-state scoring loops
+    /// that run the same product shape every batch. `out` is reshaped to
+    /// `self.rows() × rhs.cols()` and overwritten; its backing storage is
+    /// reused across calls. Results are bit-identical to the allocating
+    /// path (the output buffer never feeds back into the product).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::DimensionMismatch`] when
+    /// `self.cols() != rhs.rows()`; `out` is untouched on error.
+    pub fn matmul_threaded_into(
+        &self,
+        rhs: &CMatrix,
+        threads: usize,
+        out: &mut CMatrix,
+    ) -> Result<(), QsimError> {
         if self.cols != rhs.rows {
             return Err(QsimError::DimensionMismatch {
                 expected: self.cols,
@@ -303,26 +335,24 @@ impl CMatrix {
             });
         }
         if rhs.cols == 0 || self.rows == 0 {
-            return Ok(CMatrix::zeros(self.rows, rhs.cols));
+            out.resize_zeroed(self.rows, rhs.cols);
+            return Ok(());
         }
         if threads <= 1 {
             // Sequential fast path: one full-width panel *is* the
             // row-major result — no zero-fill, no stitching — through the
             // thread-local scratch so repeated GEMMs reuse their buffers.
-            let data = SEQ_SCRATCH.with(|scratch| {
+            out.rows = self.rows;
+            out.cols = rhs.cols;
+            SEQ_SCRATCH.with(|scratch| {
                 let mut scratch = scratch.borrow_mut();
-                let data = self.mul_panel(rhs, 0, rhs.cols, &mut scratch);
+                self.mul_panel_into(rhs, 0, rhs.cols, &mut scratch, &mut out.data);
                 // Don't pin extreme-shape buffers on this thread forever.
                 scratch.trim();
-                data
             });
-            return Ok(CMatrix {
-                rows: self.rows,
-                cols: rhs.cols,
-                data,
-            });
+            return Ok(());
         }
-        let mut out = CMatrix::zeros(self.rows, rhs.cols);
+        out.resize_zeroed(self.rows, rhs.cols);
         let num_panels = rhs.cols.div_ceil(GEMM_COL_BLOCK);
         let panels =
             crate::parallel::map_indexed_with(num_panels, threads, PanelScratch::new, |s, p| {
@@ -339,7 +369,7 @@ impl CMatrix {
                     .copy_from_slice(&panel[i * width..(i + 1) * width]);
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Matrix–matrix product through the scalar oracle kernel only — the
@@ -383,6 +413,21 @@ impl CMatrix {
         kernel::mul_panel(
             &self.data, self.rows, self.cols, &rhs.data, rhs.cols, c0, c1, scratch,
         )
+    }
+
+    /// [`CMatrix::mul_panel`] into a caller-owned buffer (cleared and
+    /// refilled; capacity reused).
+    fn mul_panel_into(
+        &self,
+        rhs: &CMatrix,
+        c0: usize,
+        c1: usize,
+        scratch: &mut PanelScratch,
+        panel: &mut Vec<C64>,
+    ) {
+        kernel::mul_panel_into(
+            &self.data, self.rows, self.cols, &rhs.data, rhs.cols, c0, c1, scratch, panel,
+        );
     }
 
     /// Returns `true` when every entry is within `tol` of `other`'s.
@@ -432,6 +477,14 @@ impl CMatrix {
     /// Checks `A = A†` within `tol`.
     pub fn is_hermitian(&self, tol: f64) -> bool {
         self.rows == self.cols && self.approx_eq(&self.dagger(), tol)
+    }
+}
+
+impl Default for CMatrix {
+    /// The empty `0 × 0` matrix — the initial state of pooled scratch
+    /// matrices that grow on first use.
+    fn default() -> Self {
+        CMatrix::zeros(0, 0)
     }
 }
 

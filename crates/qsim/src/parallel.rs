@@ -2,13 +2,288 @@
 //!
 //! Quorum's ensemble groups are "embarrassingly parallel" (paper §IV-F):
 //! every group is independent. This module provides a work-stealing batch
-//! runner over any [`Backend`] using `std::thread::scope` — no `'static`
-//! bounds required.
+//! runner over any [`Backend`] plus the resident [`WorkerPool`] that
+//! executes it: parked OS threads that live for the whole process, so a
+//! streaming workload (one scored panel after another) pays thread spawn
+//! and join once instead of per panel — and, because the workers are the
+//! *same* threads every panel, every `thread_local` scratch buffer in the
+//! kernel layer (e.g. the GEMM seam's split-complex panels) stays warm
+//! across panels instead of being torn down with the scope.
+//!
+//! Work distribution is an atomic claim counter over item indices, so
+//! which worker runs which item is scheduling-dependent — callers that
+//! need thread-count-independent *results* make each item's output a pure
+//! function of its index (fixed block boundaries), which every caller in
+//! this codebase does. The pool never changes what is computed, only who
+//! computes it.
 
 use crate::circuit::Circuit;
 use crate::error::QsimError;
 use crate::simulator::{Backend, OutcomeDistribution};
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+/// Environment knob naming the resident pool's total participant count
+/// (dispatching caller + parked workers). Unset or unparsable, the pool
+/// sizes itself to `std::thread::available_parallelism()`.
+pub const POOL_THREADS_ENV: &str = "QUORUM_POOL_THREADS";
+
+/// A resident, parked worker pool for borrowed (non-`'static`) jobs.
+///
+/// Jobs are dispatched by reference: the caller hands the pool a
+/// `&(dyn Fn() + Sync)` task, each participating worker invokes it once
+/// (the task body claims items off a shared atomic counter), the caller
+/// itself runs the task too, and the dispatch does not return until
+/// every participating worker has left the task — so the borrow is
+/// confined and the closure may capture stack data freely.
+///
+/// A worker that panics inside a task survives: the payload is parked,
+/// the worker returns to its parked loop, and the *caller* re-raises the
+/// panic after every participant has finished — the same observable
+/// behavior as the `std::thread::scope` path the pool replaces.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers park here waiting for a new job generation.
+    work_cv: Condvar,
+    /// The dispatching caller parks here waiting for workers to drain.
+    done_cv: Condvar,
+}
+
+struct PoolState {
+    /// Bumped once per dispatched job so parked workers can tell a fresh
+    /// job from the one they already ran.
+    generation: u64,
+    /// The in-flight borrowed task, if any (one job at a time; a second
+    /// concurrent dispatch reports "busy" and the caller falls back to a
+    /// scoped spawn).
+    job: Option<TaskPtr>,
+    /// Worker entries not yet picked up. The caller zeroes this after
+    /// running its own share so sleepy workers never touch a job whose
+    /// borrow is about to end.
+    unclaimed: usize,
+    /// Workers currently inside the task body.
+    running: usize,
+    /// First panic payload raised inside the task, re-raised by the caller.
+    panic_payload: Option<Box<dyn Any + Send>>,
+    shutdown: bool,
+}
+
+/// Lifetime-erased pointer to the borrowed task. Confined: the dispatch
+/// protocol guarantees no worker dereferences it after `run` returns.
+#[derive(Clone, Copy)]
+struct TaskPtr(*const (dyn Fn() + Sync));
+
+// SAFETY: the pointee is `Sync` (shared invocation is sound) and the
+// dispatch protocol bounds every dereference inside the caller's borrow.
+unsafe impl Send for TaskPtr {}
+
+/// Erases the borrow lifetime of a task reference so it can sit in the
+/// pool's job slot.
+///
+/// # Safety
+///
+/// The caller must guarantee no worker dereferences the pointer after the
+/// original borrow ends — [`WorkerPool::run`] does, by cancelling
+/// unclaimed entries and draining running workers before it returns.
+unsafe fn erase_task_lifetime<'a>(
+    task: &'a (dyn Fn() + Sync + 'a),
+) -> *const (dyn Fn() + Sync + 'static) {
+    // SAFETY: fat pointers to the same trait differ only in the erased
+    // lifetime bound; see the function contract above.
+    unsafe {
+        std::mem::transmute::<&'a (dyn Fn() + Sync + 'a), &'static (dyn Fn() + Sync + 'static)>(
+            task,
+        )
+    }
+}
+
+thread_local! {
+    /// Set while the current thread is a pool worker running a task, so a
+    /// nested parallel call falls back to a scoped spawn instead of
+    /// deadlocking on its own pool.
+    static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn lock_state(shared: &PoolShared) -> MutexGuard<'_, PoolState> {
+    // A panicking task is caught before it can poison anything observable;
+    // recover rather than wedge a resident server on a poisoned mutex.
+    shared
+        .state
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `workers` resident parked threads. A dispatch
+    /// additionally runs on the calling thread, so `WorkerPool::new(3)`
+    /// yields up to four participants per job.
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                generation: 0,
+                job: None,
+                unclaimed: 0,
+                running: 0,
+                panic_payload: None,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("quorum-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// The process-wide pool, created on first use. Sized by
+    /// [`POOL_THREADS_ENV`] (total participants) when set, otherwise by
+    /// `available_parallelism()`; one participant is the dispatching
+    /// caller, so the resident worker count is one less.
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let participants = std::env::var(POOL_THREADS_ENV)
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(std::num::NonZeroUsize::get)
+                        .unwrap_or(1)
+                });
+            WorkerPool::new(participants.saturating_sub(1))
+        })
+    }
+
+    /// Resident worker count (excluding the dispatching caller).
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// True when the current thread is a pool worker mid-task — callers
+    /// use this to avoid dispatching nested jobs into their own pool.
+    pub fn on_pool_worker() -> bool {
+        IN_POOL_WORKER.with(Cell::get)
+    }
+
+    /// Runs `task` on the calling thread plus up to `extra` resident
+    /// workers, returning only after every participant has left the task.
+    /// Returns `false` without running anything when another job is
+    /// already in flight (the caller should fall back to a scoped spawn).
+    ///
+    /// Panics raised inside the task (on any participant) are re-raised
+    /// here after all participants finish.
+    pub fn run(&self, extra: usize, task: &(dyn Fn() + Sync)) -> bool {
+        let extra = extra.min(self.workers());
+        if extra > 0 {
+            let mut st = lock_state(&self.shared);
+            if st.job.is_some() {
+                return false;
+            }
+            // SAFETY: erases the borrow's lifetime; `unclaimed` is zeroed
+            // and `running` drained below before this function returns,
+            // so no worker touches the pointer after the borrow ends.
+            let ptr = TaskPtr(unsafe { erase_task_lifetime(task) });
+            st.generation += 1;
+            st.job = Some(ptr);
+            st.unclaimed = extra;
+            drop(st);
+            self.shared.work_cv.notify_all();
+        }
+        let caller_panic = panic::catch_unwind(AssertUnwindSafe(task)).err();
+        let pool_panic = if extra > 0 {
+            let mut st = lock_state(&self.shared);
+            // Entries nobody picked up are cancelled — the work they would
+            // have claimed was already drained by the faster participants.
+            st.unclaimed = 0;
+            while st.running > 0 {
+                st = self
+                    .shared
+                    .done_cv
+                    .wait(st)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+            st.job = None;
+            st.panic_payload.take()
+        } else {
+            None
+        };
+        if let Some(payload) = caller_panic.or(pool_panic) {
+            panic::resume_unwind(payload);
+        }
+        true
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = lock_state(&self.shared);
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    let mut seen_generation = 0u64;
+    loop {
+        let task = {
+            let mut st = lock_state(shared);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation > seen_generation {
+                    seen_generation = st.generation;
+                    if st.unclaimed > 0 {
+                        st.unclaimed -= 1;
+                        st.running += 1;
+                        break st.job.expect("unclaimed entries imply a job");
+                    }
+                }
+                st = shared
+                    .work_cv
+                    .wait(st)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        };
+        // SAFETY: claimed under the lock while `unclaimed > 0`, so the
+        // dispatching caller is still inside `run` and the borrow is live.
+        let task_ref = unsafe { &*task.0 };
+        IN_POOL_WORKER.with(|flag| flag.set(true));
+        let outcome = panic::catch_unwind(AssertUnwindSafe(task_ref));
+        IN_POOL_WORKER.with(|flag| flag.set(false));
+        let mut st = lock_state(shared);
+        st.running -= 1;
+        if let Err(payload) = outcome {
+            // Keep the first payload; the caller re-raises it. The worker
+            // itself survives and goes back to parking.
+            st.panic_payload.get_or_insert(payload);
+        }
+        if st.running == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
 
 /// Computes the exact outcome distribution of every circuit, fanning work
 /// out over `threads` OS threads (1 = sequential). Result order matches
@@ -33,55 +308,9 @@ pub fn run_batch<B: Backend>(
     circuits: &[Circuit],
     threads: usize,
 ) -> Vec<Result<OutcomeDistribution, QsimError>> {
-    let threads = threads.max(1).min(circuits.len().max(1));
-    if threads == 1 {
-        return circuits.iter().map(|c| backend.probabilities(c)).collect();
-    }
-    let mut results: Vec<Option<Result<OutcomeDistribution, QsimError>>> =
-        (0..circuits.len()).map(|_| None).collect();
-    let next = AtomicUsize::new(0);
-    let results_ptr = ResultsCell(&mut results);
-
-    std::thread::scope(|scope| {
-        let results_ref = &results_ptr;
-        let next_ref = &next;
-        for _ in 0..threads {
-            scope.spawn(move || loop {
-                let idx = next_ref.fetch_add(1, Ordering::Relaxed);
-                if idx >= circuits.len() {
-                    break;
-                }
-                let out = backend.probabilities(&circuits[idx]);
-                // SAFETY-free: each index is claimed exactly once by the
-                // atomic counter, so no two threads write the same slot.
-                results_ref.set(idx, out);
-            });
-        }
-    });
-
-    results
-        .into_iter()
-        .map(|r| r.expect("every index was claimed"))
-        .collect()
-}
-
-/// Shared mutable results buffer with disjoint-index writes coordinated by
-/// an atomic counter. Wrapped in a tiny cell type to confine the single
-/// `unsafe` block.
-struct ResultsCell<'a>(&'a mut [Option<Result<OutcomeDistribution, QsimError>>]);
-
-unsafe impl Sync for ResultsCell<'_> {}
-
-impl ResultsCell<'_> {
-    fn set(&self, idx: usize, value: Result<OutcomeDistribution, QsimError>) {
-        // SAFETY: `idx` is claimed exactly once via fetch_add, so writes
-        // never alias; the buffer outlives the thread scope.
-        unsafe {
-            let slot =
-                self.0.as_ptr().add(idx) as *mut Option<Result<OutcomeDistribution, QsimError>>;
-            *slot = Some(value);
-        }
-    }
+    map_indexed(circuits.len(), threads, |idx| {
+        backend.probabilities(&circuits[idx])
+    })
 }
 
 /// Runs a closure over indexed work items in parallel, collecting outputs
@@ -122,24 +351,35 @@ where
     let next = AtomicUsize::new(0);
     let cell = MapCell(&mut results);
 
-    std::thread::scope(|scope| {
-        let cell_ref = &cell;
-        let next_ref = &next;
-        let init_ref = &init;
-        let f_ref = &f;
-        for _ in 0..threads {
-            scope.spawn(move || {
-                let mut scratch = init_ref();
-                loop {
-                    let idx = next_ref.fetch_add(1, Ordering::Relaxed);
-                    if idx >= num_items {
-                        break;
-                    }
-                    cell_ref.set(idx, f_ref(&mut scratch, idx));
-                }
-            });
+    // One participant's share of the job: fresh scratch, then drain the
+    // claim counter. Identical for pool workers, scoped threads, and the
+    // dispatching caller — and item `idx`'s output never depends on who
+    // ran it.
+    let participate = || {
+        let mut scratch = init();
+        loop {
+            let idx = next.fetch_add(1, Ordering::Relaxed);
+            if idx >= num_items {
+                break;
+            }
+            cell.set(idx, f(&mut scratch, idx));
         }
-    });
+    };
+
+    // The resident pool first: persistent workers keep kernel-layer
+    // `thread_local` scratch warm across panels and skip the per-call
+    // spawn/join. Fall back to a scoped spawn when the pool is already
+    // running a job or when this thread *is* a pool worker (a nested
+    // dispatch would deadlock on the single job slot).
+    let pooled =
+        !WorkerPool::on_pool_worker() && WorkerPool::global().run(threads - 1, &participate);
+    if !pooled {
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(participate);
+            }
+        });
+    }
 
     results
         .into_iter()
@@ -228,6 +468,74 @@ mod tests {
     fn map_indexed_empty() {
         let out: Vec<usize> = map_indexed(0, 4, |i| i);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pool_reuses_worker_threads_across_panels() {
+        use std::collections::HashSet;
+        use std::sync::{Barrier, Mutex};
+        let pool = WorkerPool::new(3);
+        let caller = std::thread::current().id();
+        let mut panels: Vec<HashSet<std::thread::ThreadId>> = Vec::new();
+        for _ in 0..5 {
+            let ids = Mutex::new(HashSet::new());
+            // All four participants (caller + 3 residents) must enter the
+            // task before any may leave, so every panel records the full
+            // worker set.
+            let barrier = Barrier::new(4);
+            let ran = pool.run(3, &|| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                barrier.wait();
+            });
+            assert!(ran, "private pool must never be busy");
+            let mut ids = ids.into_inner().unwrap();
+            assert_eq!(ids.len(), 4);
+            assert!(ids.remove(&caller));
+            panels.push(ids);
+        }
+        for window in panels.windows(2) {
+            assert_eq!(
+                window[0], window[1],
+                "resident workers must be the same threads panel after panel"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_survives_panicked_job() {
+        let pool = WorkerPool::new(2);
+        let boom = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(2, &|| panic!("poisoned job"));
+        }));
+        assert!(boom.is_err(), "the job's panic must reach the caller");
+        // The workers themselves survive the poisoned job: the next panel
+        // dispatches and completes normally on the same pool.
+        for _ in 0..3 {
+            let count = AtomicUsize::new(0);
+            let barrier = std::sync::Barrier::new(3);
+            let ran = pool.run(2, &|| {
+                count.fetch_add(1, Ordering::Relaxed);
+                barrier.wait();
+            });
+            assert!(ran);
+            assert_eq!(count.load(Ordering::Relaxed), 3);
+        }
+    }
+
+    #[test]
+    fn map_indexed_propagates_worker_panics() {
+        let boom = std::panic::catch_unwind(|| {
+            map_indexed(16, 4, |i| {
+                if i == 7 {
+                    panic!("item 7 poisoned");
+                }
+                i
+            })
+        });
+        assert!(boom.is_err());
+        // And the global pool still serves the next call.
+        let out = map_indexed(16, 4, |i| i * 2);
+        assert_eq!(out[8], 16);
     }
 
     #[test]

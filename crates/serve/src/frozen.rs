@@ -5,7 +5,7 @@
 
 use crate::artifact::{FrozenArtifact, FrozenGroup, FrozenNormalizer, LevelStats};
 use crate::error::ServeError;
-use qdata::Dataset;
+use qdata::{Dataset, SamplePanel};
 use qmetrics::stats;
 use qsim::parallel::map_indexed;
 use quorum_core::ansatz::AnsatzParams;
@@ -15,11 +15,41 @@ use quorum_core::engine::{self, sampled_deviation, shot_seed, ScoringEngine};
 use quorum_core::ensemble::EnsembleGroup;
 use quorum_core::features::FeatureSelection;
 use quorum_core::{QuorumConfig, QuorumError, ScoreReport};
+use std::cell::RefCell;
 
 /// Sample ids contribute their low 32 bits to the per-measurement shot
 /// seed (see [`quorum_core::engine::shot_seed`]); a server that outlives
 /// 2^32 samples recycles measurement randomness, never data.
 const SAMPLE_ID_MASK: u64 = 0xFFFF_FFFF;
+
+/// One normalized streamed panel in pooled flat storage: row-major
+/// `samples × features`, reused across batches so the steady-state
+/// request path never allocates per-row vectors. Borrow it as a
+/// [`SamplePanel`] to hand to the engines.
+#[derive(Debug, Default)]
+pub(crate) struct NormalizedPanel {
+    data: Vec<f64>,
+    features: usize,
+}
+
+impl NormalizedPanel {
+    /// Borrows the flat storage as an engine-facing panel view.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unfilled panel (zero feature width) — callers fill
+    /// via [`FrozenDetector::normalize_rows_into`] first.
+    pub(crate) fn as_panel(&self) -> SamplePanel<'_> {
+        SamplePanel::new(&self.data, self.features)
+    }
+}
+
+thread_local! {
+    /// Per-thread pooled panel for the streaming entry points. Each
+    /// serving thread normalises into its own resident buffer; the
+    /// engine pass borrows it read-only for the duration of the batch.
+    static STREAM_PANEL: RefCell<NormalizedPanel> = RefCell::default();
+}
 
 /// A detector frozen against one reference dataset and held resident for
 /// serving.
@@ -336,23 +366,27 @@ impl FrozenDetector {
         if rows.is_empty() {
             return Ok(Vec::new());
         }
-        let normalized = self.normalize_stream_rows(rows)?;
-        let levels = self.config.effective_compression_levels();
-        let threads = self.config.effective_threads();
-        let normalized_ref = &normalized;
-        let levels_ref = &levels;
-        let partials: Vec<Result<Vec<f64>, QuorumError>> =
-            map_indexed(self.groups.len(), threads, move |g| {
-                self.stream_scores_for_group(g, normalized_ref, levels_ref, first_sample_id)
-            });
-        let mut totals = vec![0.0; rows.len()];
-        for partial in partials {
-            let partial = partial?;
-            for (t, p) in totals.iter_mut().zip(partial) {
-                *t += p;
+        STREAM_PANEL.with(|cell| {
+            let pooled = &mut *cell.borrow_mut();
+            self.normalize_rows_into(rows, pooled)?;
+            let levels = self.config.effective_compression_levels();
+            let threads = self.config.effective_threads();
+            let panel = pooled.as_panel();
+            let panel_ref = &panel;
+            let levels_ref = &levels;
+            let partials: Vec<Result<Vec<f64>, QuorumError>> =
+                map_indexed(self.groups.len(), threads, move |g| {
+                    self.stream_scores_for_group(g, panel_ref, levels_ref, first_sample_id)
+                });
+            let mut totals = vec![0.0; rows.len()];
+            for partial in partials {
+                let partial = partial?;
+                for (t, p) in totals.iter_mut().zip(partial) {
+                    *t += p;
+                }
             }
-        }
-        Ok(totals)
+            Ok(totals)
+        })
     }
 
     /// One group's additive streamed-score contribution — the public
@@ -384,24 +418,36 @@ impl FrozenDetector {
         if rows.is_empty() {
             return Ok(Vec::new());
         }
-        let normalized = self.normalize_stream_rows(rows)?;
-        let levels = self.config.effective_compression_levels();
-        let (engine, exact_config) = self.resolve_stream_engine(engine)?;
-        self.stream_scores_for_group_with(
-            engine,
-            &exact_config,
-            group,
-            &normalized,
-            &levels,
-            first_sample_id,
-        )
-        .map_err(ServeError::Quorum)
+        STREAM_PANEL.with(|cell| {
+            let pooled = &mut *cell.borrow_mut();
+            self.normalize_rows_into(rows, pooled)?;
+            let levels = self.config.effective_compression_levels();
+            let (engine, exact_config) = self.resolve_stream_engine(engine)?;
+            self.stream_scores_for_group_with(
+                engine,
+                &exact_config,
+                group,
+                &pooled.as_panel(),
+                &levels,
+                first_sample_id,
+            )
+            .map_err(ServeError::Quorum)
+        })
     }
 
-    /// Validates streamed rows (width, usability) and applies the frozen
-    /// normaliser — the shared head of every streaming entry point, so
-    /// the sharded scorer normalises one panel exactly once.
-    pub(crate) fn normalize_stream_rows(&self, rows: &[Vec<f64>]) -> Result<Dataset, ServeError> {
+    /// Validates streamed rows (width, finiteness) and applies the frozen
+    /// normaliser directly into pooled flat storage — the shared head of
+    /// every streaming entry point. The per-element arithmetic is the
+    /// normaliser's own `transform` (plus `absolute_features` for the
+    /// range-max scheme) fused into the pack loop, so the result is
+    /// bit-identical to materialising an intermediate [`Dataset`] while
+    /// allocating nothing per batch in steady state. Error precedence and
+    /// texts match the previous dataset-backed validation exactly.
+    pub(crate) fn normalize_rows_into(
+        &self,
+        rows: &[Vec<f64>],
+        panel: &mut NormalizedPanel,
+    ) -> Result<(), ServeError> {
         if let Some(bad) = rows.iter().find(|r| r.len() != self.num_features) {
             return Err(ServeError::Request(format!(
                 "expected {} features, got {}",
@@ -409,9 +455,70 @@ impl FrozenDetector {
                 bad.len()
             )));
         }
-        let ds = Dataset::from_rows("stream", rows.to_vec(), None)
-            .map_err(|e| ServeError::Request(format!("unusable rows: {e}")))?;
-        Ok(self.normalizer.apply(&ds))
+        if rows.is_empty() {
+            return Err(ServeError::Request(format!(
+                "unusable rows: {}",
+                qdata::DataError::Empty
+            )));
+        }
+        for (row, r) in rows.iter().enumerate() {
+            for (col, &v) in r.iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(ServeError::Request(format!(
+                        "unusable rows: {}",
+                        qdata::DataError::NonFiniteValue { row, col }
+                    )));
+                }
+            }
+        }
+        let m = self.num_features as f64;
+        let bound = 1.0 / m;
+        panel.features = self.num_features;
+        panel.data.clear();
+        panel.data.reserve(rows.len() * self.num_features);
+        match &self.normalizer {
+            FrozenNormalizer::RangeMax(norm) => {
+                let maxima = norm.maxima();
+                for r in rows {
+                    panel.data.extend(r.iter().zip(maxima).map(|(&v, &mx)| {
+                        let t = if mx == 0.0 {
+                            0.0
+                        } else {
+                            (v / (mx * m)).clamp(-bound, bound)
+                        };
+                        t.abs()
+                    }));
+                }
+            }
+            FrozenNormalizer::MinMax(norm) => {
+                let mins = norm.mins();
+                let ranges = norm.ranges();
+                for r in rows {
+                    panel.data.extend(r.iter().zip(mins.iter().zip(ranges)).map(
+                        |(&v, (&lo, &range))| {
+                            if range <= 0.0 {
+                                0.0
+                            } else {
+                                ((v - lo) / (range * m)).clamp(0.0, bound)
+                            }
+                        },
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Allocating convenience over [`FrozenDetector::normalize_rows_into`]
+    /// for callers that share one normalized panel across threads (the
+    /// sharded scorer wraps the result in an `Arc`).
+    pub(crate) fn normalize_stream_panel(
+        &self,
+        rows: &[Vec<f64>],
+    ) -> Result<NormalizedPanel, ServeError> {
+        let mut panel = NormalizedPanel::default();
+        self.normalize_rows_into(rows, &mut panel)?;
+        Ok(panel)
     }
 
     /// Resolves a per-shard engine override against the shot-stripped
@@ -444,7 +551,7 @@ impl FrozenDetector {
     fn stream_scores_for_group(
         &self,
         g: usize,
-        normalized: &Dataset,
+        panel: &SamplePanel<'_>,
         levels: &[usize],
         first_sample_id: u64,
     ) -> Result<Vec<f64>, QuorumError> {
@@ -452,7 +559,7 @@ impl FrozenDetector {
             self.stream_engine,
             &self.exact_config,
             g,
-            normalized,
+            panel,
             levels,
             first_sample_id,
         )
@@ -469,13 +576,44 @@ impl FrozenDetector {
         engine: &dyn ScoringEngine,
         exact_config: &QuorumConfig,
         g: usize,
-        normalized: &Dataset,
+        panel: &SamplePanel<'_>,
         levels: &[usize],
         first_sample_id: u64,
     ) -> Result<Vec<f64>, QuorumError> {
+        let mut scores = vec![0.0; panel.num_samples()];
+        self.stream_scores_for_group_with_into(
+            engine,
+            exact_config,
+            g,
+            panel,
+            levels,
+            first_sample_id,
+            &mut scores,
+        )?;
+        Ok(scores)
+    }
+
+    /// [`FrozenDetector::stream_scores_for_group_with`] writing into a
+    /// caller-owned slice — the sharded scorer points this at the group's
+    /// pre-sliced row of its resident partial-sum slab, so steady-state
+    /// shard scoring allocates no per-group vectors. `out` must hold
+    /// exactly one slot per panel sample; it is zeroed before
+    /// accumulation.
+    #[allow(clippy::too_many_arguments)] // mirror of the Vec-returning seam
+    pub(crate) fn stream_scores_for_group_with_into(
+        &self,
+        engine: &dyn ScoringEngine,
+        exact_config: &QuorumConfig,
+        g: usize,
+        panel: &SamplePanel<'_>,
+        levels: &[usize],
+        first_sample_id: u64,
+        out: &mut [f64],
+    ) -> Result<(), QuorumError> {
+        debug_assert_eq!(out.len(), panel.num_samples());
         let group = &self.groups[g];
-        let per_level = engine.deviations_all_levels(group, normalized, exact_config, levels)?;
-        let mut scores = vec![0.0; normalized.num_samples()];
+        let per_level = engine.deviations_all_levels_panel(group, panel, exact_config, levels)?;
+        out.fill(0.0);
         for ((deviations, &level), level_stats) in per_level.iter().zip(levels).zip(&self.stats[g])
         {
             for (j, &exact) in deviations.iter().enumerate() {
@@ -487,10 +625,10 @@ impl FrozenDetector {
                     }
                     None => exact,
                 };
-                scores[j] += stats::zscore(deviation, level_stats.mean, level_stats.std).abs();
+                out[j] += stats::zscore(deviation, level_stats.mean, level_stats.std).abs();
             }
         }
-        Ok(scores)
+        Ok(())
     }
 
     /// Shared tail of freeze and thaw: derives the shot-stripped

@@ -394,6 +394,11 @@ fn accept_loop(
         }
         let id = next_id;
         next_id = next_id.wrapping_add(1);
+        // Score replies are single small frames on a request/response
+        // protocol: disable Nagle so each one leaves immediately instead
+        // of waiting out a delayed-ACK round trip. Best-effort — a
+        // socket that dies here just fails in the handler.
+        let _ = stream.set_nodelay(true);
         if let Ok(clone) = stream.try_clone() {
             conns
                 .lock()
@@ -453,6 +458,13 @@ fn handle_connection(
     scorer: &BatchScorer,
     panel: &dyn PanelScorer,
 ) {
+    // Per-connection pooled buffers: the request payload lands in one
+    // bulk read (one syscall for all `n` values instead of one per
+    // `f64`), and every length-prefixed reply frame is assembled in a
+    // reused buffer — steady-state request handling allocates only the
+    // row the batching queue takes ownership of.
+    let mut payload: Vec<u8> = Vec::new();
+    let mut frame: Vec<u8> = Vec::new();
     loop {
         let mut len_buf = [0u8; 4];
         if stream.read_exact(&mut len_buf).is_err() {
@@ -460,31 +472,40 @@ fn handle_connection(
         }
         let n = u32::from_le_bytes(len_buf);
         if n == HEALTH_PROBE {
-            if write_health(&mut stream, &health_report(scorer, panel)).is_err() {
+            if write_health(&mut stream, &health_report(scorer, panel), &mut frame).is_err() {
                 return;
             }
             continue;
         }
         if n > MAX_REQUEST_FEATURES {
-            let _ = write_error(&mut stream, &format!("implausible feature count {n}"));
+            let _ = write_error(
+                &mut stream,
+                &format!("implausible feature count {n}"),
+                &mut frame,
+            );
             return;
         }
-        let mut row = vec![0.0f64; n as usize];
-        let mut value = [0u8; 8];
-        for slot in &mut row {
-            if stream.read_exact(&mut value).is_err() {
-                return;
-            }
-            *slot = f64::from_le_bytes(value);
+        payload.clear();
+        payload.resize(n as usize * 8, 0);
+        if stream.read_exact(&mut payload).is_err() {
+            return;
         }
+        let mut row = Vec::with_capacity(n as usize);
+        row.extend(
+            payload
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("chunks are 8 bytes"))),
+        );
         // The handle validates width at enqueue, so a malformed client
         // never occupies a slot in a coalesced panel.
         let ok = match handle.score(row) {
             Ok(score) => write_score(&mut stream, score).is_ok(),
             // Shed requests get the typed status so clients can back
             // off and retry instead of parsing error text.
-            Err(ServeError::Overloaded(msg)) => write_overloaded(&mut stream, &msg).is_ok(),
-            Err(e) => write_error(&mut stream, &e.to_string()).is_ok(),
+            Err(ServeError::Overloaded(msg)) => {
+                write_overloaded(&mut stream, &msg, &mut frame).is_ok()
+            }
+            Err(e) => write_error(&mut stream, &e.to_string(), &mut frame).is_ok(),
         };
         if !ok {
             return;
@@ -510,7 +531,11 @@ fn write_frame(stream: &mut TcpStream, frame: &[u8]) -> std::io::Result<()> {
             "failpoint tore the response frame",
         ));
     }
-    stream.write_all(frame)
+    // Flush errors propagate: with Nagle disabled a buffered-writer
+    // flush is where a dead peer surfaces, and swallowing it would let
+    // the handler keep scoring into a closed socket.
+    stream.write_all(frame)?;
+    stream.flush()
 }
 
 fn write_score(stream: &mut TcpStream, score: f64) -> std::io::Result<()> {
@@ -519,30 +544,48 @@ fn write_score(stream: &mut TcpStream, score: f64) -> std::io::Result<()> {
     write_frame(stream, &frame)
 }
 
-fn write_message_frame(stream: &mut TcpStream, status: u8, message: &str) -> std::io::Result<()> {
+/// Assembles a `status | len | bytes` frame in the caller's pooled
+/// buffer so the message paths (error, shed, health) stay off the
+/// per-reply allocator.
+fn write_message_frame(
+    stream: &mut TcpStream,
+    status: u8,
+    message: &str,
+    frame: &mut Vec<u8>,
+) -> std::io::Result<()> {
     let bytes = message.as_bytes();
-    let mut frame = Vec::with_capacity(5 + bytes.len());
+    frame.clear();
+    frame.reserve(5 + bytes.len());
     frame.push(status);
     frame.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
     frame.extend_from_slice(bytes);
-    write_frame(stream, &frame)
+    write_frame(stream, frame)
 }
 
-fn write_error(stream: &mut TcpStream, message: &str) -> std::io::Result<()> {
-    write_message_frame(stream, 1, message)
+fn write_error(stream: &mut TcpStream, message: &str, frame: &mut Vec<u8>) -> std::io::Result<()> {
+    write_message_frame(stream, 1, message, frame)
 }
 
-fn write_overloaded(stream: &mut TcpStream, message: &str) -> std::io::Result<()> {
-    write_message_frame(stream, 2, message)
+fn write_overloaded(
+    stream: &mut TcpStream,
+    message: &str,
+    frame: &mut Vec<u8>,
+) -> std::io::Result<()> {
+    write_message_frame(stream, 2, message, frame)
 }
 
-fn write_health(stream: &mut TcpStream, report: &HealthReport) -> std::io::Result<()> {
+fn write_health(
+    stream: &mut TcpStream,
+    report: &HealthReport,
+    frame: &mut Vec<u8>,
+) -> std::io::Result<()> {
     let payload = report.encode();
-    let mut frame = Vec::with_capacity(5 + payload.len());
+    frame.clear();
+    frame.reserve(5 + payload.len());
     frame.push(3u8);
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     frame.extend_from_slice(&payload);
-    write_frame(stream, &frame)
+    write_frame(stream, frame)
 }
 
 /// Retry schedule for [`ScoreClient`]: exponential backoff with
@@ -624,6 +667,9 @@ pub struct ScoreClient {
     read_timeout: Option<Duration>,
     write_timeout: Option<Duration>,
     retry: RetryPolicy,
+    /// Reused request-frame buffer: steady-state scoring encodes into
+    /// this instead of allocating per call.
+    frame: Vec<u8>,
 }
 
 impl ScoreClient {
@@ -635,12 +681,16 @@ impl ScoreClient {
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
         let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
         let stream = TcpStream::connect(&addrs[..])?;
+        // Requests are single small frames; without this each one can
+        // stall behind Nagle waiting for the server's delayed ACK.
+        stream.set_nodelay(true)?;
         Ok(ScoreClient {
             stream,
             addrs,
             read_timeout: None,
             write_timeout: None,
             retry: RetryPolicy::default(),
+            frame: Vec::new(),
         })
     }
 
@@ -677,13 +727,15 @@ impl ScoreClient {
         loop {
             match TcpStream::connect(&addrs[..]) {
                 Ok(stream) => {
+                    stream.set_nodelay(true)?;
                     return Ok(ScoreClient {
                         stream,
                         addrs,
                         read_timeout: None,
                         write_timeout: None,
                         retry,
-                    })
+                        frame: Vec::new(),
+                    });
                 }
                 Err(_) if attempt < retry.max_retries => {
                     std::thread::sleep(retry.backoff(attempt));
@@ -729,12 +781,14 @@ impl ScoreClient {
     /// request (status 2 — not scored, safe to retry);
     /// [`ServeError::Io`] on transport failures and expired deadlines.
     pub fn score(&mut self, row: &[f64]) -> Result<f64, ServeError> {
-        let mut frame = Vec::with_capacity(4 + row.len() * 8);
-        frame.extend_from_slice(&(row.len() as u32).to_le_bytes());
+        self.frame.clear();
+        self.frame.reserve(4 + row.len() * 8);
+        self.frame
+            .extend_from_slice(&(row.len() as u32).to_le_bytes());
         for &v in row {
-            frame.extend_from_slice(&v.to_le_bytes());
+            self.frame.extend_from_slice(&v.to_le_bytes());
         }
-        self.stream.write_all(&frame)?;
+        self.stream.write_all(&self.frame)?;
         let mut status = [0u8; 1];
         self.stream.read_exact(&mut status)?;
         match status[0] {
@@ -780,7 +834,8 @@ impl ScoreClient {
                 // fresh connection. A failed reconnect just consumes the
                 // attempt — the next loop iteration fails fast on i/o.
                 if let Ok(stream) = TcpStream::connect(&self.addrs[..]) {
-                    if stream.set_read_timeout(self.read_timeout).is_ok()
+                    if stream.set_nodelay(true).is_ok()
+                        && stream.set_read_timeout(self.read_timeout).is_ok()
                         && stream.set_write_timeout(self.write_timeout).is_ok()
                     {
                         self.stream = stream;

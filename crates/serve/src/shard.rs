@@ -23,13 +23,14 @@
 
 use crate::batch::PanelScorer;
 use crate::error::ServeError;
-use crate::frozen::FrozenDetector;
-use qdata::Dataset;
+use crate::frozen::{FrozenDetector, NormalizedPanel};
 use quorum_core::config::EngineKind;
-use quorum_core::QuorumError;
+use quorum_core::engine::ScoringEngine;
+use quorum_core::{QuorumConfig, QuorumError};
+use std::cell::UnsafeCell;
 use std::collections::BTreeMap;
-use std::sync::mpsc::{self, Sender};
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 /// How a serving runtime splits its ensemble groups across workers.
@@ -334,22 +335,70 @@ impl BaselineCosts {
     }
 }
 
-/// One panel job fanned out to a shard worker.
-struct ShardJob {
-    normalized: Arc<Dataset>,
-    first_sample_id: u64,
-    reply: Sender<ShardReply>,
+/// Interior-mutable buffer shared between the coordinator and the shard
+/// workers. Access is epoch-fenced, never locked during the hot section:
+/// the coordinator writes only while no panel is in flight (publish
+/// happens under the state mutex, which establishes the happens-before
+/// edge), and workers touch disjoint regions — the panel read-only, and
+/// each group's slab row exclusively (the plan assigns every group to
+/// exactly one shard).
+struct ShardCell<T>(UnsafeCell<T>);
+
+// Safety: see the access protocol on [`ShardShared`] — every access is
+// ordered by the state mutex, and concurrent writers never alias.
+unsafe impl<T: Send> Sync for ShardCell<T> {}
+
+impl<T> ShardCell<T> {
+    fn get(&self) -> *mut T {
+        self.0.get()
+    }
 }
 
-/// A worker's answer: its shard index plus each owned group's additive
-/// partial vector (or that group's failure), in ascending group order.
-struct ShardReply {
-    shard: usize,
-    partials: Vec<(usize, Result<Vec<f64>, QuorumError>)>,
+/// Coordinator/worker rendezvous state for one [`ShardedScorer`].
+struct ShardState {
+    /// Bumped once per published panel; workers score each epoch once.
+    epoch: u64,
+    /// Samples in the in-flight panel (slab rows are this wide).
+    samples: usize,
+    first_sample_id: u64,
+    /// Workers that have not yet finished the in-flight epoch.
+    remaining: usize,
+    /// Worker threads still alive (a panicked worker leaves for good).
+    live: usize,
+    /// Set when a worker dies mid-panel; the scorer is then permanently
+    /// degraded (same contract as a closed worker channel before).
+    died: bool,
+    shutdown: bool,
+    /// Per-group scoring failures of the in-flight epoch.
+    errors: Vec<(usize, QuorumError)>,
+}
+
+/// Everything the resident shard workers share with the coordinator: the
+/// rendezvous state, the normalized panel (written by the coordinator
+/// between epochs, read by every worker during one), and the per-group
+/// partial-sum slab (`num_groups × samples`, each group's row written by
+/// exactly one worker).
+struct ShardShared {
+    state: Mutex<ShardState>,
+    /// Workers wait here for the next epoch (or shutdown).
+    job_cv: Condvar,
+    /// The coordinator waits here for `remaining == 0`.
+    done_cv: Condvar,
+    panel: ShardCell<NormalizedPanel>,
+    slab: ShardCell<Vec<f64>>,
+    num_groups: usize,
 }
 
 /// K resident shard workers over one frozen detector, scoring coalesced
 /// panels as the vector sum of per-shard partial scores.
+///
+/// Dispatch is a shared-memory rendezvous, not a per-panel channel
+/// round-trip: the coordinator normalises into a resident panel buffer,
+/// bumps an epoch under the state mutex, and parked workers score their
+/// groups straight into pre-sliced rows of a resident partial-sum slab —
+/// no per-panel allocations, sends, or reply receivers on the steady
+/// path. Concurrent `score_samples` calls serialise on the coordinator
+/// lock (they time-share the same worker fleet either way).
 ///
 /// Bit-identity contract: for any plan produced by any [`ShardPolicy`]
 /// whose shards all run the frozen configuration's engine,
@@ -362,12 +411,10 @@ struct ShardReply {
 pub struct ShardedScorer {
     frozen: Arc<FrozenDetector>,
     plan: ShardPlan,
-    workers: Vec<ShardWorker>,
-}
-
-struct ShardWorker {
-    tx: Option<Sender<ShardJob>>,
-    join: Option<JoinHandle<()>>,
+    shared: Arc<ShardShared>,
+    /// Serialises panel publication (one panel in flight at a time).
+    coordinator: Mutex<()>,
+    workers: Vec<Option<JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for ShardedScorer {
@@ -419,6 +466,23 @@ impl ShardedScorer {
                 "shard plan leaves at least one group unassigned".into(),
             ));
         }
+        let shared = Arc::new(ShardShared {
+            state: Mutex::new(ShardState {
+                epoch: 0,
+                samples: 0,
+                first_sample_id: 0,
+                remaining: 0,
+                live: plan.num_shards(),
+                died: false,
+                shutdown: false,
+                errors: Vec::new(),
+            }),
+            job_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            panel: ShardCell(UnsafeCell::new(NormalizedPanel::default())),
+            slab: ShardCell(UnsafeCell::new(Vec::new())),
+            num_groups: frozen.groups().len(),
+        });
         let mut workers = Vec::with_capacity(plan.num_shards());
         for (s, shard) in plan.shards().iter().enumerate() {
             // Validate the override and pre-warm this shard's groups for
@@ -427,42 +491,30 @@ impl ShardedScorer {
             if let Some(kind) = shard.engine() {
                 frozen.prewarm_groups(kind, shard.groups())?;
             }
-            let (tx, rx) = mpsc::channel::<ShardJob>();
             let frozen_w = Arc::clone(&frozen);
+            let shared_w = Arc::clone(&shared);
             let groups = shard.groups().to_vec();
             let levels = frozen.stream_levels();
             let join = std::thread::Builder::new()
                 .name(format!("quorum-shard-{s}"))
                 .spawn(move || {
-                    while let Ok(job) = rx.recv() {
-                        let partials = groups
-                            .iter()
-                            .map(|&g| {
-                                (
-                                    g,
-                                    frozen_w.stream_scores_for_group_with(
-                                        engine,
-                                        &exact_config,
-                                        g,
-                                        &job.normalized,
-                                        &levels,
-                                        job.first_sample_id,
-                                    ),
-                                )
-                            })
-                            .collect();
-                        let _ = job.reply.send(ShardReply { shard: s, partials });
-                    }
+                    shard_worker_loop(
+                        &frozen_w,
+                        &shared_w,
+                        &groups,
+                        engine,
+                        &exact_config,
+                        &levels,
+                    )
                 })
                 .map_err(|e| ServeError::spawn(&format!("quorum-shard-{s}"), e))?;
-            workers.push(ShardWorker {
-                tx: Some(tx),
-                join: Some(join),
-            });
+            workers.push(Some(join));
         }
         Ok(ShardedScorer {
             frozen,
             plan,
+            shared,
+            coordinator: Mutex::new(()),
             workers,
         })
     }
@@ -477,11 +529,11 @@ impl ShardedScorer {
         &self.frozen
     }
 
-    /// Scores a panel of streamed rows: normalises once, fans the shared
-    /// panel out to every shard worker, and sums the per-group partial
-    /// vectors in ascending group-index order — bit-identical to
-    /// [`FrozenDetector::score_samples`] under the same per-group engine
-    /// assignment, for every shard plan.
+    /// Scores a panel of streamed rows: normalises once into the resident
+    /// shared panel, publishes one epoch to the parked workers, and sums
+    /// the per-group slab rows in ascending group-index order —
+    /// bit-identical to [`FrozenDetector::score_samples`] under the same
+    /// per-group engine assignment, for every shard plan.
     ///
     /// # Errors
     ///
@@ -497,33 +549,65 @@ impl ShardedScorer {
         if rows.is_empty() {
             return Ok(Vec::new());
         }
-        let normalized = Arc::new(self.frozen.normalize_stream_rows(rows)?);
-        let (reply_tx, reply_rx) = mpsc::channel::<ShardReply>();
-        let mut live = 0usize;
-        for worker in &self.workers {
-            let tx = worker.tx.as_ref().expect("workers live until drop");
-            tx.send(ShardJob {
-                normalized: Arc::clone(&normalized),
-                first_sample_id,
-                reply: reply_tx.clone(),
-            })
-            .map_err(|_| worker_gone())?;
-            live += 1;
-        }
-        drop(reply_tx);
-        let mut per_group: Vec<Option<Result<Vec<f64>, QuorumError>>> =
-            (0..self.frozen.groups().len()).map(|_| None).collect();
-        for _ in 0..live {
-            let reply = reply_rx.recv().map_err(|_| worker_gone())?;
-            debug_assert!(reply.shard < self.workers.len());
-            for (g, partial) in reply.partials {
-                per_group[g] = Some(partial);
+        let _turn = self
+            .coordinator
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        {
+            let state = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if state.died || state.live < self.workers.len() {
+                return Err(worker_gone());
             }
         }
-        let mut totals = vec![0.0; rows.len()];
-        for slot in per_group {
-            let partial = slot.ok_or_else(worker_gone)?.map_err(ServeError::Quorum)?;
-            for (t, p) in totals.iter_mut().zip(partial) {
+        // No epoch is in flight (the coordinator lock is held and the
+        // previous epoch drained), so the panel and slab are exclusively
+        // ours to write.
+        let samples = rows.len();
+        {
+            let panel = unsafe { &mut *self.shared.panel.get() };
+            self.frozen.normalize_rows_into(rows, panel)?;
+            let slab = unsafe { &mut *self.shared.slab.get() };
+            slab.clear();
+            slab.resize(self.shared.num_groups * samples, 0.0);
+        }
+        let errors = {
+            let mut state = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state.epoch += 1;
+            state.samples = samples;
+            state.first_sample_id = first_sample_id;
+            state.remaining = state.live;
+            state.errors.clear();
+            self.shared.job_cv.notify_all();
+            while state.remaining > 0 {
+                state = self
+                    .shared
+                    .done_cv
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            if state.died {
+                return Err(worker_gone());
+            }
+            std::mem::take(&mut state.errors)
+        };
+        if let Some((_, e)) = errors.into_iter().min_by_key(|&(g, _)| g) {
+            return Err(ServeError::Quorum(e));
+        }
+        // Every worker has finished (observed under the state mutex), so
+        // the slab is quiescent and fully written: merge ascending.
+        let slab = unsafe { &*self.shared.slab.get() };
+        let mut totals = vec![0.0; samples];
+        for g in 0..self.shared.num_groups {
+            let row = &slab[g * samples..(g + 1) * samples];
+            for (t, &p) in totals.iter_mut().zip(row) {
                 *t += p;
             }
         }
@@ -533,13 +617,107 @@ impl ShardedScorer {
 
 impl Drop for ShardedScorer {
     fn drop(&mut self) {
-        for worker in &mut self.workers {
-            drop(worker.tx.take());
+        {
+            let mut state = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state.shutdown = true;
+            self.shared.job_cv.notify_all();
         }
         for worker in &mut self.workers {
-            if let Some(join) = worker.join.take() {
+            if let Some(join) = worker.take() {
                 let _ = join.join();
             }
+        }
+    }
+}
+
+/// The resident shard worker body: park on the epoch condvar, score the
+/// owned groups of each published panel straight into their slab rows,
+/// report completion, repeat. A panicking panel marks the scorer dead
+/// (after decrementing `remaining` so the coordinator never hangs) and
+/// exits the thread.
+fn shard_worker_loop(
+    frozen: &FrozenDetector,
+    shared: &ShardShared,
+    groups: &[usize],
+    engine: &'static dyn ScoringEngine,
+    exact_config: &QuorumConfig,
+    levels: &[usize],
+) {
+    let mut last_epoch = 0u64;
+    loop {
+        let (samples, first_sample_id) = {
+            let mut state = shared
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.epoch != last_epoch {
+                    break;
+                }
+                state = shared
+                    .job_cv
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            last_epoch = state.epoch;
+            (state.samples, state.first_sample_id)
+        };
+        // Outside the lock: read the shared panel, write this shard's
+        // disjoint slab rows. The epoch handshake above orders these
+        // accesses against the coordinator's writes.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let panel_buf = unsafe { &*shared.panel.get() };
+            let panel = panel_buf.as_panel();
+            let slab = shared.slab.get();
+            let mut failures: Vec<(usize, QuorumError)> = Vec::new();
+            for &g in groups {
+                // Safety: the plan assigns each group to exactly one
+                // shard, so this row is ours alone for this epoch.
+                let row = unsafe {
+                    std::slice::from_raw_parts_mut((*slab).as_mut_ptr().add(g * samples), samples)
+                };
+                if let Err(e) = frozen.stream_scores_for_group_with_into(
+                    engine,
+                    exact_config,
+                    g,
+                    &panel,
+                    levels,
+                    first_sample_id,
+                    row,
+                ) {
+                    failures.push((g, e));
+                }
+            }
+            failures
+        }));
+        let mut state = shared
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let dying = match outcome {
+            Ok(failures) => {
+                state.errors.extend(failures);
+                false
+            }
+            Err(_) => {
+                state.died = true;
+                state.live -= 1;
+                true
+            }
+        };
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            shared.done_cv.notify_all();
+        }
+        if dying {
+            return;
         }
     }
 }

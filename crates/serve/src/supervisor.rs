@@ -33,9 +33,8 @@
 
 use crate::batch::PanelScorer;
 use crate::error::ServeError;
-use crate::frozen::FrozenDetector;
+use crate::frozen::{FrozenDetector, NormalizedPanel};
 use crate::shard::{ShardPlan, ShardPolicy};
-use qdata::Dataset;
 use quorum_core::config::EngineKind;
 use quorum_core::QuorumError;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -105,7 +104,7 @@ pub struct ShardHealth {
 /// panel, and the reply channel.
 struct SupJob {
     groups: Arc<Vec<(usize, Option<EngineKind>)>>,
-    normalized: Arc<Dataset>,
+    normalized: Arc<NormalizedPanel>,
     first_sample_id: u64,
     reply: Sender<SupReply>,
 }
@@ -370,7 +369,7 @@ impl SupervisedScorer {
         if rows.is_empty() {
             return Ok(Vec::new());
         }
-        let normalized = Arc::new(self.frozen.normalize_stream_rows(rows)?);
+        let normalized = Arc::new(self.frozen.normalize_stream_panel(rows)?);
         let num_groups = self.frozen.groups().len();
         let mut per_group: Vec<Option<Vec<f64>>> = (0..num_groups).map(|_| None).collect();
         let mut rounds = 0u32;
@@ -447,7 +446,7 @@ impl SupervisedScorer {
     fn dispatch(
         &self,
         missing: &[usize],
-        normalized: &Arc<Dataset>,
+        normalized: &Arc<NormalizedPanel>,
         first_sample_id: u64,
         reply_tx: &Sender<SupReply>,
     ) -> Result<usize, ServeError> {
@@ -647,7 +646,7 @@ fn worker_loop(frozen: &Arc<FrozenDetector>, worker: usize, epoch: u64, rx: &Rec
                                 engine,
                                 &exact_config,
                                 g,
-                                &job.normalized,
+                                &job.normalized.as_panel(),
                                 &levels,
                                 job.first_sample_id,
                             )
